@@ -1,0 +1,627 @@
+// Package bertha_bench holds the testing.B benchmarks that regenerate
+// the paper's evaluation, one benchmark (family) per table and figure:
+//
+//	BenchmarkFig3*        — Figure 3, container networking
+//	BenchmarkFig4*        — Figure 4, dynamic name resolution
+//	BenchmarkFig5*        — Figure 5, sharding scenarios
+//	BenchmarkOptimizer*   — §6 DAG optimization
+//	BenchmarkConsensus*   — Listing 2 sequencer placement
+//
+// plus micro-benchmarks for the substrate costs the design decisions in
+// DESIGN.md rest on (codec, ARQ, XDP steering, negotiation).
+//
+// Run: go test -bench=. -benchmem
+package bertha_bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/bertha"
+	btransport "github.com/bertha-net/bertha/bertha/transport"
+	"github.com/bertha-net/bertha/internal/chunnels/anycast"
+	"github.com/bertha-net/bertha/internal/chunnels/localfast"
+	"github.com/bertha-net/bertha/internal/chunnels/mcast"
+	"github.com/bertha-net/bertha/internal/chunnels/reliable"
+	"github.com/bertha-net/bertha/internal/chunnels/shard"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/discovery"
+	"github.com/bertha-net/bertha/internal/kv"
+	"github.com/bertha-net/bertha/internal/rsm"
+	"github.com/bertha-net/bertha/internal/simnet"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/transport"
+	"github.com/bertha-net/bertha/internal/wire"
+	"github.com/bertha-net/bertha/internal/xdp"
+	"github.com/bertha-net/bertha/internal/ycsb"
+)
+
+// ---------- Figure 3: container networking ----------
+
+// echoServe pumps echo on every accepted conn.
+func echoServe(ctx context.Context, l core.Listener) {
+	go func() {
+		for {
+			conn, err := l.Accept(ctx)
+			if err != nil {
+				return
+			}
+			go func(conn core.Conn) {
+				defer conn.Close()
+				for {
+					m, err := conn.Recv(ctx)
+					if err != nil {
+						return
+					}
+					if err := conn.Send(ctx, m); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+func benchPing(b *testing.B, conn core.Conn, size int) {
+	ctx := context.Background()
+	payload := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(ctx, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Recv(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3PingUDP measures request latency through the loopback
+// network stack (Figure 3's baseline).
+func BenchmarkFig3PingUDP(b *testing.B) {
+	for _, size := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			l, err := btransport.ListenUDP("h", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			echoServe(ctx, l)
+			conn, err := btransport.DialUDP("h", l.Addr().Addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			benchPing(b, conn, size)
+		})
+	}
+}
+
+// BenchmarkFig3PingUnix measures request latency over hardcoded UNIX
+// sockets (Figure 3's specialized implementation).
+func BenchmarkFig3PingUnix(b *testing.B) {
+	for _, size := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			path := filepath.Join(b.TempDir(), "bench.sock")
+			l, err := btransport.ListenUnix("h", path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			echoServe(ctx, l)
+			conn, err := btransport.DialUnix("h", path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			benchPing(b, conn, size)
+		})
+	}
+}
+
+// fig3Bertha builds the localfast server and returns a connect func.
+func fig3BerthaSetup(b *testing.B, ctx context.Context) func() core.Conn {
+	b.Helper()
+	regS, regC := bertha.NewRegistry(), bertha.NewRegistry()
+	localfast.Register(regS)
+	localfast.Register(regC)
+	ipcPath := filepath.Join(b.TempDir(), "ipc.sock")
+	ipcL, err := btransport.ListenUnix("h", ipcPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ipcL.Close() })
+	envS := bertha.NewEnv("h")
+	envS.Provide(localfast.EnvListener, ipcL)
+	envS.SetDialer(&btransport.MultiDialer{HostID: "h"})
+	envC := bertha.NewEnv("h")
+	envC.SetDialer(&btransport.MultiDialer{HostID: "h"})
+	srv, err := bertha.New("container-app", bertha.Wrap(bertha.LocalOrRemote()),
+		bertha.WithRegistry(regS), bertha.WithEnv(envS))
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := btransport.ListenUDP("h", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := srv.Listen(ctx, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { nl.Close() })
+	echoServe(ctx, nl)
+	cli, err := bertha.New("client", bertha.Wrap(), bertha.WithRegistry(regC), bertha.WithEnv(envC))
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := base.Addr().Addr
+	return func() core.Conn {
+		raw, err := btransport.DialUDP("h", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn, err := cli.Connect(ctx, raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return conn
+	}
+}
+
+// BenchmarkFig3PingBertha measures request latency over a negotiated
+// Bertha connection that spliced onto the UNIX fast path.
+func BenchmarkFig3PingBertha(b *testing.B) {
+	for _, size := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			conn := fig3BerthaSetup(b, ctx)()
+			defer conn.Close()
+			benchPing(b, conn, size)
+		})
+	}
+}
+
+// BenchmarkFig3Establishment measures connection-establishment cost:
+// Bertha pays the negotiation round trips the paper reports.
+func BenchmarkFig3Establishment(b *testing.B) {
+	b.Run("udp", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		l, _ := btransport.ListenUDP("h", "127.0.0.1:0")
+		defer l.Close()
+		echoServe(ctx, l)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conn, err := btransport.DialUDP("h", l.Addr().Addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn.Close()
+		}
+	})
+	b.Run("bertha", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		connect := fig3BerthaSetup(b, ctx)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			connect().Close()
+		}
+	})
+}
+
+// ---------- Figure 4: dynamic name resolution ----------
+
+// remoteDelayConn models network distance on top of a real socket.
+type remoteDelayConn struct {
+	core.Conn
+	delay time.Duration
+}
+
+func (d remoteDelayConn) Send(ctx context.Context, p []byte) error {
+	time.Sleep(d.delay)
+	return d.Conn.Send(ctx, p)
+}
+
+func (d remoteDelayConn) Recv(ctx context.Context) ([]byte, error) {
+	m, err := d.Conn.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	time.Sleep(d.delay)
+	return m, nil
+}
+
+// BenchmarkFig4DynamicResolution measures resolve+connect+RPC with the
+// anycast directory when the nearest instance is local vs remote. The
+// remote instance carries a simulated 500 µs network distance each way,
+// as in the Figure 4 harness.
+func BenchmarkFig4DynamicResolution(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dir := anycast.NewLocalDirectory(discovery.NewService())
+
+	remoteL, _ := btransport.ListenUDP("far", "127.0.0.1:0")
+	defer remoteL.Close()
+	echoServe(ctx, remoteL)
+	dir.Advertise(ctx, "svc", anycast.Instance{Name: "remote", Addr: remoteL.Addr(), Cost: 10}, time.Hour)
+
+	localPath := filepath.Join(b.TempDir(), "local.sock")
+	localL, _ := btransport.ListenUnix("near", localPath)
+	defer localL.Close()
+	echoServe(ctx, localL)
+
+	base := &btransport.MultiDialer{HostID: "near"}
+	dialer := core.DialerFunc(func(ctx context.Context, addr core.Addr) (core.Conn, error) {
+		conn, err := base.Dial(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		if addr.Net == "udp" { // the remote instance is across the network
+			return remoteDelayConn{Conn: conn, delay: 500 * time.Microsecond}, nil
+		}
+		return conn, nil
+	})
+	r := &anycast.Resolver{
+		Directory: dir,
+		Strategy:  anycast.Nearest{},
+		Dialer:    dialer,
+		FromHost:  "near",
+	}
+	rpc := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			conn, _, err := r.Dial(ctx, "svc")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := conn.Send(ctx, []byte("ping")); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := conn.Recv(ctx); err != nil {
+				b.Fatal(err)
+			}
+			conn.Close()
+		}
+	}
+	b.Run("remote-only", rpc)
+	dir.Advertise(ctx, "svc", anycast.Instance{Name: "local", Addr: localL.Addr(), Cost: 1}, time.Hour)
+	b.Run("local-appeared", rpc)
+}
+
+// ---------- Figure 5: sharding ----------
+
+// fig5Bench wires one scenario and returns a loaded kv client.
+func fig5Bench(b *testing.B, push, registerXDP bool, policy core.Policy) *kv.Client {
+	b.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	b.Cleanup(cancel)
+	pn := transport.NewPipeNetwork()
+	const nshards = 3
+	srv, err := kv.NewServer(nshards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	var addrs []core.Addr
+	for i := 0; i < nshards; i++ {
+		l, _ := pn.Listen("s", fmt.Sprintf("shard%d", i))
+		addrs = append(addrs, l.Addr())
+		srv.ServeShard(i, l)
+	}
+	regS := bertha.NewRegistry()
+	shard.RegisterServer(regS)
+	if registerXDP {
+		shard.RegisterXDP(regS)
+	}
+	envS := bertha.NewEnv("s")
+	envS.SetDialer(&transport.MultiDialer{HostID: "s", Pipe: pn})
+	envS.Provide(shard.EnvQueues, srv.Queues())
+	opts := []bertha.Option{bertha.WithRegistry(regS), bertha.WithEnv(envS)}
+	if policy != nil {
+		opts = append(opts, bertha.WithPolicy(policy))
+	}
+	ep, err := bertha.New("kv", bertha.Wrap(bertha.Shard(addrs, kv.ShardFunc(nshards))), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, _ := pn.Listen("s", "kv")
+	nl, err := ep.Listen(ctx, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := nl.Accept(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	gen, _ := ycsb.NewGenerator(ycsb.Config{Workload: ycsb.WorkloadA, Records: 1000,
+		Dist: ycsb.Uniform, OverrideDist: true, Seed: 1})
+	srv.Preload(gen.InitialKeys(), []byte("v"))
+
+	regC := bertha.NewRegistry()
+	if push {
+		shard.RegisterClient(regC)
+	}
+	envC := bertha.NewEnv("c")
+	envC.SetDialer(&transport.MultiDialer{HostID: "c", Pipe: pn})
+	cliEp, _ := bertha.New("cli", bertha.Wrap(), bertha.WithRegistry(regC), bertha.WithEnv(envC))
+	raw, _ := pn.DialFrom(ctx, "c", core.Addr{Net: "pipe", Addr: "kv"})
+	conn, err := cliEp.Connect(ctx, raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := kv.NewClient(conn)
+	b.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+// BenchmarkFig5Sharding measures per-op latency for the Figure 5
+// scenarios (YCSB-A uniform, 3 shards).
+func BenchmarkFig5Sharding(b *testing.B) {
+	scenarios := []struct {
+		name   string
+		push   bool
+		xdp    bool
+		policy core.Policy
+	}{
+		{"client-push", true, true, nil},
+		{"server-xdp", false, true, nil},
+		{"server-fallback", false, false, core.PreferImpl(shard.ImplServer)},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			cli := fig5Bench(b, sc.push, sc.xdp, sc.policy)
+			ctx := context.Background()
+			gen, _ := ycsb.NewGenerator(ycsb.Config{Workload: ycsb.WorkloadA, Records: 1000,
+				Dist: ycsb.Uniform, OverrideDist: true, Seed: 2, ValueSize: 100})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := gen.Next()
+				var err error
+				if op.Kind == ycsb.Read {
+					_, err = cli.Get(ctx, op.Key)
+				} else {
+					err = cli.Update(ctx, op.Key, op.Value)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- §6 optimizer ----------
+
+// BenchmarkOptimizerReorder measures the optimizer pass itself.
+func BenchmarkOptimizerReorder(b *testing.B) {
+	reg := core.NewRegistry()
+	reg.SetTypeMeta("encrypt", core.TypeMeta{Commutes: []string{"http2"}})
+	reg.AddFusion("encrypt", "reliable", "tls")
+	o := core.NewOptimizer(reg)
+	cands := map[string][]core.Candidate{
+		"encrypt":  {{Offer: core.ImplOffer{Name: "e/nic", Type: "encrypt", Location: core.LocSmartNIC}}},
+		"http2":    {{Offer: core.ImplOffer{Name: "h/sw", Type: "http2"}}},
+		"reliable": {{Offer: core.ImplOffer{Name: "r/nic", Type: "reliable", Location: core.LocSmartNIC}}},
+		"tls":      {{Offer: core.ImplOffer{Name: "t/nic", Type: "tls", Location: core.LocSmartNIC}}},
+	}
+	nodes := []spec.Node{spec.New("encrypt"), spec.New("http2"), spec.New("reliable")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Apply(nodes, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- Listing 2: consensus sequencer placement ----------
+
+// BenchmarkConsensusInvoke measures RSM invocation latency with the
+// sequencer in the switch vs on the lead replica.
+func BenchmarkConsensusInvoke(b *testing.B) {
+	for _, variant := range []struct {
+		name       string
+		withSwitch bool
+	}{{"switch-sequencer", true}, {"host-sequencer", false}} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			cli := consensusBench(b, ctx, variant.withSwitch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cli.Invoke(ctx, []byte(strconv.Itoa(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func consensusBench(b *testing.B, ctx context.Context, withSwitch bool) *rsm.Client {
+	b.Helper()
+	net := simnet.New()
+	b.Cleanup(net.Close)
+	sw, _ := net.AddSwitch("tor", 16)
+	hosts := []string{"r1", "r2", "r3"}
+	hostObjs := map[string]*simnet.Host{}
+	for _, h := range append(append([]string{}, hosts...), "cli") {
+		host, err := net.AddHost(h, sw, simnet.LinkConfig{Latency: 50 * time.Microsecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hostObjs[h] = host
+	}
+	const gid = "bench"
+	for _, h := range hosts {
+		reg := bertha.NewRegistry()
+		swImpl, hostImpl := mcast.Register(reg)
+		impl := hostImpl
+		if withSwitch {
+			impl = swImpl
+		}
+		env := bertha.NewEnv(h)
+		env.Provide(mcast.EnvHost, hostObjs[h])
+		if withSwitch {
+			env.Provide(mcast.EnvSwitch, sw)
+		}
+		env.SetDialer(hostObjs[h].Dialer())
+		if err := impl.EnsureReplica(env, gid, hosts); err != nil {
+			b.Fatal(err)
+		}
+		deliveries, _ := impl.Deliveries(gid)
+		rep := rsm.NewReplica(rsm.Func(func(op []byte) []byte { return op }))
+		go rep.Run(ctx, deliveries)
+		ep, _ := bertha.New("r-"+h, bertha.Wrap(bertha.OrderedMcast(gid, hosts)),
+			bertha.WithRegistry(reg), bertha.WithEnv(env))
+		base, _ := hostObjs[h].Listen("rsm")
+		nl, _ := ep.Listen(ctx, base)
+		go func() {
+			for {
+				if _, err := nl.Accept(ctx); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	reg := bertha.NewRegistry()
+	mcast.Register(reg)
+	env := bertha.NewEnv("cli")
+	env.SetDialer(hostObjs["cli"].Dialer())
+	ep, _ := bertha.New("cli", bertha.Wrap(), bertha.WithRegistry(reg), bertha.WithEnv(env))
+	var raws []core.Conn
+	for _, h := range hosts {
+		raw, err := hostObjs["cli"].Dial(ctx, hostObjs[h].Addr("rsm"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		raws = append(raws, raw)
+	}
+	conn, err := ep.ConnectMulti(ctx, raws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := rsm.NewClient(conn, 2)
+	b.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+// ---------- substrate micro-benchmarks ----------
+
+// BenchmarkWireCodec measures the binary codec round trip.
+func BenchmarkWireCodec(b *testing.B) {
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := wire.NewEncoder(nil)
+		e.PutUint64(uint64(i))
+		e.PutString("key-field-here")
+		e.PutBytes(payload)
+		d := wire.NewDecoder(e.Bytes())
+		d.Uint64()
+		_ = d.String()
+		d.Bytes()
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}
+
+// BenchmarkARQThroughput measures the reliability chunnel on a clean
+// in-process link.
+func BenchmarkARQThroughput(b *testing.B) {
+	ctx := context.Background()
+	ra, rb := transport.Pipe(core.Addr{}, core.Addr{}, 4096)
+	a, _ := reliable.New(ra, reliable.Config{Window: 512})
+	c, _ := reliable.New(rb, reliable.Config{Window: 512})
+	defer a.Close()
+	defer c.Close()
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Recv(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(ctx, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+// BenchmarkXDPSteer measures the simulated XDP steering program per
+// packet — the cost the server-accelerated scenario pays per request.
+func BenchmarkXDPSteer(b *testing.B) {
+	hook := xdp.NewHook("bench")
+	hook.Attach(xdp.SteerProgram("steer", xdp.FieldHash{Offset: 10, Length: 12, Shards: 3}))
+	pkt := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := xdp.Packet{Data: pkt}
+		if v := hook.Run(&p); v != xdp.Redirect {
+			b.Fatal(v)
+		}
+	}
+}
+
+// BenchmarkNegotiation measures full connection establishment
+// (ClientHello/ServerHello over an in-process link) — the fixed cost
+// Figure 3 reports as two extra round trips.
+func BenchmarkNegotiation(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	regS, regC := bertha.NewRegistry(), bertha.NewRegistry()
+	bertha.RegisterStandard(regS)
+	bertha.RegisterStandard(regC)
+	pn := transport.NewPipeNetwork()
+	srv, _ := bertha.New("srv", bertha.Wrap(bertha.Reliable()), bertha.WithRegistry(regS))
+	base, _ := pn.Listen("h", "svc")
+	nl, _ := srv.Listen(ctx, base)
+	go func() {
+		for {
+			if _, err := nl.Accept(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	cli, _ := bertha.New("cli", bertha.Wrap(), bertha.WithRegistry(regC))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := pn.Dial(ctx, core.Addr{Net: "pipe", Addr: "svc"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn, err := cli.Connect(ctx, raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

@@ -1,0 +1,37 @@
+// Package value exposes Bertha's serializable tagged value type, used
+// for chunnel constructor arguments and negotiation parameters. Custom
+// chunnel implementations accept and produce these values.
+package value
+
+import (
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Value is a serializable tagged union (nil, bool, int, uint, float,
+// string, bytes, list, map).
+type Value = wire.Value
+
+// Kind tags a Value's dynamic type.
+type Kind = wire.Kind
+
+// Constructors.
+var (
+	// Nil returns the nil value.
+	Nil = wire.Nil
+	// Bool wraps a boolean.
+	Bool = wire.Bool
+	// Int wraps a signed integer.
+	Int = wire.Int
+	// Uint wraps an unsigned integer.
+	Uint = wire.Uint
+	// Float wraps a float64.
+	Float = wire.Float
+	// Str wraps a string.
+	Str = wire.Str
+	// Bytes wraps a byte slice.
+	Bytes = wire.BytesVal
+	// List wraps a list of values.
+	List = wire.List
+	// Map wraps a string-keyed map of values.
+	Map = wire.Map
+)

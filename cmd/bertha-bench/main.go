@@ -1,0 +1,91 @@
+// Command bertha-bench regenerates the paper's evaluation (§5): every
+// table and figure has a subcommand that builds the workload, runs the
+// sweep, and prints the corresponding rows.
+//
+// Usage:
+//
+//	bertha-bench [flags] <experiment>
+//
+// Experiments:
+//
+//	fig2       §3.1 Chunnel DAG construction
+//	fig3       container networking latency (Figure 3)
+//	fig4       dynamic name resolution timeline (Figure 4)
+//	fig5       sharding scenarios (Figure 5)
+//	opt        §6 pipeline reordering / TLS fusion ablation
+//	consensus  ordered-multicast sequencer placement ablation
+//	all        everything above, in order
+//
+// The -full flag runs paper-scale parameters (Figure 3: 10000
+// connections; Figure 5: 300000 requests); the default is a quick run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run paper-scale parameters (slower)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] {fig2|fig3|fig4|fig5|opt|consensus|all}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fig3 := bench.Fig3Config{}
+	fig4 := bench.Fig4Config{}
+	fig5 := bench.Fig5Config{}
+	cons := bench.ConsensusConfig{}
+	if *full {
+		fig3.Connections = 10000
+		fig5.Requests = 300000
+		fig5.Concurrency = []int{1, 4, 16, 64, 128}
+		fig4.Duration = 8 * time.Second
+		cons.Ops = 2000
+	} else {
+		fig4.Duration = 4 * time.Second
+		fig4.LocalStartAt = 2 * time.Second
+	}
+
+	var run func(name string) error
+	run = func(name string) error {
+		switch name {
+		case "fig2":
+			bench.Fig2(os.Stdout)
+			return nil
+		case "fig3":
+			return bench.Fig3(os.Stdout, fig3)
+		case "fig4":
+			return bench.Fig4(os.Stdout, fig4)
+		case "fig5":
+			return bench.Fig5(os.Stdout, fig5)
+		case "opt":
+			return bench.Opt(os.Stdout)
+		case "consensus":
+			return bench.Consensus(os.Stdout, cons)
+		case "all":
+			for _, n := range []string{"fig2", "fig3", "fig4", "fig5", "opt", "consensus"} {
+				if err := run(n); err != nil {
+					return fmt.Errorf("%s: %w", n, err)
+				}
+				fmt.Println()
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "bertha-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,40 @@
+// Command bertha-discovery runs a standalone Bertha discovery service
+// (§4.2) over UDP. Offload developers, operators, and administrators
+// register accelerated chunnel implementations with it; Bertha runtimes
+// query it during connection negotiation.
+//
+// Usage:
+//
+//	bertha-discovery [-listen 127.0.0.1:7777]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/bertha-net/bertha/bertha/transport"
+	"github.com/bertha-net/bertha/internal/discovery"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7777", "UDP address to serve on")
+	flag.Parse()
+
+	l, err := transport.ListenUDP("", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bertha-discovery: %v\n", err)
+		os.Exit(1)
+	}
+	svc := discovery.NewService()
+	srv := discovery.Serve(svc, l)
+	fmt.Printf("bertha-discovery: serving on %s\n", l.Addr().Addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("bertha-discovery: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,121 @@
+// Container fast-path: Listing 1. A server wraps its connection in
+// local_or_remote(); clients on the same host are spliced onto UNIX
+// sockets during negotiation, clients on other hosts stay on the
+// network path — with identical application code on both sides.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/bertha-net/bertha/bertha"
+	"github.com/bertha-net/bertha/bertha/transport"
+	"github.com/bertha-net/bertha/internal/chunnels/localfast"
+)
+
+func main() {
+	ctx := context.Background()
+
+	regS := bertha.NewRegistry()
+	bertha.RegisterStandard(regS)
+
+	// The server's IPC attachment point: a real UNIX datagram socket.
+	sockPath := filepath.Join(os.TempDir(), fmt.Sprintf("bertha-lfp-%d.sock", os.Getpid()))
+	ipcL, err := transport.ListenUnix("this-host", sockPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ipcL.Close()
+
+	envS := bertha.NewEnv("this-host")
+	envS.Provide(localfast.EnvListener, ipcL)
+	envS.SetDialer(&transport.MultiDialer{HostID: "this-host"})
+
+	// let srv = bertha::new("container-app", wrap!(local_or_remote()))
+	//     .listen(SocketAddr(addr, port));
+	srv, err := bertha.New("container-app",
+		bertha.Wrap(bertha.LocalOrRemote()),
+		bertha.WithRegistry(regS), bertha.WithEnv(envS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := transport.ListenUDP("this-host", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := srv.Listen(ctx, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := nl.Accept(ctx)
+			if err != nil {
+				return
+			}
+			go func(conn bertha.Conn) {
+				defer conn.Close()
+				for {
+					m, err := conn.Recv(ctx)
+					if err != nil {
+						return
+					}
+					conn.Send(ctx, m)
+				}
+			}(conn)
+		}
+	}()
+	addr := base.Addr().Addr
+
+	// measure runs 3 RPCs on a fresh connection from the given host
+	// identity and reports the data path taken.
+	measure := func(fromHost string) (time.Duration, string) {
+		regC := bertha.NewRegistry()
+		bertha.RegisterStandard(regC)
+		envC := bertha.NewEnv(fromHost)
+		envC.SetDialer(&transport.MultiDialer{HostID: fromHost})
+		cli, err := bertha.New("client", bertha.Wrap(),
+			bertha.WithRegistry(regC), bertha.WithEnv(envC))
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, err := transport.DialUDP(fromHost, addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn, err := cli.Connect(ctx, raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		start := time.Now()
+		for i := 0; i < 3; i++ {
+			if err := conn.Send(ctx, []byte("ping")); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := conn.Recv(ctx); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return time.Since(start) / 3, conn.RemoteAddr().Net
+	}
+
+	// Same host: negotiation picks the IPC branch (UNIX sockets).
+	lat, path := measure("this-host")
+	fmt.Printf("same host:  data path=%s, avg RPC %v\n", path, lat.Round(time.Microsecond))
+	if path != "unix" {
+		log.Fatalf("expected the unix fast path, got %s", path)
+	}
+
+	// Different host identity: the passthrough (network) branch.
+	lat, path = measure("other-host")
+	fmt.Printf("cross host: data path=%s, avg RPC %v\n", path, lat.Round(time.Microsecond))
+	if path == "unix" {
+		log.Fatal("cross-host connection must not use IPC")
+	}
+	fmt.Println("localfastpath: same application code, transparently different data paths")
+}

@@ -1,0 +1,23 @@
+// DAG optimization: the §6 example. An application declares
+// encrypt |> http2 |> reliable; the host's (simulated) SmartNIC offloads
+// encryption and reliability. The optimizer reorders the pipeline so the
+// offloaded stages are contiguous at the bottom — cutting host↔NIC data
+// movement from 3 crossings to 1 — and, when the NIC instead offers a
+// fused TLS engine, merges encrypt+reliable into it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/bertha-net/bertha/internal/bench"
+)
+
+func main() {
+	bench.Fig2(os.Stdout)
+	fmt.Println()
+	if err := bench.Opt(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/bertha-net/bertha
+
+go 1.22

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/bertha-net/bertha/bertha"
+	"github.com/bertha-net/bertha/internal/chunnels/mcast"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/rsm"
+	"github.com/bertha-net/bertha/internal/simnet"
+	"github.com/bertha-net/bertha/internal/stats"
+)
+
+// ConsensusConfig parameterizes the ordered-multicast ablation.
+type ConsensusConfig struct {
+	// Ops is the number of operations invoked per variant.
+	Ops int
+	// LinkLatency is the one-way host↔switch delay on the simulated
+	// fabric.
+	LinkLatency time.Duration
+	// Replicas is the group size.
+	Replicas int
+}
+
+func (c *ConsensusConfig) fill() {
+	if c.Ops <= 0 {
+		c.Ops = 500
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = 200 * time.Microsecond
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+}
+
+// Consensus runs the §3.2 / Listing 2 network-assisted consensus
+// ablation on the simulated fabric: replicated-state-machine invocation
+// latency with the ordered-multicast sequencer placed (a) in the
+// programmable switch (the NOPaxos-style offload — the multicast is
+// stamped in flight, one fabric pass) versus (b) on the lead replica
+// (the host fallback — every operation detours through the leader).
+// The switch variant should win by roughly the two extra link
+// traversals the leader detour costs.
+func Consensus(w io.Writer, cfg ConsensusConfig) error {
+	cfg.fill()
+	table := stats.NewTable(
+		fmt.Sprintf("consensus: RSM invocation latency, %d replicas, %v links (µs)",
+			cfg.Replicas, cfg.LinkLatency),
+		"sequencer", "n", "p5", "p25", "p50", "p75", "p95")
+
+	for _, variant := range []struct {
+		name       string
+		withSwitch bool
+	}{
+		{"switch (in-network)", true},
+		{"host (leader fallback)", false},
+	} {
+		rec, err := consensusRun(cfg, variant.withSwitch)
+		if err != nil {
+			return fmt.Errorf("consensus %s: %w", variant.name, err)
+		}
+		table.AddRow(stats.BoxplotRow(variant.name, rec.Summarize())...)
+	}
+	table.Render(w)
+	return nil
+}
+
+func consensusRun(cfg ConsensusConfig, withSwitch bool) (*stats.Recorder, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	net := simnet.New()
+	defer net.Close()
+	sw, err := net.AddSwitch("tor", 16)
+	if err != nil {
+		return nil, err
+	}
+	var hosts []string
+	for i := 0; i < cfg.Replicas; i++ {
+		hosts = append(hosts, fmt.Sprintf("r%d", i))
+	}
+	hostObjs := map[string]*simnet.Host{}
+	for _, h := range append(append([]string{}, hosts...), "cli") {
+		host, err := net.AddHost(h, sw, simnet.LinkConfig{Latency: cfg.LinkLatency})
+		if err != nil {
+			return nil, err
+		}
+		hostObjs[h] = host
+	}
+
+	const gid = "bench"
+	for _, h := range hosts {
+		reg := bertha.NewRegistry()
+		swImpl, hostImpl := mcast.Register(reg)
+		impl := hostImpl
+		if withSwitch {
+			impl = swImpl
+		}
+		env := bertha.NewEnv(h)
+		env.Provide(mcast.EnvHost, hostObjs[h])
+		if withSwitch {
+			env.Provide(mcast.EnvSwitch, sw)
+		}
+		env.SetDialer(hostObjs[h].Dialer())
+		if err := impl.EnsureReplica(env, gid, hosts); err != nil {
+			return nil, err
+		}
+		deliveries, _ := impl.Deliveries(gid)
+		rep := rsm.NewReplica(rsm.Func(func(op []byte) []byte { return op }))
+		go rep.Run(ctx, deliveries)
+
+		ep, err := bertha.New("rsm-"+h, bertha.Wrap(bertha.OrderedMcast(gid, hosts)),
+			bertha.WithRegistry(reg), bertha.WithEnv(env))
+		if err != nil {
+			return nil, err
+		}
+		base, err := hostObjs[h].Listen("rsm")
+		if err != nil {
+			return nil, err
+		}
+		nl, err := ep.Listen(ctx, base)
+		if err != nil {
+			return nil, err
+		}
+		go func() {
+			for {
+				if _, err := nl.Accept(ctx); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	reg := bertha.NewRegistry()
+	mcast.Register(reg)
+	env := bertha.NewEnv("cli")
+	env.SetDialer(hostObjs["cli"].Dialer())
+	ep, err := bertha.New("ordered-multicast-client", bertha.Wrap(),
+		bertha.WithRegistry(reg), bertha.WithEnv(env))
+	if err != nil {
+		return nil, err
+	}
+	var raws []core.Conn
+	for _, h := range hosts {
+		raw, err := hostObjs["cli"].Dial(ctx, hostObjs[h].Addr("rsm"))
+		if err != nil {
+			return nil, err
+		}
+		raws = append(raws, raw)
+	}
+	conn, err := ep.ConnectMulti(ctx, raws)
+	if err != nil {
+		return nil, err
+	}
+	cli := rsm.NewClient(conn, cfg.Replicas/2+1)
+	defer cli.Close()
+
+	rec := stats.NewRecorder(cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		t0 := time.Now()
+		if _, err := cli.Invoke(ctx, []byte(strconv.Itoa(i))); err != nil {
+			return nil, err
+		}
+		rec.Record(time.Since(t0))
+	}
+	return rec, nil
+}

@@ -1,0 +1,274 @@
+// Package bench implements the experiment harness: for every table and
+// figure in the paper's evaluation (§5), a function that builds the
+// workload, runs the parameter sweep, and prints the same rows or series
+// the paper plots. cmd/bertha-bench drives it; bench_test.go wraps each
+// experiment as a testing.B benchmark.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/bertha-net/bertha/bertha"
+	"github.com/bertha-net/bertha/internal/chunnels/localfast"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/stats"
+	"github.com/bertha-net/bertha/internal/transport"
+)
+
+// Fig3Config parameterizes the container-networking experiment.
+type Fig3Config struct {
+	// Connections is how many connections each scenario establishes
+	// (the paper uses 10000; the default is scaled for quick runs).
+	Connections int
+	// RequestsPerConn is the number of ping requests per connection
+	// (the paper measures 3).
+	RequestsPerConn int
+	// Sizes are the request payload sizes swept.
+	Sizes []int
+	// Dir is where UNIX sockets are created (defaults to a temp dir).
+	Dir string
+}
+
+func (c *Fig3Config) fill() {
+	if c.Connections <= 0 {
+		c.Connections = 200
+	}
+	if c.RequestsPerConn <= 0 {
+		c.RequestsPerConn = 3
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{128, 1024, 8192, 32768}
+	}
+	if c.Dir == "" {
+		c.Dir = os.TempDir()
+	}
+}
+
+// fig3Scenario measures one transport configuration.
+type fig3Scenario struct {
+	name string
+	// setup returns a connect function (fresh connection per call) and
+	// a cleanup.
+	setup func(ctx context.Context, cfg Fig3Config) (connect func(ctx context.Context) (core.Conn, error), cleanup func(), err error)
+}
+
+// Fig3 runs the Figure 3 experiment: RPC latency between two processes
+// on the same host over (a) the network stack (loopback UDP), (b)
+// hardcoded UNIX sockets (the specialized implementation), and (c) a
+// Bertha connection with the local_or_remote chunnel, which negotiates
+// per connection and then uses UNIX sockets. The output reports the
+// boxplot rows of the paper's plot (p5/p25/p50/p75/p95 per request
+// size) plus connection-establishment cost (Bertha pays two extra round
+// trips: discovery and negotiation).
+func Fig3(w io.Writer, cfg Fig3Config) error {
+	cfg.fill()
+	ctx := context.Background()
+
+	scenarios := []fig3Scenario{
+		{name: "udp-network-stack", setup: fig3UDP},
+		{name: "unix-hardcoded", setup: fig3Unix},
+		{name: "bertha-localfast", setup: fig3Bertha},
+	}
+
+	latTables := map[int]*stats.Table{}
+	for _, size := range cfg.Sizes {
+		latTables[size] = stats.NewTable(
+			fmt.Sprintf("fig3: RPC latency, %d-byte requests (µs)", size),
+			"scenario", "n", "p5", "p25", "p50", "p75", "p95")
+	}
+	estTable := stats.NewTable("fig3: connection establishment (µs)",
+		"scenario", "n", "p5", "p25", "p50", "p75", "p95")
+
+	for _, sc := range scenarios {
+		connect, cleanup, err := sc.setup(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("fig3 %s: %w", sc.name, err)
+		}
+		est := stats.NewRecorder(cfg.Connections)
+		recs := map[int]*stats.Recorder{}
+		for _, size := range cfg.Sizes {
+			recs[size] = stats.NewRecorder(cfg.Connections * cfg.RequestsPerConn)
+		}
+		// Warm up (socket buffers, scheduler, allocator) before recording.
+		warm := cfg.Connections / 10
+		if warm < 5 {
+			warm = 5
+		}
+		for c := 0; c < warm; c++ {
+			conn, err := connect(ctx)
+			if err != nil {
+				cleanup()
+				return fmt.Errorf("fig3 %s warmup: %w", sc.name, err)
+			}
+			conn.Send(ctx, []byte("warmup"))
+			conn.Recv(ctx)
+			conn.Close()
+		}
+		for _, size := range cfg.Sizes {
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			for c := 0; c < cfg.Connections; c++ {
+				t0 := time.Now()
+				conn, err := connect(ctx)
+				if err != nil {
+					cleanup()
+					return fmt.Errorf("fig3 %s connect %d: %w", sc.name, c, err)
+				}
+				est.Record(time.Since(t0))
+				for r := 0; r < cfg.RequestsPerConn; r++ {
+					t1 := time.Now()
+					if err := conn.Send(ctx, payload); err != nil {
+						conn.Close()
+						cleanup()
+						return fmt.Errorf("fig3 %s send: %w", sc.name, err)
+					}
+					if _, err := conn.Recv(ctx); err != nil {
+						conn.Close()
+						cleanup()
+						return fmt.Errorf("fig3 %s recv: %w", sc.name, err)
+					}
+					recs[size].Record(time.Since(t1))
+				}
+				conn.Close()
+			}
+		}
+		cleanup()
+		for _, size := range cfg.Sizes {
+			latTables[size].AddRow(stats.BoxplotRow(sc.name, recs[size].Summarize())...)
+		}
+		estTable.AddRow(stats.BoxplotRow(sc.name, est.Summarize())...)
+	}
+
+	for _, size := range cfg.Sizes {
+		latTables[size].Render(w)
+		fmt.Fprintln(w)
+	}
+	estTable.Render(w)
+	return nil
+}
+
+// echoListener serves echo on every accepted connection.
+func echoListener(ctx context.Context, l core.Listener) {
+	go func() {
+		for {
+			conn, err := l.Accept(ctx)
+			if err != nil {
+				return
+			}
+			go func(conn core.Conn) {
+				defer conn.Close()
+				for {
+					m, err := conn.Recv(ctx)
+					if err != nil {
+						return
+					}
+					if err := conn.Send(ctx, m); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+// fig3UDP: loopback UDP — every byte traverses the kernel network stack.
+func fig3UDP(ctx context.Context, cfg Fig3Config) (func(ctx context.Context) (core.Conn, error), func(), error) {
+	l, err := transport.ListenUDP("host0", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	echoListener(sctx, l)
+	addr := l.Addr().Addr
+	connect := func(ctx context.Context) (core.Conn, error) {
+		return transport.DialUDP("host0", addr)
+	}
+	return connect, func() { cancel(); l.Close() }, nil
+}
+
+// fig3Unix: UNIX datagram sockets hardcoded — the specialized
+// implementation an application would write by hand.
+func fig3Unix(ctx context.Context, cfg Fig3Config) (func(ctx context.Context) (core.Conn, error), func(), error) {
+	path := filepath.Join(cfg.Dir, fmt.Sprintf("bertha-fig3-%d.sock", os.Getpid()))
+	l, err := transport.ListenUnix("host0", path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	echoListener(sctx, l)
+	connect := func(ctx context.Context) (core.Conn, error) {
+		return transport.DialUnix("host0", path)
+	}
+	return connect, func() { cancel(); l.Close() }, nil
+}
+
+// fig3Bertha: a Bertha endpoint with the local_or_remote chunnel. The
+// canonical address is UDP; negotiation discovers both sides share a
+// host and splices the connection onto UNIX sockets.
+func fig3Bertha(ctx context.Context, cfg Fig3Config) (func(ctx context.Context) (core.Conn, error), func(), error) {
+	regS, regC := bertha.NewRegistry(), bertha.NewRegistry()
+	localfast.Register(regS)
+	localfast.Register(regC)
+
+	ipcPath := filepath.Join(cfg.Dir, fmt.Sprintf("bertha-fig3-ipc-%d.sock", os.Getpid()))
+	ipcL, err := transport.ListenUnix("host0", ipcPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	envS := bertha.NewEnv("host0")
+	envS.Provide(localfast.EnvListener, ipcL)
+	envS.SetDialer(&transport.MultiDialer{HostID: "host0"})
+	envC := bertha.NewEnv("host0")
+	envC.SetDialer(&transport.MultiDialer{HostID: "host0"})
+
+	srv, err := bertha.New("container-app", bertha.Wrap(bertha.LocalOrRemote()),
+		bertha.WithRegistry(regS), bertha.WithEnv(envS))
+	if err != nil {
+		ipcL.Close()
+		return nil, nil, err
+	}
+	baseL, err := transport.ListenUDP("host0", "127.0.0.1:0")
+	if err != nil {
+		ipcL.Close()
+		return nil, nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	nl, err := srv.Listen(sctx, baseL)
+	if err != nil {
+		cancel()
+		ipcL.Close()
+		baseL.Close()
+		return nil, nil, err
+	}
+	echoListener(sctx, nl)
+
+	cli, err := bertha.New("client", bertha.Wrap(),
+		bertha.WithRegistry(regC), bertha.WithEnv(envC))
+	if err != nil {
+		cancel()
+		ipcL.Close()
+		baseL.Close()
+		return nil, nil, err
+	}
+	addr := baseL.Addr().Addr
+	connect := func(ctx context.Context) (core.Conn, error) {
+		raw, err := transport.DialUDP("host0", addr)
+		if err != nil {
+			return nil, err
+		}
+		return cli.Connect(ctx, raw)
+	}
+	cleanup := func() {
+		cancel()
+		nl.Close()
+		ipcL.Close()
+	}
+	return connect, cleanup, nil
+}

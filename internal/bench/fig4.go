@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/chunnels/anycast"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/discovery"
+	"github.com/bertha-net/bertha/internal/stats"
+	"github.com/bertha-net/bertha/internal/transport"
+)
+
+// Fig4Config parameterizes the dynamic-name-resolution experiment.
+type Fig4Config struct {
+	// Duration is the total timeline (the paper's plot spans ~8 s).
+	Duration time.Duration
+	// LocalStartAt is when the local server instance starts (paper: 4 s).
+	LocalStartAt time.Duration
+	// Interval is the gap between client connections/requests.
+	Interval time.Duration
+	// RemoteExtraLatency models the network distance to the remote
+	// instance (applied per message on top of real loopback UDP).
+	RemoteExtraLatency time.Duration
+	// Dir is where UNIX sockets are created.
+	Dir string
+}
+
+func (c *Fig4Config) fill() {
+	if c.Duration <= 0 {
+		c.Duration = 8 * time.Second
+	}
+	if c.LocalStartAt <= 0 {
+		c.LocalStartAt = c.Duration / 2
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.RemoteExtraLatency <= 0 {
+		c.RemoteExtraLatency = 500 * time.Microsecond
+	}
+	if c.Dir == "" {
+		c.Dir = os.TempDir()
+	}
+}
+
+// Fig4 runs the Figure 4 experiment: a client issues one RPC per fresh
+// connection on a fixed interval, resolving the service name through
+// the discovery-backed anycast directory on every connection. Until
+// LocalStartAt, only a remote instance exists (loopback UDP plus a
+// simulated distance); then a local instance starts and registers, and
+// subsequent connections resolve to it over UNIX sockets. The output is
+// the per-second median latency series — the paper's step down at t≈4 s.
+func Fig4(w io.Writer, cfg Fig4Config) error {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	svc := discovery.NewService()
+	dir := anycast.NewLocalDirectory(svc)
+
+	// Remote instance: UDP with simulated distance, up from the start.
+	remoteL, err := transport.ListenUDP("remotehost", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer remoteL.Close()
+	echoListener(ctx, remoteL)
+	if err := dir.Advertise(ctx, "svc", anycast.Instance{
+		Name: "remote", Addr: remoteL.Addr(), Cost: 10,
+	}, time.Hour); err != nil {
+		return err
+	}
+
+	// The resolver dials remote over UDP (with extra latency) and local
+	// over UNIX sockets.
+	extra := cfg.RemoteExtraLatency
+	dialer := core.DialerFunc(func(ctx context.Context, addr core.Addr) (core.Conn, error) {
+		switch addr.Net {
+		case "udp":
+			c, err := transport.DialUDP("clienthost", addr.Addr)
+			if err != nil {
+				return nil, err
+			}
+			return delayConn{Conn: c, delay: extra}, nil
+		case "unix":
+			return transport.DialUnix("clienthost", addr.Addr)
+		default:
+			return nil, fmt.Errorf("fig4: unexpected network %q", addr.Net)
+		}
+	})
+	resolver := &anycast.Resolver{
+		Directory: dir,
+		Strategy:  anycast.Nearest{},
+		Dialer:    dialer,
+		FromHost:  "clienthost",
+	}
+
+	start := time.Now()
+	series := stats.NewTimeSeries(start)
+
+	// At LocalStartAt, the local instance starts and registers.
+	localPath := filepath.Join(cfg.Dir, fmt.Sprintf("bertha-fig4-%d.sock", os.Getpid()))
+	localReady := time.AfterFunc(cfg.LocalStartAt, func() {
+		localL, err := transport.ListenUnix("clienthost", localPath)
+		if err != nil {
+			return
+		}
+		echoListener(ctx, localL)
+		dir.Advertise(ctx, "svc", anycast.Instance{
+			Name: "local", Addr: localL.Addr(), Cost: 1,
+		}, time.Hour)
+		go func() {
+			<-ctx.Done()
+			localL.Close()
+		}()
+	})
+	defer localReady.Stop()
+
+	payload := make([]byte, 128)
+	for time.Since(start) < cfg.Duration {
+		at := time.Now()
+		conn, _, err := resolver.Dial(ctx, "svc")
+		if err != nil {
+			return fmt.Errorf("fig4 dial: %w", err)
+		}
+		if err := conn.Send(ctx, payload); err != nil {
+			conn.Close()
+			return err
+		}
+		if _, err := conn.Recv(ctx); err != nil {
+			conn.Close()
+			return err
+		}
+		series.RecordAt(at, time.Since(at))
+		conn.Close()
+		time.Sleep(cfg.Interval)
+	}
+
+	bins := series.Bin(cfg.Duration, time.Second)
+	table := stats.NewTable("fig4: per-request latency over time (median per 1 s bin, µs)",
+		"t (s)", "median latency", "instance")
+	for i, v := range bins {
+		instance := "remote"
+		if time.Duration(i)*time.Second >= cfg.LocalStartAt {
+			instance = "local"
+		}
+		if math.IsNaN(v) {
+			table.AddRow(i, "-", instance)
+			continue
+		}
+		table.AddRow(i, v, instance)
+	}
+	table.Render(w)
+	return nil
+}
+
+// delayConn adds a fixed delay to each message in both directions,
+// modeling network distance on top of a real socket.
+type delayConn struct {
+	core.Conn
+	delay time.Duration
+}
+
+func (d delayConn) Send(ctx context.Context, p []byte) error {
+	time.Sleep(d.delay)
+	return d.Conn.Send(ctx, p)
+}
+
+func (d delayConn) Recv(ctx context.Context) ([]byte, error) {
+	m, err := d.Conn.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	time.Sleep(d.delay)
+	return m, nil
+}

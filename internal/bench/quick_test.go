@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// Quick smoke runs of the experiment harnesses (scaled-down configs);
+// the full-size runs live in cmd/bertha-bench and bench_test.go.
+func TestFig5Quick(t *testing.T) {
+	cfg := Fig5Config{Requests: 2000, Concurrency: []int{4}}
+	if err := Fig5(os.Stderr, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	cfg := Fig4Config{Duration: 2 * time.Second, LocalStartAt: time.Second, Interval: 50 * time.Millisecond}
+	if err := Fig4(os.Stderr, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptQuick(t *testing.T) {
+	Fig2(os.Stderr)
+	if err := Opt(os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsensusQuick(t *testing.T) {
+	if err := Consensus(os.Stderr, ConsensusConfig{Ops: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

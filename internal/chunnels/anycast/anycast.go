@@ -1,0 +1,247 @@
+// Package anycast implements the anycast chunnel of §3.2: service names
+// resolve to instance addresses at connection-establishment time, and
+// the application can "dynamically choose between DNS-based and
+// IP-anycast based approaches depending on where they are deployed".
+//
+// Instances advertise themselves in a Directory (backed by the Bertha
+// discovery service); clients resolve through a Strategy:
+//
+//   - DNS strategy: round-robin over all advertised instances, with a
+//     TTL cache (the CDN-operator approach the paper cites).
+//   - Anycast strategy: route to the "nearest" instance — a host-local
+//     instance when one exists, otherwise the lowest-cost advertised
+//     instance (the IP-anycast behaviour).
+//
+// Because resolution runs per connection, starting a closer instance is
+// picked up by the very next connection with no client reconfiguration —
+// the dynamic-name-resolution experiment of Figure 4.
+package anycast
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/discovery"
+)
+
+// Instance is one advertised service instance.
+type Instance struct {
+	// Name identifies the instance (unique per service).
+	Name string
+	// Addr is the instance's dialable address.
+	Addr core.Addr
+	// Cost orders instances by distance/preference (lower is nearer).
+	Cost int
+}
+
+// Directory resolves service names to live instances.
+type Directory interface {
+	// Instances returns the live instances of a service.
+	Instances(ctx context.Context, service string) ([]Instance, error)
+}
+
+// Registrar lets instances advertise themselves.
+type Registrar interface {
+	// Advertise registers (or refreshes) an instance of a service.
+	Advertise(ctx context.Context, service string, inst Instance, ttl time.Duration) error
+	// Withdraw removes an instance advertisement.
+	Withdraw(ctx context.Context, service string, name string) error
+}
+
+// typePrefix namespaces anycast advertisements within the discovery
+// service's offer table.
+const typePrefix = "anycast:"
+
+// encodeMeta packs an instance address and cost into the offer Meta.
+func encodeMeta(inst Instance) string {
+	return fmt.Sprintf("%s|%s|%s|%d", inst.Addr.Net, inst.Addr.Host, inst.Addr.Addr, inst.Cost)
+}
+
+func decodeMeta(meta string) (core.Addr, int, error) {
+	parts := strings.Split(meta, "|")
+	if len(parts) != 4 {
+		return core.Addr{}, 0, fmt.Errorf("anycast: malformed advertisement %q", meta)
+	}
+	cost := 0
+	fmt.Sscanf(parts[3], "%d", &cost)
+	return core.Addr{Net: parts[0], Host: parts[1], Addr: parts[2]}, cost, nil
+}
+
+// DiscoveryDirectory is a Directory and Registrar backed by the Bertha
+// discovery service (either the in-process Service or a remote Client).
+type DiscoveryDirectory struct {
+	disc discoveryAPI
+}
+
+// discoveryAPI is the subset of discovery operations the directory uses;
+// both *discovery.Service and *discovery.Client satisfy it (the Service
+// via the Adapt* helpers below).
+type discoveryAPI interface {
+	core.DiscoveryClient
+	Register(ctx context.Context, offer core.ImplOffer, capacity int, ttl time.Duration) error
+	Withdraw(ctx context.Context, name string) error
+}
+
+// serviceAdapter lifts *discovery.Service to discoveryAPI (the Service's
+// Register/Withdraw are not context-taking).
+type serviceAdapter struct {
+	*discovery.Service
+}
+
+func (a serviceAdapter) Register(ctx context.Context, offer core.ImplOffer, capacity int, ttl time.Duration) error {
+	return a.Service.Register(offer, capacity, ttl)
+}
+
+func (a serviceAdapter) Withdraw(ctx context.Context, name string) error {
+	a.Service.Withdraw(name)
+	return nil
+}
+
+// NewLocalDirectory returns a directory over an in-process discovery
+// service.
+func NewLocalDirectory(svc *discovery.Service) *DiscoveryDirectory {
+	return &DiscoveryDirectory{disc: serviceAdapter{svc}}
+}
+
+// NewRemoteDirectory returns a directory over a remote discovery client.
+func NewRemoteDirectory(c *discovery.Client) *DiscoveryDirectory {
+	return &DiscoveryDirectory{disc: c}
+}
+
+// Advertise implements Registrar.
+func (d *DiscoveryDirectory) Advertise(ctx context.Context, service string, inst Instance, ttl time.Duration) error {
+	offer := core.ImplOffer{
+		Name: typePrefix + service + "/" + inst.Name,
+		Type: typePrefix + service,
+		Host: inst.Addr.Host,
+		Meta: encodeMeta(inst),
+	}
+	return d.disc.Register(ctx, offer, 0, ttl)
+}
+
+// Withdraw implements Registrar.
+func (d *DiscoveryDirectory) Withdraw(ctx context.Context, service, name string) error {
+	return d.disc.Withdraw(ctx, typePrefix+service+"/"+name)
+}
+
+// Instances implements Directory.
+func (d *DiscoveryDirectory) Instances(ctx context.Context, service string) ([]Instance, error) {
+	offers, err := d.disc.Query(ctx, []string{typePrefix + service})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Instance, 0, len(offers))
+	for _, o := range offers {
+		addr, cost, err := decodeMeta(o.Meta)
+		if err != nil {
+			continue // skip malformed advertisements
+		}
+		name := strings.TrimPrefix(o.Name, typePrefix+service+"/")
+		out = append(out, Instance{Name: name, Addr: addr, Cost: cost})
+	}
+	return out, nil
+}
+
+// Strategy picks an instance for one connection.
+type Strategy interface {
+	Pick(ctx context.Context, dir Directory, service, fromHost string) (Instance, error)
+}
+
+// ErrNoInstances is returned when a service has no live instances.
+var errNoInstances = func(service string) error {
+	return fmt.Errorf("anycast: no live instances of %q", service)
+}
+
+// DNS is the DNS-style strategy: resolve all instances, cache for TTL,
+// round-robin among them.
+type DNS struct {
+	// TTL is the cache lifetime (DNS record TTL analog).
+	TTL time.Duration
+
+	mu      sync.Mutex
+	service string
+	cached  []Instance
+	expiry  time.Time
+	next    int
+}
+
+// Pick implements Strategy.
+func (s *DNS) Pick(ctx context.Context, dir Directory, service, fromHost string) (Instance, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.service != service || time.Now().After(s.expiry) || len(s.cached) == 0 {
+		insts, err := dir.Instances(ctx, service)
+		if err != nil {
+			return Instance{}, err
+		}
+		ttl := s.TTL
+		if ttl <= 0 {
+			ttl = 5 * time.Second
+		}
+		// The rotation counter survives refreshes so round-robin stays
+		// fair across TTL boundaries.
+		s.service, s.cached, s.expiry = service, insts, time.Now().Add(ttl)
+	}
+	if len(s.cached) == 0 {
+		return Instance{}, errNoInstances(service)
+	}
+	inst := s.cached[s.next%len(s.cached)]
+	s.next++
+	return inst, nil
+}
+
+// Nearest is the IP-anycast-style strategy: always resolve fresh (the
+// network routes each connection), prefer a host-local instance, then
+// the lowest cost.
+type Nearest struct{}
+
+// Pick implements Strategy.
+func (Nearest) Pick(ctx context.Context, dir Directory, service, fromHost string) (Instance, error) {
+	insts, err := dir.Instances(ctx, service)
+	if err != nil {
+		return Instance{}, err
+	}
+	if len(insts) == 0 {
+		return Instance{}, errNoInstances(service)
+	}
+	best := insts[0]
+	bestLocal := best.Addr.Host != "" && best.Addr.Host == fromHost
+	for _, in := range insts[1:] {
+		local := in.Addr.Host != "" && in.Addr.Host == fromHost
+		switch {
+		case local && !bestLocal:
+			best, bestLocal = in, true
+		case local == bestLocal && in.Cost < best.Cost:
+			best = in
+		}
+	}
+	return best, nil
+}
+
+// Resolver combines a directory, strategy, and dialer: Dial resolves the
+// service and opens a base connection to the chosen instance, ready for
+// Endpoint.Connect.
+type Resolver struct {
+	Directory Directory
+	Strategy  Strategy
+	Dialer    core.Dialer
+	// FromHost is the client's host identity for locality decisions.
+	FromHost string
+}
+
+// Dial resolves service and dials the chosen instance.
+func (r *Resolver) Dial(ctx context.Context, service string) (core.Conn, Instance, error) {
+	inst, err := r.Strategy.Pick(ctx, r.Directory, service, r.FromHost)
+	if err != nil {
+		return nil, Instance{}, err
+	}
+	conn, err := r.Dialer.Dial(ctx, inst.Addr)
+	if err != nil {
+		return nil, inst, fmt.Errorf("anycast: dial %s (%s): %w", inst.Name, inst.Addr, err)
+	}
+	return conn, inst, nil
+}

@@ -1,0 +1,168 @@
+package anycast_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/chunnels/anycast"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/discovery"
+	"github.com/bertha-net/bertha/internal/transport"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func inst(name, host string, cost int) anycast.Instance {
+	return anycast.Instance{
+		Name: name,
+		Addr: core.Addr{Net: "pipe", Host: host, Addr: name},
+		Cost: cost,
+	}
+}
+
+func TestDirectoryAdvertiseResolveWithdraw(t *testing.T) {
+	ctx := ctxT(t)
+	dir := anycast.NewLocalDirectory(discovery.NewService())
+	if err := dir.Advertise(ctx, "kv", inst("i1", "h1", 5), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Advertise(ctx, "kv", inst("i2", "h2", 3), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	dir.Advertise(ctx, "other", inst("x", "h9", 1), time.Minute)
+
+	got, err := dir.Instances(ctx, "kv")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("instances: %v %v", got, err)
+	}
+	names := map[string]anycast.Instance{}
+	for _, in := range got {
+		names[in.Name] = in
+	}
+	if names["i1"].Addr.Host != "h1" || names["i1"].Cost != 5 {
+		t.Errorf("i1: %+v", names["i1"])
+	}
+	if err := dir.Withdraw(ctx, "kv", "i1"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = dir.Instances(ctx, "kv")
+	if len(got) != 1 || got[0].Name != "i2" {
+		t.Errorf("after withdraw: %v", got)
+	}
+}
+
+func TestNearestPrefersLocalThenCost(t *testing.T) {
+	ctx := ctxT(t)
+	dir := anycast.NewLocalDirectory(discovery.NewService())
+	dir.Advertise(ctx, "kv", inst("far", "hostZ", 1), time.Minute)
+	dir.Advertise(ctx, "kv", inst("near", "hostA", 10), time.Minute)
+
+	var s anycast.Nearest
+	got, err := s.Pick(ctx, dir, "kv", "hostA")
+	if err != nil || got.Name != "near" {
+		t.Errorf("local preference: %+v %v", got, err)
+	}
+	// No local instance: lowest cost wins.
+	got, _ = s.Pick(ctx, dir, "kv", "hostQ")
+	if got.Name != "far" {
+		t.Errorf("cost preference: %+v", got)
+	}
+	// Empty service errors.
+	if _, err := s.Pick(ctx, dir, "none", "hostA"); err == nil {
+		t.Error("empty service should error")
+	}
+}
+
+func TestDNSRoundRobinAndTTL(t *testing.T) {
+	ctx := ctxT(t)
+	dir := anycast.NewLocalDirectory(discovery.NewService())
+	dir.Advertise(ctx, "kv", inst("a", "h1", 0), time.Minute)
+	dir.Advertise(ctx, "kv", inst("b", "h2", 0), time.Minute)
+
+	s := &anycast.DNS{TTL: time.Hour}
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		in, err := s.Pick(ctx, dir, "kv", "hX")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[in.Name]++
+	}
+	if seen["a"] != 3 || seen["b"] != 3 {
+		t.Errorf("round robin: %v", seen)
+	}
+
+	// A new instance is invisible until the TTL expires.
+	dir.Advertise(ctx, "kv", inst("c", "h3", 0), time.Minute)
+	for i := 0; i < 4; i++ {
+		in, _ := s.Pick(ctx, dir, "kv", "hX")
+		if in.Name == "c" {
+			t.Fatal("cached strategy saw a new instance before TTL expiry")
+		}
+	}
+	// Short-TTL strategy sees it immediately.
+	s2 := &anycast.DNS{TTL: time.Nanosecond}
+	time.Sleep(time.Millisecond)
+	found := false
+	for i := 0; i < 6; i++ {
+		in, _ := s2.Pick(ctx, dir, "kv", "hX")
+		if in.Name == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expired cache should re-resolve")
+	}
+}
+
+// TestFigure4Shape reproduces the Figure 4 mechanism: while only a
+// remote instance exists, connections resolve remote; the moment a local
+// instance registers, the next connection resolves local.
+func TestFigure4Shape(t *testing.T) {
+	ctx := ctxT(t)
+	svc := discovery.NewService()
+	dir := anycast.NewLocalDirectory(svc)
+	pn := transport.NewPipeNetwork()
+
+	// Remote instance is up from the start.
+	remoteL, _ := pn.Listen("remotehost", "kv-remote")
+	defer remoteL.Close()
+	dir.Advertise(ctx, "kv", anycast.Instance{Name: "remote", Addr: remoteL.Addr(), Cost: 10}, time.Minute)
+
+	r := &anycast.Resolver{
+		Directory: dir,
+		Strategy:  anycast.Nearest{},
+		Dialer:    pn.Dialer("clienthost"),
+		FromHost:  "clienthost",
+	}
+	conn, in, err := r.Dial(ctx, "kv")
+	if err != nil || in.Name != "remote" {
+		t.Fatalf("initial dial: %+v %v", in, err)
+	}
+	conn.Close()
+
+	// t=4s: a local instance starts and registers.
+	localL, _ := pn.Listen("clienthost", "kv-local")
+	defer localL.Close()
+	dir.Advertise(ctx, "kv", anycast.Instance{Name: "local", Addr: localL.Addr(), Cost: 1}, time.Minute)
+
+	conn, in, err = r.Dial(ctx, "kv")
+	if err != nil || in.Name != "local" {
+		t.Fatalf("post-start dial: %+v %v", in, err)
+	}
+	conn.Close()
+
+	// The local instance terminates: back to remote, no reconfiguration.
+	dir.Withdraw(ctx, "kv", "local")
+	conn, in, err = r.Dial(ctx, "kv")
+	if err != nil || in.Name != "remote" {
+		t.Fatalf("post-withdraw dial: %+v %v", in, err)
+	}
+	conn.Close()
+}

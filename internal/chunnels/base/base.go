@@ -1,0 +1,194 @@
+// Package base provides shared scaffolding for chunnel implementations:
+// a function-field core.Impl, argument accessors, and registration
+// helpers used by every chunnel package.
+package base
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Impl adapts plain functions to core.Impl. Nil functions default to
+// no-ops (Init/Teardown) or identity (Wrap).
+type Impl struct {
+	// Info describes the implementation.
+	ImplInfo core.ImplInfo
+	// InitFn configures the system/network for the implementation.
+	InitFn func(ctx context.Context, env *core.Env, args []wire.Value) error
+	// TeardownFn reverses InitFn.
+	TeardownFn func(ctx context.Context, env *core.Env) error
+	// WrapFn layers the chunnel over a connection.
+	WrapFn func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error)
+	// ParamsFn, when set, contributes negotiation parameters from the
+	// server side (core.ParamProvider).
+	ParamsFn func(ctx context.Context, env *core.Env, args []wire.Value) ([]wire.Value, error)
+	// ValidateFn, when set, checks node arguments during negotiation
+	// (core.ArgValidator).
+	ValidateFn func(args []wire.Value) error
+}
+
+// ValidateArgs implements core.ArgValidator when ValidateFn is set.
+func (b *Impl) ValidateArgs(args []wire.Value) error {
+	if b.ValidateFn == nil {
+		return nil
+	}
+	return b.ValidateFn(args)
+}
+
+// Info implements core.Impl.
+func (b *Impl) Info() core.ImplInfo { return b.ImplInfo }
+
+// Init implements core.Impl.
+func (b *Impl) Init(ctx context.Context, env *core.Env, args []wire.Value) error {
+	if b.InitFn == nil {
+		return nil
+	}
+	return b.InitFn(ctx, env, args)
+}
+
+// Teardown implements core.Impl.
+func (b *Impl) Teardown(ctx context.Context, env *core.Env) error {
+	if b.TeardownFn == nil {
+		return nil
+	}
+	return b.TeardownFn(ctx, env)
+}
+
+// Wrap implements core.Impl.
+func (b *Impl) Wrap(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+	if b.WrapFn == nil {
+		return conn, nil
+	}
+	return b.WrapFn(ctx, conn, args, params, side, env)
+}
+
+// NegotiateParams implements core.ParamProvider when ParamsFn is set.
+func (b *Impl) NegotiateParams(ctx context.Context, env *core.Env, args []wire.Value) ([]wire.Value, error) {
+	if b.ParamsFn == nil {
+		return nil, nil
+	}
+	return b.ParamsFn(ctx, env, args)
+}
+
+// Argument accessors. Each returns a typed argument at index i or an
+// error naming the chunnel for diagnosis.
+
+// Str extracts a string argument.
+func Str(chunnel string, args []wire.Value, i int) (string, error) {
+	if i >= len(args) {
+		return "", fmt.Errorf("%s: missing argument %d", chunnel, i)
+	}
+	s, ok := args[i].AsString()
+	if !ok {
+		return "", fmt.Errorf("%s: argument %d is %s, want string", chunnel, i, args[i].Kind())
+	}
+	return s, nil
+}
+
+// Int extracts an integer argument.
+func Int(chunnel string, args []wire.Value, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("%s: missing argument %d", chunnel, i)
+	}
+	v, ok := args[i].AsInt()
+	if !ok {
+		return 0, fmt.Errorf("%s: argument %d is %s, want int", chunnel, i, args[i].Kind())
+	}
+	return v, nil
+}
+
+// IntOr extracts an optional integer argument with a default.
+func IntOr(args []wire.Value, i int, def int64) int64 {
+	if i >= len(args) {
+		return def
+	}
+	if v, ok := args[i].AsInt(); ok {
+		return v
+	}
+	return def
+}
+
+// Bytes extracts a bytes argument.
+func Bytes(chunnel string, args []wire.Value, i int) ([]byte, error) {
+	if i >= len(args) {
+		return nil, fmt.Errorf("%s: missing argument %d", chunnel, i)
+	}
+	b, ok := args[i].AsBytes()
+	if !ok {
+		return nil, fmt.Errorf("%s: argument %d is %s, want bytes", chunnel, i, args[i].Kind())
+	}
+	return b, nil
+}
+
+// StrList extracts a list-of-strings argument.
+func StrList(chunnel string, args []wire.Value, i int) ([]string, error) {
+	if i >= len(args) {
+		return nil, fmt.Errorf("%s: missing argument %d", chunnel, i)
+	}
+	l, ok := args[i].AsList()
+	if !ok {
+		return nil, fmt.Errorf("%s: argument %d is %s, want list", chunnel, i, args[i].Kind())
+	}
+	out := make([]string, 0, len(l))
+	for j, v := range l {
+		s, ok := v.AsString()
+		if !ok {
+			return nil, fmt.Errorf("%s: argument %d element %d is %s, want string", chunnel, i, j, v.Kind())
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// AddrList extracts a list of encoded core.Addr arguments (each encoded
+// as a 3-element list [net, host, addr]).
+func AddrList(chunnel string, args []wire.Value, i int) ([]core.Addr, error) {
+	if i >= len(args) {
+		return nil, fmt.Errorf("%s: missing argument %d", chunnel, i)
+	}
+	l, ok := args[i].AsList()
+	if !ok {
+		return nil, fmt.Errorf("%s: argument %d is %s, want list", chunnel, i, args[i].Kind())
+	}
+	out := make([]core.Addr, 0, len(l))
+	for j, v := range l {
+		a, err := DecodeAddr(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s: argument %d element %d: %w", chunnel, i, j, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// EncodeAddr converts a core.Addr to a wire.Value ([net, host, addr]).
+func EncodeAddr(a core.Addr) wire.Value {
+	return wire.List(wire.Str(a.Net), wire.Str(a.Host), wire.Str(a.Addr))
+}
+
+// EncodeAddrs converts a slice of addresses to a wire list value.
+func EncodeAddrs(addrs []core.Addr) wire.Value {
+	vs := make([]wire.Value, len(addrs))
+	for i, a := range addrs {
+		vs[i] = EncodeAddr(a)
+	}
+	return wire.List(vs...)
+}
+
+// DecodeAddr converts a wire.Value back to a core.Addr.
+func DecodeAddr(v wire.Value) (core.Addr, error) {
+	l, ok := v.AsList()
+	if !ok || len(l) != 3 {
+		return core.Addr{}, fmt.Errorf("address value must be [net, host, addr], got %s", v)
+	}
+	n, ok1 := l[0].AsString()
+	h, ok2 := l[1].AsString()
+	a, ok3 := l[2].AsString()
+	if !ok1 || !ok2 || !ok3 {
+		return core.Addr{}, fmt.Errorf("address elements must be strings: %s", v)
+	}
+	return core.Addr{Net: n, Host: h, Addr: a}, nil
+}

@@ -1,0 +1,105 @@
+// Package compress implements the compression chunnel (DEFLATE per
+// message). It is an extra composable stage used by the optimizer
+// ablations: it is idempotent metadata-wise (compressing twice wastes
+// cycles for no benefit, so the optimizer eliminates adjacent
+// duplicates) and commutes with nothing by default (compressing after
+// encryption is useless, and the metadata encodes that by omission).
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/bertha-net/bertha/internal/chunnels/base"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Type is the chunnel type name.
+const Type = "compress"
+
+// Node builds the DAG node: compress(level). Level follows
+// compress/flate (1 fastest … 9 best, -1 default).
+func Node(level int) spec.Node {
+	return spec.New(Type, wire.Int(int64(level)))
+}
+
+// Register installs the userspace fallback implementation and optimizer
+// metadata.
+func Register(reg *core.Registry) {
+	reg.MustRegister(&base.Impl{
+		ImplInfo: core.ImplInfo{
+			Name:     Type + "/flate",
+			Type:     Type,
+			Endpoint: spec.EndpointBoth,
+			Location: core.LocUserspace,
+		},
+		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+			level := int(base.IntOr(args, 0, int64(flate.DefaultCompression)))
+			return New(conn, level)
+		},
+	})
+	reg.SetTypeMeta(Type, core.TypeMeta{Idempotent: true})
+}
+
+// New wraps conn with per-message DEFLATE compression.
+func New(conn core.Conn, level int) (core.Conn, error) {
+	if level < flate.HuffmanOnly || level > flate.BestCompression {
+		return nil, fmt.Errorf("compress: invalid level %d", level)
+	}
+	return &compConn{Conn: conn, level: level}, nil
+}
+
+type compConn struct {
+	core.Conn
+	level int
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	w     *flate.Writer
+}
+
+func (c *compConn) Send(ctx context.Context, p []byte) error {
+	c.mu.Lock()
+	c.buf.Reset()
+	if c.w == nil {
+		w, err := flate.NewWriter(&c.buf, c.level)
+		if err != nil {
+			c.mu.Unlock()
+			return fmt.Errorf("compress: %w", err)
+		}
+		c.w = w
+	} else {
+		c.w.Reset(&c.buf)
+	}
+	if _, err := c.w.Write(p); err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("compress: %w", err)
+	}
+	if err := c.w.Close(); err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("compress: %w", err)
+	}
+	out := make([]byte, c.buf.Len())
+	copy(out, c.buf.Bytes())
+	c.mu.Unlock()
+	return c.Conn.Send(ctx, out)
+}
+
+func (c *compConn) Recv(ctx context.Context) ([]byte, error) {
+	p, err := c.Conn.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r := flate.NewReader(bytes.NewReader(p))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("compress: inflate: %w", err)
+	}
+	return out, nil
+}

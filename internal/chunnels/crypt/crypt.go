@@ -1,0 +1,115 @@
+// Package crypt implements the encryption chunnel: AES-GCM sealing of
+// every message. It is the "encrypt" stage of the paper's §6 pipeline
+// example (encrypt |> http2 |> tcp) and registers the optimizer metadata
+// that lets the runtime reorder it across framing stages and fuse it with
+// the reliability chunnel into "tls" when a fused offload exists.
+package crypt
+
+import (
+	"context"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+
+	"github.com/bertha-net/bertha/internal/chunnels/base"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Type is the chunnel type name.
+const Type = "encrypt"
+
+// Node builds the DAG node: encrypt(key). The pre-shared key is any
+// byte string; it is expanded with SHA-256. (Key exchange is out of
+// scope for the prototype, as in the paper.)
+func Node(key []byte) spec.Node {
+	return spec.New(Type, wire.BytesVal(key))
+}
+
+// Register installs the userspace fallback implementation and optimizer
+// metadata into reg. A simulated SmartNIC variant can additionally be
+// registered with RegisterNIC for §6 experiments.
+func Register(reg *core.Registry) {
+	reg.MustRegister(fallback())
+	// Encryption commutes with framing stages: both ends apply the same
+	// reordered stack, so moving encrypt below http2 only changes which
+	// bytes are opaque on the wire (§6's reordering example).
+	reg.SetTypeMeta(Type, core.TypeMeta{Commutes: []string{"http2", "compress"}})
+	reg.AddFusion(Type, "reliable", "tls")
+}
+
+// RegisterNIC installs a simulated SmartNIC variant (same wire format,
+// higher priority, NIC location) used by the optimizer experiments.
+func RegisterNIC(reg *core.Registry) {
+	impl := fallback()
+	impl.ImplInfo.Name = Type + "/nic"
+	impl.ImplInfo.Priority = 30
+	impl.ImplInfo.Location = core.LocSmartNIC
+	impl.ImplInfo.DiscoveryOnly = true
+	reg.MustRegister(impl)
+}
+
+func fallback() *base.Impl {
+	return &base.Impl{
+		ImplInfo: core.ImplInfo{
+			Name:     Type + "/aesgcm",
+			Type:     Type,
+			Endpoint: spec.EndpointBoth,
+			Location: core.LocUserspace,
+		},
+		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+			key, err := base.Bytes(Type, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return New(conn, key)
+		},
+	}
+}
+
+// New wraps conn with AES-GCM encryption using the pre-shared key.
+func New(conn core.Conn, key []byte) (core.Conn, error) {
+	sum := sha256.Sum256(key)
+	block, err := aes.NewCipher(sum[:])
+	if err != nil {
+		return nil, fmt.Errorf("encrypt: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("encrypt: %w", err)
+	}
+	return &cryptConn{Conn: conn, aead: aead}, nil
+}
+
+type cryptConn struct {
+	core.Conn
+	aead cipher.AEAD
+}
+
+func (c *cryptConn) Send(ctx context.Context, p []byte) error {
+	nonce := make([]byte, c.aead.NonceSize(), c.aead.NonceSize()+len(p)+c.aead.Overhead())
+	if _, err := rand.Read(nonce); err != nil {
+		return fmt.Errorf("encrypt: nonce: %w", err)
+	}
+	sealed := c.aead.Seal(nonce, nonce, p, nil)
+	return c.Conn.Send(ctx, sealed)
+}
+
+func (c *cryptConn) Recv(ctx context.Context) ([]byte, error) {
+	sealed, err := c.Conn.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ns := c.aead.NonceSize()
+	if len(sealed) < ns {
+		return nil, fmt.Errorf("encrypt: short ciphertext (%d bytes)", len(sealed))
+	}
+	plain, err := c.aead.Open(nil, sealed[:ns], sealed[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("encrypt: authentication failed: %w", err)
+	}
+	return plain, nil
+}

@@ -1,0 +1,158 @@
+// Package framing implements an HTTP/2-flavoured stream-framing chunnel:
+// each message becomes a typed frame with a stream identifier, and large
+// messages are split into CONTINUATION frames reassembled at the
+// receiver. It is the "http2" stage of the paper's §6 pipeline example.
+package framing
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bertha-net/bertha/internal/chunnels/base"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Type is the chunnel type name.
+const Type = "http2"
+
+// Frame types (a subset of HTTP/2's, enough for message framing).
+const (
+	frameData         = 0x0
+	frameContinuation = 0x9
+)
+
+// flagEndStream marks the final frame of a message.
+const flagEndStream = 0x1
+
+// headerLen is type(1) + flags(1) + stream(4) + fragment index(2).
+const headerLen = 8
+
+// DefaultMaxFrame is the fragment payload ceiling.
+const DefaultMaxFrame = 16 << 10
+
+// Node builds the DAG node: http2(maxFrame).
+func Node(maxFrame int) spec.Node {
+	return spec.New(Type, wire.Int(int64(maxFrame)))
+}
+
+// Register installs the userspace fallback implementation.
+func Register(reg *core.Registry) {
+	reg.MustRegister(&base.Impl{
+		ImplInfo: core.ImplInfo{
+			Name:     Type + "/sw",
+			Type:     Type,
+			Endpoint: spec.EndpointBoth,
+			Location: core.LocUserspace,
+		},
+		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+			maxFrame := int(base.IntOr(args, 0, DefaultMaxFrame))
+			return New(conn, maxFrame)
+		},
+	})
+}
+
+// New wraps conn with frame encoding. maxFrame bounds each fragment's
+// payload; messages larger than maxFrame are split and reassembled.
+func New(conn core.Conn, maxFrame int) (core.Conn, error) {
+	if maxFrame <= 0 {
+		return nil, fmt.Errorf("http2: invalid max frame %d", maxFrame)
+	}
+	return &frameConn{Conn: conn, maxFrame: maxFrame, partial: map[uint32][][]byte{}}, nil
+}
+
+type frameConn struct {
+	core.Conn
+	maxFrame   int
+	nextStream atomic.Uint32
+
+	mu      sync.Mutex
+	partial map[uint32][][]byte
+}
+
+func (c *frameConn) Send(ctx context.Context, p []byte) error {
+	stream := c.nextStream.Add(1)
+	frags := (len(p) + c.maxFrame - 1) / c.maxFrame
+	if frags == 0 {
+		frags = 1
+	}
+	if frags > 1<<16-1 {
+		return fmt.Errorf("%w: %d fragments", core.ErrMessageTooLarge, frags)
+	}
+	for i := 0; i < frags; i++ {
+		lo := i * c.maxFrame
+		hi := lo + c.maxFrame
+		if hi > len(p) {
+			hi = len(p)
+		}
+		ft := byte(frameData)
+		if i > 0 {
+			ft = frameContinuation
+		}
+		var flags byte
+		if i == frags-1 {
+			flags = flagEndStream
+		}
+		buf := make([]byte, headerLen+hi-lo)
+		buf[0] = ft
+		buf[1] = flags
+		binary.LittleEndian.PutUint32(buf[2:6], stream)
+		binary.LittleEndian.PutUint16(buf[6:8], uint16(i))
+		copy(buf[headerLen:], p[lo:hi])
+		if err := c.Conn.Send(ctx, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *frameConn) Recv(ctx context.Context) ([]byte, error) {
+	for {
+		f, err := c.Conn.Recv(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(f) < headerLen {
+			return nil, fmt.Errorf("http2: short frame (%d bytes)", len(f))
+		}
+		ft, flags := f[0], f[1]
+		stream := binary.LittleEndian.Uint32(f[2:6])
+		idx := binary.LittleEndian.Uint16(f[6:8])
+		payload := f[headerLen:]
+		if ft != frameData && ft != frameContinuation {
+			return nil, fmt.Errorf("http2: unknown frame type %#x", ft)
+		}
+
+		c.mu.Lock()
+		frags := c.partial[stream]
+		if int(idx) != len(frags) {
+			// Fragment loss or reorder below us: drop the stream. Pair
+			// with the reliability chunnel for lossy transports.
+			delete(c.partial, stream)
+			c.mu.Unlock()
+			continue
+		}
+		frags = append(frags, payload)
+		if flags&flagEndStream == 0 {
+			c.partial[stream] = frags
+			c.mu.Unlock()
+			continue
+		}
+		delete(c.partial, stream)
+		c.mu.Unlock()
+
+		total := 0
+		for _, fr := range frags {
+			total += len(fr)
+		}
+		out := make([]byte, 0, total)
+		for _, fr := range frags {
+			out = append(out, fr...)
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,246 @@
+// Package lb implements the load-balancing chunnel of §3.2: a service
+// behind one logical address whose requests are spread across backends.
+// Two implementations capture the two modalities the paper contrasts:
+//
+//   - lb/client: client-side balancing — the client dials the backends
+//     and spreads requests itself (scales, but complicates resharding).
+//   - lb/server: an application load balancer at the server — all
+//     requests funnel through one proxy (simple, but a bottleneck).
+//
+// Because the implementation binds per connection, a deployment can run
+// both at once ("hybrid load balancing"), which is exactly the case
+// current interfaces make hard to deploy.
+package lb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bertha-net/bertha/internal/chunnels/base"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Type is the chunnel type name.
+const Type = "lb"
+
+// Implementation names.
+const (
+	ImplClient = Type + "/client"
+	ImplServer = Type + "/server"
+)
+
+// Node builds the DAG node: lb(backends).
+func Node(backends []core.Addr) spec.Node {
+	return spec.New(Type, base.EncodeAddrs(backends))
+}
+
+func decodeBackends(args []wire.Value) ([]core.Addr, error) {
+	addrs, err := base.AddrList(Type, args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("lb: empty backend list")
+	}
+	return addrs, nil
+}
+
+// RegisterClient installs the client-side balancing implementation.
+func RegisterClient(reg *core.Registry) {
+	reg.MustRegister(&base.Impl{
+		ImplInfo: core.ImplInfo{
+			Name:     ImplClient,
+			Type:     Type,
+			Endpoint: spec.EndpointClient,
+			Priority: 10,
+			Location: core.LocUserspace,
+		},
+		WrapFn: wrapClient,
+		ValidateFn: func(args []wire.Value) error {
+			_, err := decodeBackends(args)
+			return err
+		},
+	})
+}
+
+// RegisterServer installs the server-side proxy implementation.
+func RegisterServer(reg *core.Registry) {
+	reg.MustRegister(&base.Impl{
+		ImplInfo: core.ImplInfo{
+			Name:     ImplServer,
+			Type:     Type,
+			Endpoint: spec.EndpointServer,
+			Priority: 0,
+			Location: core.LocUserspace,
+		},
+		WrapFn: wrapServer,
+		ValidateFn: func(args []wire.Value) error {
+			_, err := decodeBackends(args)
+			return err
+		},
+	})
+}
+
+// wrapClient: the client dials every backend and round-robins requests.
+func wrapClient(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+	backends, err := decodeBackends(args)
+	if err != nil {
+		return nil, err
+	}
+	d := env.Dialer()
+	if d == nil {
+		return nil, fmt.Errorf("lb: no dialer in environment")
+	}
+	conns := make([]core.Conn, len(backends))
+	for i, a := range backends {
+		c, err := d.Dial(ctx, a)
+		if err != nil {
+			for _, open := range conns[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("lb: dial backend %d (%s): %w", i, a, err)
+		}
+		conns[i] = c
+	}
+	bc := &balancedConn{canonical: conn, backends: conns, in: make(chan []byte, 1024)}
+	bc.ctx, bc.cancel = context.WithCancel(context.Background())
+	for _, c := range conns {
+		go bc.fanIn(c)
+	}
+	return bc, nil
+}
+
+type balancedConn struct {
+	canonical core.Conn
+	backends  []core.Conn
+	rr        atomic.Uint64
+	in        chan []byte
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (b *balancedConn) fanIn(c core.Conn) {
+	for {
+		m, err := c.Recv(b.ctx)
+		if err != nil {
+			return
+		}
+		select {
+		case b.in <- m:
+		case <-b.ctx.Done():
+			return
+		}
+	}
+}
+
+func (b *balancedConn) Send(ctx context.Context, p []byte) error {
+	i := int(b.rr.Add(1)-1) % len(b.backends)
+	return b.backends[i].Send(ctx, p)
+}
+
+func (b *balancedConn) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case m := <-b.in:
+		return m, nil
+	case <-b.ctx.Done():
+		return nil, core.ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (b *balancedConn) LocalAddr() core.Addr  { return b.canonical.LocalAddr() }
+func (b *balancedConn) RemoteAddr() core.Addr { return b.canonical.RemoteAddr() }
+
+func (b *balancedConn) Close() error {
+	b.once.Do(func() {
+		b.cancel()
+		for _, c := range b.backends {
+			c.Close()
+		}
+		b.canonical.Close()
+	})
+	return nil
+}
+
+// wrapServer: an L7 proxy at the server relays requests round-robin and
+// replies back — the single-point application load balancer.
+func wrapServer(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+	backends, err := decodeBackends(args)
+	if err != nil {
+		return nil, err
+	}
+	d := env.Dialer()
+	if d == nil {
+		return nil, fmt.Errorf("lb: no dialer in environment")
+	}
+	fwd := make([]core.Conn, len(backends))
+	for i, a := range backends {
+		c, err := d.Dial(ctx, a)
+		if err != nil {
+			for _, open := range fwd[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("lb: dial backend %d (%s): %w", i, a, err)
+		}
+		fwd[i] = c
+	}
+	pctx, cancel := context.WithCancel(context.Background())
+	for _, c := range fwd {
+		go func(c core.Conn) {
+			for {
+				m, err := c.Recv(pctx)
+				if err != nil {
+					return
+				}
+				if err := conn.Send(pctx, m); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	var rr atomic.Uint64
+	go func() {
+		for {
+			m, err := conn.Recv(pctx)
+			if err != nil {
+				return
+			}
+			i := int(rr.Add(1)-1) % len(fwd)
+			_ = fwd[i].Send(pctx, m)
+		}
+	}()
+	return &proxyConn{conn: conn, cancel: cancel, fwd: fwd}, nil
+}
+
+// proxyConn is the captive server-side view of a proxied connection.
+type proxyConn struct {
+	conn   core.Conn
+	cancel context.CancelFunc
+	fwd    []core.Conn
+	once   sync.Once
+}
+
+func (p *proxyConn) Send(ctx context.Context, b []byte) error { return p.conn.Send(ctx, b) }
+func (p *proxyConn) Recv(ctx context.Context) ([]byte, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+func (p *proxyConn) LocalAddr() core.Addr  { return p.conn.LocalAddr() }
+func (p *proxyConn) RemoteAddr() core.Addr { return p.conn.RemoteAddr() }
+func (p *proxyConn) Close() error {
+	p.once.Do(func() {
+		p.cancel()
+		for _, c := range p.fwd {
+			c.Close()
+		}
+		p.conn.Close()
+	})
+	return nil
+}

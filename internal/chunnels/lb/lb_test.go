@@ -1,0 +1,170 @@
+package lb_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/chunnels/lb"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/transport"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// backends starts n echo backends that tag replies with their index.
+func backends(t *testing.T, pn *transport.PipeNetwork, n int) []core.Addr {
+	t.Helper()
+	ctx := ctxT(t)
+	var addrs []core.Addr
+	for i := 0; i < n; i++ {
+		i := i
+		l, err := pn.Listen("srvhost", fmt.Sprintf("backend%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		addrs = append(addrs, l.Addr())
+		go func() {
+			for {
+				conn, err := l.Accept(ctx)
+				if err != nil {
+					return
+				}
+				go func(conn core.Conn) {
+					for {
+						m, err := conn.Recv(ctx)
+						if err != nil {
+							return
+						}
+						conn.Send(ctx, append(append([]byte{}, m...), byte(i)))
+					}
+				}(conn)
+			}
+		}()
+	}
+	return addrs
+}
+
+func dialLB(t *testing.T, pn *transport.PipeNetwork, addrs []core.Addr, regC, regS *core.Registry, policy core.Policy) core.Conn {
+	t.Helper()
+	ctx := ctxT(t)
+	envS := core.NewEnv("srvhost")
+	envS.SetDialer(&transport.MultiDialer{HostID: "srvhost", Pipe: pn})
+	envC := core.NewEnv("clihost")
+	envC.SetDialer(&transport.MultiDialer{HostID: "clihost", Pipe: pn})
+
+	opts := []core.Option{core.WithRegistry(regS), core.WithEnv(envS)}
+	if policy != nil {
+		opts = append(opts, core.WithPolicy(policy))
+	}
+	srvEp, _ := core.NewEndpoint("service", spec.Seq(lb.Node(addrs)), opts...)
+	cliEp, _ := core.NewEndpoint("cli", spec.Seq(), core.WithRegistry(regC), core.WithEnv(envC))
+
+	svcName := fmt.Sprintf("lbsvc-%p", regC)
+	baseL, _ := pn.Listen("srvhost", svcName)
+	t.Cleanup(func() { baseL.Close() })
+	nl, err := srvEp.Listen(ctx, baseL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go nl.Accept(ctx)
+	raw, _ := pn.DialFrom(ctx, "clihost", core.Addr{Net: "pipe", Addr: svcName})
+	conn, err := cliEp.Connect(ctx, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func spread(t *testing.T, conn core.Conn, n, nbackends int) map[byte]int {
+	t.Helper()
+	ctx := ctxT(t)
+	counts := map[byte]int{}
+	for i := 0; i < n; i++ {
+		req := []byte(fmt.Sprintf("r%03d", i))
+		if err := conn.Send(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+		m, err := conn.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[m[len(m)-1]]++
+	}
+	if len(counts) != nbackends {
+		t.Errorf("used %d of %d backends: %v", len(counts), nbackends, counts)
+	}
+	return counts
+}
+
+func TestClientSideBalancing(t *testing.T) {
+	pn := transport.NewPipeNetwork()
+	addrs := backends(t, pn, 3)
+	regC, regS := core.NewRegistry(), core.NewRegistry()
+	lb.RegisterClient(regC)
+	lb.RegisterServer(regS)
+	conn := dialLB(t, pn, addrs, regC, regS, nil) // client impl preferred
+	counts := spread(t, conn, 90, 3)
+	for b, c := range counts {
+		if c != 30 {
+			t.Errorf("backend %d handled %d, want 30 (round robin)", b, c)
+		}
+	}
+}
+
+func TestServerSideProxyBalancing(t *testing.T) {
+	pn := transport.NewPipeNetwork()
+	addrs := backends(t, pn, 3)
+	regC, regS := core.NewRegistry(), core.NewRegistry()
+	lb.RegisterServer(regS)
+	conn := dialLB(t, pn, addrs, regC, regS, core.PreferImpl(lb.ImplServer))
+	spread(t, conn, 90, 3)
+}
+
+func TestHybridBothModalitiesAtOnce(t *testing.T) {
+	// One deployment, two clients: one balances client-side, the other
+	// through the server proxy — the hybrid the paper says current
+	// interfaces make hard.
+	pn := transport.NewPipeNetwork()
+	addrs := backends(t, pn, 2)
+	regS := core.NewRegistry()
+	lb.RegisterServer(regS)
+
+	regA := core.NewRegistry()
+	lb.RegisterClient(regA)
+	connA := dialLB(t, pn, addrs, regA, regS, nil)
+
+	regB := core.NewRegistry()
+	connB := dialLB(t, pn, addrs, regB, regS, nil)
+
+	spread(t, connA, 40, 2)
+	spread(t, connB, 40, 2)
+}
+
+func TestEmptyBackendsRejected(t *testing.T) {
+	pn := transport.NewPipeNetwork()
+	ctx := ctxT(t)
+	regS := core.NewRegistry()
+	lb.RegisterServer(regS)
+	envS := core.NewEnv("srvhost")
+	envS.SetDialer(&transport.MultiDialer{HostID: "srvhost", Pipe: pn})
+	srvEp, _ := core.NewEndpoint("svc", spec.Seq(lb.Node(nil)),
+		core.WithRegistry(regS), core.WithEnv(envS))
+	baseL, _ := pn.Listen("srvhost", "empty")
+	nl, _ := srvEp.Listen(ctx, baseL)
+	go nl.Accept(ctx)
+	cliEp, _ := core.NewEndpoint("cli", spec.Seq(), core.WithRegistry(core.NewRegistry()))
+	raw, _ := pn.Dial(ctx, core.Addr{Net: "pipe", Addr: "empty"})
+	if _, err := cliEp.Connect(ctx, raw); err == nil {
+		t.Error("empty backend list should fail negotiation")
+	}
+}

@@ -1,0 +1,447 @@
+package mcast
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/simnet"
+)
+
+// replicaGroup is the per-group replica machinery: the ingest service
+// (stamped multicasts arrive here), the repair service (peers fetch
+// missed operations), the ordered-delivery engine, and — on the leader
+// or switch — the sequencer.
+type replicaGroup struct {
+	gid    string
+	hosts  []string
+	engine *engine
+
+	cancel context.CancelFunc
+}
+
+// ensureGroup sets up (once) the replica-side services for a group on
+// this host.
+func (im *Impl) ensureGroup(env *core.Env, gid string, hosts []string) (*replicaGroup, error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if g, ok := im.groups[gid]; ok {
+		return g, nil
+	}
+	hv, ok := env.Lookup(EnvHost)
+	if !ok {
+		return nil, fmt.Errorf("mcast: replica environment missing %s", EnvHost)
+	}
+	host, ok := hv.(*simnet.Host)
+	if !ok {
+		return nil, fmt.Errorf("mcast: %s is %T, want *simnet.Host", EnvHost, hv)
+	}
+
+	self := host.Name()
+	var peers []core.Addr
+	isMember := false
+	for _, h := range hosts {
+		if h == self {
+			isMember = true
+			continue
+		}
+		peers = append(peers, repairAddr(h, gid))
+	}
+	if !isMember {
+		return nil, fmt.Errorf("mcast: host %q is not in replica set %v", self, hosts)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &replicaGroup{
+		gid:    gid,
+		hosts:  hosts,
+		engine: newEngine(peers, host.Dialer()),
+		cancel: cancel,
+	}
+
+	// Ingest service: stamped frames from the sequencer path.
+	ingestL, err := host.Listen(ingestService(gid))
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("mcast: ingest listener: %w", err)
+	}
+	env.Configure("host:"+self, "mcast-ingest", ingestL.Addr().String())
+	go g.ingestLoop(ctx, ingestL)
+
+	// Repair service: serve delivered operations to peers.
+	repairL, err := host.Listen(repairService(gid))
+	if err != nil {
+		cancel()
+		ingestL.Close()
+		return nil, fmt.Errorf("mcast: repair listener: %w", err)
+	}
+	go g.repairLoop(ctx, repairL)
+
+	// Sequencer: switch entry (switch variant, installed once per
+	// group) or leader software loop (host variant).
+	switch im.variant {
+	case ImplSwitch:
+		if err := configureSwitch(env, host, gid, hosts); err != nil {
+			cancel()
+			ingestL.Close()
+			repairL.Close()
+			return nil, err
+		}
+	default:
+		if self == hosts[0] {
+			seqL, err := host.Listen(seqService(gid))
+			if err != nil {
+				cancel()
+				ingestL.Close()
+				repairL.Close()
+				return nil, fmt.Errorf("mcast: sequencer listener: %w", err)
+			}
+			env.Configure("host:"+self, "mcast-sequencer", seqL.Addr().String())
+			go g.sequencerLoop(ctx, seqL, host)
+		}
+	}
+
+	im.groups[gid] = g
+	go g.engine.run(ctx)
+	return g, nil
+}
+
+// configureSwitch installs the multicast group and the sequencer-stamp
+// entry on the rack switch — the automated analog of a network operator
+// programming the Tofino (Figure 1).
+func configureSwitch(env *core.Env, host *simnet.Host, gid string, hosts []string) error {
+	swv, ok := env.Lookup(EnvSwitch)
+	if !ok {
+		return fmt.Errorf("mcast: switch variant requires %s in the replica environment", EnvSwitch)
+	}
+	sw, ok := swv.(*simnet.Switch)
+	if !ok {
+		return fmt.Errorf("mcast: %s is %T, want *simnet.Switch", EnvSwitch, swv)
+	}
+	members := make([]core.Addr, len(hosts))
+	for i, h := range hosts {
+		members[i] = ingestAddr(h, gid)
+	}
+	sw.AddGroup(gid, members)
+	env.Configure("switch:"+sw.Name(), "add-group", gid)
+	entry := &simnet.Entry{
+		Name: "sequencer:" + gid,
+		Cost: 2,
+		Match: func(pkt *simnet.Packet) bool {
+			return pkt.Dst == sw.GroupAddr(gid) && len(pkt.Payload) >= frameHeader
+		},
+		Action: func(s *simnet.Switch, pkt simnet.Packet) []simnet.Packet {
+			putU64(pkt.Payload, 0, s.NextSeq())
+			return []simnet.Packet{pkt}
+		},
+	}
+	if err := sw.InstallEntry(entry); err != nil {
+		// Another replica already installed the group's sequencer.
+		if sw.HasEntry(entry.Name) {
+			return nil
+		}
+		return fmt.Errorf("mcast: %w", err)
+	}
+	env.Configure("switch:"+sw.Name(), "install-entry", entry.Name)
+	return nil
+}
+
+// ingestLoop feeds stamped frames into the delivery engine.
+func (g *replicaGroup) ingestLoop(ctx context.Context, l core.Listener) {
+	for {
+		conn, err := l.Accept(ctx)
+		if err != nil {
+			return
+		}
+		go func(conn core.Conn) {
+			for {
+				m, err := conn.Recv(ctx)
+				if err != nil {
+					return
+				}
+				if len(m) < frameHeader {
+					continue
+				}
+				seq := getU64(m, 0)
+				cid := m[8:16]
+				payload := m[frameHeader:]
+				reply := func(rctx context.Context, p []byte) error {
+					out := make([]byte, 8+len(p))
+					copy(out[:8], cid)
+					copy(out[8:], p)
+					return conn.Send(rctx, out)
+				}
+				g.engine.submit(seq, payload, reply)
+			}
+		}(conn)
+	}
+}
+
+// repairLoop serves delivered operations to peers: request [seq 8] →
+// response [found 1][payload].
+func (g *replicaGroup) repairLoop(ctx context.Context, l core.Listener) {
+	for {
+		conn, err := l.Accept(ctx)
+		if err != nil {
+			return
+		}
+		go func(conn core.Conn) {
+			for {
+				m, err := conn.Recv(ctx)
+				if err != nil {
+					return
+				}
+				if len(m) != 8 {
+					continue
+				}
+				seq := getU64(m, 0)
+				payload, ok := g.engine.lookup(seq)
+				resp := make([]byte, 1+len(payload))
+				if ok {
+					resp[0] = 1
+					copy(resp[1:], payload)
+				}
+				if err := conn.Send(ctx, resp); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// sequencerLoop is the host-variant software sequencer on the leader:
+// stamp each client operation and re-multicast it to every replica's
+// ingest service, routing replies back to the right client.
+func (g *replicaGroup) sequencerLoop(ctx context.Context, l core.Listener, host *simnet.Host) {
+	var (
+		mu      sync.Mutex
+		seq     uint64
+		nextCID uint64
+		clients = map[uint64]core.Conn{}
+		fanout  []core.Conn
+	)
+	// Pre-dial every replica's ingest service.
+	for _, h := range g.hosts {
+		c, err := host.Dial(ctx, ingestAddr(h, g.gid))
+		if err != nil {
+			return
+		}
+		fanout = append(fanout, c)
+	}
+	// Reply pump per replica conn.
+	for _, c := range fanout {
+		go func(c core.Conn) {
+			for {
+				m, err := c.Recv(ctx)
+				if err != nil {
+					return
+				}
+				if len(m) < 8 {
+					continue
+				}
+				cid := getU64(m, 0)
+				mu.Lock()
+				cli := clients[cid]
+				mu.Unlock()
+				if cli != nil {
+					_ = cli.Send(ctx, m[8:])
+				}
+			}
+		}(c)
+	}
+	for {
+		conn, err := l.Accept(ctx)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		nextCID++
+		cid := nextCID
+		clients[cid] = conn
+		mu.Unlock()
+		go func(conn core.Conn, cid uint64) {
+			defer func() {
+				mu.Lock()
+				delete(clients, cid)
+				mu.Unlock()
+			}()
+			for {
+				m, err := conn.Recv(ctx)
+				if err != nil {
+					return
+				}
+				if len(m) < frameHeader {
+					continue
+				}
+				mu.Lock()
+				seq++
+				s := seq
+				mu.Unlock()
+				putU64(m, 0, s)
+				putU64(m, 8, cid)
+				for _, f := range fanout {
+					_ = f.Send(ctx, m)
+				}
+			}
+		}(conn, cid)
+	}
+}
+
+// engine delivers operations in sequence order with dedup and repair.
+type engine struct {
+	peers  []core.Addr
+	dialer core.Dialer
+
+	mu       sync.Mutex
+	expected uint64
+	buf      map[uint64]bufEntry
+	log      map[uint64][]byte
+	out      chan Delivery
+
+	gapTimeout time.Duration
+}
+
+type bufEntry struct {
+	payload []byte
+	reply   func(ctx context.Context, p []byte) error
+}
+
+// engineBuffer bounds delivered-op retention for repair.
+const engineLogLimit = 100000
+
+func newEngine(peers []core.Addr, dialer core.Dialer) *engine {
+	return &engine{
+		peers:      peers,
+		dialer:     dialer,
+		expected:   1,
+		buf:        map[uint64]bufEntry{},
+		log:        map[uint64][]byte{},
+		out:        make(chan Delivery, 4096),
+		gapTimeout: 50 * time.Millisecond,
+	}
+}
+
+// submit offers one stamped operation to the engine.
+func (e *engine) submit(seq uint64, payload []byte, reply func(ctx context.Context, p []byte) error) {
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	e.mu.Lock()
+	if seq < e.expected {
+		e.mu.Unlock()
+		return // duplicate of a delivered op
+	}
+	if _, dup := e.buf[seq]; dup {
+		e.mu.Unlock()
+		return
+	}
+	e.buf[seq] = bufEntry{payload: buf, reply: reply}
+	e.drainLocked()
+	e.mu.Unlock()
+}
+
+// drainLocked delivers every in-order operation.
+func (e *engine) drainLocked() {
+	for {
+		entry, ok := e.buf[e.expected]
+		if !ok {
+			return
+		}
+		delete(e.buf, e.expected)
+		if len(e.log) < engineLogLimit {
+			e.log[e.expected] = entry.payload
+		}
+		d := Delivery{Seq: e.expected, Payload: entry.payload, Reply: entry.reply}
+		e.expected++
+		select {
+		case e.out <- d:
+		default:
+			// Delivery backlog overrun: the application is not keeping
+			// up; drop the oldest pending by blocking instead.
+			e.mu.Unlock()
+			e.out <- d
+			e.mu.Lock()
+		}
+	}
+}
+
+// lookup serves the repair protocol.
+func (e *engine) lookup(seq uint64) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.log[seq]
+	return p, ok
+}
+
+// run watches for gaps and repairs them from peers.
+func (e *engine) run(ctx context.Context) {
+	tick := time.NewTicker(e.gapTimeout / 2)
+	defer tick.Stop()
+	var gapSince time.Time
+	var gapSeq uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		e.mu.Lock()
+		blocked := len(e.buf) > 0
+		missing := e.expected
+		e.mu.Unlock()
+		if !blocked {
+			gapSince = time.Time{}
+			continue
+		}
+		if gapSeq != missing {
+			gapSeq, gapSince = missing, time.Now()
+			continue
+		}
+		if time.Since(gapSince) < e.gapTimeout {
+			continue
+		}
+		// Gap persisted: try peers, then give up and mark the slot.
+		payload, found := e.repair(ctx, missing)
+		e.mu.Lock()
+		if e.expected == missing { // still missing (no race with arrival)
+			if found {
+				e.buf[missing] = bufEntry{payload: payload}
+			} else {
+				e.log[missing] = nil
+				e.out <- Delivery{Seq: missing, Gap: true}
+				e.expected++
+			}
+			e.drainLocked()
+		}
+		e.mu.Unlock()
+		gapSince = time.Time{}
+	}
+}
+
+// repair fetches one missing operation from any peer.
+func (e *engine) repair(ctx context.Context, seq uint64) ([]byte, bool) {
+	if e.dialer == nil {
+		return nil, false
+	}
+	req := make([]byte, 8)
+	putU64(req, 0, seq)
+	for _, peer := range e.peers {
+		conn, err := e.dialer.Dial(ctx, peer)
+		if err != nil {
+			continue
+		}
+		err = conn.Send(ctx, req)
+		if err == nil {
+			rctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+			resp, rerr := conn.Recv(rctx)
+			cancel()
+			if rerr == nil && len(resp) >= 1 && resp[0] == 1 {
+				conn.Close()
+				return resp[1:], true
+			}
+		}
+		conn.Close()
+	}
+	return nil, false
+}

@@ -1,0 +1,176 @@
+// Package ordering implements the in-order delivery chunnel: sequence
+// numbers plus a bounded reorder buffer, without retransmission. Late
+// packets beyond the buffer, and packets lost below, are skipped after a
+// gap timeout — the delivery model of media and telemetry protocols, and
+// a building block cheaper than full reliability when the transport is
+// mostly ordered already.
+package ordering
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/chunnels/base"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Type is the chunnel type name.
+const Type = "ordering"
+
+// Defaults.
+const (
+	// DefaultBuffer is the reorder buffer size in messages.
+	DefaultBuffer = 64
+	// DefaultGapTimeout is how long delivery stalls on a missing
+	// sequence number before skipping it.
+	DefaultGapTimeout = 20 * time.Millisecond
+)
+
+// Node builds the DAG node: ordering(buffer, gapTimeoutMillis).
+func Node() spec.Node {
+	return spec.New(Type, wire.Int(DefaultBuffer), wire.Int(int64(DefaultGapTimeout/time.Millisecond)))
+}
+
+// Register installs the userspace fallback implementation.
+func Register(reg *core.Registry) {
+	reg.MustRegister(&base.Impl{
+		ImplInfo: core.ImplInfo{
+			Name:     Type + "/buffer",
+			Type:     Type,
+			Endpoint: spec.EndpointBoth,
+			Location: core.LocUserspace,
+		},
+		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+			buf := int(base.IntOr(args, 0, DefaultBuffer))
+			gap := time.Duration(base.IntOr(args, 1, int64(DefaultGapTimeout/time.Millisecond))) * time.Millisecond
+			return New(conn, buf, gap)
+		},
+	})
+}
+
+// New wraps conn with ordered delivery.
+func New(conn core.Conn, buffer int, gapTimeout time.Duration) (core.Conn, error) {
+	if buffer <= 0 {
+		return nil, fmt.Errorf("ordering: invalid buffer %d", buffer)
+	}
+	if gapTimeout <= 0 {
+		gapTimeout = DefaultGapTimeout
+	}
+	return &orderConn{
+		Conn:    conn,
+		buffer:  buffer,
+		gap:     gapTimeout,
+		pendMap: map[uint64][]byte{},
+		expect:  1,
+	}, nil
+}
+
+type orderConn struct {
+	core.Conn
+	buffer int
+	gap    time.Duration
+
+	sendMu  sync.Mutex
+	nextSeq uint64
+
+	recvMu   sync.Mutex
+	expect   uint64
+	pendMap  map[uint64][]byte
+	gapSince time.Time
+}
+
+func (c *orderConn) Send(ctx context.Context, p []byte) error {
+	c.sendMu.Lock()
+	c.nextSeq++
+	seq := c.nextSeq
+	c.sendMu.Unlock()
+	buf := make([]byte, 8+len(p))
+	binary.LittleEndian.PutUint64(buf[:8], seq)
+	copy(buf[8:], p)
+	return c.Conn.Send(ctx, buf)
+}
+
+// Recv returns messages in sequence order, skipping gaps after the gap
+// timeout. Recv is not safe for concurrent callers (like most ordered
+// streams, one reader owns the stream).
+func (c *orderConn) Recv(ctx context.Context) ([]byte, error) {
+	for {
+		// Deliver anything already in order.
+		c.recvMu.Lock()
+		if p, ok := c.pendMap[c.expect]; ok {
+			delete(c.pendMap, c.expect)
+			c.expect++
+			c.gapSince = time.Time{}
+			c.recvMu.Unlock()
+			return p, nil
+		}
+		// Gap handling: if we have buffered future messages and the gap
+		// has persisted, skip to the oldest buffered message.
+		if len(c.pendMap) > 0 {
+			if c.gapSince.IsZero() {
+				c.gapSince = time.Now()
+			} else if time.Since(c.gapSince) >= c.gap || len(c.pendMap) >= c.buffer {
+				lowest := uint64(0)
+				for s := range c.pendMap {
+					if lowest == 0 || s < lowest {
+						lowest = s
+					}
+				}
+				c.expect = lowest
+				c.gapSince = time.Time{}
+				c.recvMu.Unlock()
+				continue
+			}
+		}
+		c.recvMu.Unlock()
+
+		// Wait for more data, bounded by the gap timeout when a gap is
+		// open so skipping can proceed.
+		rctx := ctx
+		var cancel context.CancelFunc
+		c.recvMu.Lock()
+		waiting := !c.gapSince.IsZero()
+		since := c.gapSince
+		c.recvMu.Unlock()
+		if waiting {
+			rctx, cancel = context.WithDeadline(ctx, since.Add(c.gap))
+		}
+		msg, err := c.Conn.Recv(rctx)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			if waiting && rctx.Err() != nil && ctx.Err() == nil {
+				continue // gap timer fired: loop and skip
+			}
+			return nil, err
+		}
+		if len(msg) < 8 {
+			continue // malformed: drop
+		}
+		seq := binary.LittleEndian.Uint64(msg[:8])
+		payload := msg[8:]
+
+		c.recvMu.Lock()
+		switch {
+		case seq < c.expect:
+			// Late packet beyond its window: drop (already skipped).
+			c.recvMu.Unlock()
+		case seq == c.expect:
+			c.expect++
+			c.gapSince = time.Time{}
+			c.recvMu.Unlock()
+			return payload, nil
+		default:
+			if len(c.pendMap) < c.buffer {
+				c.pendMap[seq] = payload
+			}
+			c.recvMu.Unlock()
+		}
+	}
+}

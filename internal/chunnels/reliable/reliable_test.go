@@ -1,0 +1,179 @@
+package reliable
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/transport"
+)
+
+// White-box tests for the ARQ internals: acknowledgement semantics,
+// window bookkeeping, and wire-format details. End-to-end behaviour
+// (loss/reorder/duplication recovery) is covered in
+// internal/chunnels/chunnels_test.go.
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestDataFrameEncoding(t *testing.T) {
+	buf := encodeData(0x0102030405060708, []byte("payload"))
+	if buf[0] != kindData {
+		t.Errorf("kind byte: %#x", buf[0])
+	}
+	if got := binary.LittleEndian.Uint64(buf[1:9]); got != 0x0102030405060708 {
+		t.Errorf("seq: %#x", got)
+	}
+	if string(buf[9:]) != "payload" {
+		t.Errorf("payload: %q", buf[9:])
+	}
+}
+
+func TestCumulativeAckReleasesWindow(t *testing.T) {
+	ctx := ctxT(t)
+	ra, rb := transport.Pipe(core.Addr{}, core.Addr{}, 256)
+	a, err := New(ra, Config{Window: 3, RTO: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer rb.Close()
+
+	// Fill the window.
+	for i := 0; i < 3; i++ {
+		if err := a.Send(ctx, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Window full: next send blocks.
+	sctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	if err := a.Send(sctx, []byte{9}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected window block, got %v", err)
+	}
+	cancel()
+
+	// Hand-craft a cumulative ack for seq 1-2.
+	ack := make([]byte, 17)
+	ack[0] = kindAck
+	binary.LittleEndian.PutUint64(ack[1:9], 2) // cum ack
+	if err := rb.Send(ctx, ack); err != nil {
+		t.Fatal(err)
+	}
+	// Two slots free: two sends succeed, the third blocks again.
+	for i := 0; i < 2; i++ {
+		sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		err := a.Send(sctx, []byte{byte(10 + i)})
+		cancel()
+		if err != nil {
+			t.Fatalf("send after ack %d: %v", i, err)
+		}
+	}
+	sctx2, cancel2 := context.WithTimeout(ctx, 50*time.Millisecond)
+	if err := a.Send(sctx2, []byte{99}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("window should be full again, got %v", err)
+	}
+	cancel2()
+}
+
+func TestSelectiveAckBitmap(t *testing.T) {
+	ctx := ctxT(t)
+	ra, rb := transport.Pipe(core.Addr{}, core.Addr{}, 256)
+	a, err := New(ra, Config{Window: 8, RTO: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer rb.Close()
+
+	for i := 0; i < 4; i++ {
+		a.Send(ctx, []byte{byte(i)}) // seqs 1..4
+	}
+	// SACK seqs 2 and 4 (bitmap bits 1 and 3 above cum=0).
+	ack := make([]byte, 17)
+	ack[0] = kindAck
+	binary.LittleEndian.PutUint64(ack[1:9], 0)
+	binary.LittleEndian.PutUint64(ack[9:17], 0b1010)
+	rb.Send(ctx, ack)
+	time.Sleep(50 * time.Millisecond)
+
+	a.(*arqConn).sendMu.Lock()
+	remaining := len(a.(*arqConn).unacked)
+	_, has1 := a.(*arqConn).unacked[1]
+	_, has3 := a.(*arqConn).unacked[3]
+	a.(*arqConn).sendMu.Unlock()
+	if remaining != 2 || !has1 || !has3 {
+		t.Errorf("after SACK: %d unacked (want 2: seqs 1 and 3)", remaining)
+	}
+}
+
+func TestReceiverAcksDuplicates(t *testing.T) {
+	// A duplicate DATA must be re-acked (the ack may have been lost) but
+	// not redelivered.
+	ctx := ctxT(t)
+	ra, rb := transport.Pipe(core.Addr{}, core.Addr{}, 256)
+	b, err := New(rb, Config{Window: 8, RTO: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	defer ra.Close()
+
+	data := encodeData(1, []byte("once"))
+	ra.Send(ctx, data)
+	if m, err := b.Recv(ctx); err != nil || string(m) != "once" {
+		t.Fatalf("first delivery: %q %v", m, err)
+	}
+	// First ack.
+	ackMsg, err := ra.Recv(ctx)
+	if err != nil || ackMsg[0] != kindAck {
+		t.Fatalf("first ack: %v %v", ackMsg, err)
+	}
+	// Duplicate.
+	ra.Send(ctx, data)
+	ackMsg, err = ra.Recv(ctx)
+	if err != nil || ackMsg[0] != kindAck {
+		t.Fatalf("dup ack: %v %v", ackMsg, err)
+	}
+	if cum := binary.LittleEndian.Uint64(ackMsg[1:9]); cum != 1 {
+		t.Errorf("dup ack cum: %d", cum)
+	}
+	// No redelivery.
+	rctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if m, err := b.Recv(rctx); err == nil {
+		t.Errorf("duplicate was redelivered: %q", m)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	if c.Window != DefaultWindow || c.RTO != DefaultRTO || c.MaxRetries != MaxRetries {
+		t.Errorf("defaults: %+v", c)
+	}
+}
+
+func TestMalformedFramesIgnored(t *testing.T) {
+	ctx := ctxT(t)
+	ra, rb := transport.Pipe(core.Addr{}, core.Addr{}, 64)
+	b, _ := New(rb, Config{})
+	defer b.Close()
+	defer ra.Close()
+	// Garbage, runt ack, runt data, empty: all must be ignored safely.
+	ra.Send(ctx, []byte{0x77, 1, 2})
+	ra.Send(ctx, []byte{kindAck, 1})
+	ra.Send(ctx, []byte{kindData})
+	ra.Send(ctx, []byte{})
+	// A valid frame still gets through.
+	ra.Send(ctx, encodeData(1, []byte("ok")))
+	if m, err := b.Recv(ctx); err != nil || string(m) != "ok" {
+		t.Fatalf("after garbage: %q %v", m, err)
+	}
+}

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/bertha-net/bertha/internal/chunnels/base"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// serverImpl is the userspace fallback: all clients' requests funnel
+// through one steering worker that forwards each request over the
+// network to its shard and relays the reply — correct, but the worker
+// and the extra hop make it the slowest option (§5 "Server Fallback").
+type serverImpl struct {
+	base.Impl
+
+	mu      sync.Mutex
+	steerCh chan steerItem
+	started bool
+}
+
+type steerItem struct {
+	payload []byte
+	fwd     core.Conn
+}
+
+func newServerImpl() *serverImpl {
+	s := &serverImpl{steerCh: make(chan steerItem, 4096)}
+	s.ImplInfo = core.ImplInfo{
+		Name:     ImplServer,
+		Type:     Type,
+		Endpoint: spec.EndpointServer,
+		Priority: 0,
+		Location: core.LocUserspace,
+	}
+	s.WrapFn = s.wrap
+	s.ValidateFn = validateArgs
+	return s
+}
+
+// steerWorker is the single shared steering thread.
+func (s *serverImpl) steerWorker() {
+	for item := range s.steerCh {
+		// A userspace balancer copies the request and re-sends it
+		// through the network stack.
+		buf := make([]byte, len(item.payload))
+		copy(buf, item.payload)
+		_ = item.fwd.Send(context.Background(), buf)
+	}
+}
+
+func (s *serverImpl) wrap(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+	addrs, fh, err := decodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	d := env.Dialer()
+	if d == nil {
+		return nil, fmt.Errorf("shard: no dialer in environment")
+	}
+	s.mu.Lock()
+	if !s.started {
+		s.started = true
+		go s.steerWorker()
+	}
+	s.mu.Unlock()
+
+	// One forwarding connection per (client, shard) so replies route
+	// back to the right client without protocol changes.
+	fwd := make([]core.Conn, len(addrs))
+	for i, a := range addrs {
+		c, err := d.Dial(ctx, a)
+		if err != nil {
+			for _, open := range fwd[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("shard: dial shard %d (%s): %w", i, a, err)
+		}
+		fwd[i] = c
+	}
+
+	pctx, cancel := context.WithCancel(context.Background())
+	// Reply pumps: shard worker responses relay back to the client.
+	for _, c := range fwd {
+		go func(c core.Conn) {
+			for {
+				m, err := c.Recv(pctx)
+				if err != nil {
+					return
+				}
+				if err := conn.Send(pctx, m); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	// Ingress pump: client requests go to the shared steering worker.
+	go func() {
+		for {
+			m, err := conn.Recv(pctx)
+			if err != nil {
+				return
+			}
+			item := steerItem{payload: m, fwd: fwd[fh.Apply(m)]}
+			select {
+			case s.steerCh <- item:
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+
+	return &captiveConn{conn: conn, cancel: cancel, extra: fwd}, nil
+}
+
+// captiveConn is handed to the server application when a steering
+// implementation consumes the connection's traffic: the application
+// holds it (and closes it), but data flows through the shard workers.
+type captiveConn struct {
+	conn   core.Conn
+	cancel context.CancelFunc
+	extra  []core.Conn
+	once   sync.Once
+}
+
+func (c *captiveConn) Send(ctx context.Context, p []byte) error {
+	return c.conn.Send(ctx, p)
+}
+
+// Recv blocks until the connection closes: steered traffic is delivered
+// to the shard workers, not the accepting application loop.
+func (c *captiveConn) Recv(ctx context.Context) ([]byte, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (c *captiveConn) LocalAddr() core.Addr  { return c.conn.LocalAddr() }
+func (c *captiveConn) RemoteAddr() core.Addr { return c.conn.RemoteAddr() }
+
+func (c *captiveConn) Close() error {
+	c.once.Do(func() {
+		c.cancel()
+		for _, e := range c.extra {
+			e.Close()
+		}
+		c.conn.Close()
+	})
+	return nil
+}

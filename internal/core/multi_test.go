@@ -1,0 +1,249 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/transport"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// multiImpl collapses group connections: Send fans out with a tag byte,
+// Recv strips it. Used to exercise MultiWrapper dispatch.
+type multiImpl struct {
+	passImpl
+	multiWraps atomic.Int32
+}
+
+func (m *multiImpl) WrapMulti(ctx context.Context, conns []core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+	m.multiWraps.Add(1)
+	return &groupConn{conns: conns}, nil
+}
+
+type groupConn struct {
+	conns []core.Conn
+}
+
+func (g *groupConn) Send(ctx context.Context, p []byte) error {
+	for _, c := range g.conns {
+		if err := c.Send(ctx, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *groupConn) Recv(ctx context.Context) ([]byte, error) {
+	return g.conns[0].Recv(ctx) // first peer only, enough for the test
+}
+
+func (g *groupConn) LocalAddr() core.Addr  { return g.conns[0].LocalAddr() }
+func (g *groupConn) RemoteAddr() core.Addr { return g.conns[0].RemoteAddr() }
+func (g *groupConn) Close() error {
+	for _, c := range g.conns {
+		c.Close()
+	}
+	return nil
+}
+
+// startReplicas launches n server endpoints sharing a registry factory,
+// each echoing "<name>:" + message.
+func startReplicas(t *testing.T, n int, mkReg func() *core.Registry) (pn *transport.PipeNetwork, addrs []core.Addr) {
+	t.Helper()
+	ctx := ctxT(t)
+	pn = transport.NewPipeNetwork()
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		srv, err := core.NewEndpoint("replica-"+name, spec.Seq(spec.New("group")), core.WithRegistry(mkReg()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := pn.Listen("host-"+name, "svc-"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, base.Addr())
+		nl, err := srv.Listen(ctx, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(name string) {
+			for {
+				conn, err := nl.Accept(ctx)
+				if err != nil {
+					return
+				}
+				go func(conn core.Conn) {
+					for {
+						m, err := conn.Recv(ctx)
+						if err != nil {
+							return
+						}
+						conn.Send(ctx, append([]byte(name+":"), m...))
+					}
+				}(conn)
+			}
+		}(name)
+	}
+	return pn, addrs
+}
+
+func groupReg(multi bool) func() *core.Registry {
+	return func() *core.Registry {
+		reg := core.NewRegistry()
+		info := core.ImplInfo{Name: "group/fb", Type: "group",
+			Endpoint: spec.EndpointBoth, Location: core.LocUserspace}
+		if multi {
+			m := &multiImpl{}
+			m.info = info
+			reg.MustRegister(m)
+		} else {
+			p := &passImpl{info: info}
+			reg.MustRegister(p)
+		}
+		return reg
+	}
+}
+
+func dialAll(t *testing.T, pn *transport.PipeNetwork, addrs []core.Addr) []core.Conn {
+	t.Helper()
+	ctx := ctxT(t)
+	var raws []core.Conn
+	for _, a := range addrs {
+		raw, err := pn.DialFrom(ctx, "clienthost", a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws = append(raws, raw)
+	}
+	return raws
+}
+
+func TestConnectMultiFanOut(t *testing.T) {
+	ctx := ctxT(t)
+	pn, addrs := startReplicas(t, 3, groupReg(false))
+	cli, _ := core.NewEndpoint("ordered-multicast-client", spec.Seq(), core.WithRegistry(groupReg(false)()))
+	conn, err := cli.ConnectMulti(ctx, dialAll(t, pn, addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(ctx, []byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	// All three replicas respond (fan-in order arbitrary).
+	got := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		m, err := conn.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		got[string(m)] = true
+	}
+	for _, want := range []string{"a:op", "b:op", "c:op"} {
+		if !got[want] {
+			t.Errorf("missing reply %q in %v", want, got)
+		}
+	}
+}
+
+func TestConnectMultiUsesMultiWrapper(t *testing.T) {
+	ctx := ctxT(t)
+	pn, addrs := startReplicas(t, 3, groupReg(false))
+	regC := groupReg(true)()
+	cli, _ := core.NewEndpoint("cli", spec.Seq(spec.New("group")), core.WithRegistry(regC))
+	conn, err := cli.ConnectMulti(ctx, dialAll(t, pn, addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	impl, _ := regC.Lookup("group/fb")
+	if impl.(*multiImpl).multiWraps.Load() != 1 {
+		t.Error("MultiWrapper was not used")
+	}
+	conn.Send(ctx, []byte("x"))
+	if m, err := conn.Recv(ctx); err != nil || string(m) != "a:x" {
+		t.Fatalf("recv: %q %v", m, err)
+	}
+}
+
+func TestConnectMultiSinglePeerDegeneratesToConnect(t *testing.T) {
+	ctx := ctxT(t)
+	pn, addrs := startReplicas(t, 1, groupReg(false))
+	cli, _ := core.NewEndpoint("cli", spec.Seq(), core.WithRegistry(groupReg(false)()))
+	conn, err := cli.ConnectMulti(ctx, dialAll(t, pn, addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Send(ctx, []byte("solo"))
+	if m, err := conn.Recv(ctx); err != nil || string(m) != "a:solo" {
+		t.Fatalf("recv: %q %v", m, err)
+	}
+}
+
+func TestConnectMultiEmptyFails(t *testing.T) {
+	cli, _ := core.NewEndpoint("cli", spec.Seq(), core.WithRegistry(core.NewRegistry()))
+	if _, err := cli.ConnectMulti(ctxT(t), nil); !errors.Is(err, core.ErrNegotiation) {
+		t.Errorf("empty group: %v", err)
+	}
+}
+
+func TestConnectMultiInconsistentBindingsFail(t *testing.T) {
+	ctx := ctxT(t)
+	pn := transport.NewPipeNetwork()
+	// Replica A binds group/fb; replica B declares a different chunnel.
+	regA := groupReg(false)()
+	srvA, _ := core.NewEndpoint("a", spec.Seq(spec.New("group")), core.WithRegistry(regA))
+	baseA, _ := pn.Listen("ha", "a")
+	nlA, _ := srvA.Listen(ctx, baseA)
+	go nlA.Accept(ctx)
+
+	regB := core.NewRegistry()
+	regB.MustRegister(&passImpl{info: core.ImplInfo{Name: "other/fb", Type: "other",
+		Endpoint: spec.EndpointBoth, Location: core.LocUserspace}})
+	srvB, _ := core.NewEndpoint("b", spec.Seq(spec.New("other")), core.WithRegistry(regB))
+	baseB, _ := pn.Listen("hb", "b")
+	nlB, _ := srvB.Listen(ctx, baseB)
+	go nlB.Accept(ctx)
+
+	regC := groupReg(false)()
+	regC.MustRegister(&passImpl{info: core.ImplInfo{Name: "other/fb", Type: "other",
+		Endpoint: spec.EndpointBoth, Location: core.LocUserspace}})
+	cli, _ := core.NewEndpoint("cli", spec.Seq(), core.WithRegistry(regC))
+	raws := dialAll(t, pn, []core.Addr{{Net: "pipe", Addr: "a"}, {Net: "pipe", Addr: "b"}})
+	_, err := cli.ConnectMulti(ctx, raws)
+	if err == nil {
+		t.Fatal("inconsistent group bindings must fail")
+	}
+}
+
+func TestFanConnCloseUnblocks(t *testing.T) {
+	ctx := ctxT(t)
+	pn, addrs := startReplicas(t, 2, groupReg(false))
+	cli, _ := core.NewEndpoint("cli", spec.Seq(), core.WithRegistry(groupReg(false)()))
+	conn, err := cli.ConnectMulti(ctx, dialAll(t, pn, addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Recv(context.Background())
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	conn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("recv after close should fail")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("recv did not unblock on close")
+	}
+}

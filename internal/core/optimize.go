@@ -1,0 +1,274 @@
+package core
+
+import (
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Optimizer transforms a resolved chunnel sequence during negotiation
+// (§6 "Performance Optimization"): because the runtime sees the entire
+// DAG a connection's data traverses, and binds implementations in
+// coordination with all endpoints, it can safely
+//
+//   - reorder the DAG to reduce data movement between offloads (e.g.
+//     rewrite encrypt |> http2 |> tcp into http2 |> encrypt |> tcp so a
+//     SmartNIC that offloads encryption and TCP is crossed once instead
+//     of three times),
+//   - merge adjacent chunnels when a fused offload exists (encrypt + tcp
+//     → tls), and
+//   - eliminate redundant chunnels (adjacent idempotent duplicates).
+//
+// Transformations rely on per-type metadata registered alongside chunnel
+// implementations: which types commute, which are idempotent, and which
+// pairs fuse.
+
+// TypeMeta is optimizer metadata for one chunnel type.
+type TypeMeta struct {
+	// Commutes lists chunnel types this type may be reordered across
+	// without changing end-to-end semantics (both endpoints apply the
+	// same reordered stack, so the wire format stays consistent).
+	Commutes []string
+	// Idempotent marks types where adjacent duplicates with equal
+	// arguments collapse to one.
+	Idempotent bool
+}
+
+// CommutesWith reports whether the type may swap with other.
+func (m TypeMeta) CommutesWith(other string) bool {
+	for _, t := range m.Commutes {
+		if t == other {
+			return true
+		}
+	}
+	return false
+}
+
+// SetTypeMeta registers optimizer metadata for a chunnel type.
+func (r *Registry) SetTypeMeta(chunnelType string, m TypeMeta) {
+	r.mu.Lock()
+	r.meta[chunnelType] = m
+	r.mu.Unlock()
+}
+
+// TypeMetaFor returns the registered metadata (zero value when absent).
+func (r *Registry) TypeMetaFor(chunnelType string) TypeMeta {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.meta[chunnelType]
+}
+
+// AddFusion declares that an adjacent pair (outer, inner) may be replaced
+// by the fused chunnel type when an implementation of the fused type is
+// available (e.g. AddFusion("encrypt", "reliable", "tls")).
+func (r *Registry) AddFusion(outer, inner, fused string) {
+	r.mu.Lock()
+	r.fusions[[2]string{outer, inner}] = fused
+	r.mu.Unlock()
+}
+
+// Fusion returns the fused type for an adjacent pair, if declared.
+func (r *Registry) Fusion(outer, inner string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.fusions[[2]string{outer, inner}]
+	return f, ok
+}
+
+// Optimizer applies §6 passes. Enable the individual passes explicitly;
+// the zero Optimizer is a no-op.
+type Optimizer struct {
+	reg *Registry
+	// Eliminate collapses adjacent idempotent duplicates.
+	Eliminate bool
+	// Reorder moves offloadable chunnels toward the transport across
+	// commuting neighbours so offloaded stages are contiguous.
+	Reorder bool
+	// Merge replaces adjacent pairs with declared fused types when a
+	// fused implementation is available.
+	Merge bool
+}
+
+// NewOptimizer returns an optimizer with all passes enabled, using the
+// registry's type metadata and fusion rules.
+func NewOptimizer(reg *Registry) *Optimizer {
+	return &Optimizer{reg: reg, Eliminate: true, Reorder: true, Merge: true}
+}
+
+// Apply runs the enabled passes over the resolved node sequence until a
+// fixed point (one pass can expose opportunities for another: a reorder
+// may make idempotent duplicates adjacent, a merge may enable further
+// reorders). cands maps chunnel type to the connection's candidate
+// implementations; a rewrite is only performed when every type it
+// introduces has candidates.
+func (o *Optimizer) Apply(nodes []spec.Node, cands map[string][]Candidate) ([]spec.Node, error) {
+	if o == nil || o.reg == nil {
+		return nodes, nil
+	}
+	out := append([]spec.Node(nil), nodes...)
+	// Each pass strictly shrinks or reorders a finite sequence, so a
+	// small iteration bound suffices; the signature check detects the
+	// fixed point early.
+	for iter := 0; iter < 2*len(out)+2; iter++ {
+		before := Describe(out)
+		if o.Eliminate {
+			out = o.eliminate(out)
+		}
+		if o.Reorder {
+			out = o.reorder(out, cands)
+		}
+		if o.Merge {
+			var err error
+			out, err = o.merge(out, cands)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if Describe(out) == before {
+			break
+		}
+	}
+	return out, nil
+}
+
+// eliminate collapses adjacent duplicates of idempotent types with equal
+// arguments.
+func (o *Optimizer) eliminate(nodes []spec.Node) []spec.Node {
+	out := nodes[:0]
+	for _, n := range nodes {
+		if len(out) > 0 {
+			prev := out[len(out)-1]
+			if prev.Type == n.Type && o.reg.TypeMetaFor(n.Type).Idempotent && argsEqual(prev.Args, n.Args) {
+				continue
+			}
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// argsEqual compares two argument lists by deep value equality.
+func argsEqual(a, b []wire.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// reorder bubbles offload-capable chunnels toward the transport end
+// (later positions) across commuting neighbours that are not offloadable,
+// making the offloaded suffix contiguous and minimizing host↔offload
+// boundary crossings.
+func (o *Optimizer) reorder(nodes []spec.Node, cands map[string][]Candidate) []spec.Node {
+	offloadable := func(t string) bool {
+		for _, c := range cands[t] {
+			if c.Offer.Location.Offloaded() {
+				return true
+			}
+		}
+		return false
+	}
+	out := append([]spec.Node(nil), nodes...)
+	for pass := 0; pass < len(out); pass++ {
+		swapped := false
+		for i := 0; i+1 < len(out); i++ {
+			a, b := out[i], out[i+1]
+			// Move an offloadable chunnel below a non-offloadable one
+			// when the pair commutes and neither is scope-pinned.
+			if offloadable(a.Type) && !offloadable(b.Type) &&
+				a.Scope == spec.ScopeAny && b.Scope == spec.ScopeAny &&
+				o.commute(a.Type, b.Type) {
+				out[i], out[i+1] = b, a
+				swapped = true
+			}
+		}
+		if !swapped {
+			break
+		}
+	}
+	return out
+}
+
+func (o *Optimizer) commute(a, b string) bool {
+	return o.reg.TypeMetaFor(a).CommutesWith(b) || o.reg.TypeMetaFor(b).CommutesWith(a)
+}
+
+// merge replaces adjacent (outer, inner) pairs with a declared fused type
+// when the connection has a candidate implementation for the fused type
+// (§6: "if the SmartNIC did not explicitly offer separate offloads for
+// encryption and TCP, but did offer one for TLS, Bertha could reorder and
+// then merge the last two Chunnels").
+func (o *Optimizer) merge(nodes []spec.Node, cands map[string][]Candidate) ([]spec.Node, error) {
+	out := append([]spec.Node(nil), nodes...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i+1 < len(out); i++ {
+			fused, ok := o.reg.Fusion(out[i].Type, out[i+1].Type)
+			if !ok || len(cands[fused]) == 0 {
+				continue
+			}
+			args := make([]wire.Value, 0, len(out[i].Args)+len(out[i+1].Args))
+			args = append(args, out[i].Args...)
+			args = append(args, out[i+1].Args...)
+			merged := spec.Node{Type: fused, Args: args}
+			rest := append([]spec.Node(nil), out[i+2:]...)
+			out = append(out[:i:i], merged)
+			out = append(out, rest...)
+			changed = true
+			break
+		}
+	}
+	return out, nil
+}
+
+// DataPathCost models §6's data-movement argument: given the location of
+// each stage a sent message traverses (application first, wire last), it
+// counts host↔offload boundary crossings. The application runs on the
+// host CPU and the wire is reached through the NIC, so the §6 example
+// (encrypt on NIC, http2 on CPU, tcp on NIC) costs 3 crossings before
+// reordering and 1 after.
+func DataPathCost(locations []Location) int {
+	cost := 0
+	cur := LocUserspace // data originates at the application
+	for _, loc := range locations {
+		if boundary(cur) != boundary(loc) {
+			cost++
+		}
+		cur = loc
+	}
+	// Finally the data reaches the wire through the NIC boundary.
+	if boundary(cur) != true {
+		cost++
+	}
+	return cost
+}
+
+// boundary maps a location to which side of the PCIe boundary it is on:
+// false = host CPU, true = NIC/switch.
+func boundary(l Location) bool {
+	switch l {
+	case LocUserspace, LocKernel:
+		return false
+	default:
+		return true
+	}
+}
+
+// Describe renders a node sequence compactly for logs and tests.
+func Describe(nodes []spec.Node) string {
+	s := ""
+	for i, n := range nodes {
+		if i > 0 {
+			s += " |> "
+		}
+		s += n.Type
+	}
+	if s == "" {
+		return "(empty)"
+	}
+	return s
+}

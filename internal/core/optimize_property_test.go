@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Optimizer structural invariants, property-checked over random stacks:
+//
+//  1. Reordering permutes nodes — it never adds, drops, or retypes them.
+//  2. Elimination only removes adjacent idempotent duplicates with equal
+//     arguments; everything else survives in order.
+//  3. Merging replaces declared (outer, inner) pairs with the fused type
+//     and concatenates their arguments; no other nodes change.
+//  4. Scope-pinned nodes never move.
+//  5. Apply is idempotent: optimizing an optimized stack is a no-op.
+
+func randomOptStack(r *rand.Rand) []spec.Node {
+	types := []string{"encrypt", "http2", "compress", "reliable", "serialize"}
+	n := 1 + r.Intn(6)
+	out := make([]spec.Node, 0, n)
+	for i := 0; i < n; i++ {
+		node := spec.New(types[r.Intn(len(types))], wire.Int(int64(r.Intn(3))))
+		if r.Intn(6) == 0 {
+			node = node.WithScope(spec.ScopeApplication)
+		}
+		out = append(out, node)
+	}
+	return out
+}
+
+func optReg() *Registry {
+	reg := NewRegistry()
+	reg.SetTypeMeta("encrypt", TypeMeta{Commutes: []string{"http2", "compress"}})
+	reg.SetTypeMeta("compress", TypeMeta{Idempotent: true})
+	reg.AddFusion("encrypt", "reliable", "tls")
+	return reg
+}
+
+func optCands(withTLS bool) map[string][]Candidate {
+	c := map[string][]Candidate{
+		"encrypt":   {{Offer: ImplOffer{Name: "e/nic", Type: "encrypt", Location: LocSmartNIC}}},
+		"http2":     {{Offer: ImplOffer{Name: "h/sw", Type: "http2"}}},
+		"compress":  {{Offer: ImplOffer{Name: "c/sw", Type: "compress"}}},
+		"reliable":  {{Offer: ImplOffer{Name: "r/nic", Type: "reliable", Location: LocSmartNIC}}},
+		"serialize": {{Offer: ImplOffer{Name: "s/sw", Type: "serialize"}}},
+	}
+	if withTLS {
+		c["tls"] = []Candidate{{Offer: ImplOffer{Name: "t/nic", Type: "tls", Location: LocSmartNIC}}}
+	}
+	return c
+}
+
+func typeCounts(nodes []spec.Node) map[string]int {
+	m := map[string]int{}
+	for _, n := range nodes {
+		m[n.Type]++
+	}
+	return m
+}
+
+func TestQuickReorderIsPermutation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	reg := optReg()
+	o := NewOptimizer(reg)
+	o.Eliminate, o.Merge = false, false // reorder only
+	cands := optCands(false)
+	f := func() bool {
+		in := randomOptStack(r)
+		out, err := o.Apply(in, cands)
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		want, got := typeCounts(in), typeCounts(out)
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScopePinnedNodesNeverMove(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	reg := optReg()
+	o := NewOptimizer(reg)
+	o.Eliminate, o.Merge = false, false
+	cands := optCands(false)
+	f := func() bool {
+		in := randomOptStack(r)
+		out, err := o.Apply(in, cands)
+		if err != nil {
+			return false
+		}
+		// Every scope-pinned node stays at its original index.
+		for i, n := range in {
+			if n.Scope != spec.ScopeAny && out[i].Type != n.Type {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEliminateOnlyRemovesAdjacentIdempotentDuplicates(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	reg := optReg()
+	o := NewOptimizer(reg)
+	o.Reorder, o.Merge = false, false
+	f := func() bool {
+		in := randomOptStack(r)
+		out, err := o.Apply(in, nil)
+		if err != nil {
+			return false
+		}
+		// Reconstruct the expected result by hand.
+		var want []spec.Node
+		for _, n := range in {
+			if len(want) > 0 {
+				prev := want[len(want)-1]
+				if prev.Type == n.Type && n.Type == "compress" && argsEqual(prev.Args, n.Args) {
+					continue
+				}
+			}
+			want = append(want, n)
+		}
+		if len(out) != len(want) {
+			return false
+		}
+		for i := range want {
+			if out[i].Type != want[i].Type {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeConservesNonFusedNodes(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	reg := optReg()
+	o := NewOptimizer(reg)
+	o.Reorder, o.Eliminate = false, false
+	cands := optCands(true)
+	f := func() bool {
+		in := randomOptStack(r)
+		out, err := o.Apply(in, cands)
+		if err != nil {
+			return false
+		}
+		// Each tls node accounts for one encrypt+reliable pair; all other
+		// node counts are conserved.
+		want, got := typeCounts(in), typeCounts(out)
+		fused := got["tls"]
+		if got["encrypt"]+fused != want["encrypt"] {
+			return false
+		}
+		if got["reliable"]+fused != want["reliable"] {
+			return false
+		}
+		for _, typ := range []string{"http2", "compress", "serialize"} {
+			if got[typ] != want[typ] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickApplyIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	reg := optReg()
+	o := NewOptimizer(reg)
+	cands := optCands(true)
+	f := func() bool {
+		in := randomOptStack(r)
+		once, err := o.Apply(in, cands)
+		if err != nil {
+			return false
+		}
+		twice, err := o.Apply(once, cands)
+		if err != nil {
+			return false
+		}
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i].Type != twice[i].Type {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

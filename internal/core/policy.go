@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/bertha-net/bertha/internal/spec"
+)
+
+// Policy selects, for one chunnel node, which candidate implementation a
+// connection should use (§4.3: "an operator-supplied policy function").
+// Candidates are pre-filtered for scope and endpoint feasibility; the
+// policy only ranks. Returning an error fails the connection for this
+// node unless a fallback remains.
+type Policy func(node spec.Node, candidates []Candidate) (Candidate, error)
+
+// DefaultPolicy mirrors the paper's prototype policy: prefer
+// client-provided implementations over server-provided ones, and prefer
+// kernel-bypass / hardware-accelerated implementations over standard ones
+// (encoded as Priority, with Location as tiebreak). Name breaks remaining
+// ties for determinism.
+func DefaultPolicy(node spec.Node, candidates []Candidate) (Candidate, error) {
+	if len(candidates) == 0 {
+		return Candidate{}, fmt.Errorf("%w: %q", ErrNoImplementation, node.Type)
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if policyLess(best, c) {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// policyLess reports whether b outranks a under the default policy.
+func policyLess(a, b Candidate) bool {
+	// Client-provided implementations win over server-provided; offers
+	// from discovery rank with the side that would host them.
+	if a.From != b.From {
+		return b.From == SideClient
+	}
+	if a.Offer.Priority != b.Offer.Priority {
+		return b.Offer.Priority > a.Offer.Priority
+	}
+	if a.Offer.Location != b.Offer.Location {
+		return b.Offer.Location > a.Offer.Location
+	}
+	return b.Offer.Name < a.Offer.Name
+}
+
+// PreferLocation returns a policy that first prefers a specific location
+// (e.g. force userspace fallbacks in tests, or force switch offloads in
+// experiments), falling back to the default ranking among equals.
+func PreferLocation(loc Location) Policy {
+	return func(node spec.Node, candidates []Candidate) (Candidate, error) {
+		var at, others []Candidate
+		for _, c := range candidates {
+			if c.Offer.Location == loc {
+				at = append(at, c)
+			} else {
+				others = append(others, c)
+			}
+		}
+		if len(at) > 0 {
+			return DefaultPolicy(node, at)
+		}
+		return DefaultPolicy(node, others)
+	}
+}
+
+// PreferImpl returns a policy that always selects the named implementation
+// when it is a candidate, deferring to the default policy otherwise. The
+// benchmark harness uses it to pin scenarios (e.g. server fallback in
+// Figure 5).
+func PreferImpl(name string) Policy {
+	return func(node spec.Node, candidates []Candidate) (Candidate, error) {
+		for _, c := range candidates {
+			if c.Offer.Name == name {
+				return c, nil
+			}
+		}
+		return DefaultPolicy(node, candidates)
+	}
+}
+
+// AttestationPrefix marks an offer's Meta field as carrying a program
+// attestation digest (§6 "Deployment Concerns"): an implementation
+// advertised from another administrative domain proves what code it
+// runs by publishing a digest a verifier signed.
+const AttestationPrefix = "attest:"
+
+// Attestation extracts the attestation digest from an offer, if present.
+func (o ImplOffer) Attestation() (string, bool) {
+	if len(o.Meta) > len(AttestationPrefix) && o.Meta[:len(AttestationPrefix)] == AttestationPrefix {
+		return o.Meta[len(AttestationPrefix):], true
+	}
+	return "", false
+}
+
+// RequireAttestation wraps a policy so that discovered (cross-domain)
+// implementations are only eligible when they carry an attestation
+// digest the caller trusts — the paper's §6 answer to "a host might end
+// up relying on a Chunnel implementation in a different network".
+// Locally-registered implementations (either endpoint's own registry)
+// are always trusted.
+func RequireAttestation(trusted map[string]bool, next Policy) Policy {
+	if next == nil {
+		next = DefaultPolicy
+	}
+	return func(node spec.Node, candidates []Candidate) (Candidate, error) {
+		var ok []Candidate
+		for _, c := range candidates {
+			if !c.Discovered {
+				ok = append(ok, c)
+				continue
+			}
+			if digest, has := c.Offer.Attestation(); has && trusted[digest] {
+				ok = append(ok, c)
+			}
+		}
+		return next(node, ok)
+	}
+}
+
+// PreferSide returns a policy preferring implementations instantiated at
+// the given side.
+func PreferSide(side Side) Policy {
+	return func(node spec.Node, candidates []Candidate) (Candidate, error) {
+		var at, others []Candidate
+		for _, c := range candidates {
+			if c.From == side {
+				at = append(at, c)
+			} else {
+				others = append(others, c)
+			}
+		}
+		if len(at) > 0 {
+			return DefaultPolicy(node, at)
+		}
+		return DefaultPolicy(node, others)
+	}
+}

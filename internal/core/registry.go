@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// SelectContext carries the information a select node needs when
+// negotiation resolves it to one branch: the two endpoint hosts and the
+// set of chunnel types with at least one usable candidate implementation.
+type SelectContext struct {
+	ClientHost string
+	ServerHost string
+	// Available reports whether a chunnel type has at least one usable
+	// candidate implementation for this connection.
+	Available func(chunnelType string) bool
+}
+
+// SelectResolver picks the branch a select node takes for a connection.
+// It returns the branch index. The local fast-path chunnel (Listing 1)
+// registers a resolver that picks the IPC branch when both hosts match.
+type SelectResolver func(args []wire.Value, branches []*spec.Stack, sctx SelectContext) (int, error)
+
+// Registry holds the chunnel implementations available to one endpoint:
+// the fallback implementations applications register at launch (Listing 5
+// line 2) and any locally-known accelerated variants. It also tracks
+// select resolvers and the optimizer metadata chunnel packages declare.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	impls     map[string][]Impl         // chunnel type -> implementations
+	byName    map[string]Impl           // impl name -> implementation
+	resolvers map[string]SelectResolver // select-node type -> resolver
+	meta      map[string]TypeMeta       // chunnel type -> optimizer metadata
+	fusions   map[[2]string]string      // adjacent pair -> fused type
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		impls:     make(map[string][]Impl),
+		byName:    make(map[string]Impl),
+		resolvers: make(map[string]SelectResolver),
+		meta:      make(map[string]TypeMeta),
+		fusions:   make(map[[2]string]string),
+	}
+}
+
+// Register adds an implementation. Registering two implementations with
+// the same name is an error.
+func (r *Registry) Register(impl Impl) error {
+	info := impl.Info()
+	if err := info.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[info.Name]; dup {
+		return fmt.Errorf("core: implementation %q already registered", info.Name)
+	}
+	r.byName[info.Name] = impl
+	r.impls[info.Type] = append(r.impls[info.Type], impl)
+	return nil
+}
+
+// MustRegister is Register, panicking on error. Intended for package-level
+// registration of shipped chunnels.
+func (r *Registry) MustRegister(impl Impl) {
+	if err := r.Register(impl); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the implementation with the given name.
+func (r *Registry) Lookup(name string) (Impl, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	impl, ok := r.byName[name]
+	return impl, ok
+}
+
+// ImplsFor returns the implementations registered for a chunnel type,
+// sorted by descending priority then name (deterministic).
+func (r *Registry) ImplsFor(chunnelType string) []Impl {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]Impl(nil), r.impls[chunnelType]...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Info(), out[j].Info()
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// Types returns all chunnel types with at least one registered
+// implementation, sorted.
+func (r *Registry) Types() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.impls))
+	for t := range r.impls {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fallback returns the highest-priority userspace implementation for a
+// chunnel type, or ErrNoFallback. The paper requires every chunnel type to
+// have a host-fallback implementation (§2); CheckFallbacks enforces this
+// for a whole DAG.
+func (r *Registry) Fallback(chunnelType string) (Impl, error) {
+	for _, impl := range r.ImplsFor(chunnelType) {
+		if impl.Info().Location == LocUserspace {
+			return impl, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoFallback, chunnelType)
+}
+
+// CheckFallbacks verifies every concrete chunnel type in the stack has a
+// fallback implementation registered. Select-node combinator types are
+// exempt: they resolve away during negotiation.
+func (r *Registry) CheckFallbacks(s *spec.Stack) error {
+	for _, t := range s.ConcreteTypes() {
+		if _, err := r.Fallback(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Offers returns wire-encodable advertisements for every registered
+// implementation of the given chunnel types (all types when types is
+// nil), used in negotiation hellos.
+func (r *Registry) Offers(types []string) []ImplOffer {
+	var out []ImplOffer
+	if types == nil {
+		types = r.Types()
+	}
+	for _, t := range types {
+		for _, impl := range r.ImplsFor(t) {
+			if impl.Info().DiscoveryOnly {
+				continue // advertised by the operator via discovery, not by us
+			}
+			out = append(out, OfferFromInfo(impl.Info()))
+		}
+	}
+	return out
+}
+
+// RegisterResolver installs the select resolver for a select-node type.
+func (r *Registry) RegisterResolver(selectType string, res SelectResolver) {
+	r.mu.Lock()
+	r.resolvers[selectType] = res
+	r.mu.Unlock()
+}
+
+// Resolver returns the select resolver for a type; the second result is
+// false when none is registered (the runtime then uses the default
+// first-available-branch rule).
+func (r *Registry) Resolver(selectType string) (SelectResolver, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	res, ok := r.resolvers[selectType]
+	return res, ok
+}
+
+// defaultRegistry is the process-wide registry used by the public API.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide registry. Applications
+// registering fallbacks at launch (Listing 5) use this registry unless
+// they construct endpoints with an explicit one.
+func DefaultRegistry() *Registry { return defaultRegistry }

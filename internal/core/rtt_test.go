@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/transport"
+)
+
+// countingConn counts datagrams each way on the base transport.
+type countingConn struct {
+	core.Conn
+	sent, recvd *atomic.Int64
+}
+
+func (c countingConn) Send(ctx context.Context, p []byte) error {
+	c.sent.Add(1)
+	return c.Conn.Send(ctx, p)
+}
+
+func (c countingConn) Recv(ctx context.Context) ([]byte, error) {
+	m, err := c.Conn.Recv(ctx)
+	if err == nil {
+		c.recvd.Add(1)
+	}
+	return m, err
+}
+
+// countingDiscovery counts discovery round trips.
+type countingDiscovery struct {
+	*fakeDiscovery
+	queries atomic.Int64
+}
+
+func (c *countingDiscovery) Query(ctx context.Context, types []string) ([]core.ImplOffer, error) {
+	c.queries.Add(1)
+	return c.fakeDiscovery.Query(ctx, types)
+}
+
+// TestEstablishmentRoundTripCount checks Figure 3's accounting:
+// "Establishing a Bertha connection requires two additional IPC round
+// trips to query the discovery service and negotiate the connection
+// mechanism. However, subsequent messages on an established connection
+// do not encounter additional latency."
+func TestEstablishmentRoundTripCount(t *testing.T) {
+	ctx := ctxT(t)
+	regC, regS := core.NewRegistry(), core.NewRegistry()
+	regC.MustRegister(newMark("mark/fb", 1, 0))
+	regS.MustRegister(newMark("mark/fb", 1, 0))
+
+	disc := &countingDiscovery{fakeDiscovery: newFakeDiscovery()}
+	srv, _ := core.NewEndpoint("srv", spec.Seq(spec.New("mark")), core.WithRegistry(regS))
+	cli, _ := core.NewEndpoint("cli", spec.Seq(spec.New("mark")),
+		core.WithRegistry(regC), core.WithDiscovery(disc))
+
+	pn := transport.NewPipeNetwork()
+	base, _ := pn.Listen("h", "svc")
+	nl, _ := srv.Listen(ctx, base)
+	srvConns := make(chan core.Conn, 1)
+	go func() {
+		c, err := nl.Accept(ctx)
+		if err == nil {
+			srvConns <- c
+		}
+	}()
+
+	raw, _ := pn.Dial(ctx, core.Addr{Net: "pipe", Addr: "svc"})
+	var sent, recvd atomic.Int64
+	counted := countingConn{Conn: raw, sent: &sent, recvd: &recvd}
+
+	conn, err := cli.Connect(ctx, counted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sconn := <-srvConns
+	defer sconn.Close()
+
+	// Round trip 1: the discovery query.
+	if got := disc.queries.Load(); got != 1 {
+		t.Errorf("discovery queries during establishment: %d, want 1", got)
+	}
+	// Round trip 2: negotiation — exactly one ClientHello out, one
+	// ServerHello back on a loss-free transport.
+	if got := sent.Load(); got != 1 {
+		t.Errorf("datagrams sent during establishment: %d, want 1 (ClientHello)", got)
+	}
+	if got := recvd.Load(); got != 1 {
+		t.Errorf("datagrams received during establishment: %d, want 1 (ServerHello)", got)
+	}
+
+	// Established-connection messages add no extra control traffic:
+	// one request = one datagram each way.
+	sent.Store(0)
+	recvd.Store(0)
+	for i := 0; i < 10; i++ {
+		if err := conn.Send(ctx, []byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sconn.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := sconn.Send(ctx, []byte("pong")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sent.Load(); got != 10 {
+		t.Errorf("steady-state datagrams out: %d, want 10", got)
+	}
+	if got := recvd.Load(); got != 10 {
+		t.Errorf("steady-state datagrams in: %d, want 10", got)
+	}
+}

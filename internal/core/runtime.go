@@ -1,0 +1,417 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Channel tags multiplexing negotiation control traffic and application
+// data on the same base connection. Every datagram on a negotiated
+// connection carries a one-byte tag.
+const (
+	tagCtrl byte = 0x00
+	tagData byte = 0x01
+)
+
+// helloTimeout is the client's per-attempt wait for a ServerHello before
+// retransmitting its ClientHello over a lossy base transport.
+const helloTimeout = 250 * time.Millisecond
+
+// helloRetries bounds ClientHello retransmissions.
+const helloRetries = 8
+
+// Endpoint is the Bertha equivalent of a socket (§3.1): a named endpoint
+// carrying a Chunnel DAG, a registry of local implementations, an optional
+// discovery client, and a selection policy. Endpoints are created once and
+// used to establish many connections.
+type Endpoint struct {
+	name      string
+	stack     *spec.Stack
+	registry  *Registry
+	discovery DiscoveryClient
+	policy    Policy
+	env       *Env
+	optimizer *Optimizer
+}
+
+// Option configures an Endpoint.
+type Option func(*Endpoint)
+
+// WithRegistry uses reg instead of the process-wide default registry.
+func WithRegistry(reg *Registry) Option {
+	return func(e *Endpoint) { e.registry = reg }
+}
+
+// WithDiscovery attaches a discovery client; negotiation then considers
+// operator-registered accelerated implementations (§4.2).
+func WithDiscovery(d DiscoveryClient) Option {
+	return func(e *Endpoint) { e.discovery = d }
+}
+
+// WithPolicy overrides the implementation-selection policy (§4.3).
+func WithPolicy(p Policy) Option {
+	return func(e *Endpoint) { e.policy = p }
+}
+
+// WithEnv supplies the execution environment (host identity, dialer,
+// attachment points).
+func WithEnv(env *Env) Option {
+	return func(e *Endpoint) { e.env = env }
+}
+
+// WithOptimizer enables DAG optimization passes during negotiation (§6).
+func WithOptimizer(o *Optimizer) Option {
+	return func(e *Endpoint) { e.optimizer = o }
+}
+
+// NewEndpoint creates a connection endpoint with the given debugging name
+// and Chunnel DAG — the equivalent of bertha::new(name, wrap!(...)).
+func NewEndpoint(name string, stack *spec.Stack, opts ...Option) (*Endpoint, error) {
+	if stack == nil {
+		stack = spec.Seq()
+	}
+	if err := stack.Validate(); err != nil {
+		return nil, fmt.Errorf("bertha: invalid chunnel DAG: %w", err)
+	}
+	e := &Endpoint{
+		name:     name,
+		stack:    stack,
+		registry: DefaultRegistry(),
+		policy:   DefaultPolicy,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.env == nil {
+		e.env = NewEnv("")
+	}
+	return e, nil
+}
+
+// Name returns the endpoint's debugging name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Stack returns the endpoint's declared Chunnel DAG.
+func (e *Endpoint) Stack() *spec.Stack { return e.stack }
+
+// Env returns the endpoint's execution environment.
+func (e *Endpoint) Env() *Env { return e.env }
+
+// Registry returns the endpoint's implementation registry.
+func (e *Endpoint) Registry() *Registry { return e.registry }
+
+// negotiator bundles the server-side decision inputs for negotiate.go.
+type negotiator struct {
+	host      string
+	stack     *spec.Stack
+	registry  *Registry
+	policy    Policy
+	discovery DiscoveryClient
+	env       *Env
+	optimizer *Optimizer
+}
+
+// paramProvider finds the negotiation parameter source for a binding: the
+// chosen implementation when locally registered, else any local
+// implementation of the same chunnel type.
+func (n *negotiator) paramProvider(implName, chunnelType string) ParamProvider {
+	if impl, ok := n.registry.Lookup(implName); ok {
+		if pp, ok := impl.(ParamProvider); ok {
+			return pp
+		}
+	}
+	for _, impl := range n.registry.ImplsFor(chunnelType) {
+		if pp, ok := impl.(ParamProvider); ok {
+			return pp
+		}
+	}
+	return nil
+}
+
+// validateArgs checks node arguments with the chosen implementation when
+// locally registered, else with any local implementation of the type.
+func (n *negotiator) validateArgs(implName, chunnelType string, args []wire.Value) error {
+	if impl, ok := n.registry.Lookup(implName); ok {
+		if av, ok := impl.(ArgValidator); ok {
+			return av.ValidateArgs(args)
+		}
+		return nil
+	}
+	for _, impl := range n.registry.ImplsFor(chunnelType) {
+		if av, ok := impl.(ArgValidator); ok {
+			return av.ValidateArgs(args)
+		}
+	}
+	return nil
+}
+
+func (e *Endpoint) negotiator(localHost string) *negotiator {
+	host := e.env.Host
+	if host == "" {
+		host = localHost
+	}
+	return &negotiator{
+		host:      host,
+		stack:     e.stack,
+		registry:  e.registry,
+		policy:    e.policy,
+		discovery: e.discovery,
+		env:       e.env,
+		optimizer: e.optimizer,
+	}
+}
+
+// Connect establishes a negotiated connection over the raw base transport
+// connection (§4.3). On success the returned Conn carries the full
+// chunnel stack both endpoints agreed on.
+func (e *Endpoint) Connect(ctx context.Context, raw Conn) (Conn, error) {
+	tc := newTaggedConn(raw)
+
+	// Pre-hello discovery round trip: learn about accelerated
+	// implementations so our offers include anything we can instantiate.
+	offers := e.registry.Offers(nil)
+	if e.discovery != nil && !e.stack.Empty() {
+		if disc, err := e.discovery.Query(ctx, e.stack.Types()); err == nil {
+			host := e.env.Host
+			if host == "" {
+				host = raw.LocalAddr().Host
+			}
+			for _, o := range disc {
+				if o.Host != "" && o.Host == host {
+					offers = append(offers, o)
+				}
+			}
+		}
+	}
+
+	hello := &ClientHello{
+		Nonce:  newNonce(),
+		Name:   e.name,
+		Host:   hostOr(e.env.Host, raw.LocalAddr().Host),
+		Spec:   e.stack,
+		Offers: offers,
+	}
+	enc := wire.NewEncoder(nil)
+	hello.Encode(enc)
+	helloBytes := append([]byte(nil), enc.Bytes()...)
+
+	sh, err := awaitServerHello(ctx, tc, helloBytes, hello.Nonce)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	if sh.Err != "" {
+		raw.Close()
+		return nil, fmt.Errorf("%w: %s", ErrNegotiation, sh.Err)
+	}
+
+	conn, err := e.assemble(ctx, tc, sh.Stack, SideClient)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// awaitServerHello sends the client hello and waits for the matching
+// reply, retransmitting over lossy transports.
+func awaitServerHello(ctx context.Context, tc *taggedConn, helloBytes []byte, nonce uint64) (*ServerHello, error) {
+	for attempt := 0; attempt < helloRetries; attempt++ {
+		if err := tc.sendTagged(ctx, tagCtrl, helloBytes); err != nil {
+			return nil, fmt.Errorf("%w: send hello: %v", ErrNegotiation, err)
+		}
+		deadline, cancel := context.WithTimeout(ctx, helloTimeout)
+		msg, err := tc.recvCtrl(deadline)
+		cancel()
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				continue // retransmit
+			}
+			return nil, fmt.Errorf("%w: %v", ErrNegotiation, err)
+		}
+		d := wire.NewDecoder(msg)
+		if mt := d.Uint8(); mt != msgServerHello {
+			continue // stray control message
+		}
+		sh, err := DecodeServerHello(d)
+		if err != nil {
+			return nil, err
+		}
+		if sh.Nonce != nonce {
+			continue // reply to an older hello
+		}
+		return sh, nil
+	}
+	return nil, fmt.Errorf("%w: no server hello after %d attempts", ErrNegotiation, helloRetries)
+}
+
+// Listen wraps a base Listener: each accepted base connection is
+// negotiated server-side before being returned.
+func (e *Endpoint) Listen(ctx context.Context, base Listener) (Listener, error) {
+	if err := e.registry.CheckFallbacks(e.stack); err != nil {
+		return nil, err
+	}
+	return &negotiatedListener{ep: e, base: base}, nil
+}
+
+type negotiatedListener struct {
+	ep   *Endpoint
+	base Listener
+}
+
+func (l *negotiatedListener) Accept(ctx context.Context) (Conn, error) {
+	for {
+		raw, err := l.base.Accept(ctx)
+		if err != nil {
+			return nil, err
+		}
+		conn, err := l.ep.accept(ctx, raw)
+		if err != nil {
+			// A failed handshake poisons only that peer connection;
+			// keep accepting (the failure was already reported to the
+			// peer in the ServerHello when possible).
+			raw.Close()
+			continue
+		}
+		return conn, nil
+	}
+}
+
+func (l *negotiatedListener) Addr() Addr   { return l.base.Addr() }
+func (l *negotiatedListener) Close() error { return l.base.Close() }
+
+// accept performs the server half of negotiation on one accepted base
+// connection.
+func (e *Endpoint) accept(ctx context.Context, raw Conn) (Conn, error) {
+	tc := newTaggedConn(raw)
+	neg := e.negotiator(raw.LocalAddr().Host)
+
+	msg, err := tc.recvCtrl(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("%w: awaiting client hello: %v", ErrNegotiation, err)
+	}
+	d := wire.NewDecoder(msg)
+	if mt := d.Uint8(); mt != msgClientHello {
+		return nil, fmt.Errorf("%w: unexpected control message %d", ErrNegotiation, mt)
+	}
+	ch, err := DecodeClientHello(d)
+	if err != nil {
+		return nil, err
+	}
+
+	sh := &ServerHello{Nonce: ch.Nonce, Name: e.name, Host: neg.host}
+	resolved, derr := decide(ctx, ch, neg)
+	if derr != nil {
+		sh.Err = derr.Error()
+	} else {
+		sh.Stack = resolved
+	}
+	enc := wire.NewEncoder(nil)
+	sh.Encode(enc)
+	reply := append([]byte(nil), enc.Bytes()...)
+	if err := tc.sendTagged(ctx, tagCtrl, reply); err != nil {
+		return nil, fmt.Errorf("%w: send server hello: %v", ErrNegotiation, err)
+	}
+	if derr != nil {
+		return nil, derr
+	}
+	// Duplicate ClientHellos (client retransmits over lossy links) are
+	// answered with the cached reply by the tagged conn's control loop.
+	tc.setCtrlResponder(ch.Nonce, reply)
+
+	return e.assemble(ctx, tc, resolved, SideServer)
+}
+
+// assemble instantiates the local side of a resolved stack: Init then Wrap
+// for every chunnel this side runs, outermost chunnel wrapped last so that
+// application sends enter the stack at the top.
+func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []ResolvedNode, side Side) (Conn, error) {
+	if e.env.Dialer() == nil {
+		// Provide a same-transport dialer so chunnels can open extra
+		// base connections; transports may install richer dialers.
+		e.env.SetDialer(DialerFunc(func(ctx context.Context, addr Addr) (Conn, error) {
+			return nil, fmt.Errorf("bertha: no dialer available for %s", addr)
+		}))
+	}
+	var conn Conn = tc.dataConn()
+	var active []activeImpl
+	for i := len(stack) - 1; i >= 0; i-- {
+		rn := stack[i]
+		if !rn.RunsAt(side) {
+			continue
+		}
+		impl, ok := e.registry.Lookup(rn.ImplName)
+		if !ok {
+			// The peer selected an implementation we cannot instantiate.
+			teardownAll(ctx, active, e)
+			return nil, fmt.Errorf("%w: %q not in local registry", ErrNoImplementation, rn.ImplName)
+		}
+		if err := impl.Init(ctx, e.env, rn.Args); err != nil {
+			teardownAll(ctx, active, e)
+			return nil, fmt.Errorf("bertha: init %q: %w", rn.ImplName, err)
+		}
+		wrapped, err := impl.Wrap(ctx, conn, rn.Args, rn.Params, side, e.env)
+		if err != nil {
+			impl.Teardown(ctx, e.env)
+			teardownAll(ctx, active, e)
+			return nil, fmt.Errorf("bertha: wrap %q: %w", rn.ImplName, err)
+		}
+		conn = wrapped
+		active = append(active, activeImpl{impl: impl, claim: rn.ClaimID})
+	}
+	return &managedConn{Conn: conn, ep: e, active: active}, nil
+}
+
+type activeImpl struct {
+	impl  Impl
+	claim uint64
+}
+
+func teardownAll(ctx context.Context, active []activeImpl, e *Endpoint) {
+	for i := len(active) - 1; i >= 0; i-- {
+		active[i].impl.Teardown(ctx, e.env)
+		if active[i].claim != 0 && e.discovery != nil {
+			e.discovery.Release(ctx, active[i].claim)
+		}
+	}
+}
+
+// managedConn runs implementation teardown (and resource release) when
+// the connection closes.
+type managedConn struct {
+	Conn
+	ep     *Endpoint
+	active []activeImpl
+	once   sync.Once
+}
+
+func (m *managedConn) Close() error {
+	err := m.Conn.Close()
+	m.once.Do(func() {
+		teardownAll(context.Background(), m.active, m.ep)
+	})
+	return err
+}
+
+func hostOr(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+func newNonce() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("bertha: crypto/rand unavailable: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}

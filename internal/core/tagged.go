@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// taggedConn multiplexes negotiation control messages and application data
+// over one base connection by prefixing each datagram with a one-byte
+// channel tag. It also answers duplicate ClientHellos (retransmitted over
+// lossy transports) with the cached ServerHello so the handshake is
+// idempotent.
+type taggedConn struct {
+	raw Conn
+
+	mu        sync.Mutex
+	earlyData [][]byte // data messages that arrived during the handshake
+
+	ctrlMu    sync.Mutex
+	ctrlNonce uint64
+	ctrlReply []byte
+
+	peerClosed chan struct{}
+	closeOnce  sync.Once
+}
+
+func newTaggedConn(raw Conn) *taggedConn {
+	return &taggedConn{raw: raw, peerClosed: make(chan struct{})}
+}
+
+// markPeerClosed records that the peer tore the connection down (an
+// explicit close message, or a foreign handshake from a reused address).
+func (t *taggedConn) markPeerClosed() {
+	t.closeOnce.Do(func() { close(t.peerClosed) })
+}
+
+func (t *taggedConn) isPeerClosed() bool {
+	select {
+	case <-t.peerClosed:
+		return true
+	default:
+		return false
+	}
+}
+
+// sendTagged transmits one message on the given channel.
+func (t *taggedConn) sendTagged(ctx context.Context, tag byte, p []byte) error {
+	buf := make([]byte, len(p)+1)
+	buf[0] = tag
+	copy(buf[1:], p)
+	return t.raw.Send(ctx, buf)
+}
+
+// recvTagged receives the next message and its tag.
+func (t *taggedConn) recvTagged(ctx context.Context) (byte, []byte, error) {
+	p, err := t.raw.Recv(ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(p) == 0 {
+		return 0, nil, fmt.Errorf("bertha: empty datagram on tagged connection")
+	}
+	return p[0], p[1:], nil
+}
+
+// recvCtrl returns the next control message, buffering any data messages
+// that arrive first (possible when the peer finished its handshake and
+// started sending data before our control read).
+func (t *taggedConn) recvCtrl(ctx context.Context) ([]byte, error) {
+	for {
+		tag, p, err := t.recvTagged(ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagCtrl:
+			return p, nil
+		case tagData:
+			t.mu.Lock()
+			t.earlyData = append(t.earlyData, p)
+			t.mu.Unlock()
+		default:
+			// Unknown tag: drop (forward compatibility).
+		}
+	}
+}
+
+// setCtrlResponder caches the ServerHello to replay when a duplicate
+// ClientHello with the given nonce arrives after the handshake.
+func (t *taggedConn) setCtrlResponder(nonce uint64, reply []byte) {
+	t.ctrlMu.Lock()
+	t.ctrlNonce = nonce
+	t.ctrlReply = reply
+	t.ctrlMu.Unlock()
+}
+
+// dataConn returns the Conn the negotiated chunnel stack wraps: Send adds
+// the data tag; Recv drains handshake-era buffered data first, then
+// delivers data messages, replaying the cached ServerHello for duplicate
+// hellos.
+func (t *taggedConn) dataConn() Conn {
+	return &taggedDataConn{t: t}
+}
+
+type taggedDataConn struct {
+	t *taggedConn
+}
+
+func (c *taggedDataConn) Send(ctx context.Context, p []byte) error {
+	return c.t.sendTagged(ctx, tagData, p)
+}
+
+func (c *taggedDataConn) Recv(ctx context.Context) ([]byte, error) {
+	c.t.mu.Lock()
+	if len(c.t.earlyData) > 0 {
+		p := c.t.earlyData[0]
+		c.t.earlyData = c.t.earlyData[1:]
+		c.t.mu.Unlock()
+		return p, nil
+	}
+	c.t.mu.Unlock()
+	if c.t.isPeerClosed() {
+		return nil, ErrClosed
+	}
+	for {
+		tag, p, err := c.t.recvTagged(ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagData:
+			return p, nil
+		case tagCtrl:
+			if closed := c.t.handleLateCtrl(ctx, p); closed {
+				return nil, ErrClosed
+			}
+		}
+	}
+}
+
+// handleLateCtrl processes a control message on an established
+// connection: replay the cached ServerHello for retransmitted hellos of
+// this connection, and treat an explicit close — or a hello from a
+// *different* connection attempt (datagram source address reuse) — as
+// the peer tearing this connection down. It reports whether the
+// connection is now closed.
+func (t *taggedConn) handleLateCtrl(ctx context.Context, msg []byte) bool {
+	if len(msg) == 0 {
+		return false
+	}
+	switch msg[0] {
+	case msgClose:
+		// Close the base connection too: on demultiplexing datagram
+		// transports this releases the per-address peer entry, so a new
+		// connection from a reused source address starts fresh.
+		t.markPeerClosed()
+		t.raw.Close()
+		return true
+	case msgClientHello:
+		t.ctrlMu.Lock()
+		nonce, reply := t.ctrlNonce, t.ctrlReply
+		t.ctrlMu.Unlock()
+		if reply == nil {
+			return false
+		}
+		// The nonce sits right after [type, version] in the encoding.
+		d := wire.NewDecoder(msg)
+		d.Uint8() // type
+		d.Uint8() // version
+		got := d.Uint64()
+		if d.Err() != nil {
+			return false
+		}
+		if got == nonce {
+			// Retransmission of this connection's hello: replay.
+			_ = t.sendTagged(ctx, tagCtrl, reply)
+			return false
+		}
+		// A new connection attempt from a reused address: this
+		// connection is dead. Closing releases the transport's peer
+		// state so the client's retry reaches a fresh connection.
+		t.markPeerClosed()
+		t.raw.Close()
+		return true
+	}
+	return false
+}
+
+func (c *taggedDataConn) LocalAddr() Addr  { return c.t.raw.LocalAddr() }
+func (c *taggedDataConn) RemoteAddr() Addr { return c.t.raw.RemoteAddr() }
+
+// Close announces teardown to the peer (best effort) and closes the
+// base connection. The announcement lets datagram peers release
+// per-address state promptly.
+func (c *taggedDataConn) Close() error {
+	if !c.t.isPeerClosed() {
+		cctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		_ = c.t.sendTagged(cctx, tagCtrl, []byte{msgClose})
+		cancel()
+	}
+	return c.t.raw.Close()
+}

@@ -1,0 +1,277 @@
+// Package discovery implements the Bertha discovery service (§4.2): the
+// registry where offload developers, network operators, and system
+// administrators register accelerated chunnel implementations, and which
+// the Bertha runtime queries during connection negotiation.
+//
+// The service tracks, per implementation: its advertisement (an
+// core.ImplOffer), the capacity available for resource claims (e.g. switch
+// table space), and a registration TTL so crashed offloads age out.
+//
+// The package provides three views of one Service:
+//
+//   - Service: the in-memory store with Register/Withdraw/Query/Claim.
+//   - Server: serves the store over any core.Listener using the wire
+//     protocol (cmd/bertha-discovery runs one over UDP).
+//   - Client: a core.DiscoveryClient speaking the wire protocol to a
+//     remote Server. Service itself also implements core.DiscoveryClient
+//     for in-process use.
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// DefaultTTL is the advertisement lifetime when the registrant does not
+// specify one. Registrants refresh by re-registering.
+const DefaultTTL = 5 * time.Minute
+
+// Registration is one advertised implementation with its remaining
+// capacity.
+type Registration struct {
+	Offer core.ImplOffer
+	// Capacity is how many concurrent claims of Offer.Resources the
+	// implementation can serve. Zero means the implementation is
+	// advertisement-only (no resource accounting, claims always succeed)
+	// unless a resource Pool is attached with SetPool.
+	Capacity int
+	// Expires is when the advertisement lapses.
+	Expires time.Time
+
+	inUse int
+	pool  *Pool
+}
+
+// Pool is a multi-dimensional resource pool backing one or more
+// advertised implementations — e.g. a switch's match-action table space
+// and port bandwidth shared by every chunnel offloaded to it. Claims
+// consume the claiming implementation's declared core.Resources from
+// the pool; when any dimension is exhausted, negotiation falls back to
+// the next candidate (§6 "if two programs can benefit from offloading
+// functionality to a P4 switch, but the switch only has capacity for
+// one, the Bertha runtime must choose").
+type Pool struct {
+	// TableEntries and Bandwidth are the pool's total capacities in the
+	// same abstract units as core.Resources.
+	TableEntries uint32
+	Bandwidth    uint32
+
+	usedTable uint32
+	usedBW    uint32
+}
+
+// available reports whether the pool can admit the request.
+func (p *Pool) available(res core.Resources) bool {
+	return p.usedTable+res.TableEntries <= p.TableEntries &&
+		p.usedBW+res.Bandwidth <= p.Bandwidth
+}
+
+func (p *Pool) take(res core.Resources) {
+	p.usedTable += res.TableEntries
+	p.usedBW += res.Bandwidth
+}
+
+func (p *Pool) release(res core.Resources) {
+	if res.TableEntries <= p.usedTable {
+		p.usedTable -= res.TableEntries
+	} else {
+		p.usedTable = 0
+	}
+	if res.Bandwidth <= p.usedBW {
+		p.usedBW -= res.Bandwidth
+	} else {
+		p.usedBW = 0
+	}
+}
+
+// Used returns the pool's current consumption.
+func (p *Pool) Used() (tableEntries, bandwidth uint32) {
+	return p.usedTable, p.usedBW
+}
+
+// Service is the in-memory discovery store. It is safe for concurrent use
+// and implements core.DiscoveryClient for in-process callers.
+type Service struct {
+	mu     sync.Mutex
+	regs   map[string]*Registration // by impl name
+	claims map[uint64]claimRecord   // claim id -> what it consumed
+	nextID uint64
+	now    func() time.Time
+}
+
+type claimRecord struct {
+	implName string
+	res      core.Resources
+	pool     *Pool
+}
+
+// NewService returns an empty discovery service.
+func NewService() *Service {
+	return &Service{
+		regs:   make(map[string]*Registration),
+		claims: make(map[uint64]claimRecord),
+		now:    time.Now,
+	}
+}
+
+// SetPool attaches a shared multi-dimensional resource pool to an
+// advertised implementation. Several implementations may share one pool
+// (the §6 scenario: multiple chunnels competing for one switch).
+func (s *Service) SetPool(implName string, pool *Pool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.regs[implName]
+	if !ok {
+		return fmt.Errorf("discovery: %q is not registered", implName)
+	}
+	r.pool = pool
+	return nil
+}
+
+// Register advertises an implementation with the given claim capacity and
+// TTL (DefaultTTL when ttl <= 0). Re-registering an existing name
+// refreshes the advertisement and updates capacity, preserving
+// outstanding claims.
+func (s *Service) Register(offer core.ImplOffer, capacity int, ttl time.Duration) error {
+	if offer.Name == "" || offer.Type == "" {
+		return fmt.Errorf("discovery: offer missing name or type")
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inUse := 0
+	var pool *Pool
+	if prev, ok := s.regs[offer.Name]; ok {
+		inUse = prev.inUse
+		pool = prev.pool
+	}
+	s.regs[offer.Name] = &Registration{
+		Offer:    offer,
+		Capacity: capacity,
+		Expires:  s.now().Add(ttl),
+		inUse:    inUse,
+		pool:     pool,
+	}
+	return nil
+}
+
+// Withdraw removes an advertisement. Outstanding claims remain valid
+// until released (connections using the offload keep working; new
+// connections no longer see it).
+func (s *Service) Withdraw(name string) {
+	s.mu.Lock()
+	delete(s.regs, name)
+	s.mu.Unlock()
+}
+
+// Query implements core.DiscoveryClient: it returns live advertisements
+// for the given chunnel types (all types when types is empty), sorted by
+// name for determinism.
+func (s *Service) Query(ctx context.Context, types []string) ([]core.ImplOffer, error) {
+	want := map[string]bool{}
+	for _, t := range types {
+		want[t] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	var out []core.ImplOffer
+	for name, r := range s.regs {
+		if now.After(r.Expires) {
+			delete(s.regs, name)
+			continue
+		}
+		if len(want) > 0 && !want[r.Offer.Type] {
+			continue
+		}
+		out = append(out, r.Offer)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Claim implements core.DiscoveryClient: it reserves one capacity unit of
+// the named implementation. Claims against advertisement-only
+// registrations (capacity 0 at registration) always succeed without
+// accounting.
+func (s *Service) Claim(ctx context.Context, implName string, res core.Resources) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.regs[implName]
+	if !ok {
+		return 0, fmt.Errorf("discovery: %q is not registered", implName)
+	}
+	if s.now().After(r.Expires) {
+		delete(s.regs, implName)
+		return 0, fmt.Errorf("discovery: %q advertisement expired", implName)
+	}
+	if r.Capacity > 0 && r.inUse >= r.Capacity {
+		return 0, fmt.Errorf("discovery: %q at capacity (%d in use)", implName, r.inUse)
+	}
+	if r.pool != nil && !r.pool.available(res) {
+		t, bw := r.pool.Used()
+		return 0, fmt.Errorf("discovery: %q resource pool exhausted (table %d/%d, bw %d/%d, need %d/%d)",
+			implName, t, r.pool.TableEntries, bw, r.pool.Bandwidth, res.TableEntries, res.Bandwidth)
+	}
+	if r.Capacity > 0 {
+		r.inUse++
+	}
+	if r.pool != nil {
+		r.pool.take(res)
+	}
+	s.nextID++
+	s.claims[s.nextID] = claimRecord{implName: implName, res: res, pool: r.pool}
+	return s.nextID, nil
+}
+
+// Release implements core.DiscoveryClient: it frees a prior claim.
+// Releasing an unknown claim is a no-op (idempotent).
+func (s *Service) Release(ctx context.Context, claimID uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.claims[claimID]
+	if !ok {
+		return nil
+	}
+	delete(s.claims, claimID)
+	if r, ok := s.regs[rec.implName]; ok && r.Capacity > 0 && r.inUse > 0 {
+		r.inUse--
+	}
+	if rec.pool != nil {
+		rec.pool.release(rec.res)
+	}
+	return nil
+}
+
+// InUse reports the outstanding claim count for an implementation.
+func (s *Service) InUse(implName string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.regs[implName]; ok {
+		return r.inUse
+	}
+	return 0
+}
+
+// Len returns the number of live advertisements.
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	now := s.now()
+	for _, r := range s.regs {
+		if !now.After(r.Expires) {
+			n++
+		}
+	}
+	return n
+}
+
+var _ core.DiscoveryClient = (*Service)(nil)

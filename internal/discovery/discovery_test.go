@@ -1,0 +1,379 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/transport"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func offer(name, typ string, prio int) core.ImplOffer {
+	return core.ImplOffer{Name: name, Type: typ, Priority: prio,
+		Location: core.LocKernel, Endpoint: spec.EndpointServer}
+}
+
+func TestServiceRegisterQueryWithdraw(t *testing.T) {
+	ctx := ctxT(t)
+	s := NewService()
+	if err := s.Register(offer("shard/xdp", "shard", 20), 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(offer("mcast/switch", "mcast", 30), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(core.ImplOffer{}, 0, 0); err == nil {
+		t.Error("empty offer should be rejected")
+	}
+
+	got, err := s.Query(ctx, []string{"shard"})
+	if err != nil || len(got) != 1 || got[0].Name != "shard/xdp" {
+		t.Errorf("typed query: %v %v", got, err)
+	}
+	all, _ := s.Query(ctx, nil)
+	if len(all) != 2 {
+		t.Errorf("all query: %v", all)
+	}
+	if all[0].Name > all[1].Name {
+		t.Error("query results must be sorted")
+	}
+
+	s.Withdraw("shard/xdp")
+	got, _ = s.Query(ctx, []string{"shard"})
+	if len(got) != 0 {
+		t.Errorf("after withdraw: %v", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len: %d", s.Len())
+	}
+}
+
+func TestServiceTTLExpiry(t *testing.T) {
+	ctx := ctxT(t)
+	s := NewService()
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	s.Register(offer("a/x", "a", 1), 0, time.Minute)
+
+	got, _ := s.Query(ctx, nil)
+	if len(got) != 1 {
+		t.Fatalf("pre-expiry: %v", got)
+	}
+	now = now.Add(2 * time.Minute)
+	got, _ = s.Query(ctx, nil)
+	if len(got) != 0 {
+		t.Errorf("post-expiry: %v", got)
+	}
+	// Claims against expired advertisements fail.
+	s.Register(offer("b/x", "b", 1), 1, time.Minute)
+	now = now.Add(5 * time.Minute)
+	if _, err := s.Claim(ctx, "b/x", core.Resources{}); err == nil {
+		t.Error("claim on expired registration should fail")
+	}
+	// Re-registering refreshes.
+	s.Register(offer("b/x", "b", 1), 1, time.Minute)
+	if _, err := s.Claim(ctx, "b/x", core.Resources{}); err != nil {
+		t.Errorf("claim after refresh: %v", err)
+	}
+}
+
+func TestServiceClaimAccounting(t *testing.T) {
+	ctx := ctxT(t)
+	s := NewService()
+	s.Register(offer("sw/p4", "shard", 30), 2, 0)
+
+	id1, err := s.Claim(ctx, "sw/p4", core.Resources{TableEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Claim(ctx, "sw/p4", core.Resources{TableEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Error("claim ids must be distinct")
+	}
+	if _, err := s.Claim(ctx, "sw/p4", core.Resources{}); err == nil {
+		t.Error("third claim should exceed capacity 2")
+	}
+	if s.InUse("sw/p4") != 2 {
+		t.Errorf("in use: %d", s.InUse("sw/p4"))
+	}
+	s.Release(ctx, id1)
+	if s.InUse("sw/p4") != 1 {
+		t.Errorf("in use after release: %d", s.InUse("sw/p4"))
+	}
+	if _, err := s.Claim(ctx, "sw/p4", core.Resources{}); err != nil {
+		t.Errorf("claim after release: %v", err)
+	}
+	// Double release is a no-op.
+	if err := s.Release(ctx, id1); err != nil {
+		t.Errorf("double release: %v", err)
+	}
+	// Unknown impl.
+	if _, err := s.Claim(ctx, "missing", core.Resources{}); err == nil {
+		t.Error("claim on unregistered impl should fail")
+	}
+	// Advertisement-only (capacity 0): unlimited claims.
+	s.Register(offer("free/x", "y", 1), 0, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Claim(ctx, "free/x", core.Resources{}); err != nil {
+			t.Fatalf("advertisement-only claim %d: %v", i, err)
+		}
+	}
+}
+
+func TestServiceRegisterPreservesClaims(t *testing.T) {
+	ctx := ctxT(t)
+	s := NewService()
+	s.Register(offer("sw/p4", "shard", 30), 2, 0)
+	s.Claim(ctx, "sw/p4", core.Resources{})
+	// Refresh with larger capacity keeps the outstanding claim counted.
+	s.Register(offer("sw/p4", "shard", 30), 3, 0)
+	if s.InUse("sw/p4") != 1 {
+		t.Errorf("in use after refresh: %d", s.InUse("sw/p4"))
+	}
+}
+
+// startServer runs a discovery server over an in-process pipe network and
+// returns a connected client.
+func startServer(t *testing.T, svc *Service) *Client {
+	t.Helper()
+	pn := transport.NewPipeNetwork()
+	l, err := pn.Listen("dhost", "discovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(svc, l)
+	t.Cleanup(func() { srv.Close() })
+	conn, err := pn.Dial(context.Background(), core.Addr{Net: "pipe", Addr: "discovery"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	ctx := ctxT(t)
+	svc := NewService()
+	c := startServer(t, svc)
+
+	if err := c.Register(ctx, offer("shard/xdp", "shard", 20), 2, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := c.Query(ctx, []string{"shard"})
+	if err != nil || len(offers) != 1 || offers[0].Name != "shard/xdp" {
+		t.Fatalf("query: %v %v", offers, err)
+	}
+	id, err := c.Claim(ctx, "shard/xdp", core.Resources{TableEntries: 4})
+	if err != nil || id == 0 {
+		t.Fatalf("claim: %d %v", id, err)
+	}
+	if err := c.Release(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Withdraw(ctx, "shard/xdp"); err != nil {
+		t.Fatal(err)
+	}
+	offers, _ = c.Query(ctx, []string{"shard"})
+	if len(offers) != 0 {
+		t.Errorf("after withdraw: %v", offers)
+	}
+	// Error propagation: claiming a withdrawn impl.
+	if _, err := c.Claim(ctx, "shard/xdp", core.Resources{}); err == nil {
+		t.Error("claim error should propagate to client")
+	}
+}
+
+func TestClientSurvivesLossyTransport(t *testing.T) {
+	ctx := ctxT(t)
+	svc := NewService()
+	pn := transport.NewPipeNetwork()
+	l, _ := pn.Listen("dhost", "disc")
+	srv := Serve(svc, l)
+	t.Cleanup(func() { srv.Close() })
+
+	raw, err := pn.Dial(ctx, core.Addr{Net: "pipe", Addr: "disc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40% request loss: the client must retransmit.
+	c := NewClient(transport.Lossy(raw, transport.LossConfig{Seed: 5, DropProb: 0.4}))
+	t.Cleanup(func() { c.Close() })
+
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("impl%d/x", i)
+		if err := c.Register(ctx, offer(name, "t", i), 1, time.Minute); err != nil {
+			t.Fatalf("register %d over lossy link: %v", i, err)
+		}
+	}
+	offers, err := c.Query(ctx, []string{"t"})
+	if err != nil || len(offers) != 10 {
+		t.Fatalf("query over lossy link: %d offers, %v", len(offers), err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ctx := ctxT(t)
+	svc := NewService()
+	svc.Register(offer("sw/p4", "shard", 30), 50, 0)
+
+	pn := transport.NewPipeNetwork()
+	l, _ := pn.Listen("dhost", "disc")
+	srv := Serve(svc, l)
+	t.Cleanup(func() { srv.Close() })
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := pn.Dial(ctx, core.Addr{Net: "pipe", Addr: "disc"})
+			if err != nil {
+				errs <- err
+				return
+			}
+			c := NewClient(conn)
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				id, err := c.Claim(ctx, "sw/p4", core.Resources{})
+				if err != nil {
+					errs <- fmt.Errorf("claim: %w", err)
+					return
+				}
+				if err := c.Release(ctx, id); err != nil {
+					errs <- fmt.Errorf("release: %w", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if svc.InUse("sw/p4") != 0 {
+		t.Errorf("leaked claims: %d", svc.InUse("sw/p4"))
+	}
+}
+
+// TestRuntimeUsesRemoteDiscovery wires a real discovery server into a
+// full negotiation: the runtime's query goes over the wire.
+func TestRuntimeUsesRemoteDiscovery(t *testing.T) {
+	ctx := ctxT(t)
+	svc := NewService()
+	c := startServer(t, svc)
+
+	regS := core.NewRegistry()
+	fb := &recordImpl{info: core.ImplInfo{Name: "steer/fb", Type: "steer",
+		Location: core.LocUserspace, Endpoint: spec.EndpointServer}}
+	accel := &recordImpl{info: core.ImplInfo{Name: "steer/xdp", Type: "steer", Priority: 20,
+		Location: core.LocKernel, Endpoint: spec.EndpointServer, DiscoveryOnly: true}}
+	regS.MustRegister(fb)
+	regS.MustRegister(accel)
+	svc.Register(core.OfferFromInfo(accel.info), 0, time.Minute)
+
+	srv, _ := core.NewEndpoint("srv", spec.Seq(spec.New("steer")),
+		core.WithRegistry(regS), core.WithDiscovery(c))
+	cli, _ := core.NewEndpoint("cli", spec.Seq(), core.WithRegistry(core.NewRegistry()))
+
+	pn := transport.NewPipeNetwork()
+	base, _ := pn.Listen("srvhost", "svc")
+	nl, _ := srv.Listen(ctx, base)
+	go func() {
+		conn, err := nl.Accept(ctx)
+		if err == nil {
+			go func() {
+				for {
+					m, err := conn.Recv(ctx)
+					if err != nil {
+						return
+					}
+					conn.Send(ctx, m)
+				}
+			}()
+		}
+	}()
+	raw, _ := pn.Dial(ctx, core.Addr{Net: "pipe", Addr: "svc"})
+	conn, err := cli.Connect(ctx, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Send(ctx, []byte("ping"))
+	if m, err := conn.Recv(ctx); err != nil || string(m) != "ping" {
+		t.Fatalf("echo: %q %v", m, err)
+	}
+	if accel.wraps != 1 {
+		t.Errorf("remote-discovered impl not used: fb=%d accel=%d", fb.wraps, accel.wraps)
+	}
+}
+
+type recordImpl struct {
+	info  core.ImplInfo
+	wraps int
+}
+
+func (r *recordImpl) Info() core.ImplInfo { return r.info }
+func (r *recordImpl) Init(ctx context.Context, env *core.Env, args []wire.Value) error {
+	return nil
+}
+func (r *recordImpl) Teardown(ctx context.Context, env *core.Env) error { return nil }
+func (r *recordImpl) Wrap(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+	r.wraps++
+	return conn, nil
+}
+
+// TestUDPServedDiscovery runs the daemon configuration of
+// cmd/bertha-discovery — server and client over real UDP sockets.
+func TestUDPServedDiscovery(t *testing.T) {
+	ctx := ctxT(t)
+	svc := NewService()
+	l, err := transport.ListenUDP("", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(svc, l)
+	t.Cleanup(func() { srv.Close() })
+
+	conn, err := transport.DialUDP("", l.Addr().Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	t.Cleanup(func() { c.Close() })
+
+	if err := c.Register(ctx, offer("shard/xdp", "shard", 20), 1, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := c.Query(ctx, []string{"shard"})
+	if err != nil || len(offers) != 1 {
+		t.Fatalf("query over UDP: %v %v", offers, err)
+	}
+	id, err := c.Claim(ctx, "shard/xdp", core.Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Claim(ctx, "shard/xdp", core.Resources{}); err == nil {
+		t.Error("capacity 1 should reject the second claim")
+	}
+	if err := c.Release(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package discovery
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// Pool tests: the §6 "Scheduling and Placement" scenario — several
+// chunnel offloads compete for one switch's multi-dimensional resources
+// (table space, bandwidth), and a claim that does not fit falls through
+// to software.
+
+func TestPoolSharedAcrossImpls(t *testing.T) {
+	ctx := ctxT(t)
+	s := NewService()
+	s.Register(offer("shard/switch", "shard", 30), 0, 0)
+	s.Register(offer("mcast/switch", "ordered_mcast", 30), 0, 0)
+
+	// One switch: 10 table entries, 8 bandwidth units, shared.
+	pool := &Pool{TableEntries: 10, Bandwidth: 8}
+	if err := s.SetPool("shard/switch", pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPool("mcast/switch", pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPool("missing", pool); err == nil {
+		t.Error("SetPool on unregistered impl should fail")
+	}
+
+	// shard takes 6 table entries + 4 bw.
+	id1, err := s.Claim(ctx, "shard/switch", core.Resources{TableEntries: 6, Bandwidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mcast wants 6 table entries: does not fit (6+6 > 10) — the paper's
+	// "the switch only has capacity for one".
+	if _, err := s.Claim(ctx, "mcast/switch", core.Resources{TableEntries: 6, Bandwidth: 2}); err == nil {
+		t.Fatal("second large claim should exhaust the shared pool")
+	}
+	// A smaller mcast deployment fits.
+	id2, err := s.Claim(ctx, "mcast/switch", core.Resources{TableEntries: 4, Bandwidth: 2})
+	if err != nil {
+		t.Fatalf("small claim should fit: %v", err)
+	}
+	tbl, bw := pool.Used()
+	if tbl != 10 || bw != 6 {
+		t.Errorf("pool usage: table=%d bw=%d", tbl, bw)
+	}
+
+	// Releasing the first claim frees its dimensions exactly.
+	s.Release(ctx, id1)
+	tbl, bw = pool.Used()
+	if tbl != 4 || bw != 2 {
+		t.Errorf("after release: table=%d bw=%d", tbl, bw)
+	}
+	// Now the big claim fits.
+	if _, err := s.Claim(ctx, "shard/switch", core.Resources{TableEntries: 6, Bandwidth: 4}); err != nil {
+		t.Errorf("claim after release: %v", err)
+	}
+	s.Release(ctx, id2)
+}
+
+func TestPoolBandwidthDimension(t *testing.T) {
+	ctx := ctxT(t)
+	s := NewService()
+	s.Register(offer("x/switch", "x", 30), 0, 0)
+	pool := &Pool{TableEntries: 100, Bandwidth: 2}
+	s.SetPool("x/switch", pool)
+
+	// Table space abounds but bandwidth is the binding constraint.
+	if _, err := s.Claim(ctx, "x/switch", core.Resources{TableEntries: 1, Bandwidth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Claim(ctx, "x/switch", core.Resources{TableEntries: 1, Bandwidth: 1}); err == nil {
+		t.Error("bandwidth dimension should be exhausted")
+	}
+	// Zero-resource claims always fit.
+	if _, err := s.Claim(ctx, "x/switch", core.Resources{}); err != nil {
+		t.Errorf("zero-resource claim: %v", err)
+	}
+}
+
+func TestPoolSurvivesReRegistration(t *testing.T) {
+	ctx := ctxT(t)
+	s := NewService()
+	s.Register(offer("x/switch", "x", 30), 0, 0)
+	pool := &Pool{TableEntries: 4, Bandwidth: 4}
+	s.SetPool("x/switch", pool)
+	s.Claim(ctx, "x/switch", core.Resources{TableEntries: 3})
+	// Advertisement refresh keeps the pool and its usage.
+	s.Register(offer("x/switch", "x", 30), 0, 0)
+	if _, err := s.Claim(ctx, "x/switch", core.Resources{TableEntries: 3}); err == nil {
+		t.Error("pool usage lost across re-registration")
+	}
+}
+
+func TestPoolReleaseClampsAtZero(t *testing.T) {
+	p := &Pool{TableEntries: 4, Bandwidth: 4}
+	p.take(core.Resources{TableEntries: 2, Bandwidth: 1})
+	p.release(core.Resources{TableEntries: 5, Bandwidth: 5}) // over-release
+	tbl, bw := p.Used()
+	if tbl != 0 || bw != 0 {
+		t.Errorf("clamp: table=%d bw=%d", tbl, bw)
+	}
+}

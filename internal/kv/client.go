@@ -1,0 +1,174 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Client issues requests over a (negotiated) connection, correlating
+// concurrent responses by request id. It is safe for concurrent use, so
+// a single connection can carry many in-flight operations — required for
+// the §5 closed-loop load generators.
+type Client struct {
+	conn core.Conn
+
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan Response
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	once   sync.Once
+	encMu  sync.Mutex
+	enc    *wire.Encoder
+}
+
+// NewClient wraps a connection and starts the response pump.
+func NewClient(conn core.Conn) *Client {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan Response{},
+		ctx:     ctx,
+		cancel:  cancel,
+		enc:     wire.NewEncoder(nil),
+	}
+	go c.pump()
+	return c
+}
+
+func (c *Client) pump() {
+	for {
+		p, err := c.conn.Recv(c.ctx)
+		if err != nil {
+			// Fail all waiters.
+			c.mu.Lock()
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		resp, err := DecodeResponse(p)
+		if err != nil {
+			continue // malformed response: drop
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// Do issues one operation and waits for its response.
+func (c *Client) Do(ctx context.Context, op Op, key string, value []byte) (Response, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.encMu.Lock()
+	c.enc.Reset()
+	err := EncodeRequest(c.enc, Request{ID: id, Op: op, Key: key, Value: value})
+	var buf []byte
+	if err == nil {
+		buf = append([]byte(nil), c.enc.Bytes()...)
+	}
+	c.encMu.Unlock()
+	if err != nil {
+		c.drop(id)
+		return Response{}, err
+	}
+	if err := c.conn.Send(ctx, buf); err != nil {
+		c.drop(id)
+		return Response{}, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return Response{}, core.ErrClosed
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.drop(id)
+		return Response{}, ctx.Err()
+	case <-c.ctx.Done():
+		return Response{}, core.ErrClosed
+	}
+}
+
+func (c *Client) drop(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Get reads a key.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.Do(ctx, OpGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Value, nil
+	case StatusNotFound:
+		return nil, fmt.Errorf("kv: %q not found", key)
+	default:
+		return nil, fmt.Errorf("kv: get %q: %s", key, resp.Status)
+	}
+}
+
+// Put writes a key.
+func (c *Client) Put(ctx context.Context, key string, value []byte) error {
+	resp, err := c.Do(ctx, OpPut, key, value)
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("kv: put %q: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// Update rewrites an existing key.
+func (c *Client) Update(ctx context.Context, key string, value []byte) error {
+	resp, err := c.Do(ctx, OpUpdate, key, value)
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("kv: update %q: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// Delete removes a key.
+func (c *Client) Delete(ctx context.Context, key string) error {
+	resp, err := c.Do(ctx, OpDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("kv: delete %q: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// Close shuts the client and its connection.
+func (c *Client) Close() error {
+	c.once.Do(c.cancel)
+	return c.conn.Close()
+}

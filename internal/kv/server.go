@@ -1,0 +1,139 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/bertha-net/bertha/internal/chunnels/shard"
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// Server is the sharded key-value server: one Store and one worker per
+// shard. Each worker serves requests from two sources, matching the §5
+// deployment variants:
+//
+//   - its shard listener — direct connections from client-push clients
+//     and forwarded requests from the server-fallback steering proxy;
+//   - its steered queue — requests redirected by the XDP steering
+//     program in the receive path.
+type Server struct {
+	shards []*Store
+	queues []chan shard.Steered
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// queueDepth is the per-shard steered-queue capacity.
+const queueDepth = 8192
+
+// NewServer creates a server with nshards shards.
+func NewServer(nshards int) (*Server, error) {
+	if nshards <= 0 {
+		return nil, fmt.Errorf("kv: invalid shard count %d", nshards)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{ctx: ctx, cancel: cancel}
+	for i := 0; i < nshards; i++ {
+		s.shards = append(s.shards, NewStore())
+		s.queues = append(s.queues, make(chan shard.Steered, queueDepth))
+	}
+	// Steered-queue workers.
+	for i := range s.queues {
+		s.wg.Add(1)
+		go s.queueWorker(i)
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Shard exposes a shard's store (for preloading and verification).
+func (s *Server) Shard(i int) *Store { return s.shards[i] }
+
+// Queues returns the per-shard steered queues, provided to the shard
+// chunnel's XDP implementation through Env (shard.EnvQueues).
+func (s *Server) Queues() []chan shard.Steered { return s.queues }
+
+// ServeShard accepts direct connections for shard i on l until the
+// server closes. Each connection's requests are applied to the shard's
+// store and answered in place.
+func (s *Server) ServeShard(i int, l core.Listener) {
+	if i < 0 || i >= len(s.shards) {
+		panic(fmt.Sprintf("kv: shard %d out of range", i))
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept(s.ctx)
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func(conn core.Conn) {
+				defer s.wg.Done()
+				defer conn.Close()
+				for {
+					p, err := conn.Recv(s.ctx)
+					if err != nil {
+						return
+					}
+					if err := conn.Send(s.ctx, s.shards[i].HandleRaw(p)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+func (s *Server) queueWorker(i int) {
+	defer s.wg.Done()
+	for {
+		select {
+		case st := <-s.queues[i]:
+			resp := s.shards[i].HandleRaw(st.Payload)
+			if st.Reply != nil {
+				_ = st.Reply(s.ctx, resp)
+			}
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// Preload inserts keys directly (bypassing the wire) for benchmark
+// setup. Keys are padded and routed to their shard's store.
+func (s *Server) Preload(keys []string, value []byte) error {
+	for _, k := range keys {
+		padded, err := PadKey(k)
+		if err != nil {
+			return err
+		}
+		idx, err := ShardOf(k, len(s.shards))
+		if err != nil {
+			return err
+		}
+		s.shards[idx].Apply(Request{Op: OpPut, Key: padded, Value: value})
+	}
+	return nil
+}
+
+// TotalKeys sums keys across shards.
+func (s *Server) TotalKeys() int {
+	n := 0
+	for _, st := range s.shards {
+		n += st.Len()
+	}
+	return n
+}
+
+// Close stops all workers and waits for them.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}

@@ -1,0 +1,93 @@
+package kv
+
+import (
+	"sync"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Store is one shard's hashmap (the paper's store uses Rust's standard
+// hashmap; this is Go's, guarded for concurrent access).
+type Store struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{m: make(map[string][]byte)}
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Apply executes one request against the store.
+func (s *Store) Apply(r Request) Response {
+	switch r.Op {
+	case OpGet:
+		s.mu.RLock()
+		v, ok := s.m[r.Key]
+		s.mu.RUnlock()
+		if !ok {
+			return Response{ID: r.ID, Status: StatusNotFound}
+		}
+		out := make([]byte, len(v))
+		copy(out, v)
+		return Response{ID: r.ID, Status: StatusOK, Value: out}
+	case OpPut:
+		v := make([]byte, len(r.Value))
+		copy(v, r.Value)
+		s.mu.Lock()
+		s.m[r.Key] = v
+		s.mu.Unlock()
+		return Response{ID: r.ID, Status: StatusOK}
+	case OpUpdate:
+		v := make([]byte, len(r.Value))
+		copy(v, r.Value)
+		s.mu.Lock()
+		_, ok := s.m[r.Key]
+		if ok {
+			s.m[r.Key] = v
+		}
+		s.mu.Unlock()
+		if !ok {
+			return Response{ID: r.ID, Status: StatusNotFound}
+		}
+		return Response{ID: r.ID, Status: StatusOK}
+	case OpDelete:
+		s.mu.Lock()
+		_, ok := s.m[r.Key]
+		delete(s.m, r.Key)
+		s.mu.Unlock()
+		if !ok {
+			return Response{ID: r.ID, Status: StatusNotFound}
+		}
+		return Response{ID: r.ID, Status: StatusOK}
+	default:
+		return Response{ID: r.ID, Status: StatusBadRequest}
+	}
+}
+
+// HandleRaw decodes a raw request, applies it, and returns the encoded
+// response — the common path for every delivery mechanism (direct
+// connections, steered queues, forwarded packets).
+func (s *Store) HandleRaw(p []byte) []byte {
+	e := wire.NewEncoder(nil)
+	req, err := DecodeRequest(p)
+	if err != nil {
+		// Echo the (possible) id with a bad-request status.
+		var id uint64
+		if len(p) >= 8 {
+			d := wire.NewDecoder(p)
+			id = d.Uint64()
+		}
+		EncodeResponse(e, Response{ID: id, Status: StatusBadRequest})
+		return append([]byte(nil), e.Bytes()...)
+	}
+	EncodeResponse(e, s.Apply(req))
+	return append([]byte(nil), e.Bytes()...)
+}

@@ -1,0 +1,221 @@
+// Package rsm implements a replicated state machine over the ordered
+// multicast chunnel, in the style of the network-assisted consensus
+// designs the paper cites (Speculative Paxos, NOPaxos): the network (or
+// a host sequencer fallback) totally orders client operations; replicas
+// apply them speculatively in that order and reply directly to clients;
+// a client accepts a result once a quorum of replicas report the same
+// value for its operation.
+//
+// Gap slots (multicasts no replica received) are applied as no-ops, so
+// replicas remain in identical states.
+package rsm
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"github.com/bertha-net/bertha/internal/chunnels/mcast"
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// opIDLen is the client-generated operation identifier length.
+const opIDLen = 16
+
+// StateMachine is the application logic replicated across the group.
+// Apply must be deterministic: equal op sequences must produce equal
+// results and states.
+type StateMachine interface {
+	Apply(op []byte) (result []byte)
+}
+
+// Func adapts a function to StateMachine.
+type Func func(op []byte) []byte
+
+// Apply implements StateMachine.
+func (f Func) Apply(op []byte) []byte { return f(op) }
+
+// Replica consumes a group's ordered deliveries and applies them to the
+// state machine, answering clients with [opID][result].
+type Replica struct {
+	sm StateMachine
+
+	mu      sync.Mutex
+	applied uint64
+	digest  [32]byte // running state digest for divergence checks
+}
+
+// NewReplica wraps a state machine.
+func NewReplica(sm StateMachine) *Replica {
+	return &Replica{sm: sm}
+}
+
+// Applied returns how many slots (ops and gaps) have been applied.
+func (r *Replica) Applied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Digest returns a running hash over the applied op sequence — equal
+// across replicas exactly when they applied the same ops in the same
+// order.
+func (r *Replica) Digest() [32]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.digest
+}
+
+// Run applies deliveries until the channel closes or ctx ends.
+func (r *Replica) Run(ctx context.Context, deliveries <-chan mcast.Delivery) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case d, ok := <-deliveries:
+			if !ok {
+				return
+			}
+			r.step(ctx, d)
+		}
+	}
+}
+
+func (r *Replica) step(ctx context.Context, d mcast.Delivery) {
+	r.mu.Lock()
+	r.applied++
+	if d.Gap {
+		// No-op slot: fold the gap into the digest so all replicas agree.
+		r.digest = sha256.Sum256(append(r.digest[:], 0xFF))
+		r.mu.Unlock()
+		return
+	}
+	h := sha256.New()
+	h.Write(r.digest[:])
+	h.Write(d.Payload)
+	copy(r.digest[:], h.Sum(nil))
+	r.mu.Unlock()
+
+	if len(d.Payload) < opIDLen {
+		return // malformed op: applied as digest-only
+	}
+	opID := d.Payload[:opIDLen]
+	result := r.sm.Apply(d.Payload[opIDLen:])
+	if d.Reply != nil {
+		out := make([]byte, opIDLen+len(result))
+		copy(out, opID)
+		copy(out[opIDLen:], result)
+		_ = d.Reply(ctx, out)
+	}
+}
+
+// Client invokes operations on the replicated service through an
+// ordered-multicast connection.
+type Client struct {
+	conn core.Conn
+	// Quorum is how many matching replies complete an invocation
+	// (typically a majority of the replica group).
+	Quorum int
+
+	mu      sync.Mutex
+	pending map[string]chan []byte
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+// NewClient wraps an ordered-multicast connection with the given quorum
+// size.
+func NewClient(conn core.Conn, quorum int) *Client {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		conn:    conn,
+		Quorum:  quorum,
+		pending: map[string]chan []byte{},
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	go c.pump()
+	return c
+}
+
+func (c *Client) pump() {
+	for {
+		m, err := c.conn.Recv(c.ctx)
+		if err != nil {
+			c.mu.Lock()
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if len(m) < opIDLen {
+			continue
+		}
+		id := string(m[:opIDLen])
+		c.mu.Lock()
+		ch := c.pending[id]
+		c.mu.Unlock()
+		if ch != nil {
+			result := append([]byte(nil), m[opIDLen:]...)
+			select {
+			case ch <- result:
+			default: // late replies beyond the buffer are dropped
+			}
+		}
+	}
+}
+
+// Invoke multicasts one operation and waits for Quorum matching replies,
+// returning the agreed result.
+func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	var id [opIDLen]byte
+	if _, err := rand.Read(id[:]); err != nil {
+		return nil, err
+	}
+	ch := make(chan []byte, 8)
+	c.mu.Lock()
+	c.pending[string(id[:])] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, string(id[:]))
+		c.mu.Unlock()
+	}()
+
+	frame := make([]byte, opIDLen+len(op))
+	copy(frame, id[:])
+	copy(frame[opIDLen:], op)
+	if err := c.conn.Send(ctx, frame); err != nil {
+		return nil, err
+	}
+
+	counts := map[string]int{}
+	for {
+		select {
+		case result, ok := <-ch:
+			if !ok {
+				return nil, core.ErrClosed
+			}
+			counts[string(result)]++
+			if counts[string(result)] >= c.Quorum {
+				return result, nil
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("rsm: no quorum for op: %w", ctx.Err())
+		case <-c.ctx.Done():
+			return nil, core.ErrClosed
+		}
+	}
+}
+
+// Close shuts the client and its connection.
+func (c *Client) Close() error {
+	c.once.Do(c.cancel)
+	return c.conn.Close()
+}

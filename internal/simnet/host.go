@@ -1,0 +1,290 @@
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// Host is a machine on the fabric. Services listen at
+// sim://<host>/<host>:<service>; each outbound connection gets a unique
+// source address so replies demultiplex correctly.
+type Host struct {
+	net  *Network
+	name string
+	sw   *Switch
+
+	up   *wire // host -> switch
+	down *wire // switch -> host
+
+	mu       sync.Mutex
+	services map[string]*svcListener
+	flows    map[string]*hostConn // by local flow address
+	nextFlow atomic.Uint64
+	done     chan struct{}
+	once     sync.Once
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Switch returns the switch the host is attached to.
+func (h *Host) Switch() *Switch { return h.sw }
+
+// Addr returns the fabric address for a service on this host.
+func (h *Host) Addr(service string) core.Addr {
+	return core.Addr{Net: "sim", Host: h.name, Addr: h.name + ":" + service}
+}
+
+// Listen binds a demultiplexing listener for the named service.
+func (h *Host) Listen(service string) (core.Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.services[service]; dup {
+		return nil, fmt.Errorf("simnet: service %q already bound on %s", service, h.name)
+	}
+	l := &svcListener{
+		host:   h,
+		addr:   h.Addr(service),
+		peers:  map[string]*hostConn{},
+		accept: make(chan *hostConn, 256),
+		closed: make(chan struct{}),
+	}
+	h.services[service] = l
+	return l, nil
+}
+
+// Dial opens a connection to a service address anywhere on the fabric.
+func (h *Host) Dial(ctx context.Context, addr core.Addr) (core.Conn, error) {
+	if addr.Net != "sim" {
+		return nil, fmt.Errorf("simnet: cannot dial %q address %s", addr.Net, addr)
+	}
+	flow := fmt.Sprintf("%s:flow%d", h.name, h.nextFlow.Add(1))
+	conn := &hostConn{
+		host:   h,
+		local:  core.Addr{Net: "sim", Host: h.name, Addr: flow},
+		remote: addr,
+		recv:   make(chan []byte, 1024),
+		closed: make(chan struct{}),
+	}
+	h.mu.Lock()
+	if h.flows == nil {
+		h.flows = map[string]*hostConn{}
+	}
+	h.flows[flow] = conn
+	h.mu.Unlock()
+	return conn, nil
+}
+
+// Dialer returns a core.Dialer for this host.
+func (h *Host) Dialer() core.Dialer {
+	return core.DialerFunc(h.Dial)
+}
+
+// send pushes a packet onto the uplink.
+func (h *Host) send(pkt Packet) {
+	h.up.send(pkt)
+}
+
+// deliver routes an arriving packet to a flow or service listener.
+func (h *Host) deliver(pkt Packet) {
+	h.mu.Lock()
+	// Outbound flow reply?
+	if conn, ok := h.flows[pkt.Dst.Addr]; ok {
+		h.mu.Unlock()
+		conn.push(pkt.Payload)
+		return
+	}
+	// Service?
+	service := ""
+	if i := len(h.name) + 1; len(pkt.Dst.Addr) > i && pkt.Dst.Addr[:i] == h.name+":" {
+		service = pkt.Dst.Addr[i:]
+	}
+	l, ok := h.services[service]
+	h.mu.Unlock()
+	if !ok {
+		return // no listener: drop
+	}
+	l.deliver(pkt)
+}
+
+func (h *Host) close() {
+	h.once.Do(func() {
+		close(h.done)
+		h.up.close()
+		h.down.close()
+		h.mu.Lock()
+		for _, l := range h.services {
+			l.closeLocked()
+		}
+		for _, c := range h.flows {
+			c.closePeer()
+		}
+		h.mu.Unlock()
+	})
+}
+
+func (h *Host) dropFlow(flow string) {
+	h.mu.Lock()
+	delete(h.flows, flow)
+	h.mu.Unlock()
+}
+
+func (h *Host) dropService(service string) {
+	h.mu.Lock()
+	delete(h.services, service)
+	h.mu.Unlock()
+}
+
+// svcListener demultiplexes arriving packets by source address.
+type svcListener struct {
+	host *Host
+	addr core.Addr
+
+	mu     sync.Mutex
+	peers  map[string]*hostConn
+	accept chan *hostConn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *svcListener) deliver(pkt Packet) {
+	key := pkt.Src.String()
+	l.mu.Lock()
+	conn, ok := l.peers[key]
+	if !ok {
+		conn = &hostConn{
+			host:     l.host,
+			local:    l.addr,
+			remote:   pkt.Src,
+			recv:     make(chan []byte, 1024),
+			closed:   make(chan struct{}),
+			listener: l,
+		}
+		l.peers[key] = conn
+		select {
+		case l.accept <- conn:
+		default:
+			delete(l.peers, key)
+			l.mu.Unlock()
+			return // accept backlog full
+		}
+	}
+	l.mu.Unlock()
+	conn.push(pkt.Payload)
+}
+
+func (l *svcListener) Accept(ctx context.Context) (core.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, core.ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *svcListener) Addr() core.Addr { return l.addr }
+
+func (l *svcListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		service := ""
+		if i := len(l.host.name) + 1; len(l.addr.Addr) > i {
+			service = l.addr.Addr[i:]
+		}
+		l.host.dropService(service)
+		l.mu.Lock()
+		for _, c := range l.peers {
+			c.closePeer()
+		}
+		l.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *svcListener) closeLocked() {
+	l.once.Do(func() {
+		close(l.closed)
+		for _, c := range l.peers {
+			c.closePeer()
+		}
+	})
+}
+
+func (l *svcListener) dropPeer(key string) {
+	l.mu.Lock()
+	delete(l.peers, key)
+	l.mu.Unlock()
+}
+
+// hostConn is a connected fabric endpoint (either a dialed flow or a
+// listener's per-peer connection).
+type hostConn struct {
+	host          *Host
+	local, remote core.Addr
+	recv          chan []byte
+	closed        chan struct{}
+	once          sync.Once
+	listener      *svcListener // nil for dialed flows
+}
+
+func (c *hostConn) push(p []byte) {
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	select {
+	case c.recv <- buf:
+	default: // receiver overrun: drop
+	}
+}
+
+func (c *hostConn) Send(ctx context.Context, p []byte) error {
+	select {
+	case <-c.closed:
+		return core.ErrClosed
+	default:
+	}
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	c.host.send(Packet{Src: c.local, Dst: c.remote, Payload: buf})
+	return nil
+}
+
+func (c *hostConn) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case p := <-c.recv:
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-c.recv:
+		return p, nil
+	case <-c.closed:
+		return nil, core.ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (c *hostConn) LocalAddr() core.Addr  { return c.local }
+func (c *hostConn) RemoteAddr() core.Addr { return c.remote }
+
+func (c *hostConn) Close() error {
+	c.once.Do(func() {
+		close(c.closed)
+		if c.listener != nil {
+			c.listener.dropPeer(c.remote.String())
+		} else {
+			c.host.dropFlow(c.local.Addr)
+		}
+	})
+	return nil
+}
+
+func (c *hostConn) closePeer() {
+	c.once.Do(func() { close(c.closed) })
+}

@@ -1,0 +1,221 @@
+package simnet
+
+import (
+	"fmt"
+	"github.com/bertha-net/bertha/internal/core"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is one match-action table entry. Actions may rewrite the packet,
+// fan it out (multicast, mirroring), or drop it (empty output).
+type Entry struct {
+	// Name identifies the entry for removal and resource accounting.
+	Name string
+	// Cost is the table space the entry consumes.
+	Cost int
+	// Priority orders evaluation; higher first. The first matching entry's
+	// action runs (single-table model).
+	Priority int
+	// Match reports whether the entry applies to the packet.
+	Match func(pkt *Packet) bool
+	// Action transforms the packet into zero or more output packets. A
+	// nil Action forwards the packet unchanged.
+	Action func(sw *Switch, pkt Packet) []Packet
+}
+
+// Switch is a store-and-forward element with a bounded match-action
+// pipeline, multicast group table, and a hardware sequencer counter —
+// the in-network offload location (the paper's Tofino/P4 slot).
+type Switch struct {
+	net      *Network
+	name     string
+	capacity int
+
+	mu      sync.Mutex
+	entries []*Entry
+	used    int
+	groups  map[string][]core.Addr
+
+	seq atomic.Uint64
+
+	inbox chan Packet
+	done  chan struct{}
+	once  sync.Once
+
+	// ForwardedPackets counts packets the switch has forwarded, for
+	// tests and the bench harness.
+	ForwardedPackets atomic.Uint64
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// Capacity returns the total and used table capacity.
+func (s *Switch) Capacity() (total, used int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity, s.used
+}
+
+// InstallEntry programs a table entry, consuming Cost units of capacity.
+// It fails when capacity is exhausted — the condition that forces
+// negotiation to fall back to software implementations.
+func (s *Switch) InstallEntry(e *Entry) error {
+	if e == nil || e.Name == "" || e.Match == nil {
+		return fmt.Errorf("simnet: invalid table entry")
+	}
+	cost := e.Cost
+	if cost <= 0 {
+		cost = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.entries {
+		if have.Name == e.Name {
+			return fmt.Errorf("simnet: entry %q already installed on %s", e.Name, s.name)
+		}
+	}
+	if s.used+cost > s.capacity {
+		return fmt.Errorf("simnet: switch %s table full (%d/%d, need %d)", s.name, s.used, s.capacity, cost)
+	}
+	s.used += cost
+	s.entries = append(s.entries, e)
+	sort.SliceStable(s.entries, func(i, j int) bool {
+		return s.entries[i].Priority > s.entries[j].Priority
+	})
+	return nil
+}
+
+// HasEntry reports whether a table entry with the given name is
+// installed.
+func (s *Switch) HasEntry(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveEntry uninstalls a table entry and releases its capacity.
+func (s *Switch) RemoveEntry(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range s.entries {
+		if e.Name == name {
+			cost := e.Cost
+			if cost <= 0 {
+				cost = 1
+			}
+			s.used -= cost
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("simnet: entry %q not installed on %s", name, s.name)
+}
+
+// AddGroup programs a multicast group: packets addressed to
+// sim://<switch>/mcast:<gid> are replicated to every member address.
+func (s *Switch) AddGroup(gid string, members []core.Addr) {
+	s.mu.Lock()
+	s.groups[gid] = append([]core.Addr(nil), members...)
+	s.mu.Unlock()
+}
+
+// RemoveGroup deletes a multicast group.
+func (s *Switch) RemoveGroup(gid string) {
+	s.mu.Lock()
+	delete(s.groups, gid)
+	s.mu.Unlock()
+}
+
+// Group returns a copy of the group membership.
+func (s *Switch) Group(gid string) []core.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.Addr(nil), s.groups[gid]...)
+}
+
+// NextSeq atomically increments and returns the switch's sequencer
+// counter — the hardware resource NOPaxos-style ordered multicast uses.
+func (s *Switch) NextSeq() uint64 { return s.seq.Add(1) }
+
+// GroupAddr returns the group's fabric address.
+func (s *Switch) GroupAddr(gid string) core.Addr {
+	return core.Addr{Net: "sim", Host: s.name, Addr: "mcast:" + gid}
+}
+
+// deliverFromHost is the ingress from host uplinks.
+func (s *Switch) deliverFromHost(pkt Packet) {
+	select {
+	case s.inbox <- pkt:
+	default: // switch buffer overrun: drop
+	}
+}
+
+func (s *Switch) forwardLoop() {
+	for {
+		select {
+		case pkt := <-s.inbox:
+			s.process(pkt)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// process runs the match-action pipeline and forwards the results.
+func (s *Switch) process(pkt Packet) {
+	s.mu.Lock()
+	var matched *Entry
+	for _, e := range s.entries {
+		if e.Match(&pkt) {
+			matched = e
+			break
+		}
+	}
+	s.mu.Unlock()
+
+	outs := []Packet{pkt}
+	if matched != nil && matched.Action != nil {
+		outs = matched.Action(s, pkt)
+	}
+	for _, out := range outs {
+		s.emit(out)
+	}
+}
+
+// emit resolves multicast groups and forwards to destination hosts.
+func (s *Switch) emit(pkt Packet) {
+	if gid, ok := groupID(pkt.Dst); ok && pkt.Dst.Host == s.name {
+		for _, member := range s.Group(gid) {
+			cp := pkt.clone()
+			cp.Dst = member
+			s.emit(cp)
+		}
+		return
+	}
+	host, ok := s.net.host(pkt.Dst.Host)
+	if !ok {
+		return // unroutable: drop
+	}
+	s.ForwardedPackets.Add(1)
+	host.down.send(pkt)
+}
+
+func groupID(a core.Addr) (string, bool) {
+	const prefix = "mcast:"
+	if len(a.Addr) > len(prefix) && a.Addr[:len(prefix)] == prefix {
+		return a.Addr[len(prefix):], true
+	}
+	return "", false
+}
+
+func (s *Switch) close() {
+	s.once.Do(func() { close(s.done) })
+}

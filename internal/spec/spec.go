@@ -1,0 +1,436 @@
+// Package spec defines the Chunnel DAG: the application's declaration of
+// which communication-oriented functions a connection endpoint uses
+// (paper §3.1, Figure 2, Table 1 "Chunnel DAG").
+//
+// A Stack is a sequence of Nodes applied outermost-first: data the
+// application sends passes through the first node, then the second, and so
+// on down to the base transport; received data travels the reverse path.
+// The Rust prototype writes this as
+//
+//	wrap!(A(arg) |> B(B::args([C(), D()])))
+//
+// which in this package is
+//
+//	spec.Seq(spec.New("A", arg), spec.Select("B", nil, spec.Seq(spec.New("C")), spec.Seq(spec.New("D"))))
+//
+// Branching and merging are performed through Select nodes whose branches
+// are themselves Stacks; the branch taken is resolved during connection
+// negotiation. Subgraphs may carry scoping constraints restricting where
+// their chunnels are implemented (§3.1, Table 1 "Scope").
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Scope constrains where a chunnel may be implemented (Table 1). Scopes are
+// ordered by breadth: a narrower requirement admits fewer locations.
+type Scope uint8
+
+// Scope values.
+const (
+	// ScopeAny places no constraint on where the chunnel runs.
+	ScopeAny Scope = iota
+	// ScopeApplication requires the implementation to run inside the
+	// application process (bertha::scope::Application).
+	ScopeApplication
+	// ScopeHost requires the implementation to run on the same host as the
+	// application (userspace, kernel datapath, or SmartNIC).
+	ScopeHost
+	// ScopeLocalNet admits in-network implementations within the local
+	// network (e.g. a top-of-rack programmable switch).
+	ScopeLocalNet
+	// ScopeGlobal admits any location, including other networks.
+	ScopeGlobal
+)
+
+// String returns the scope's name.
+func (s Scope) String() string {
+	switch s {
+	case ScopeAny:
+		return "any"
+	case ScopeApplication:
+		return "application"
+	case ScopeHost:
+		return "host"
+	case ScopeLocalNet:
+		return "localnet"
+	case ScopeGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("Scope(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether s is a defined scope.
+func (s Scope) Valid() bool { return s <= ScopeGlobal }
+
+// Endpoint declares which connection endpoints must run an implementation
+// of a chunnel for it to function (§4.2, e.g. bertha::endpoints::Both for
+// a reliability chunnel that needs logic at sender and receiver).
+type Endpoint uint8
+
+// Endpoint values.
+const (
+	// EndpointEither means one endpoint suffices (either side).
+	EndpointEither Endpoint = iota
+	// EndpointClient means the chunnel runs at the connecting side.
+	EndpointClient
+	// EndpointServer means the chunnel runs at the listening side.
+	EndpointServer
+	// EndpointBoth means both endpoints must run the chunnel.
+	EndpointBoth
+)
+
+// String returns the endpoint requirement's name.
+func (e Endpoint) String() string {
+	switch e {
+	case EndpointEither:
+		return "either"
+	case EndpointClient:
+		return "client"
+	case EndpointServer:
+		return "server"
+	case EndpointBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("Endpoint(%d)", uint8(e))
+	}
+}
+
+// Valid reports whether e is a defined endpoint requirement.
+func (e Endpoint) Valid() bool { return e <= EndpointBoth }
+
+// Node is one vertex in a Chunnel DAG: a chunnel type, its constructor
+// arguments, an optional scope constraint, and, for select nodes, the
+// candidate branches.
+type Node struct {
+	// Type is the chunnel type name, e.g. "shard" or "reliable".
+	Type string
+	// Args are the constructor arguments forwarded to whichever
+	// implementation negotiation selects (§3.1).
+	Args []wire.Value
+	// Scope constrains where this node (and, for a select node, its
+	// branches) may be implemented. ScopeAny means unconstrained.
+	Scope Scope
+	// Branches, when non-empty, makes this a select node: negotiation
+	// resolves it to exactly one branch stack (dataflow-style branching,
+	// §3.1). A plain sequence node has no branches.
+	Branches []*Stack
+}
+
+// New constructs a sequence node of the given chunnel type.
+func New(typ string, args ...wire.Value) Node {
+	return Node{Type: typ, Args: args}
+}
+
+// Select constructs a select node: a chunnel type that chooses among
+// branch stacks at negotiation time (e.g. B(B::args([C(), D()]))).
+func Select(typ string, args []wire.Value, branches ...*Stack) Node {
+	return Node{Type: typ, Args: args, Branches: branches}
+}
+
+// WithScope returns a copy of the node carrying a scope constraint.
+func (n Node) WithScope(s Scope) Node {
+	n.Scope = s
+	return n
+}
+
+// IsSelect reports whether the node has branches to resolve.
+func (n Node) IsSelect() bool { return len(n.Branches) > 0 }
+
+// Stack is a sequence of nodes applied outermost-first.
+type Stack struct {
+	Nodes []Node
+}
+
+// Seq builds a Stack from nodes in application-to-transport order, the
+// equivalent of wrap!(a |> b |> c).
+func Seq(nodes ...Node) *Stack {
+	return &Stack{Nodes: nodes}
+}
+
+// Empty reports whether the stack declares no chunnels (Listing 5's client
+// passes wrap!() and inherits the server's chunnels).
+func (s *Stack) Empty() bool { return s == nil || len(s.Nodes) == 0 }
+
+// Then appends nodes, returning the stack for chaining.
+func (s *Stack) Then(nodes ...Node) *Stack {
+	s.Nodes = append(s.Nodes, nodes...)
+	return s
+}
+
+// Types returns the distinct chunnel type names used anywhere in the
+// stack, including inside select branches, in first-appearance order.
+func (s *Stack) Types() []string {
+	if s == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	var walk func(st *Stack)
+	walk = func(st *Stack) {
+		if st == nil {
+			return
+		}
+		for _, n := range st.Nodes {
+			if !seen[n.Type] {
+				seen[n.Type] = true
+				out = append(out, n.Type)
+			}
+			for _, b := range n.Branches {
+				walk(b)
+			}
+		}
+	}
+	walk(s)
+	return out
+}
+
+// ConcreteTypes returns the chunnel types that need implementations:
+// every type in the stack except the select-node combinator types
+// themselves (their branches are included). Select types only need a
+// resolver, not an implementation.
+func (s *Stack) ConcreteTypes() []string {
+	if s == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	var walk func(st *Stack)
+	walk = func(st *Stack) {
+		if st == nil {
+			return
+		}
+		for _, n := range st.Nodes {
+			if n.IsSelect() {
+				for _, b := range n.Branches {
+					walk(b)
+				}
+				continue
+			}
+			if !seen[n.Type] {
+				seen[n.Type] = true
+				out = append(out, n.Type)
+			}
+		}
+	}
+	walk(s)
+	return out
+}
+
+// String renders the stack in wrap! notation.
+func (s *Stack) String() string {
+	if s.Empty() {
+		return "wrap!()"
+	}
+	return "wrap!(" + s.render() + ")"
+}
+
+func (s *Stack) render() string {
+	parts := make([]string, 0, len(s.Nodes))
+	for _, n := range s.Nodes {
+		parts = append(parts, n.render())
+	}
+	return strings.Join(parts, " |> ")
+}
+
+func (n Node) render() string {
+	var b strings.Builder
+	b.WriteString(n.Type)
+	if len(n.Args) > 0 || len(n.Branches) > 0 {
+		b.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		if len(n.Branches) > 0 {
+			if len(n.Args) > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteByte('[')
+			for i, br := range n.Branches {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(br.render())
+			}
+			b.WriteByte(']')
+		}
+		b.WriteByte(')')
+	}
+	if n.Scope != ScopeAny {
+		fmt.Fprintf(&b, "@%s", n.Scope)
+	}
+	return b.String()
+}
+
+// Validation errors.
+var (
+	// ErrEmptyType indicates a node without a chunnel type name.
+	ErrEmptyType = errors.New("spec: node with empty chunnel type")
+	// ErrTooDeep indicates branch nesting beyond MaxDepth.
+	ErrTooDeep = errors.New("spec: branch nesting too deep")
+	// ErrBadScope indicates an undefined scope value.
+	ErrBadScope = errors.New("spec: invalid scope")
+	// ErrEmptyBranch indicates a select node with an empty branch stack.
+	ErrEmptyBranch = errors.New("spec: select node with empty branch")
+)
+
+// MaxDepth bounds select-branch nesting. DAGs are trees by construction
+// (acyclic), so depth is the only structural hazard.
+const MaxDepth = 8
+
+// Validate checks structural well-formedness: nonempty type names, defined
+// scopes, bounded nesting, and nonempty branches.
+func (s *Stack) Validate() error {
+	return s.validate(0)
+}
+
+func (s *Stack) validate(depth int) error {
+	if s == nil {
+		return nil
+	}
+	if depth > MaxDepth {
+		return ErrTooDeep
+	}
+	for i, n := range s.Nodes {
+		if n.Type == "" {
+			return fmt.Errorf("%w (position %d)", ErrEmptyType, i)
+		}
+		if !n.Scope.Valid() {
+			return fmt.Errorf("%w: %d on %q", ErrBadScope, n.Scope, n.Type)
+		}
+		for j, b := range n.Branches {
+			if b.Empty() {
+				return fmt.Errorf("%w: %q branch %d", ErrEmptyBranch, n.Type, j)
+			}
+			if err := b.validate(depth + 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Encode appends the canonical encoding of the stack. Two structurally
+// equal stacks produce identical bytes, so negotiation compares Hash
+// values to test DAG compatibility.
+func (s *Stack) Encode(e *wire.Encoder) {
+	if s == nil {
+		e.PutLen(0)
+		return
+	}
+	e.PutLen(len(s.Nodes))
+	for _, n := range s.Nodes {
+		n.encode(e)
+	}
+}
+
+func (n Node) encode(e *wire.Encoder) {
+	e.PutString(n.Type)
+	e.PutLen(len(n.Args))
+	for _, a := range n.Args {
+		a.Encode(e)
+	}
+	e.PutUint8(uint8(n.Scope))
+	e.PutLen(len(n.Branches))
+	for _, b := range n.Branches {
+		b.Encode(e)
+	}
+}
+
+// DecodeStack reads a Stack from the decoder.
+func DecodeStack(d *wire.Decoder) *Stack {
+	return decodeStack(d, 0)
+}
+
+func decodeStack(d *wire.Decoder, depth int) *Stack {
+	if depth > MaxDepth {
+		d.Fail(ErrTooDeep)
+		return nil
+	}
+	n := d.Len()
+	if d.Err() != nil {
+		return nil
+	}
+	st := &Stack{Nodes: make([]Node, 0, n)}
+	for i := 0; i < n; i++ {
+		node := decodeNode(d, depth)
+		if d.Err() != nil {
+			return nil
+		}
+		st.Nodes = append(st.Nodes, node)
+	}
+	return st
+}
+
+func decodeNode(d *wire.Decoder, depth int) Node {
+	var n Node
+	n.Type = d.String()
+	na := d.Len()
+	if d.Err() != nil {
+		return n
+	}
+	n.Args = make([]wire.Value, 0, na)
+	for i := 0; i < na; i++ {
+		n.Args = append(n.Args, wire.DecodeValue(d))
+		if d.Err() != nil {
+			return n
+		}
+	}
+	n.Scope = Scope(d.Uint8())
+	nb := d.Len()
+	if d.Err() != nil {
+		return n
+	}
+	for i := 0; i < nb; i++ {
+		b := decodeStack(d, depth+1)
+		if d.Err() != nil {
+			return n
+		}
+		n.Branches = append(n.Branches, b)
+	}
+	return n
+}
+
+// Hash returns a stable hex digest of the stack's canonical encoding.
+func (s *Stack) Hash() string {
+	e := wire.NewEncoder(nil)
+	s.Encode(e)
+	sum := sha256.Sum256(e.Bytes())
+	return hex.EncodeToString(sum[:8])
+}
+
+// Equal reports structural equality via canonical encodings.
+func (s *Stack) Equal(o *Stack) bool {
+	ea, eb := wire.NewEncoder(nil), wire.NewEncoder(nil)
+	s.Encode(ea)
+	o.Encode(eb)
+	return string(ea.Bytes()) == string(eb.Bytes())
+}
+
+// Clone returns a deep copy of the stack.
+func (s *Stack) Clone() *Stack {
+	if s == nil {
+		return nil
+	}
+	out := &Stack{Nodes: make([]Node, len(s.Nodes))}
+	for i, n := range s.Nodes {
+		cn := Node{Type: n.Type, Scope: n.Scope}
+		cn.Args = append([]wire.Value(nil), n.Args...)
+		for _, b := range n.Branches {
+			cn.Branches = append(cn.Branches, b.Clone())
+		}
+		out.Nodes[i] = cn
+	}
+	return out
+}

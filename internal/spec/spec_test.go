@@ -1,0 +1,209 @@
+package spec
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// fig2Stack builds the DAG from paper §3.1 / Figure 2:
+// wrap!(A(arg) |> B(B::args([C(), D()]))).
+func fig2Stack() *Stack {
+	return Seq(
+		New("A", wire.Int(7)),
+		Select("B", nil, Seq(New("C")), Seq(New("D"))),
+	)
+}
+
+func TestWrapNotationRendering(t *testing.T) {
+	s := fig2Stack()
+	got := s.String()
+	want := "wrap!(A(7) |> B([C, D]))"
+	if got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+	if Seq().String() != "wrap!()" {
+		t.Errorf("empty stack renders %q", Seq().String())
+	}
+}
+
+func TestScopeRendering(t *testing.T) {
+	s := Seq(New("localfast").WithScope(ScopeHost))
+	if got := s.String(); got != "wrap!(localfast@host)" {
+		t.Errorf("scoped render: %s", got)
+	}
+}
+
+func TestTypesCollection(t *testing.T) {
+	s := fig2Stack().Then(New("A")) // duplicate A: should appear once
+	got := s.Types()
+	want := []string{"A", "B", "C", "D"}
+	if len(got) != len(want) {
+		t.Fatalf("Types() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Types()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fig2Stack().Validate(); err != nil {
+		t.Errorf("fig2 stack should validate: %v", err)
+	}
+	if err := (*Stack)(nil).Validate(); err != nil {
+		t.Errorf("nil stack should validate: %v", err)
+	}
+	if err := Seq(New("")).Validate(); !errors.Is(err, ErrEmptyType) {
+		t.Errorf("empty type: %v", err)
+	}
+	bad := Seq(New("x"))
+	bad.Nodes[0].Scope = Scope(99)
+	if err := bad.Validate(); !errors.Is(err, ErrBadScope) {
+		t.Errorf("bad scope: %v", err)
+	}
+	if err := Seq(Select("b", nil, Seq())).Validate(); !errors.Is(err, ErrEmptyBranch) {
+		t.Errorf("empty branch: %v", err)
+	}
+	deep := Seq(New("leaf"))
+	for i := 0; i < MaxDepth+2; i++ {
+		deep = Seq(Select("sel", nil, deep))
+	}
+	if err := deep.Validate(); !errors.Is(err, ErrTooDeep) {
+		t.Errorf("deep nesting: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []*Stack{
+		nil,
+		Seq(),
+		fig2Stack(),
+		Seq(New("shard", wire.List(wire.Str("s1"), wire.Str("s2")), wire.Uint(3)), New("reliable")),
+		Seq(New("x").WithScope(ScopeApplication)),
+	}
+	for _, s := range cases {
+		e := wire.NewEncoder(nil)
+		s.Encode(e)
+		d := wire.NewDecoder(e.Bytes())
+		got := DecodeStack(d)
+		if err := d.Finish(); err != nil {
+			t.Fatalf("decode %s: %v", s.String(), err)
+		}
+		if !got.Equal(s) {
+			t.Errorf("round trip %s -> %s", s, got)
+		}
+	}
+}
+
+func TestDecodeHostileInputNoPanic(t *testing.T) {
+	f := func(buf []byte) bool {
+		d := wire.NewDecoder(buf)
+		DecodeStack(d)
+		return true // must not panic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	h1 := fig2Stack().Hash()
+	h2 := fig2Stack().Hash()
+	if h1 != h2 {
+		t.Error("hash not stable across constructions")
+	}
+	if h1 == Seq(New("A", wire.Int(8))).Hash() {
+		t.Error("different args should hash differently")
+	}
+	if len(h1) != 16 {
+		t.Errorf("hash length %d", len(h1))
+	}
+}
+
+func TestEqualDistinguishesScopes(t *testing.T) {
+	a := Seq(New("x"))
+	b := Seq(New("x").WithScope(ScopeHost))
+	if a.Equal(b) {
+		t.Error("scope must participate in equality")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := fig2Stack()
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Fatal("clone not equal")
+	}
+	c.Nodes[0].Type = "Z"
+	c.Nodes[1].Branches[0].Nodes[0].Type = "Q"
+	if s.Nodes[0].Type != "A" || s.Nodes[1].Branches[0].Nodes[0].Type != "C" {
+		t.Error("clone shares storage with original")
+	}
+	if (*Stack)(nil).Clone() != nil {
+		t.Error("nil clone")
+	}
+}
+
+func TestScopeAndEndpointNames(t *testing.T) {
+	for s := ScopeAny; s <= ScopeGlobal; s++ {
+		if strings.HasPrefix(s.String(), "Scope(") || !s.Valid() {
+			t.Errorf("scope %d: %s valid=%t", s, s, s.Valid())
+		}
+	}
+	if Scope(77).Valid() || !strings.HasPrefix(Scope(77).String(), "Scope(") {
+		t.Error("invalid scope handling")
+	}
+	for e := EndpointEither; e <= EndpointBoth; e++ {
+		if strings.HasPrefix(e.String(), "Endpoint(") || !e.Valid() {
+			t.Errorf("endpoint %d: %s valid=%t", e, e, e.Valid())
+		}
+	}
+	if Endpoint(77).Valid() {
+		t.Error("invalid endpoint handling")
+	}
+}
+
+// randomStack generates an arbitrary valid stack for property testing.
+func randomStack(r *rand.Rand, depth int) *Stack {
+	n := 1 + r.Intn(3)
+	st := &Stack{}
+	for i := 0; i < n; i++ {
+		node := New(string(rune('a'+r.Intn(26))), wire.Int(int64(r.Intn(10))))
+		node.Scope = Scope(r.Intn(5))
+		if depth < 2 && r.Intn(4) == 0 {
+			node.Branches = []*Stack{randomStack(r, depth+1), randomStack(r, depth+1)}
+		}
+		st.Nodes = append(st.Nodes, node)
+	}
+	return st
+}
+
+// Property: canonical encoding round-trips and hash equality matches
+// structural equality.
+func TestQuickCanonicalEncoding(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		s := randomStack(r, 0)
+		if s.Validate() != nil {
+			return false
+		}
+		e := wire.NewEncoder(nil)
+		s.Encode(e)
+		d := wire.NewDecoder(e.Bytes())
+		got := DecodeStack(d)
+		if d.Finish() != nil || !got.Equal(s) || got.Hash() != s.Hash() {
+			return false
+		}
+		// Clone equality.
+		return s.Clone().Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

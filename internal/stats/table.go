@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders fixed-width experiment output: a header row, aligned
+// columns, and an optional title. It exists so every experiment in
+// cmd/bertha-bench prints rows in the same shape the paper's plots report.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Cells are formatted with %v; float64 cells are
+// rendered with one decimal place.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the formatted rows added so far.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	var hdr strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			hdr.WriteString("  ")
+		}
+		fmt.Fprintf(&hdr, "%-*s", widths[i], c)
+	}
+	fmt.Fprintln(w, hdr.String())
+	fmt.Fprintln(w, strings.Repeat("-", len(hdr.String())))
+	for _, row := range t.rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			width := len(cell)
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width, cell)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// BoxplotRow formats a Summary as table cells: n, p5, p25, p50, p75, p95.
+func BoxplotRow(label string, s Summary) []any {
+	return []any{label, s.Count, s.P5, s.P25, s.P50, s.P75, s.P95}
+}

@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// MultiDialer routes Dial calls by address network ("udp", "unix",
+// "pipe", "sim"). The runtime installs one in each endpoint's Env so
+// chunnel implementations can open connections on whichever transport an
+// address names — the local fast-path chunnel, for example, dials the
+// server's "unix" address when the hosts match.
+type MultiDialer struct {
+	// HostID labels connections opened by this dialer.
+	HostID string
+	// Pipe, when set, serves "pipe" addresses.
+	Pipe *PipeNetwork
+	// Extra maps additional network names to dialers (e.g. "sim").
+	Extra map[string]core.Dialer
+}
+
+// Dial implements core.Dialer.
+func (m *MultiDialer) Dial(ctx context.Context, addr core.Addr) (core.Conn, error) {
+	switch addr.Net {
+	case "udp":
+		return DialUDP(m.HostID, addr.Addr)
+	case "unix":
+		return DialUnix(m.HostID, addr.Addr)
+	case "pipe":
+		if m.Pipe == nil {
+			return nil, fmt.Errorf("transport: no pipe network configured")
+		}
+		return m.Pipe.DialFrom(ctx, m.HostID, addr)
+	default:
+		if d, ok := m.Extra[addr.Net]; ok {
+			return d.Dial(ctx, addr)
+		}
+		return nil, fmt.Errorf("transport: unknown network %q in %s", addr.Net, addr)
+	}
+}

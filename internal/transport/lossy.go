@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// LossConfig parameterizes an adversarial link for testing chunnels:
+// probabilistic drops, duplications, reordering delays, and a fixed base
+// latency. A zero config passes traffic through unchanged.
+type LossConfig struct {
+	// Seed makes the schedule deterministic.
+	Seed int64
+	// DropProb is the probability a sent message is silently dropped.
+	DropProb float64
+	// DupProb is the probability a sent message is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a message is delayed by ReorderDelay,
+	// letting later messages overtake it.
+	ReorderProb float64
+	// ReorderDelay is the extra delay applied to reordered messages.
+	ReorderDelay time.Duration
+	// Latency is a fixed delay applied to every delivered message.
+	Latency time.Duration
+}
+
+// Lossy wraps conn's send path with the configured adversarial behaviour.
+// Receives are unaffected (wrap both ends to perturb both directions).
+func Lossy(conn core.Conn, cfg LossConfig) core.Conn {
+	return &lossyConn{
+		Conn: conn,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+type lossyConn struct {
+	core.Conn
+	cfg LossConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (l *lossyConn) Send(ctx context.Context, p []byte) error {
+	l.mu.Lock()
+	drop := l.rng.Float64() < l.cfg.DropProb
+	dup := l.rng.Float64() < l.cfg.DupProb
+	reorder := l.rng.Float64() < l.cfg.ReorderProb
+	l.mu.Unlock()
+
+	if drop {
+		return nil // silently dropped
+	}
+	deliver := func(delay time.Duration, msg []byte) {
+		if delay > 0 {
+			buf := make([]byte, len(msg))
+			copy(buf, msg)
+			time.AfterFunc(delay, func() {
+				// Best effort: late delivery on a closed conn is lost.
+				_ = l.Conn.Send(context.Background(), buf)
+			})
+			return
+		}
+		_ = l.Conn.Send(ctx, msg)
+	}
+	delay := l.cfg.Latency
+	if reorder {
+		delay += l.cfg.ReorderDelay
+	}
+	if delay > 0 {
+		deliver(delay, p)
+	} else if err := l.Conn.Send(ctx, p); err != nil {
+		return err
+	}
+	if dup {
+		deliver(delay, p)
+	}
+	return nil
+}

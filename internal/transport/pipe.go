@@ -1,0 +1,218 @@
+// Package transport provides the base connections Bertha chunnel stacks
+// compose over: in-process pipes, UDP sockets, UNIX datagram sockets, a
+// peer-demultiplexing datagram listener, and a lossy wrapper for testing
+// chunnels under adverse network schedules.
+//
+// All transports implement core.Conn with datagram semantics: one Send is
+// one Recv, message boundaries preserved.
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// DefaultPipeCapacity is the per-direction buffered message capacity of an
+// in-process pipe.
+const DefaultPipeCapacity = 256
+
+// pipeHalf is one direction of an in-process pipe connection.
+type pipeHalf struct {
+	local, remote core.Addr
+	send          chan []byte
+	recv          chan []byte
+
+	closeOnce  sync.Once
+	closed     chan struct{} // closed when *this* half is closed
+	peerClosed chan struct{} // closed when the peer half is closed
+}
+
+// Pipe returns a connected in-process pair: what one side sends, the other
+// receives. Each direction buffers up to capacity messages (Send blocks
+// when full). Payloads are copied on Send, so callers may reuse buffers.
+func Pipe(a, b core.Addr, capacity int) (core.Conn, core.Conn) {
+	if capacity <= 0 {
+		capacity = DefaultPipeCapacity
+	}
+	ab := make(chan []byte, capacity)
+	ba := make(chan []byte, capacity)
+	ca := make(chan struct{})
+	cb := make(chan struct{})
+	x := &pipeHalf{local: a, remote: b, send: ab, recv: ba, closed: ca, peerClosed: cb}
+	y := &pipeHalf{local: b, remote: a, send: ba, recv: ab, closed: cb, peerClosed: ca}
+	return x, y
+}
+
+// Send implements core.Conn.
+func (p *pipeHalf) Send(ctx context.Context, b []byte) error {
+	buf := make([]byte, len(b))
+	copy(buf, b)
+	// Fail fast on a known-closed pipe so Send after Close is
+	// deterministic even when buffer space remains.
+	select {
+	case <-p.closed:
+		return core.ErrClosed
+	case <-p.peerClosed:
+		return core.ErrClosed
+	default:
+	}
+	select {
+	case <-p.closed:
+		return core.ErrClosed
+	case <-p.peerClosed:
+		return core.ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	case p.send <- buf:
+		return nil
+	}
+}
+
+// Recv implements core.Conn.
+func (p *pipeHalf) Recv(ctx context.Context) ([]byte, error) {
+	// Drain buffered messages even after close so no data is lost, but
+	// fail once both the buffer is empty and a side is closed.
+	select {
+	case b := <-p.recv:
+		return b, nil
+	default:
+	}
+	select {
+	case b := <-p.recv:
+		return b, nil
+	case <-p.closed:
+		return nil, core.ErrClosed
+	case <-p.peerClosed:
+		// Peer closed: deliver anything still buffered.
+		select {
+		case b := <-p.recv:
+			return b, nil
+		default:
+			return nil, core.ErrClosed
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// LocalAddr implements core.Conn.
+func (p *pipeHalf) LocalAddr() core.Addr { return p.local }
+
+// RemoteAddr implements core.Conn.
+func (p *pipeHalf) RemoteAddr() core.Addr { return p.remote }
+
+// Close implements core.Conn.
+func (p *pipeHalf) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
+	return nil
+}
+
+// PipeNetwork is an in-process datagram "network": named listeners on
+// virtual hosts, with Dial connecting a fresh pipe to a listener. It lets
+// a single test process stand in for multiple hosts (addresses carry a
+// host identity for locality decisions).
+type PipeNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*pipeListener // key: addr string
+	nextPort  int
+	capacity  int
+}
+
+// NewPipeNetwork returns an empty in-process network.
+func NewPipeNetwork() *PipeNetwork {
+	return &PipeNetwork{listeners: make(map[string]*pipeListener), capacity: DefaultPipeCapacity}
+}
+
+// Listen binds a listener at the given virtual host and address name.
+func (n *PipeNetwork) Listen(host, name string) (core.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[name]; exists {
+		return nil, fmt.Errorf("transport: pipe address %q already bound", name)
+	}
+	l := &pipeListener{
+		net:    n,
+		addr:   core.Addr{Net: "pipe", Host: host, Addr: name},
+		accept: make(chan core.Conn, 64),
+		closed: make(chan struct{}),
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Dial connects to a listener in this network. The caller's host identity
+// is taken from the dialing address when provided via DialFrom; plain Dial
+// uses an anonymous host.
+func (n *PipeNetwork) Dial(ctx context.Context, addr core.Addr) (core.Conn, error) {
+	return n.DialFrom(ctx, "", addr)
+}
+
+// DialFrom connects to a listener, labeling the client side with the given
+// host identity (so host-locality checks reflect the virtual topology).
+func (n *PipeNetwork) DialFrom(ctx context.Context, fromHost string, addr core.Addr) (core.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr.Addr]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: no pipe listener at %q", addr.Addr)
+	}
+	n.nextPort++
+	port := n.nextPort
+	capacity := n.capacity
+	n.mu.Unlock()
+
+	clientAddr := core.Addr{Net: "pipe", Host: fromHost, Addr: fmt.Sprintf("%s#%d", addr.Addr, port)}
+	cliConn, srvConn := Pipe(clientAddr, l.addr, capacity)
+	select {
+	case l.accept <- srvConn:
+		return cliConn, nil
+	case <-l.closed:
+		cliConn.Close()
+		return nil, core.ErrClosed
+	case <-ctx.Done():
+		cliConn.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// Dialer returns a core.Dialer dialing into this network from the given
+// host identity.
+func (n *PipeNetwork) Dialer(fromHost string) core.Dialer {
+	return core.DialerFunc(func(ctx context.Context, addr core.Addr) (core.Conn, error) {
+		return n.DialFrom(ctx, fromHost, addr)
+	})
+}
+
+type pipeListener struct {
+	net    *PipeNetwork
+	addr   core.Addr
+	accept chan core.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *pipeListener) Accept(ctx context.Context) (core.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, core.ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *pipeListener) Addr() core.Addr { return l.addr }
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr.Addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}

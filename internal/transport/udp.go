@@ -1,0 +1,316 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// MaxDatagram is the largest message the socket transports accept. It
+// stays under the UDP payload ceiling with headroom for chunnel headers.
+const MaxDatagram = 60000
+
+// recvQueueLen is the per-peer buffered message capacity of a demuxing
+// listener before packets are dropped (datagram semantics: drops are
+// legal and the reliability chunnel recovers them).
+const recvQueueLen = 1024
+
+// packetConn abstracts net.UDPConn and net.UnixConn for the shared
+// demultiplexing listener.
+type packetConn interface {
+	ReadFrom(b []byte) (int, net.Addr, error)
+	WriteTo(b []byte, addr net.Addr) (int, error)
+	Close() error
+	LocalAddr() net.Addr
+	SetReadDeadline(t time.Time) error
+}
+
+// ListenUDP binds a demultiplexing datagram listener on bind (e.g.
+// "127.0.0.1:0"). hostID labels the listener's host for locality checks.
+func ListenUDP(hostID, bind string) (core.Listener, error) {
+	laddr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+	}
+	pc, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %q: %w", bind, err)
+	}
+	addr := core.Addr{Net: "udp", Host: hostID, Addr: pc.LocalAddr().String()}
+	return newDemuxListener(pc, addr), nil
+}
+
+// DialUDP opens a connected datagram connection to raddr.
+func DialUDP(hostID, raddr string) (core.Conn, error) {
+	ua, err := net.ResolveUDPAddr("udp", raddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", raddr, err)
+	}
+	uc, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial udp %q: %w", raddr, err)
+	}
+	return &socketConn{
+		conn:   uc,
+		local:  core.Addr{Net: "udp", Host: hostID, Addr: uc.LocalAddr().String()},
+		remote: core.Addr{Net: "udp", Host: "", Addr: raddr},
+	}, nil
+}
+
+// socketConn adapts a connected net datagram socket to core.Conn.
+type socketConn struct {
+	conn          net.Conn
+	local, remote core.Addr
+	closeOnce     sync.Once
+	closeErr      error
+}
+
+func (s *socketConn) Send(ctx context.Context, p []byte) error {
+	if len(p) > MaxDatagram {
+		return fmt.Errorf("%w: %d bytes", core.ErrMessageTooLarge, len(p))
+	}
+	if d, ok := ctx.Deadline(); ok {
+		s.conn.SetWriteDeadline(d)
+		defer s.conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := s.conn.Write(p)
+	if err != nil && isClosedErr(err) {
+		return core.ErrClosed
+	}
+	return err
+}
+
+func (s *socketConn) Recv(ctx context.Context) ([]byte, error) {
+	buf := make([]byte, MaxDatagram+1)
+	stop := ctxDeadline(ctx, s.conn.SetReadDeadline)
+	defer stop()
+	for {
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if isClosedErr(err) {
+				return nil, core.ErrClosed
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// The socket deadline mirrors the context deadline and can
+				// fire a hair earlier; report the context's error.
+				if _, hasDeadline := ctx.Deadline(); hasDeadline {
+					return nil, context.DeadlineExceeded
+				}
+				continue // stale deadline from an earlier context
+			}
+			return nil, err
+		}
+		out := make([]byte, n)
+		copy(out, buf[:n])
+		return out, nil
+	}
+}
+
+func (s *socketConn) LocalAddr() core.Addr  { return s.local }
+func (s *socketConn) RemoteAddr() core.Addr { return s.remote }
+
+func (s *socketConn) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.conn.Close() })
+	return s.closeErr
+}
+
+// ctxDeadline propagates context cancellation into a deadline-based socket
+// API: it sets an immediate deadline when ctx is done. The returned stop
+// function must be deferred.
+func ctxDeadline(ctx context.Context, set func(time.Time) error) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	if d, ok := ctx.Deadline(); ok {
+		set(d)
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			set(time.Unix(1, 0)) // immediate timeout unblocks the read
+		case <-done:
+		}
+	}()
+	return func() {
+		close(done)
+		set(time.Time{})
+	}
+}
+
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrClosed)
+}
+
+// demuxListener demultiplexes one datagram socket into per-peer core.Conns
+// keyed by source address: the datagram analog of accept().
+type demuxListener struct {
+	pc   packetConn
+	addr core.Addr
+
+	mu     sync.Mutex
+	peers  map[string]*demuxConn
+	accept chan *demuxConn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newDemuxListener(pc packetConn, addr core.Addr) *demuxListener {
+	l := &demuxListener{
+		pc:     pc,
+		addr:   addr,
+		peers:  make(map[string]*demuxConn),
+		accept: make(chan *demuxConn, 128),
+		closed: make(chan struct{}),
+	}
+	go l.readLoop()
+	return l
+}
+
+func (l *demuxListener) readLoop() {
+	buf := make([]byte, MaxDatagram+1)
+	for {
+		n, from, err := l.pc.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-l.closed:
+				return
+			default:
+			}
+			if isClosedErr(err) {
+				l.Close()
+				return
+			}
+			continue // transient error (e.g. ICMP-induced)
+		}
+		key := from.String()
+		msg := make([]byte, n)
+		copy(msg, buf[:n])
+
+		l.mu.Lock()
+		peer, ok := l.peers[key]
+		if !ok {
+			peer = &demuxConn{
+				l:      l,
+				peer:   from,
+				local:  l.addr,
+				remote: core.Addr{Net: l.addr.Net, Addr: key},
+				recv:   make(chan []byte, recvQueueLen),
+				closed: make(chan struct{}),
+			}
+			l.peers[key] = peer
+			select {
+			case l.accept <- peer:
+			default:
+				// Accept backlog full: drop the peer (client retries).
+				delete(l.peers, key)
+				l.mu.Unlock()
+				continue
+			}
+		}
+		l.mu.Unlock()
+
+		select {
+		case peer.recv <- msg:
+		default:
+			// Per-peer queue full: drop (datagram semantics).
+		}
+	}
+}
+
+func (l *demuxListener) Accept(ctx context.Context) (core.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, core.ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *demuxListener) Addr() core.Addr { return l.addr }
+
+func (l *demuxListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.pc.Close()
+		l.mu.Lock()
+		for _, p := range l.peers {
+			p.closePeer()
+		}
+		l.mu.Unlock()
+	})
+	return nil
+}
+
+// demuxConn is the per-peer connection handed out by a demuxListener.
+type demuxConn struct {
+	l             *demuxListener
+	peer          net.Addr
+	local, remote core.Addr
+	recv          chan []byte
+	closed        chan struct{}
+	once          sync.Once
+}
+
+func (c *demuxConn) Send(ctx context.Context, p []byte) error {
+	if len(p) > MaxDatagram {
+		return fmt.Errorf("%w: %d bytes", core.ErrMessageTooLarge, len(p))
+	}
+	select {
+	case <-c.closed:
+		return core.ErrClosed
+	default:
+	}
+	_, err := c.l.pc.WriteTo(p, c.peer)
+	if err != nil && isClosedErr(err) {
+		return core.ErrClosed
+	}
+	return err
+}
+
+func (c *demuxConn) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case m := <-c.recv:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-c.recv:
+		return m, nil
+	case <-c.closed:
+		return nil, core.ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (c *demuxConn) LocalAddr() core.Addr  { return c.local }
+func (c *demuxConn) RemoteAddr() core.Addr { return c.remote }
+
+// Close detaches the peer connection from the listener. The listener's
+// socket stays open for other peers.
+func (c *demuxConn) Close() error {
+	c.once.Do(func() {
+		close(c.closed)
+		c.l.mu.Lock()
+		delete(c.l.peers, c.peer.String())
+		c.l.mu.Unlock()
+	})
+	return nil
+}
+
+// closePeer closes the conn on listener shutdown without re-locking.
+func (c *demuxConn) closePeer() {
+	c.once.Do(func() { close(c.closed) })
+}

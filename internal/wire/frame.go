@@ -1,0 +1,84 @@
+// Stream framing: length-prefixed message frames over an io.ReadWriter.
+//
+// Datagram transports carry one message per datagram and do not need
+// framing; stream transports (UNIX stream sockets, TCP used as a substrate)
+// use FrameWriter/FrameReader to delimit messages.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxFrameLen bounds the size of a single frame.
+const MaxFrameLen = 16 << 20 // 16 MiB
+
+// FrameWriter writes length-prefixed frames to an io.Writer. It is safe for
+// concurrent use.
+type FrameWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	hdr [4]byte
+}
+
+// NewFrameWriter returns a FrameWriter writing to w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// WriteFrame writes one frame containing p. It performs exactly two Write
+// calls (header then payload) under a mutex so concurrent frames do not
+// interleave.
+func (fw *FrameWriter) WriteFrame(p []byte) error {
+	if len(p) > MaxFrameLen {
+		return fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, len(p))
+	}
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	binary.LittleEndian.PutUint32(fw.hdr[:], uint32(len(p)))
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	if _, err := fw.w.Write(p); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// FrameReader reads length-prefixed frames from an io.Reader. It is not
+// safe for concurrent use.
+type FrameReader struct {
+	r   io.Reader
+	hdr [4]byte
+	buf []byte
+}
+
+// NewFrameReader returns a FrameReader reading from r.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// ReadFrame reads the next frame. The returned slice is owned by the
+// FrameReader and is invalidated by the next call; copy it if it must
+// outlive the call.
+func (fr *FrameReader) ReadFrame() ([]byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return nil, err // propagate io.EOF unwrapped for clean shutdown
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[:])
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return fr.buf, nil
+}

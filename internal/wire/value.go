@@ -1,0 +1,342 @@
+// Tagged value union used for chunnel arguments and discovery metadata.
+//
+// Chunnel arguments must cross the wire during negotiation (the runtime
+// "forwards any arguments provided for a Chunnel type to the selected
+// implementation", §3.1), so they are restricted to a small set of
+// serializable shapes. Opaque Go values (e.g. arbitrary closures) cannot be
+// negotiated to a remote or offloaded implementation; chunnels that accept
+// them must declare host-fallback-only behaviour for such arguments.
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind tags a Value's dynamic type.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNil Kind = iota
+	KindBool
+	KindInt
+	KindUint
+	KindFloat
+	KindString
+	KindBytes
+	KindList
+	KindMap
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindUint:
+		return "uint"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindList:
+		return "list"
+	case KindMap:
+		return "map"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a serializable tagged union. The zero Value is the nil value.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	u    uint64
+	f    float64
+	s    string
+	bs   []byte
+	list []Value
+	m    map[string]Value
+}
+
+// Constructors.
+
+// Nil returns the nil Value.
+func Nil() Value { return Value{} }
+
+// Bool wraps a boolean.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Int wraps a signed integer.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Uint wraps an unsigned integer.
+func Uint(v uint64) Value { return Value{kind: KindUint, u: v} }
+
+// Float wraps a float64.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str wraps a string.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// BytesVal wraps a byte slice. The Value aliases v.
+func BytesVal(v []byte) Value { return Value{kind: KindBytes, bs: v} }
+
+// List wraps a list of Values. The Value aliases vs.
+func List(vs ...Value) Value { return Value{kind: KindList, list: vs} }
+
+// Map wraps a string-keyed map of Values. The Value aliases m.
+func Map(m map[string]Value) Value { return Value{kind: KindMap, m: m} }
+
+// Accessors. Each returns the wrapped value and whether the kind matched.
+
+// Kind returns the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether the value is the nil value.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// AsBool returns the boolean, or false if the kind differs.
+func (v Value) AsBool() (bool, bool) { return v.b, v.kind == KindBool }
+
+// AsInt returns the signed integer. A KindUint value in int64 range also
+// converts.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindUint:
+		if v.u <= 1<<63-1 {
+			return int64(v.u), true
+		}
+	}
+	return 0, false
+}
+
+// AsUint returns the unsigned integer. A non-negative KindInt also converts.
+func (v Value) AsUint() (uint64, bool) {
+	switch v.kind {
+	case KindUint:
+		return v.u, true
+	case KindInt:
+		if v.i >= 0 {
+			return uint64(v.i), true
+		}
+	}
+	return 0, false
+}
+
+// AsFloat returns the float64, or 0 if the kind differs.
+func (v Value) AsFloat() (float64, bool) { return v.f, v.kind == KindFloat }
+
+// AsString returns the string, or "" if the kind differs.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsBytes returns the byte slice, or nil if the kind differs.
+func (v Value) AsBytes() ([]byte, bool) { return v.bs, v.kind == KindBytes }
+
+// AsList returns the element slice, or nil if the kind differs.
+func (v Value) AsList() ([]Value, bool) { return v.list, v.kind == KindList }
+
+// AsMap returns the map, or nil if the kind differs.
+func (v Value) AsMap() (map[string]Value, bool) { return v.m, v.kind == KindMap }
+
+// Equal reports deep equality of two Values.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNil:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindInt:
+		return v.i == o.i
+	case KindUint:
+		return v.u == o.u
+	case KindFloat:
+		return v.f == o.f // NaN != NaN, matching float semantics
+	case KindString:
+		return v.s == o.s
+	case KindBytes:
+		return string(v.bs) == string(o.bs)
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindMap:
+		if len(v.m) != len(o.m) {
+			return false
+		}
+		for k, a := range v.m {
+			b, ok := o.m[k]
+			if !ok || !a.Equal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the value for debugging.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "nil"
+	case KindBool:
+		return fmt.Sprintf("%t", v.b)
+	case KindInt:
+		return fmt.Sprintf("%d", v.i)
+	case KindUint:
+		return fmt.Sprintf("%du", v.u)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.f)
+	case KindString:
+		return fmt.Sprintf("%q", v.s)
+	case KindBytes:
+		return fmt.Sprintf("0x%x", v.bs)
+	case KindList:
+		s := "["
+		for i, e := range v.list {
+			if i > 0 {
+				s += ", "
+			}
+			s += e.String()
+		}
+		return s + "]"
+	case KindMap:
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s := "{"
+		for i, k := range keys {
+			if i > 0 {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s: %s", k, v.m[k])
+		}
+		return s + "}"
+	}
+	return "?"
+}
+
+// maxValueDepth bounds nesting when decoding to prevent stack exhaustion
+// from hostile input.
+const maxValueDepth = 32
+
+// Encode appends the value to the encoder.
+func (v Value) Encode(e *Encoder) {
+	e.PutUint8(uint8(v.kind))
+	switch v.kind {
+	case KindNil:
+	case KindBool:
+		e.PutBool(v.b)
+	case KindInt:
+		e.PutVarint(v.i)
+	case KindUint:
+		e.PutUvarint(v.u)
+	case KindFloat:
+		e.PutFloat64(v.f)
+	case KindString:
+		e.PutString(v.s)
+	case KindBytes:
+		e.PutBytes(v.bs)
+	case KindList:
+		e.PutLen(len(v.list))
+		for _, el := range v.list {
+			el.Encode(e)
+		}
+	case KindMap:
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // canonical order: negotiation hashes encodings
+		e.PutLen(len(keys))
+		for _, k := range keys {
+			e.PutString(k)
+			v.m[k].Encode(e)
+		}
+	}
+}
+
+// DecodeValue reads one Value from the decoder.
+func DecodeValue(d *Decoder) Value {
+	return decodeValue(d, 0)
+}
+
+func decodeValue(d *Decoder, depth int) Value {
+	if depth > maxValueDepth {
+		d.fail(fmt.Errorf("%w: value nesting exceeds %d", ErrTooLarge, maxValueDepth))
+		return Value{}
+	}
+	k := Kind(d.Uint8())
+	if d.err != nil {
+		return Value{}
+	}
+	switch k {
+	case KindNil:
+		return Nil()
+	case KindBool:
+		return Bool(d.Bool())
+	case KindInt:
+		return Int(d.Varint())
+	case KindUint:
+		return Uint(d.Uvarint())
+	case KindFloat:
+		return Float(d.Float64())
+	case KindString:
+		return Str(string(d.Bytes()))
+	case KindBytes:
+		return BytesVal(d.BytesCopy())
+	case KindList:
+		n := d.Len()
+		if d.err != nil {
+			return Value{}
+		}
+		vs := make([]Value, 0, n)
+		for i := 0; i < n; i++ {
+			vs = append(vs, decodeValue(d, depth+1))
+			if d.err != nil {
+				return Value{}
+			}
+		}
+		return List(vs...)
+	case KindMap:
+		n := d.Len()
+		if d.err != nil {
+			return Value{}
+		}
+		m := make(map[string]Value, n)
+		for i := 0; i < n; i++ {
+			key := string(d.Bytes())
+			m[key] = decodeValue(d, depth+1)
+			if d.err != nil {
+				return Value{}
+			}
+		}
+		return Map(m)
+	default:
+		d.fail(fmt.Errorf("wire: unknown value kind %d", k))
+		return Value{}
+	}
+}

@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripValue(t *testing.T, v Value) Value {
+	t.Helper()
+	e := NewEncoder(nil)
+	v.Encode(e)
+	d := NewDecoder(e.Bytes())
+	got := DecodeValue(d)
+	if err := d.Finish(); err != nil {
+		t.Fatalf("decode %s: %v", v, err)
+	}
+	return got
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	cases := []Value{
+		Nil(),
+		Bool(true),
+		Bool(false),
+		Int(-42),
+		Int(math.MaxInt64),
+		Uint(math.MaxUint64),
+		Float(2.5),
+		Str("chunnel"),
+		Str(""),
+		BytesVal([]byte{0, 1, 2}),
+		BytesVal(nil),
+		List(),
+		List(Int(1), Str("two"), List(Bool(true))),
+		Map(nil),
+		Map(map[string]Value{"a": Int(1), "b": List(Str("x"))}),
+	}
+	for _, v := range cases {
+		got := roundTripValue(t, v)
+		if !got.Equal(v) {
+			t.Errorf("round trip %s: got %s", v, got)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if v, ok := Int(-5).AsInt(); !ok || v != -5 {
+		t.Error("AsInt on Int")
+	}
+	if v, ok := Uint(5).AsInt(); !ok || v != 5 {
+		t.Error("AsInt on small Uint should convert")
+	}
+	if _, ok := Uint(math.MaxUint64).AsInt(); ok {
+		t.Error("AsInt on huge Uint should fail")
+	}
+	if v, ok := Int(7).AsUint(); !ok || v != 7 {
+		t.Error("AsUint on non-negative Int should convert")
+	}
+	if _, ok := Int(-1).AsUint(); ok {
+		t.Error("AsUint on negative Int should fail")
+	}
+	if _, ok := Str("x").AsInt(); ok {
+		t.Error("AsInt on Str should fail")
+	}
+	if !Nil().IsNil() || Int(0).IsNil() {
+		t.Error("IsNil")
+	}
+	if s, ok := Str("hi").AsString(); !ok || s != "hi" {
+		t.Error("AsString")
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Error("AsBool")
+	}
+	if f, ok := Float(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Error("AsFloat")
+	}
+	if l, ok := List(Int(1)).AsList(); !ok || len(l) != 1 {
+		t.Error("AsList")
+	}
+	if m, ok := Map(map[string]Value{"k": Nil()}).AsMap(); !ok || len(m) != 1 {
+		t.Error("AsMap")
+	}
+	if b, ok := BytesVal([]byte{9}).AsBytes(); !ok || b[0] != 9 {
+		t.Error("AsBytes")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if Int(1).Equal(Uint(1)) {
+		t.Error("Int(1) should not Equal Uint(1): kinds differ")
+	}
+	if !List(Int(1)).Equal(List(Int(1))) {
+		t.Error("equal lists")
+	}
+	if List(Int(1)).Equal(List(Int(2))) {
+		t.Error("unequal lists")
+	}
+	if List(Int(1)).Equal(List(Int(1), Int(2))) {
+		t.Error("length mismatch")
+	}
+	a := Map(map[string]Value{"x": Int(1)})
+	b := Map(map[string]Value{"x": Int(1)})
+	c := Map(map[string]Value{"y": Int(1)})
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("map equality")
+	}
+	nan := Float(math.NaN())
+	if nan.Equal(nan) {
+		t.Error("NaN must not equal NaN (float semantics)")
+	}
+}
+
+// TestValueCanonicalEncoding checks that map encoding is deterministic
+// (sorted keys) so negotiation can hash encoded specs.
+func TestValueCanonicalEncoding(t *testing.T) {
+	mk := func() Value {
+		m := map[string]Value{}
+		for i := 0; i < 20; i++ {
+			m[strings.Repeat("k", i+1)] = Int(int64(i))
+		}
+		return Map(m)
+	}
+	e1 := NewEncoder(nil)
+	mk().Encode(e1)
+	for trial := 0; trial < 10; trial++ {
+		e2 := NewEncoder(nil)
+		mk().Encode(e2)
+		if string(e1.Bytes()) != string(e2.Bytes()) {
+			t.Fatal("map encoding is not canonical across iterations")
+		}
+	}
+}
+
+func TestValueDepthLimit(t *testing.T) {
+	v := Int(0)
+	for i := 0; i < maxValueDepth+5; i++ {
+		v = List(v)
+	}
+	e := NewEncoder(nil)
+	v.Encode(e)
+	d := NewDecoder(e.Bytes())
+	DecodeValue(d)
+	if d.Err() == nil {
+		t.Error("expected depth-limit error decoding deeply nested value")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	v := Map(map[string]Value{
+		"b": List(Int(1), Str("x")),
+		"a": Bool(true),
+	})
+	got := v.String()
+	want := `{a: true, b: [1, "x"]}`
+	if got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+	if Uint(3).String() != "3u" {
+		t.Errorf("Uint String: %s", Uint(3).String())
+	}
+	if BytesVal([]byte{0xAB}).String() != "0xab" {
+		t.Errorf("Bytes String: %s", BytesVal([]byte{0xAB}).String())
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should render")
+	}
+	for k := KindNil; k <= KindMap; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d missing name", k)
+		}
+	}
+}
+
+// randomValue builds an arbitrary Value for property testing.
+func randomValue(r *rand.Rand, depth int) Value {
+	max := 9
+	if depth > 3 {
+		max = 7 // no containers below depth 3
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Nil()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63() - r.Int63())
+	case 3:
+		return Uint(r.Uint64())
+	case 4:
+		return Float(r.NormFloat64())
+	case 5:
+		b := make([]byte, r.Intn(16))
+		r.Read(b)
+		return Str(string(b))
+	case 6:
+		b := make([]byte, r.Intn(16))
+		r.Read(b)
+		return BytesVal(b)
+	case 7:
+		n := r.Intn(4)
+		vs := make([]Value, n)
+		for i := range vs {
+			vs[i] = randomValue(r, depth+1)
+		}
+		return List(vs...)
+	default:
+		n := r.Intn(4)
+		m := make(map[string]Value, n)
+		for i := 0; i < n; i++ {
+			m[string(rune('a'+i))] = randomValue(r, depth+1)
+		}
+		return Map(m)
+	}
+}
+
+func TestQuickValueRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		v := randomValue(r, 0)
+		e := NewEncoder(nil)
+		v.Encode(e)
+		d := NewDecoder(e.Bytes())
+		got := DecodeValue(d)
+		if d.Finish() != nil {
+			return false
+		}
+		return got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package wire implements the compact binary codec used by Bertha for
+// negotiation messages, discovery messages, and the serialization chunnel.
+//
+// The encoding is little-endian with unsigned varints for lengths and
+// zig-zag varints for signed integers, similar in spirit to the bincode
+// format used by the paper's Rust prototype. It is deliberately simple:
+// fixed-width for floats, varint for integers, length-prefixed for strings,
+// byte slices, and collections.
+//
+// Encoder and Decoder are allocation-conscious: an Encoder appends into a
+// caller-reusable buffer and a Decoder reads from a caller-provided slice
+// without copying (ReadBytes aliases the input; use ReadBytesCopy when the
+// input buffer will be reused).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec errors.
+var (
+	// ErrShortBuffer indicates the decoder ran out of input mid-value.
+	ErrShortBuffer = errors.New("wire: short buffer")
+	// ErrOverflow indicates a varint did not terminate within 10 bytes or
+	// exceeded the target type's range.
+	ErrOverflow = errors.New("wire: varint overflow")
+	// ErrTooLarge indicates a length prefix exceeded the decoder's limit.
+	ErrTooLarge = errors.New("wire: length exceeds limit")
+	// ErrTrailingBytes is returned by Decoder.Finish when input remains.
+	ErrTrailingBytes = errors.New("wire: trailing bytes")
+)
+
+// MaxElementLen bounds any single length-prefixed element (string, byte
+// slice, or collection count) a Decoder will accept. It protects against
+// hostile length prefixes causing huge allocations.
+const MaxElementLen = 64 << 20 // 64 MiB
+
+// Encoder appends values to a byte buffer. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder that appends to buf (which may be nil).
+// Passing a previously returned Bytes() slice allows buffer reuse.
+func NewEncoder(buf []byte) *Encoder {
+	return &Encoder{buf: buf[:0]}
+}
+
+// Bytes returns the encoded buffer. The slice is owned by the Encoder and
+// is invalidated by the next Put call or Reset.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the encoded contents, retaining the buffer capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutUvarint appends an unsigned varint.
+func (e *Encoder) PutUvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// PutVarint appends a zig-zag-encoded signed varint.
+func (e *Encoder) PutVarint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// PutUint8 appends a single byte.
+func (e *Encoder) PutUint8(v uint8) { e.buf = append(e.buf, v) }
+
+// PutBool appends a boolean as one byte (0 or 1).
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutUint16 appends a fixed-width little-endian uint16.
+func (e *Encoder) PutUint16(v uint16) {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
+}
+
+// PutUint32 appends a fixed-width little-endian uint32.
+func (e *Encoder) PutUint32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// PutUint64 appends a fixed-width little-endian uint64.
+func (e *Encoder) PutUint64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// PutFloat64 appends an IEEE-754 double in little-endian byte order.
+func (e *Encoder) PutFloat64(v float64) {
+	e.PutUint64(math.Float64bits(v))
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutString appends a length-prefixed UTF-8 string.
+func (e *Encoder) PutString(s string) {
+	e.PutUvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutRaw appends b with no length prefix. The decoder must know the length
+// out of band.
+func (e *Encoder) PutRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// PutLen appends a collection length prefix.
+func (e *Encoder) PutLen(n int) { e.PutUvarint(uint64(n)) }
+
+// Decoder reads values sequentially from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder reading from buf. The Decoder does not copy
+// buf; the caller must not mutate it while decoding.
+func NewDecoder(buf []byte) *Decoder {
+	return &Decoder{buf: buf}
+}
+
+// Err returns the first error encountered, if any. Once an error occurs all
+// subsequent reads return zero values, so callers may check Err once after
+// a batch of reads.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish returns an error if decoding failed or if unread bytes remain.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailingBytes, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Fail marks the decoder failed with err (if it has not already failed).
+// Callers layering higher-level decoding on a Decoder use this to surface
+// structural errors through the same sticky-error channel.
+func (d *Decoder) Fail(err error) { d.fail(err) }
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrShortBuffer)
+		} else {
+			d.fail(ErrOverflow)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a zig-zag-encoded signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrShortBuffer)
+		} else {
+			d.fail(ErrOverflow)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Uint8 reads one byte.
+func (d *Decoder) Uint8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 1 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// Bool reads one byte as a boolean. Any nonzero byte is true.
+func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
+
+// Uint16 reads a fixed-width little-endian uint16.
+func (d *Decoder) Uint16() uint16 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 2 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+// Uint32 reads a fixed-width little-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 4 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// Uint64 reads a fixed-width little-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// Float64 reads an IEEE-754 double.
+func (d *Decoder) Float64() float64 {
+	return math.Float64frombits(d.Uint64())
+}
+
+// Bytes reads a length-prefixed byte slice. The returned slice aliases the
+// Decoder's input buffer; use BytesCopy if the input will be reused.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxElementLen {
+		d.fail(ErrTooLarge)
+		return nil
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	v := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return v
+}
+
+// BytesCopy reads a length-prefixed byte slice into fresh storage.
+func (d *Decoder) BytesCopy() []byte {
+	v := d.Bytes()
+	if v == nil {
+		return nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	return string(d.Bytes())
+}
+
+// Raw reads exactly n bytes with no length prefix, aliasing the input.
+func (d *Decoder) Raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	v := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return v
+}
+
+// Len reads a collection length prefix, bounds-checked against both
+// MaxElementLen and the remaining input (each element needs ≥1 byte).
+func (d *Decoder) Len() int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > MaxElementLen || n > uint64(d.Remaining()) {
+		d.fail(ErrTooLarge)
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,350 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutUvarint(0)
+	e.PutUvarint(1)
+	e.PutUvarint(math.MaxUint64)
+	e.PutVarint(0)
+	e.PutVarint(-1)
+	e.PutVarint(math.MinInt64)
+	e.PutVarint(math.MaxInt64)
+	e.PutUint8(0xAB)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutUint16(0xBEEF)
+	e.PutUint32(0xDEADBEEF)
+	e.PutUint64(0x0102030405060708)
+	e.PutFloat64(-3.25)
+	e.PutBytes([]byte("hello"))
+	e.PutString("world")
+	e.PutBytes(nil)
+	e.PutString("")
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("uvarint 0: got %d", got)
+	}
+	if got := d.Uvarint(); got != 1 {
+		t.Errorf("uvarint 1: got %d", got)
+	}
+	if got := d.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint max: got %d", got)
+	}
+	if got := d.Varint(); got != 0 {
+		t.Errorf("varint 0: got %d", got)
+	}
+	if got := d.Varint(); got != -1 {
+		t.Errorf("varint -1: got %d", got)
+	}
+	if got := d.Varint(); got != math.MinInt64 {
+		t.Errorf("varint min: got %d", got)
+	}
+	if got := d.Varint(); got != math.MaxInt64 {
+		t.Errorf("varint max: got %d", got)
+	}
+	if got := d.Uint8(); got != 0xAB {
+		t.Errorf("uint8: got %#x", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("bool true: got false")
+	}
+	if got := d.Bool(); got {
+		t.Error("bool false: got true")
+	}
+	if got := d.Uint16(); got != 0xBEEF {
+		t.Errorf("uint16: got %#x", got)
+	}
+	if got := d.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("uint32: got %#x", got)
+	}
+	if got := d.Uint64(); got != 0x0102030405060708 {
+		t.Errorf("uint64: got %#x", got)
+	}
+	if got := d.Float64(); got != -3.25 {
+		t.Errorf("float64: got %g", got)
+	}
+	if got := string(d.Bytes()); got != "hello" {
+		t.Errorf("bytes: got %q", got)
+	}
+	if got := d.String(); got != "world" {
+		t.Errorf("string: got %q", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Errorf("nil bytes: got %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("empty string: got %q", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	cases := map[string]func(d *Decoder){
+		"uvarint":  func(d *Decoder) { d.Uvarint() },
+		"varint":   func(d *Decoder) { d.Varint() },
+		"uint8":    func(d *Decoder) { d.Uint8() },
+		"uint16":   func(d *Decoder) { d.Uint16() },
+		"uint32":   func(d *Decoder) { d.Uint32() },
+		"uint64":   func(d *Decoder) { d.Uint64() },
+		"float64":  func(d *Decoder) { d.Float64() },
+		"bytes":    func(d *Decoder) { d.Bytes() },
+		"raw":      func(d *Decoder) { d.Raw(1) },
+		"rawNeg":   func(d *Decoder) { d.Raw(-1) },
+		"len":      func(d *Decoder) { d.Len() },
+		"valDecod": func(d *Decoder) { DecodeValue(d) },
+	}
+	for name, read := range cases {
+		d := NewDecoder(nil)
+		read(d)
+		if d.Err() == nil {
+			t.Errorf("%s on empty buffer: expected error", name)
+		}
+	}
+}
+
+func TestDecoderBytesLengthTooLarge(t *testing.T) {
+	// Length prefix claims more than remains.
+	e := NewEncoder(nil)
+	e.PutUvarint(1000)
+	d := NewDecoder(e.Bytes())
+	if d.Bytes() != nil || d.Err() == nil {
+		t.Error("expected error for truncated bytes")
+	}
+	// Length prefix exceeding MaxElementLen.
+	e.Reset()
+	e.PutUvarint(MaxElementLen + 1)
+	d = NewDecoder(e.Bytes())
+	d.Bytes()
+	if !errors.Is(d.Err(), ErrTooLarge) {
+		t.Errorf("expected ErrTooLarge, got %v", d.Err())
+	}
+}
+
+func TestDecoderErrorSticky(t *testing.T) {
+	d := NewDecoder([]byte{0x01})
+	d.Uint32() // fails: short
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	d.Uint8() // would succeed on a fresh decoder, must stay failed
+	if d.Err() != first {
+		t.Errorf("error not sticky: %v then %v", first, d.Err())
+	}
+	if got := d.Uint8(); got != 0 {
+		t.Errorf("read after error returned %d, want 0", got)
+	}
+}
+
+func TestDecoderTrailingBytes(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3})
+	d.Uint8()
+	err := d.Finish()
+	if !errors.Is(err, ErrTrailingBytes) {
+		t.Errorf("expected ErrTrailingBytes, got %v", err)
+	}
+}
+
+func TestVarintOverflow(t *testing.T) {
+	// 11 continuation bytes overflow a uvarint.
+	buf := bytes.Repeat([]byte{0xFF}, 11)
+	d := NewDecoder(buf)
+	d.Uvarint()
+	if !errors.Is(d.Err(), ErrOverflow) {
+		t.Errorf("expected ErrOverflow, got %v", d.Err())
+	}
+}
+
+func TestBytesAliasingAndCopy(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutBytes([]byte{1, 2, 3})
+	buf := append([]byte(nil), e.Bytes()...)
+
+	d := NewDecoder(buf)
+	alias := d.Bytes()
+	buf[1] = 99 // mutate underlying storage: alias must observe it
+	if alias[0] != 99 {
+		t.Error("Bytes should alias the input buffer")
+	}
+
+	d = NewDecoder(append([]byte(nil), e.Bytes()...))
+	cp := d.BytesCopy()
+	cp[0] = 42
+	d2 := NewDecoder(e.Bytes())
+	if got := d2.Bytes(); got[0] != 1 {
+		t.Error("BytesCopy must not share storage with the encoder buffer")
+	}
+}
+
+func TestEncoderReuse(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutString("first")
+	buf := e.Bytes()
+	e2 := NewEncoder(buf)
+	e2.PutString("second")
+	d := NewDecoder(e2.Bytes())
+	if got := d.String(); got != "second" {
+		t.Errorf("reused encoder: got %q", got)
+	}
+}
+
+func TestQuickUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		e := NewEncoder(nil)
+		e.PutUvarint(v)
+		d := NewDecoder(e.Bytes())
+		return d.Uvarint() == v && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarintRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		e := NewEncoder(nil)
+		e.PutVarint(v)
+		d := NewDecoder(e.Bytes())
+		return d.Varint() == v && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		e := NewEncoder(nil)
+		e.PutBytes(b)
+		d := NewDecoder(e.Bytes())
+		got := d.Bytes()
+		return bytes.Equal(got, b) && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMixedSequenceRoundTrip(t *testing.T) {
+	f := func(a uint64, b int64, c string, dd []byte, ok bool, fl float64) bool {
+		e := NewEncoder(nil)
+		e.PutUvarint(a)
+		e.PutVarint(b)
+		e.PutString(c)
+		e.PutBytes(dd)
+		e.PutBool(ok)
+		e.PutFloat64(fl)
+		d := NewDecoder(e.Bytes())
+		ga := d.Uvarint()
+		gb := d.Varint()
+		gc := d.String()
+		gd := d.Bytes()
+		gok := d.Bool()
+		gfl := d.Float64()
+		if d.Finish() != nil {
+			return false
+		}
+		if math.IsNaN(fl) {
+			if !math.IsNaN(gfl) {
+				return false
+			}
+		} else if gfl != fl {
+			return false
+		}
+		return ga == a && gb == b && gc == c && bytes.Equal(gd, dd) && gok == ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fuzz-style robustness: random byte strings must never panic the decoder.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(buf []byte) bool {
+		d := NewDecoder(buf)
+		for d.Err() == nil && d.Remaining() > 0 {
+			DecodeValue(d)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	msgs := [][]byte{[]byte("alpha"), {}, []byte("gamma with more bytes")}
+	for _, m := range msgs {
+		if err := fw.WriteFrame(m); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for i, want := range msgs {
+		got, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, err := fr.ReadFrame(); err != io.EOF {
+		t.Errorf("expected io.EOF at end, got %v", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	if err := fw.WriteFrame(make([]byte, MaxFrameLen+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("expected ErrTooLarge, got %v", err)
+	}
+	// A hostile header claiming a huge frame must be rejected by the reader.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	fr := NewFrameReader(&buf)
+	if _, err := fr.ReadFrame(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("expected ErrTooLarge, got %v", err)
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame([]byte("full message")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	fr := NewFrameReader(bytes.NewReader(trunc))
+	if _, err := fr.ReadFrame(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("expected ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestFrameReaderBufferReuse(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.WriteFrame([]byte("first"))
+	fw.WriteFrame([]byte("second"))
+	fr := NewFrameReader(&buf)
+	a, _ := fr.ReadFrame()
+	saved := string(a) // copy before next read
+	b, _ := fr.ReadFrame()
+	if saved != "first" || string(b) != "second" {
+		t.Errorf("got %q then %q", saved, b)
+	}
+}

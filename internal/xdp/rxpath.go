@@ -1,0 +1,194 @@
+package xdp
+
+import (
+	"context"
+	"hash/fnv"
+	"sync"
+
+	"github.com/bertha-net/bertha/internal/core"
+)
+
+// RxPath pumps a base connection's receive stream through a hook and
+// routes packets by verdict:
+//
+//   - Pass    → delivered through PassConn (the normal userspace path)
+//   - Redirect→ pushed to the selected redirect queue
+//   - Tx      → sent back out the base connection
+//   - Drop    → discarded
+//
+// This is the simulated equivalent of attaching an XDP program to the
+// NIC the base connection reads from: redirected packets never cross the
+// userspace boundary.
+type RxPath struct {
+	base   core.Conn
+	hook   *Hook
+	queues []chan []byte
+	pass   chan []byte
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+// queueLen is the per-queue buffered packet capacity; overflow drops
+// (datagram semantics, like a full NIC ring).
+const queueLen = 4096
+
+// NewRxPath starts the receive pump on base with nqueues redirect
+// queues. Close the RxPath (not base directly) to stop.
+func NewRxPath(base core.Conn, hook *Hook, nqueues int) *RxPath {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &RxPath{
+		base:   base,
+		hook:   hook,
+		queues: make([]chan []byte, nqueues),
+		pass:   make(chan []byte, queueLen),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	for i := range r.queues {
+		r.queues[i] = make(chan []byte, queueLen)
+	}
+	go r.pump(ctx)
+	return r
+}
+
+func (r *RxPath) pump(ctx context.Context) {
+	defer close(r.done)
+	for {
+		data, err := r.base.Recv(ctx)
+		if err != nil {
+			return
+		}
+		pkt := Packet{Data: data}
+		switch r.hook.Run(&pkt) {
+		case Pass:
+			select {
+			case r.pass <- pkt.Data:
+			default: // queue full: drop
+			}
+		case Redirect:
+			q := pkt.RedirectQueue()
+			if q >= 0 && q < len(r.queues) {
+				select {
+				case r.queues[q] <- pkt.Data:
+				default: // ring full: drop
+				}
+			}
+		case Tx:
+			// Bounce back out the interface (best effort).
+			_ = r.base.Send(ctx, pkt.Data)
+		case Drop, Aborted:
+			// Discarded.
+		}
+	}
+}
+
+// Queue returns the i-th redirect queue. Receivers consume raw packets.
+func (r *RxPath) Queue(i int) <-chan []byte { return r.queues[i] }
+
+// Send transmits a packet out the base connection — how a shard worker
+// consuming a redirect queue answers clients without re-traversing the
+// stack.
+func (r *RxPath) Send(ctx context.Context, p []byte) error {
+	return r.base.Send(ctx, p)
+}
+
+// PassConn returns the userspace view of the path: a core.Conn whose
+// Recv yields only packets the program passed up the stack.
+func (r *RxPath) PassConn() core.Conn {
+	return &passConn{r: r}
+}
+
+// Close stops the pump and closes the base connection.
+func (r *RxPath) Close() error {
+	var err error
+	r.once.Do(func() {
+		r.cancel()
+		err = r.base.Close()
+		<-r.done
+	})
+	return err
+}
+
+type passConn struct {
+	r *RxPath
+}
+
+func (c *passConn) Send(ctx context.Context, p []byte) error {
+	return c.r.base.Send(ctx, p)
+}
+
+func (c *passConn) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case p := <-c.r.pass:
+		return p, nil
+	case <-c.r.done:
+		// Drain anything the pump left behind before reporting closed.
+		select {
+		case p := <-c.r.pass:
+			return p, nil
+		default:
+			return nil, core.ErrClosed
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (c *passConn) LocalAddr() core.Addr  { return c.r.base.LocalAddr() }
+func (c *passConn) RemoteAddr() core.Addr { return c.r.base.RemoteAddr() }
+func (c *passConn) Close() error          { return c.r.Close() }
+
+// FieldHash is the declarative shard-function specification used by the
+// stock steering program: shard = fnv1a(payload[Offset:Offset+Length]) %
+// Shards. It matches the paper's Listing 4 example
+// (hash(p.payload[10..14]) % 3) and, unlike an opaque Go closure, can be
+// shipped to a remote or offloaded implementation during negotiation.
+type FieldHash struct {
+	// Offset is the byte offset of the key field within the payload.
+	Offset int
+	// Length is the field length in bytes (0 means "to end of payload").
+	Length int
+	// Shards is the modulus.
+	Shards int
+}
+
+// Apply computes the shard index for a payload. Packets shorter than the
+// field hash whatever bytes exist past Offset; packets shorter than
+// Offset map to shard 0.
+func (f FieldHash) Apply(payload []byte) int {
+	if f.Shards <= 1 {
+		return 0
+	}
+	if f.Offset >= len(payload) {
+		return 0
+	}
+	end := len(payload)
+	if f.Length > 0 && f.Offset+f.Length < end {
+		end = f.Offset + f.Length
+	}
+	h := fnv.New32a()
+	h.Write(payload[f.Offset:end])
+	return int(h.Sum32() % uint32(f.Shards))
+}
+
+// Counter map slot names used by SteerProgram.
+const (
+	// MapRxCount is the array map counting processed packets per shard.
+	MapRxCount = "rx_count"
+)
+
+// SteerProgram builds the stock sharding program: redirect each packet to
+// queue FieldHash(payload), counting per-shard packets in the rx_count
+// array map — the Go analog of the paper's 200-line XDP sharding program.
+func SteerProgram(name string, fh FieldHash) *Program {
+	p := &Program{Name: name}
+	p.Fn = func(m *MapSet, pkt *Packet) Verdict {
+		shard := fh.Apply(pkt.Data)
+		m.Array(MapRxCount, fh.Shards).Add(shard, 1)
+		pkt.SetRedirect(shard)
+		return Redirect
+	}
+	return p
+}

@@ -1,0 +1,360 @@
+// Package xdp simulates an XDP-style kernel datapath in pure Go: small
+// programs attached to a receive hook examine each arriving packet before
+// the userspace stack sees it and return a verdict — pass it up, drop it,
+// bounce it back out the interface, or redirect it to a queue.
+//
+// The paper's sharding evaluation (§5, Figure 5) uses a 200-line XDP
+// program in C that steers key-value requests to the right shard before
+// they reach the server process. This package reproduces the programming
+// model (programs, maps, verdicts, per-program statistics mirroring
+// BPF's) and — critically for the experiment's shape — its cost model:
+// a redirect happens in the receive path with no re-serialization and no
+// extra traversal of the network stack, whereas a userspace fallback must
+// receive, decode, re-encode, and re-send.
+//
+// Substitution note (DESIGN.md §1): programs are Go functions rather than
+// verified BPF bytecode; the architectural slot (examine-and-steer below
+// the userspace boundary) is what the experiments exercise.
+package xdp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Verdict is a program's decision for one packet.
+type Verdict uint8
+
+// Verdicts, mirroring XDP_PASS / XDP_DROP / XDP_TX / XDP_REDIRECT.
+const (
+	// Pass delivers the packet up the normal stack.
+	Pass Verdict = iota
+	// Drop discards the packet.
+	Drop
+	// Tx transmits the (possibly rewritten) packet back out the hook's
+	// interface.
+	Tx
+	// Redirect delivers the packet to the queue selected with
+	// Packet.SetRedirect.
+	Redirect
+	// Aborted indicates a program error; the packet is dropped and the
+	// abort counter incremented.
+	Aborted
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "PASS"
+	case Drop:
+		return "DROP"
+	case Tx:
+		return "TX"
+	case Redirect:
+		return "REDIRECT"
+	case Aborted:
+		return "ABORTED"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// Packet is the program's view of one in-flight packet. Programs may
+// rewrite Data in place (e.g. port rewriting) but must keep datagram
+// boundaries.
+type Packet struct {
+	// Data is the packet payload as received.
+	Data []byte
+	// queue is the redirect target selected by the program.
+	queue int
+}
+
+// SetRedirect selects the redirect queue; the program should then return
+// Redirect.
+func (p *Packet) SetRedirect(queue int) { p.queue = queue }
+
+// RedirectQueue returns the selected redirect target.
+func (p *Packet) RedirectQueue() int { return p.queue }
+
+// ProgramFn is the body of an XDP program: examine (and possibly rewrite)
+// the packet, consult maps, return a verdict.
+type ProgramFn func(m *MapSet, pkt *Packet) Verdict
+
+// Program pairs a program body with its maps, like a loaded BPF object.
+type Program struct {
+	// Name identifies the program in statistics and configuration logs.
+	Name string
+	// Fn is the program body.
+	Fn ProgramFn
+	// Maps is the program's map set (created on first use when nil).
+	Maps *MapSet
+}
+
+// ensureMaps lazily allocates the map set.
+func (p *Program) ensureMaps() *MapSet {
+	if p.Maps == nil {
+		p.Maps = NewMapSet()
+	}
+	return p.Maps
+}
+
+// MapSet holds a program's named maps, the analog of a BPF object's .maps
+// section.
+type MapSet struct {
+	mu     sync.RWMutex
+	arrays map[string]*ArrayMap
+	hashes map[string]*HashMap
+}
+
+// NewMapSet returns an empty map set.
+func NewMapSet() *MapSet {
+	return &MapSet{arrays: map[string]*ArrayMap{}, hashes: map[string]*HashMap{}}
+}
+
+// Array returns the named array map, creating it with the given size on
+// first access. Subsequent accesses ignore size.
+func (m *MapSet) Array(name string, size int) *ArrayMap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.arrays[name]
+	if !ok {
+		a = NewArrayMap(size)
+		m.arrays[name] = a
+	}
+	return a
+}
+
+// Hash returns the named hash map, creating it on first access.
+func (m *MapSet) Hash(name string) *HashMap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hashes[name]
+	if !ok {
+		h = NewHashMap()
+		m.hashes[name] = h
+	}
+	return h
+}
+
+// ArrayMap is a fixed-size array of uint64 slots with atomic access —
+// the BPF_MAP_TYPE_ARRAY analog (e.g. packet counters).
+type ArrayMap struct {
+	slots []atomic.Uint64
+}
+
+// NewArrayMap returns an array map with n slots (minimum 1).
+func NewArrayMap(n int) *ArrayMap {
+	if n < 1 {
+		n = 1
+	}
+	return &ArrayMap{slots: make([]atomic.Uint64, n)}
+}
+
+// Len returns the slot count.
+func (a *ArrayMap) Len() int { return len(a.slots) }
+
+// Get reads slot i (0 when out of range, mirroring a failed lookup).
+func (a *ArrayMap) Get(i int) uint64 {
+	if i < 0 || i >= len(a.slots) {
+		return 0
+	}
+	return a.slots[i].Load()
+}
+
+// Set writes slot i; out-of-range writes are ignored.
+func (a *ArrayMap) Set(i int, v uint64) {
+	if i >= 0 && i < len(a.slots) {
+		a.slots[i].Store(v)
+	}
+}
+
+// Add atomically adds delta to slot i and returns the new value.
+func (a *ArrayMap) Add(i int, delta uint64) uint64 {
+	if i < 0 || i >= len(a.slots) {
+		return 0
+	}
+	return a.slots[i].Add(delta)
+}
+
+// HashMap is a bytes-keyed map with copy-on-write values — the
+// BPF_MAP_TYPE_HASH analog.
+type HashMap struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewHashMap returns an empty hash map.
+func NewHashMap() *HashMap { return &HashMap{m: map[string][]byte{}} }
+
+// Get returns a copy of the value for key.
+func (h *HashMap) Get(key []byte) ([]byte, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	v, ok := h.m[string(key)]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put stores a copy of value under key.
+func (h *HashMap) Put(key, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	h.mu.Lock()
+	h.m[string(key)] = v
+	h.mu.Unlock()
+}
+
+// Delete removes key.
+func (h *HashMap) Delete(key []byte) {
+	h.mu.Lock()
+	delete(h.m, string(key))
+	h.mu.Unlock()
+}
+
+// Len returns the entry count.
+func (h *HashMap) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.m)
+}
+
+// Stats counts per-verdict packet dispositions for an attached program,
+// the analog of bpftool prog stats.
+type Stats struct {
+	Processed  atomic.Uint64
+	Passed     atomic.Uint64
+	Dropped    atomic.Uint64
+	Txed       atomic.Uint64
+	Redirected atomic.Uint64
+	Aborted    atomic.Uint64
+}
+
+// Snapshot returns a plain-value copy.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Processed:  s.Processed.Load(),
+		Passed:     s.Passed.Load(),
+		Dropped:    s.Dropped.Load(),
+		Txed:       s.Txed.Load(),
+		Redirected: s.Redirected.Load(),
+		Aborted:    s.Aborted.Load(),
+	}
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	Processed, Passed, Dropped, Txed, Redirected, Aborted uint64
+}
+
+// Hook errors.
+var (
+	// ErrProgramAttached indicates the hook already has a program.
+	ErrProgramAttached = errors.New("xdp: program already attached")
+	// ErrNoProgram indicates Detach on an empty hook.
+	ErrNoProgram = errors.New("xdp: no program attached")
+)
+
+// Hook is an attachment point in a receive path (one per simulated
+// interface). At most one program is attached at a time, mirroring
+// driver-mode XDP.
+type Hook struct {
+	// Name identifies the hook, e.g. "xdp:eth0".
+	Name string
+
+	mu    sync.RWMutex
+	prog  *Program
+	stats *Stats
+}
+
+// NewHook returns an empty hook.
+func NewHook(name string) *Hook { return &Hook{Name: name} }
+
+// Attach loads a program onto the hook.
+func (h *Hook) Attach(p *Program) error {
+	if p == nil || p.Fn == nil {
+		return errors.New("xdp: nil program")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.prog != nil {
+		return fmt.Errorf("%w: %s has %s", ErrProgramAttached, h.Name, h.prog.Name)
+	}
+	p.ensureMaps()
+	h.prog = p
+	h.stats = &Stats{}
+	return nil
+}
+
+// Detach unloads the current program.
+func (h *Hook) Detach() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.prog == nil {
+		return fmt.Errorf("%w: %s", ErrNoProgram, h.Name)
+	}
+	h.prog = nil
+	return nil
+}
+
+// Attached reports whether a program is loaded and its name.
+func (h *Hook) Attached() (string, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.prog == nil {
+		return "", false
+	}
+	return h.prog.Name, true
+}
+
+// Stats returns the current program's statistics (zero snapshot when no
+// program is attached).
+func (h *Hook) Stats() StatsSnapshot {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.stats == nil {
+		return StatsSnapshot{}
+	}
+	return h.stats.Snapshot()
+}
+
+// Run executes the attached program on one packet and returns the verdict
+// (Pass when no program is attached, mirroring an interface with no XDP
+// program). The packet's Data may have been rewritten in place.
+func (h *Hook) Run(pkt *Packet) Verdict {
+	h.mu.RLock()
+	prog, stats := h.prog, h.stats
+	h.mu.RUnlock()
+	if prog == nil {
+		return Pass
+	}
+	stats.Processed.Add(1)
+	v := func() (v Verdict) {
+		defer func() {
+			if recover() != nil {
+				v = Aborted // a faulting program must not take down the datapath
+			}
+		}()
+		return prog.Fn(prog.Maps, pkt)
+	}()
+	switch v {
+	case Pass:
+		stats.Passed.Add(1)
+	case Drop:
+		stats.Dropped.Add(1)
+	case Tx:
+		stats.Txed.Add(1)
+	case Redirect:
+		stats.Redirected.Add(1)
+	default:
+		stats.Aborted.Add(1)
+		v = Aborted
+	}
+	return v
+}

@@ -1,0 +1,259 @@
+// Package ycsb generates YCSB-style key-value workloads (Cooper et al.,
+// SoCC 2010 — the benchmark the paper's §5 sharding evaluation uses).
+// It reproduces the core workload mixes (A–D and F; E requires range
+// scans the store does not expose) and the standard request
+// distributions: uniform, zipfian, and latest.
+//
+// Generators are deterministic for a given seed, so experiments are
+// reproducible.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is a workload operation type.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	// Read fetches one record.
+	Read OpKind = iota
+	// Update rewrites one existing record.
+	Update
+	// Insert adds a new record.
+	Insert
+	// ReadModifyWrite reads then rewrites one record (workload F).
+	ReadModifyWrite
+)
+
+// String returns the kind's name.
+func (k OpKind) String() string {
+	switch k {
+	case Read:
+		return "READ"
+	case Update:
+		return "UPDATE"
+	case Insert:
+		return "INSERT"
+	case ReadModifyWrite:
+		return "RMW"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  string
+	// Value is the payload for writes (nil for reads).
+	Value []byte
+}
+
+// Distribution selects which record an operation touches.
+type Distribution uint8
+
+// Distributions.
+const (
+	// Uniform picks records equiprobably (the paper's Figure 5 setting).
+	Uniform Distribution = iota
+	// Zipfian skews toward popular records (YCSB default).
+	Zipfian
+	// Latest skews toward recently inserted records (workload D).
+	Latest
+)
+
+// String returns the distribution's name.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	case Latest:
+		return "latest"
+	default:
+		return fmt.Sprintf("Distribution(%d)", uint8(d))
+	}
+}
+
+// Workload is a named operation mix.
+type Workload struct {
+	// Name is the YCSB letter.
+	Name string
+	// ReadProp, UpdateProp, InsertProp, RMWProp are the operation mix
+	// (must sum to 1).
+	ReadProp, UpdateProp, InsertProp, RMWProp float64
+	// DefaultDist is the distribution YCSB specifies for the workload.
+	DefaultDist Distribution
+}
+
+// Standard workloads.
+var (
+	// WorkloadA is the update-heavy mix: 50% reads, 50% updates. The
+	// paper's Figure 5 runs workload A with uniform keys.
+	WorkloadA = Workload{Name: "A", ReadProp: 0.5, UpdateProp: 0.5, DefaultDist: Zipfian}
+	// WorkloadB is read-mostly: 95% reads, 5% updates.
+	WorkloadB = Workload{Name: "B", ReadProp: 0.95, UpdateProp: 0.05, DefaultDist: Zipfian}
+	// WorkloadC is read-only.
+	WorkloadC = Workload{Name: "C", ReadProp: 1.0, DefaultDist: Zipfian}
+	// WorkloadD is read-latest: 95% reads, 5% inserts.
+	WorkloadD = Workload{Name: "D", ReadProp: 0.95, InsertProp: 0.05, DefaultDist: Latest}
+	// WorkloadF is read-modify-write: 50% reads, 50% RMW.
+	WorkloadF = Workload{Name: "F", ReadProp: 0.5, RMWProp: 0.5, DefaultDist: Zipfian}
+)
+
+// Config parameterizes a generator.
+type Config struct {
+	Workload Workload
+	// Records is the initial keyspace size.
+	Records int
+	// Dist overrides the workload's default distribution (the paper
+	// uses Uniform with workload A).
+	Dist Distribution
+	// OverrideDist must be set for Dist to take effect.
+	OverrideDist bool
+	// ValueSize is the write payload size in bytes.
+	ValueSize int
+	// Seed makes the stream deterministic.
+	Seed int64
+	// ZipfTheta is the zipfian skew (YCSB default 0.99).
+	ZipfTheta float64
+}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *zipfGen
+	records int // grows with inserts
+	value   []byte
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Records <= 0 {
+		return nil, fmt.Errorf("ycsb: records must be positive, got %d", cfg.Records)
+	}
+	sum := cfg.Workload.ReadProp + cfg.Workload.UpdateProp + cfg.Workload.InsertProp + cfg.Workload.RMWProp
+	if math.Abs(sum-1.0) > 1e-9 {
+		return nil, fmt.Errorf("ycsb: workload %s proportions sum to %g, want 1", cfg.Workload.Name, sum)
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 100 // YCSB default field size
+	}
+	if cfg.ZipfTheta == 0 {
+		cfg.ZipfTheta = 0.99
+	}
+	g := &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		records: cfg.Records,
+	}
+	g.value = make([]byte, cfg.ValueSize)
+	g.rng.Read(g.value)
+	if g.dist() == Zipfian {
+		g.zipf = newZipf(g.rng, cfg.Records, cfg.ZipfTheta)
+	}
+	return g, nil
+}
+
+func (g *Generator) dist() Distribution {
+	if g.cfg.OverrideDist {
+		return g.cfg.Dist
+	}
+	return g.cfg.Workload.DefaultDist
+}
+
+// Key formats a record number as a fixed-width key (fits kv.KeyLen).
+func Key(n int) string {
+	return fmt.Sprintf("%012d", n)
+}
+
+// pick selects a record under the configured distribution.
+func (g *Generator) pick() int {
+	switch g.dist() {
+	case Uniform:
+		return g.rng.Intn(g.records)
+	case Zipfian:
+		return g.zipf.next() % g.records
+	case Latest:
+		// Skew toward the most recent records: records-1 - zipf-ish tail.
+		back := int(math.Abs(g.rng.ExpFloat64()) * float64(g.records) / 10)
+		if back >= g.records {
+			back = g.records - 1
+		}
+		return g.records - 1 - back
+	default:
+		return g.rng.Intn(g.records)
+	}
+}
+
+// Next returns the next operation in the stream.
+func (g *Generator) Next() Op {
+	p := g.rng.Float64()
+	w := g.cfg.Workload
+	switch {
+	case p < w.ReadProp:
+		return Op{Kind: Read, Key: Key(g.pick())}
+	case p < w.ReadProp+w.UpdateProp:
+		return Op{Kind: Update, Key: Key(g.pick()), Value: g.value}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp:
+		k := g.records
+		g.records++
+		return Op{Kind: Insert, Key: Key(k), Value: g.value}
+	default:
+		return Op{Kind: ReadModifyWrite, Key: Key(g.pick()), Value: g.value}
+	}
+}
+
+// InitialKeys lists the keys to preload before running the stream.
+func (g *Generator) InitialKeys() []string {
+	keys := make([]string, g.cfg.Records)
+	for i := range keys {
+		keys[i] = Key(i)
+	}
+	return keys
+}
+
+// zipfGen implements the Gray et al. bounded zipfian generator YCSB
+// uses (quick approximation via the standard incremental method).
+type zipfGen struct {
+	rng              *rand.Rand
+	n                int
+	theta            float64
+	alpha, zetan     float64
+	eta, thetaFactor float64
+}
+
+func newZipf(rng *rand.Rand, n int, theta float64) *zipfGen {
+	z := &zipfGen{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	z.thetaFactor = zeta(2, theta)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

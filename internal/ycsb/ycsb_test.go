@@ -1,0 +1,213 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func gen(t *testing.T, w Workload, dist Distribution, override bool, seed int64) *Generator {
+	t.Helper()
+	g, err := NewGenerator(Config{
+		Workload: w, Records: 1000, Dist: dist, OverrideDist: override,
+		ValueSize: 64, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mix(g *Generator, n int) map[OpKind]int {
+	counts := map[OpKind]int{}
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	return counts
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	const n = 20000
+	cases := []struct {
+		w    Workload
+		want map[OpKind]float64
+	}{
+		{WorkloadA, map[OpKind]float64{Read: 0.5, Update: 0.5}},
+		{WorkloadB, map[OpKind]float64{Read: 0.95, Update: 0.05}},
+		{WorkloadC, map[OpKind]float64{Read: 1.0}},
+		{WorkloadD, map[OpKind]float64{Read: 0.95, Insert: 0.05}},
+		{WorkloadF, map[OpKind]float64{Read: 0.5, ReadModifyWrite: 0.5}},
+	}
+	for _, c := range cases {
+		t.Run(c.w.Name, func(t *testing.T) {
+			counts := mix(gen(t, c.w, Uniform, true, 1), n)
+			for kind, want := range c.want {
+				got := float64(counts[kind]) / n
+				if math.Abs(got-want) > 0.02 {
+					t.Errorf("%s fraction %.3f, want %.2f", kind, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := gen(t, WorkloadA, Uniform, true, 42)
+	b := gen(t, WorkloadA, Uniform, true, 42)
+	for i := 0; i < 500; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Kind != ob.Kind || oa.Key != ob.Key {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, oa, ob)
+		}
+	}
+	c := gen(t, WorkloadA, Uniform, true, 43)
+	same := 0
+	for i := 0; i < 500; i++ {
+		if a.Next().Key == c.Next().Key {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Errorf("different seeds look identical: %d/500 matches", same)
+	}
+}
+
+func TestUniformCoversKeyspaceEvenly(t *testing.T) {
+	g := gen(t, WorkloadC, Uniform, true, 7)
+	buckets := make([]int, 10)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		var k int
+		if _, err := sscanKey(g.Next().Key, &k); err != nil {
+			t.Fatal(err)
+		}
+		buckets[k*10/1000]++
+	}
+	for i, b := range buckets {
+		frac := float64(b) / n
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Errorf("bucket %d fraction %.3f", i, frac)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := gen(t, WorkloadC, Zipfian, true, 7)
+	counts := map[string]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// The most popular key should take far more than the uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniformShare := n / 1000
+	if max < 5*uniformShare {
+		t.Errorf("zipfian max %d not skewed vs uniform share %d", max, uniformShare)
+	}
+	// But the tail must still be covered.
+	if len(counts) < 200 {
+		t.Errorf("only %d distinct keys drawn", len(counts))
+	}
+}
+
+func TestLatestSkewsRecent(t *testing.T) {
+	g := gen(t, WorkloadC, Latest, true, 7)
+	recent := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		var k int
+		sscanKey(g.Next().Key, &k)
+		if k >= 900 {
+			recent++
+		}
+	}
+	if float64(recent)/n < 0.5 {
+		t.Errorf("latest distribution drew recent keys only %.2f of the time", float64(recent)/n)
+	}
+}
+
+func TestInsertGrowsKeyspace(t *testing.T) {
+	g := gen(t, WorkloadD, Latest, false, 3)
+	maxKey := 0
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		var k int
+		sscanKey(op.Key, &k)
+		if op.Kind == Insert && k > maxKey {
+			maxKey = k
+		}
+	}
+	if maxKey < 1000 {
+		t.Errorf("inserts did not extend the keyspace: max inserted key %d", maxKey)
+	}
+}
+
+func TestInitialKeysAndKeyFormat(t *testing.T) {
+	g := gen(t, WorkloadA, Uniform, true, 1)
+	keys := g.InitialKeys()
+	if len(keys) != 1000 {
+		t.Fatalf("initial keys: %d", len(keys))
+	}
+	if keys[0] != "000000000000" || keys[999] != "000000000999" {
+		t.Errorf("key format: %q .. %q", keys[0], keys[999])
+	}
+	if len(Key(42)) != 12 {
+		t.Errorf("key width: %q", Key(42))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Workload: WorkloadA, Records: 0}); err == nil {
+		t.Error("zero records accepted")
+	}
+	bad := Workload{Name: "X", ReadProp: 0.5}
+	if _, err := NewGenerator(Config{Workload: bad, Records: 10}); err == nil {
+		t.Error("non-unit mix accepted")
+	}
+}
+
+func TestQuickKeysInRange(t *testing.T) {
+	g := gen(t, WorkloadA, Zipfian, true, 11)
+	f := func() bool {
+		op := g.Next()
+		var k int
+		if _, err := sscanKey(op.Key, &k); err != nil {
+			return false
+		}
+		return k >= 0 && k < 1000 && len(op.Key) == 12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpKindAndDistributionNames(t *testing.T) {
+	for k := Read; k <= ReadModifyWrite; k++ {
+		if k.String() == "" || k.String()[0] == 'O' {
+			t.Errorf("kind %d name: %s", k, k)
+		}
+	}
+	for d := Uniform; d <= Latest; d++ {
+		if d.String() == "" || d.String()[0] == 'D' {
+			t.Errorf("dist %d name: %s", d, d)
+		}
+	}
+}
+
+// sscanKey parses a zero-padded key.
+func sscanKey(key string, out *int) (int, error) {
+	n := 0
+	for _, c := range key {
+		if c < '0' || c > '9' {
+			continue
+		}
+		n = n*10 + int(c-'0')
+	}
+	*out = n
+	return 1, nil
+}
