@@ -14,10 +14,14 @@
 //	fig5       sharding scenarios (Figure 5)
 //	opt        §6 pipeline reordering / TLS fusion ablation
 //	consensus  ordered-multicast sequencer placement ablation
+//	stack      zero-copy buffer path: allocs/op + latency per round trip
 //	all        everything above, in order
 //
 // The -full flag runs paper-scale parameters (Figure 3: 10000
 // connections; Figure 5: 300000 requests); the default is a quick run.
+// The -json flag switches the stack experiment to machine-readable
+// output, reporting allocations/op and bytes/op alongside the latency
+// percentiles.
 package main
 
 import (
@@ -31,8 +35,9 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run paper-scale parameters (slower)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (stack experiment)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] {fig2|fig3|fig4|fig5|opt|consensus|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] {fig2|fig3|fig4|fig5|opt|consensus|stack|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,12 +50,14 @@ func main() {
 	fig4 := bench.Fig4Config{}
 	fig5 := bench.Fig5Config{}
 	cons := bench.ConsensusConfig{}
+	stack := bench.StackConfig{JSON: *jsonOut}
 	if *full {
 		fig3.Connections = 10000
 		fig5.Requests = 300000
 		fig5.Concurrency = []int{1, 4, 16, 64, 128}
 		fig4.Duration = 8 * time.Second
 		cons.Ops = 2000
+		stack.Messages = 50000
 	} else {
 		fig4.Duration = 4 * time.Second
 		fig4.LocalStartAt = 2 * time.Second
@@ -72,8 +79,10 @@ func main() {
 			return bench.Opt(os.Stdout)
 		case "consensus":
 			return bench.Consensus(os.Stdout, cons)
+		case "stack":
+			return bench.Stack(os.Stdout, stack)
 		case "all":
-			for _, n := range []string{"fig2", "fig3", "fig4", "fig5", "opt", "consensus"} {
+			for _, n := range []string{"fig2", "fig3", "fig4", "fig5", "opt", "consensus", "stack"} {
 				if err := run(n); err != nil {
 					return fmt.Errorf("%s: %w", n, err)
 				}

@@ -34,3 +34,12 @@ func TestConsensusQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStackQuick(t *testing.T) {
+	if err := Stack(os.Stderr, StackConfig{Messages: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Stack(os.Stderr, StackConfig{Messages: 200, JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+}

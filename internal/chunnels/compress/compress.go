@@ -84,22 +84,46 @@ func (c *compConn) Send(ctx context.Context, p []byte) error {
 		c.mu.Unlock()
 		return fmt.Errorf("compress: %w", err)
 	}
-	out := make([]byte, c.buf.Len())
-	copy(out, c.buf.Bytes())
+	// The compressed bytes move to a pooled buffer with headroom for the
+	// layers below, then travel zero-copy from here down.
+	out := wire.NewBufFrom(core.HeadroomOf(c.Conn), c.buf.Bytes())
 	c.mu.Unlock()
-	return c.Conn.Send(ctx, out)
+	return core.SendBuf(ctx, c.Conn, out)
 }
 
+// SendBuf consumes b. Compression rewrites the whole message, so this
+// is inherently a copy boundary, not a prepend.
+func (c *compConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	err := c.Send(ctx, b.Bytes())
+	b.Release()
+	return err
+}
+
+// Headroom: compression re-buffers the message, so upstream headroom
+// cannot reach the layers below; reserving it would be waste.
+func (c *compConn) Headroom() int { return 0 }
+
 func (c *compConn) Recv(ctx context.Context) ([]byte, error) {
-	p, err := c.Conn.Recv(ctx)
+	b, err := core.RecvBuf(ctx, c.Conn)
 	if err != nil {
 		return nil, err
 	}
-	r := flate.NewReader(bytes.NewReader(p))
-	defer r.Close()
+	r := flate.NewReader(bytes.NewReader(b.Bytes()))
 	out, err := io.ReadAll(r)
+	r.Close()
+	b.Release()
 	if err != nil {
 		return nil, fmt.Errorf("compress: inflate: %w", err)
 	}
 	return out, nil
+}
+
+// RecvBuf is Recv wrapped in an unpooled buffer (inflation allocates
+// its output regardless).
+func (c *compConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	p, err := c.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return wire.WrapBuf(p), nil
 }

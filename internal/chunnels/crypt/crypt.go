@@ -55,10 +55,11 @@ func RegisterNIC(reg *core.Registry) {
 func fallback() *base.Impl {
 	return &base.Impl{
 		ImplInfo: core.ImplInfo{
-			Name:     Type + "/aesgcm",
-			Type:     Type,
-			Endpoint: spec.EndpointBoth,
-			Location: core.LocUserspace,
+			Name:         Type + "/aesgcm",
+			Type:         Type,
+			Endpoint:     spec.EndpointBoth,
+			Location:     core.LocUserspace,
+			SendOverhead: 12, // GCM standard nonce size (tag is tailroom)
 		},
 		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
 			key, err := base.Bytes(Type, args, 0)
@@ -90,26 +91,55 @@ type cryptConn struct {
 }
 
 func (c *cryptConn) Send(ctx context.Context, p []byte) error {
-	nonce := make([]byte, c.aead.NonceSize(), c.aead.NonceSize()+len(p)+c.aead.Overhead())
-	if _, err := rand.Read(nonce); err != nil {
-		return fmt.Errorf("encrypt: nonce: %w", err)
-	}
-	sealed := c.aead.Seal(nonce, nonce, p, nil)
-	return c.Conn.Send(ctx, sealed)
+	return c.SendBuf(ctx, wire.NewBufFrom(c.Headroom(), p))
 }
 
+// SendBuf seals the message in place: the nonce goes into headroom, the
+// plaintext is encrypted where it lies, and the GCM tag lands in
+// tailroom — no allocation on the steady-state path.
+func (c *cryptConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	ns := c.aead.NonceSize()
+	plainLen := b.Len()
+	nonce := b.Prepend(ns)
+	if _, err := rand.Read(nonce); err != nil {
+		b.Release()
+		return fmt.Errorf("encrypt: nonce: %w", err)
+	}
+	b.Extend(c.aead.Overhead())
+	msg := b.Bytes() // nonce | plaintext | tag space
+	c.aead.Seal(msg[ns:ns], msg[:ns], msg[ns:ns+plainLen], nil)
+	return core.SendBuf(ctx, c.Conn, b)
+}
+
+// Headroom implements core.HeadroomConn.
+func (c *cryptConn) Headroom() int { return c.aead.NonceSize() + core.HeadroomOf(c.Conn) }
+
 func (c *cryptConn) Recv(ctx context.Context) ([]byte, error) {
-	sealed, err := c.Conn.Recv(ctx)
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf opens the message in place and trims the nonce and tag off.
+func (c *cryptConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	b, err := core.RecvBuf(ctx, c.Conn)
 	if err != nil {
 		return nil, err
 	}
 	ns := c.aead.NonceSize()
-	if len(sealed) < ns {
-		return nil, fmt.Errorf("encrypt: short ciphertext (%d bytes)", len(sealed))
+	sealed := b.Bytes()
+	if len(sealed) < ns+c.aead.Overhead() {
+		n := len(sealed)
+		b.Release()
+		return nil, fmt.Errorf("encrypt: short ciphertext (%d bytes)", n)
 	}
-	plain, err := c.aead.Open(nil, sealed[:ns], sealed[ns:], nil)
-	if err != nil {
+	if _, err := c.aead.Open(sealed[ns:ns], sealed[:ns], sealed[ns:], nil); err != nil {
+		b.Release()
 		return nil, fmt.Errorf("encrypt: authentication failed: %w", err)
 	}
-	return plain, nil
+	b.TrimFront(ns)
+	b.TrimBack(c.aead.Overhead())
+	return b, nil
 }

@@ -1,0 +1,146 @@
+package framing
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/testutil"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// loopConn is a loopback BufConn: SendBuf hands buffers straight to
+// RecvBuf with zero copies or allocations.
+type loopConn struct {
+	ch chan *wire.Buf
+}
+
+func newLoopConn(depth int) *loopConn { return &loopConn{ch: make(chan *wire.Buf, depth)} }
+
+func (c *loopConn) Send(ctx context.Context, p []byte) error {
+	return c.SendBuf(ctx, wire.NewBufFrom(0, p))
+}
+
+func (c *loopConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	c.ch <- b
+	return nil
+}
+
+func (c *loopConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+func (c *loopConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	return <-c.ch, nil
+}
+
+func (c *loopConn) Headroom() int         { return 0 }
+func (c *loopConn) LocalAddr() core.Addr  { return core.Addr{} }
+func (c *loopConn) RemoteAddr() core.Addr { return core.Addr{} }
+func (c *loopConn) Close() error          { return nil }
+
+// TestSingleFrameAllocs pins the zero-copy single-frame path: header
+// prepend on send, header trim on receive, no allocations once the pool
+// is warm.
+func TestSingleFrameAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	conn, err := New(newLoopConn(1), DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	bc := conn.(core.BufConn)
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	headroom := core.HeadroomOf(conn)
+
+	avg := testing.AllocsPerRun(200, func() {
+		b := wire.NewBufFrom(headroom, payload)
+		if err := bc.SendBuf(ctx, b); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		r, err := bc.RecvBuf(ctx)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		if r.Len() != len(payload) {
+			t.Errorf("len = %d, want %d", r.Len(), len(payload))
+		}
+		r.Release()
+	})
+	if avg >= 1 {
+		t.Fatalf("framing single-frame round trip allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestFragmentReassembly round-trips a message larger than maxFrame.
+func TestFragmentReassembly(t *testing.T) {
+	const maxFrame = 128
+	conn, err := New(newLoopConn(64), maxFrame)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	ctx := context.Background()
+	msg := bytes.Repeat([]byte("fragmented-payload!"), 40) // ~760 bytes, 6 frames
+	if err := conn.Send(ctx, msg); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := conn.Recv(ctx)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reassembled %d bytes, want %d (content mismatch)", len(got), len(msg))
+	}
+}
+
+// TestDroppedStreamsCounter injects an out-of-order CONTINUATION frame
+// and checks the discard is visible on both the per-conn and package
+// counters, and that the connection keeps delivering later messages.
+func TestDroppedStreamsCounter(t *testing.T) {
+	inner := newLoopConn(8)
+	conn, err := New(inner, DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	fc := conn.(*frameConn)
+	ctx := context.Background()
+
+	// A CONTINUATION (idx 1) for a stream with no DATA frame received:
+	// reassembly is impossible, the stream must be dropped and counted.
+	before := TotalDroppedStreams()
+	rogue := make([]byte, headerLen+4)
+	rogue[0] = frameContinuation
+	rogue[1] = flagEndStream
+	binary.LittleEndian.PutUint32(rogue[2:6], 7777)
+	binary.LittleEndian.PutUint16(rogue[6:8], 1)
+	if err := inner.Send(ctx, rogue); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if err := conn.Send(ctx, []byte("after-drop")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+
+	got, err := conn.Recv(ctx)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if string(got) != "after-drop" {
+		t.Fatalf("recv = %q, want %q", got, "after-drop")
+	}
+	if fc.DroppedStreams() != 1 {
+		t.Fatalf("DroppedStreams = %d, want 1", fc.DroppedStreams())
+	}
+	if TotalDroppedStreams() != before+1 {
+		t.Fatalf("TotalDroppedStreams = %d, want %d", TotalDroppedStreams(), before+1)
+	}
+}

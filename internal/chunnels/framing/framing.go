@@ -2,6 +2,18 @@
 // each message becomes a typed frame with a stream identifier, and large
 // messages are split into CONTINUATION frames reassembled at the
 // receiver. It is the "http2" stage of the paper's §6 pipeline example.
+//
+// # Reliability pairing
+//
+// Framing itself is not reliable: fragments travel as independent
+// datagrams, so on a lossy or reordering transport a CONTINUATION can
+// arrive out of order and the whole stream must be discarded (partial
+// messages are never delivered). Discards are counted — see
+// Conn-level DroppedStreams and package-level TotalDroppedStreams —
+// rather than silent. On transports that can lose or reorder datagrams,
+// place the reliability chunnel *below* framing in the DAG (closer to
+// the wire) so fragments are retransmitted and ordered before
+// reassembly; then the drop counter stays at zero.
 package framing
 
 import (
@@ -44,10 +56,11 @@ func Node(maxFrame int) spec.Node {
 func Register(reg *core.Registry) {
 	reg.MustRegister(&base.Impl{
 		ImplInfo: core.ImplInfo{
-			Name:     Type + "/sw",
-			Type:     Type,
-			Endpoint: spec.EndpointBoth,
-			Location: core.LocUserspace,
+			Name:         Type + "/sw",
+			Type:         Type,
+			Endpoint:     spec.EndpointBoth,
+			Location:     core.LocUserspace,
+			SendOverhead: headerLen,
 		},
 		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
 			maxFrame := int(base.IntOr(args, 0, DefaultMaxFrame))
@@ -56,25 +69,85 @@ func Register(reg *core.Registry) {
 	})
 }
 
+// totalDropped counts reassembly streams discarded process-wide; see
+// TotalDroppedStreams.
+var totalDropped atomic.Uint64
+
+// TotalDroppedStreams returns the number of in-progress messages any
+// framing connection in this process has discarded because a fragment
+// arrived out of order (lost or reordered below the framing layer). A
+// non-zero value on a supposedly reliable stack means the DAG is
+// missing the reliability chunnel below framing.
+func TotalDroppedStreams() uint64 { return totalDropped.Load() }
+
 // New wraps conn with frame encoding. maxFrame bounds each fragment's
 // payload; messages larger than maxFrame are split and reassembled.
 func New(conn core.Conn, maxFrame int) (core.Conn, error) {
 	if maxFrame <= 0 {
 		return nil, fmt.Errorf("http2: invalid max frame %d", maxFrame)
 	}
-	return &frameConn{Conn: conn, maxFrame: maxFrame, partial: map[uint32][][]byte{}}, nil
+	return &frameConn{Conn: conn, maxFrame: maxFrame, partial: map[uint32][]*wire.Buf{}}, nil
 }
 
 type frameConn struct {
 	core.Conn
 	maxFrame   int
 	nextStream atomic.Uint32
+	dropped    atomic.Uint64
 
 	mu      sync.Mutex
-	partial map[uint32][][]byte
+	partial map[uint32][]*wire.Buf
+}
+
+// DroppedStreams returns how many in-progress messages this connection
+// discarded on fragment reorder/loss (reach it through a type assertion
+// on the wrapped conn, or use TotalDroppedStreams).
+func (c *frameConn) DroppedStreams() uint64 { return c.dropped.Load() }
+
+// fillHeader writes the frame header for fragment i of frags into h.
+func fillHeader(h []byte, stream uint32, i, frags int) {
+	ft := byte(frameData)
+	if i > 0 {
+		ft = frameContinuation
+	}
+	var flags byte
+	if i == frags-1 {
+		flags = flagEndStream
+	}
+	h[0] = ft
+	h[1] = flags
+	binary.LittleEndian.PutUint32(h[2:6], stream)
+	binary.LittleEndian.PutUint16(h[6:8], uint16(i))
 }
 
 func (c *frameConn) Send(ctx context.Context, p []byte) error {
+	if len(p) <= c.maxFrame {
+		return c.SendBuf(ctx, wire.NewBufFrom(c.Headroom(), p))
+	}
+	return c.sendFragments(ctx, p)
+}
+
+// SendBuf frames the message in place. The common case — the whole
+// message fits one frame — prepends the header into b's headroom and
+// keeps the zero-copy path; oversized messages fall back to per-fragment
+// buffers.
+func (c *frameConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	if b.Len() <= c.maxFrame {
+		stream := c.nextStream.Add(1)
+		fillHeader(b.Prepend(headerLen), stream, 0, 1)
+		return core.SendBuf(ctx, c.Conn, b)
+	}
+	err := c.sendFragments(ctx, b.Bytes())
+	b.Release()
+	return err
+}
+
+// Headroom implements core.HeadroomConn.
+func (c *frameConn) Headroom() int { return headerLen + core.HeadroomOf(c.Conn) }
+
+// sendFragments splits p across maxFrame-sized frames, each in a pooled
+// buffer with headroom for the layers below.
+func (c *frameConn) sendFragments(ctx context.Context, p []byte) error {
 	stream := c.nextStream.Add(1)
 	frags := (len(p) + c.maxFrame - 1) / c.maxFrame
 	if frags == 0 {
@@ -83,27 +156,16 @@ func (c *frameConn) Send(ctx context.Context, p []byte) error {
 	if frags > 1<<16-1 {
 		return fmt.Errorf("%w: %d fragments", core.ErrMessageTooLarge, frags)
 	}
+	inner := core.HeadroomOf(c.Conn)
 	for i := 0; i < frags; i++ {
 		lo := i * c.maxFrame
 		hi := lo + c.maxFrame
 		if hi > len(p) {
 			hi = len(p)
 		}
-		ft := byte(frameData)
-		if i > 0 {
-			ft = frameContinuation
-		}
-		var flags byte
-		if i == frags-1 {
-			flags = flagEndStream
-		}
-		buf := make([]byte, headerLen+hi-lo)
-		buf[0] = ft
-		buf[1] = flags
-		binary.LittleEndian.PutUint32(buf[2:6], stream)
-		binary.LittleEndian.PutUint16(buf[6:8], uint16(i))
-		copy(buf[headerLen:], p[lo:hi])
-		if err := c.Conn.Send(ctx, buf); err != nil {
+		fb := wire.NewBufFrom(inner+headerLen, p[lo:hi])
+		fillHeader(fb.Prepend(headerLen), stream, i, frags)
+		if err := core.SendBuf(ctx, c.Conn, fb); err != nil {
 			return err
 		}
 	}
@@ -111,48 +173,94 @@ func (c *frameConn) Send(ctx context.Context, p []byte) error {
 }
 
 func (c *frameConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf reassembles the next message. Single-frame messages — the
+// common case — are returned as the transport's buffer with the header
+// trimmed off: zero copies.
+func (c *frameConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	for {
-		f, err := c.Conn.Recv(ctx)
+		fb, err := core.RecvBuf(ctx, c.Conn)
 		if err != nil {
 			return nil, err
 		}
+		f := fb.Bytes()
 		if len(f) < headerLen {
-			return nil, fmt.Errorf("http2: short frame (%d bytes)", len(f))
+			n := len(f)
+			fb.Release()
+			return nil, fmt.Errorf("http2: short frame (%d bytes)", n)
 		}
 		ft, flags := f[0], f[1]
 		stream := binary.LittleEndian.Uint32(f[2:6])
 		idx := binary.LittleEndian.Uint16(f[6:8])
-		payload := f[headerLen:]
 		if ft != frameData && ft != frameContinuation {
+			fb.Release()
 			return nil, fmt.Errorf("http2: unknown frame type %#x", ft)
 		}
+		fb.TrimFront(headerLen)
 
 		c.mu.Lock()
 		frags := c.partial[stream]
 		if int(idx) != len(frags) {
-			// Fragment loss or reorder below us: drop the stream. Pair
-			// with the reliability chunnel for lossy transports.
+			// Fragment loss or reorder below us: the stream cannot be
+			// reassembled. Drop it *visibly* (counters) — and pair with
+			// the reliability chunnel on lossy transports (see the
+			// package documentation).
 			delete(c.partial, stream)
 			c.mu.Unlock()
+			c.dropped.Add(1)
+			totalDropped.Add(1)
+			fb.Release()
+			releaseAll(frags)
 			continue
 		}
-		frags = append(frags, payload)
 		if flags&flagEndStream == 0 {
-			c.partial[stream] = frags
+			c.partial[stream] = append(frags, fb)
 			c.mu.Unlock()
 			continue
 		}
 		delete(c.partial, stream)
 		c.mu.Unlock()
 
-		total := 0
-		for _, fr := range frags {
-			total += len(fr)
+		if len(frags) == 0 {
+			return fb, nil // single-frame message: zero-copy
 		}
-		out := make([]byte, 0, total)
+		total := fb.Len()
 		for _, fr := range frags {
-			out = append(out, fr...)
+			total += fr.Len()
 		}
+		out := wire.NewBuf(wire.DefaultHeadroom, total)
+		dst := out.Bytes()
+		n := 0
+		for _, fr := range frags {
+			n += copy(dst[n:], fr.Bytes())
+			fr.Release()
+		}
+		copy(dst[n:], fb.Bytes())
+		fb.Release()
 		return out, nil
+	}
+}
+
+// Close releases any partially reassembled streams.
+func (c *frameConn) Close() error {
+	err := c.Conn.Close()
+	c.mu.Lock()
+	for s, frags := range c.partial {
+		delete(c.partial, s)
+		releaseAll(frags)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+func releaseAll(frags []*wire.Buf) {
+	for _, fr := range frags {
+		fr.Release()
 	}
 }

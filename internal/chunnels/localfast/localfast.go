@@ -271,6 +271,18 @@ func (s *splicedConn) startDrain() {
 	}()
 }
 
+// SendBuf, RecvBuf, and Headroom forward the zero-copy path to the IPC
+// transport (interface embedding would otherwise hide it).
+func (s *splicedConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	return core.SendBuf(ctx, s.Conn, b)
+}
+
+func (s *splicedConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	return core.RecvBuf(ctx, s.Conn)
+}
+
+func (s *splicedConn) Headroom() int { return core.HeadroomOf(s.Conn) }
+
 func (s *splicedConn) Close() error {
 	var err error
 	if s.Conn != nil {

@@ -148,12 +148,13 @@ func RegisterSwitch(reg *core.Registry) *Impl {
 func newImpl(name string, prio int, loc core.Location) *Impl {
 	im := &Impl{variant: name, groups: map[string]*replicaGroup{}}
 	im.ImplInfo = core.ImplInfo{
-		Name:      name,
-		Type:      Type,
-		Endpoint:  spec.EndpointBoth,
-		Priority:  prio,
-		Location:  loc,
-		Resources: core.Resources{TableEntries: 2},
+		Name:         name,
+		Type:         Type,
+		Endpoint:     spec.EndpointBoth,
+		Priority:     prio,
+		Location:     loc,
+		SendOverhead: frameHeader,
+		Resources:    core.Resources{TableEntries: 2},
 	}
 	im.InitFn = im.init
 	im.ParamsFn = im.params
@@ -271,23 +272,45 @@ type clientConn struct {
 }
 
 func (c *clientConn) Send(ctx context.Context, p []byte) error {
-	frame := make([]byte, frameHeader+len(p))
-	copy(frame[frameHeader:], p) // seq and cid are filled along the path
-	return c.send.Send(ctx, frame)
+	return c.SendBuf(ctx, wire.NewBufFrom(c.Headroom(), p))
 }
 
-func (c *clientConn) Recv(ctx context.Context) ([]byte, error) {
-	m, err := c.send.Recv(ctx)
+// SendBuf prepends the (zeroed) frame header into b's headroom; seq and
+// cid are filled along the path.
+func (c *clientConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	hdr := b.Prepend(frameHeader)
+	for i := range hdr {
+		hdr[i] = 0
+	}
+	return core.SendBuf(ctx, c.send, b)
+}
+
+// Headroom implements core.HeadroomConn.
+func (c *clientConn) Headroom() int { return frameHeader + core.HeadroomOf(c.send) }
+
+// RecvBuf is Recv's zero-copy form.
+func (c *clientConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	b, err := core.RecvBuf(ctx, c.send)
 	if err != nil {
 		return nil, err
 	}
 	if c.stripCID {
-		if len(m) < 8 {
-			return nil, fmt.Errorf("mcast: short reply (%d bytes)", len(m))
+		if b.Len() < 8 {
+			n := b.Len()
+			b.Release()
+			return nil, fmt.Errorf("mcast: short reply (%d bytes)", n)
 		}
-		return m[8:], nil
+		b.TrimFront(8)
 	}
-	return m, nil
+	return b, nil
+}
+
+func (c *clientConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
 }
 
 func (c *clientConn) LocalAddr() core.Addr  { return c.send.LocalAddr() }

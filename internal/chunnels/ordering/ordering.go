@@ -40,10 +40,11 @@ func Node() spec.Node {
 func Register(reg *core.Registry) {
 	reg.MustRegister(&base.Impl{
 		ImplInfo: core.ImplInfo{
-			Name:     Type + "/buffer",
-			Type:     Type,
-			Endpoint: spec.EndpointBoth,
-			Location: core.LocUserspace,
+			Name:         Type + "/buffer",
+			Type:         Type,
+			Endpoint:     spec.EndpointBoth,
+			Location:     core.LocUserspace,
+			SendOverhead: 8, // sequence number
 		},
 		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
 			buf := int(base.IntOr(args, 0, DefaultBuffer))
@@ -65,7 +66,7 @@ func New(conn core.Conn, buffer int, gapTimeout time.Duration) (core.Conn, error
 		Conn:    conn,
 		buffer:  buffer,
 		gap:     gapTimeout,
-		pendMap: map[uint64][]byte{},
+		pendMap: map[uint64]*wire.Buf{},
 		expect:  1,
 	}, nil
 }
@@ -80,34 +81,50 @@ type orderConn struct {
 
 	recvMu   sync.Mutex
 	expect   uint64
-	pendMap  map[uint64][]byte
+	pendMap  map[uint64]*wire.Buf
 	gapSince time.Time
 }
 
 func (c *orderConn) Send(ctx context.Context, p []byte) error {
+	return c.SendBuf(ctx, wire.NewBufFrom(c.Headroom(), p))
+}
+
+// SendBuf prepends the sequence number into b's headroom.
+func (c *orderConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	c.sendMu.Lock()
 	c.nextSeq++
 	seq := c.nextSeq
 	c.sendMu.Unlock()
-	buf := make([]byte, 8+len(p))
-	binary.LittleEndian.PutUint64(buf[:8], seq)
-	copy(buf[8:], p)
-	return c.Conn.Send(ctx, buf)
+	binary.LittleEndian.PutUint64(b.Prepend(8), seq)
+	return core.SendBuf(ctx, c.Conn, b)
 }
+
+// Headroom implements core.HeadroomConn.
+func (c *orderConn) Headroom() int { return 8 + core.HeadroomOf(c.Conn) }
 
 // Recv returns messages in sequence order, skipping gaps after the gap
 // timeout. Recv is not safe for concurrent callers (like most ordered
 // streams, one reader owns the stream).
 func (c *orderConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf is Recv's zero-copy form; the reorder buffer holds the
+// transports' pooled buffers directly.
+func (c *orderConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	for {
 		// Deliver anything already in order.
 		c.recvMu.Lock()
-		if p, ok := c.pendMap[c.expect]; ok {
+		if b, ok := c.pendMap[c.expect]; ok {
 			delete(c.pendMap, c.expect)
 			c.expect++
 			c.gapSince = time.Time{}
 			c.recvMu.Unlock()
-			return p, nil
+			return b, nil
 		}
 		// Gap handling: if we have buffered future messages and the gap
 		// has persisted, skip to the oldest buffered message.
@@ -140,7 +157,7 @@ func (c *orderConn) Recv(ctx context.Context) ([]byte, error) {
 		if waiting {
 			rctx, cancel = context.WithDeadline(ctx, since.Add(c.gap))
 		}
-		msg, err := c.Conn.Recv(rctx)
+		msg, err := core.RecvBuf(rctx, c.Conn)
 		if cancel != nil {
 			cancel()
 		}
@@ -150,27 +167,43 @@ func (c *orderConn) Recv(ctx context.Context) ([]byte, error) {
 			}
 			return nil, err
 		}
-		if len(msg) < 8 {
+		if msg.Len() < 8 {
+			msg.Release()
 			continue // malformed: drop
 		}
-		seq := binary.LittleEndian.Uint64(msg[:8])
-		payload := msg[8:]
+		seq := binary.LittleEndian.Uint64(msg.Bytes()[:8])
+		msg.TrimFront(8)
 
 		c.recvMu.Lock()
 		switch {
 		case seq < c.expect:
 			// Late packet beyond its window: drop (already skipped).
 			c.recvMu.Unlock()
+			msg.Release()
 		case seq == c.expect:
 			c.expect++
 			c.gapSince = time.Time{}
 			c.recvMu.Unlock()
-			return payload, nil
+			return msg, nil
 		default:
 			if len(c.pendMap) < c.buffer {
-				c.pendMap[seq] = payload
+				c.pendMap[seq] = msg
+			} else {
+				msg.Release()
 			}
 			c.recvMu.Unlock()
 		}
 	}
+}
+
+// Close releases any buffered out-of-order messages.
+func (c *orderConn) Close() error {
+	err := c.Conn.Close()
+	c.recvMu.Lock()
+	for s, b := range c.pendMap {
+		delete(c.pendMap, s)
+		b.Release()
+	}
+	c.recvMu.Unlock()
+	return err
 }

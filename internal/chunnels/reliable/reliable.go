@@ -59,10 +59,11 @@ func NodeWith(window int, rto time.Duration) spec.Node {
 func Register(reg *core.Registry) {
 	reg.MustRegister(&base.Impl{
 		ImplInfo: core.ImplInfo{
-			Name:     Type + "/arq",
-			Type:     Type,
-			Endpoint: spec.EndpointBoth,
-			Location: core.LocUserspace,
+			Name:         Type + "/arq",
+			Type:         Type,
+			Endpoint:     spec.EndpointBoth,
+			Location:     core.LocUserspace,
+			SendOverhead: 9, // kind byte + sequence number
 		},
 		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
 			window := int(base.IntOr(args, 0, DefaultWindow))
@@ -104,8 +105,8 @@ func New(conn core.Conn, cfg Config) (core.Conn, error) {
 		cfg:     cfg,
 		unacked: map[uint64]*pending{},
 		slots:   make(chan struct{}, cfg.Window),
-		out:     make(chan []byte, cfg.Window),
-		oob:     map[uint64][]byte{},
+		out:     make(chan *wire.Buf, cfg.Window),
+		oob:     map[uint64]*wire.Buf{},
 		expect:  1,
 		ctx:     ctx,
 		cancel:  cancel,
@@ -133,8 +134,8 @@ type arqConn struct {
 
 	recvMu sync.Mutex
 	expect uint64
-	oob    map[uint64][]byte
-	out    chan []byte
+	oob    map[uint64]*wire.Buf
+	out    chan *wire.Buf
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -162,18 +163,31 @@ func (a *arqConn) failure() error {
 // Send transmits one message reliably. It blocks when the window is
 // full.
 func (a *arqConn) Send(ctx context.Context, p []byte) error {
+	return a.SendBuf(ctx, wire.NewBufFrom(a.Headroom(), p))
+}
+
+// SendBuf transmits one message reliably, consuming b. The header is
+// prepended in place; the framed bytes are then detached from the pool
+// (the retransmission queue must hold them for an unbounded time, and a
+// pooled buffer could be recycled under a concurrent retransmit).
+func (a *arqConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	select {
 	case a.slots <- struct{}{}:
 	case <-a.ctx.Done():
+		b.Release()
 		return a.closeErr()
 	case <-ctx.Done():
+		b.Release()
 		return ctx.Err()
 	}
 
 	a.sendMu.Lock()
 	a.nextSeq++
 	seq := a.nextSeq
-	buf := encodeData(seq, p)
+	hdr := b.Prepend(1 + 8)
+	hdr[0] = kindData
+	binary.LittleEndian.PutUint64(hdr[1:9], seq)
+	buf := b.Detach()
 	a.unacked[seq] = &pending{payload: buf, lastSent: time.Now()}
 	a.sendMu.Unlock()
 
@@ -188,8 +202,20 @@ func (a *arqConn) Send(ctx context.Context, p []byte) error {
 	return nil
 }
 
+// Headroom implements core.HeadroomConn.
+func (a *arqConn) Headroom() int { return 1 + 8 + core.HeadroomOf(a.base) }
+
 // Recv returns the next message in order, exactly once.
 func (a *arqConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := a.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf is Recv's zero-copy form.
+func (a *arqConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	select {
 	case m := <-a.out:
 		return m, nil
@@ -226,14 +252,16 @@ func (a *arqConn) Close() error {
 // acknowledgements to the sender state and data to the reorder buffer.
 func (a *arqConn) pump() {
 	for {
-		msg, err := a.base.Recv(a.ctx)
+		b, err := core.RecvBuf(a.ctx, a.base)
 		if err != nil {
 			if a.ctx.Err() == nil {
 				a.fail(err)
 			}
 			return
 		}
+		msg := b.Bytes()
 		if len(msg) < 1 {
+			b.Release()
 			continue
 		}
 		switch msg[0] {
@@ -243,11 +271,17 @@ func (a *arqConn) pump() {
 				bitmap := binary.LittleEndian.Uint64(msg[9:17])
 				a.handleAck(cum, bitmap)
 			}
+			b.Release()
 		case kindData:
 			if len(msg) >= 1+8 {
 				seq := binary.LittleEndian.Uint64(msg[1:9])
-				a.handleData(seq, msg[9:])
+				b.TrimFront(1 + 8)
+				a.handleData(seq, b) // takes ownership of b
+			} else {
+				b.Release()
 			}
+		default:
+			b.Release()
 		}
 	}
 }
@@ -274,16 +308,16 @@ func (a *arqConn) handleAck(cum uint64, bitmap uint64) {
 	}
 }
 
-func (a *arqConn) handleData(seq uint64, payload []byte) {
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
-
+// handleData takes ownership of b (the payload with the ARQ header
+// already trimmed).
+func (a *arqConn) handleData(seq uint64, b *wire.Buf) {
 	a.recvMu.Lock()
 	switch {
 	case seq < a.expect:
 		// Duplicate: re-ack below, do not deliver.
+		b.Release()
 	case seq == a.expect:
-		a.deliverLocked(buf)
+		a.deliverLocked(b)
 		a.expect++
 		for {
 			next, ok := a.oob[a.expect]
@@ -295,8 +329,10 @@ func (a *arqConn) handleData(seq uint64, payload []byte) {
 			a.expect++
 		}
 	default:
-		if seq < a.expect+uint64(4*a.cfg.Window) { // bound the buffer
-			a.oob[seq] = buf
+		if _, dup := a.oob[seq]; !dup && seq < a.expect+uint64(4*a.cfg.Window) { // bound the buffer
+			a.oob[seq] = b
+		} else {
+			b.Release()
 		}
 	}
 	// Build the ack under the lock for a consistent snapshot.
@@ -309,17 +345,19 @@ func (a *arqConn) handleData(seq uint64, payload []byte) {
 	}
 	a.recvMu.Unlock()
 
-	ack := make([]byte, 1+8+8)
-	ack[0] = kindAck
-	binary.LittleEndian.PutUint64(ack[1:9], cum)
-	binary.LittleEndian.PutUint64(ack[9:17], bitmap)
-	_ = a.base.Send(a.ctx, ack) // ack loss recovered by retransmission
+	ack := wire.NewBuf(core.HeadroomOf(a.base), 1+8+8)
+	ap := ack.Bytes()
+	ap[0] = kindAck
+	binary.LittleEndian.PutUint64(ap[1:9], cum)
+	binary.LittleEndian.PutUint64(ap[9:17], bitmap)
+	_ = core.SendBuf(a.ctx, a.base, ack) // ack loss recovered by retransmission
 }
 
-func (a *arqConn) deliverLocked(p []byte) {
+func (a *arqConn) deliverLocked(b *wire.Buf) {
 	select {
-	case a.out <- p:
+	case a.out <- b:
 	case <-a.ctx.Done():
+		b.Release()
 	}
 }
 

@@ -1,0 +1,81 @@
+package serialize
+
+import (
+	"context"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/testutil"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// loopConn is a single-message loopback BufConn: SendBuf hands the
+// buffer straight to the next RecvBuf, with zero copies or allocations.
+type loopConn struct {
+	ch chan *wire.Buf
+}
+
+func newLoopConn() *loopConn { return &loopConn{ch: make(chan *wire.Buf, 1)} }
+
+func (c *loopConn) Send(ctx context.Context, p []byte) error {
+	return c.SendBuf(ctx, wire.NewBufFrom(0, p))
+}
+
+func (c *loopConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	c.ch <- b
+	return nil
+}
+
+func (c *loopConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+func (c *loopConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	return <-c.ch, nil
+}
+
+func (c *loopConn) Headroom() int         { return 0 }
+func (c *loopConn) LocalAddr() core.Addr  { return core.Addr{} }
+func (c *loopConn) RemoteAddr() core.Addr { return core.Addr{} }
+func (c *loopConn) Close() error          { return nil }
+
+// TestTagAllocs pins the zero-copy tag path: prepending the format tag
+// on send and trimming it on receive performs no allocations once the
+// buffer pool is warm.
+func TestTagAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	conn, err := New(newLoopConn(), FormatBincode)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	bc := conn.(core.BufConn)
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	headroom := core.HeadroomOf(conn)
+
+	avg := testing.AllocsPerRun(200, func() {
+		b := wire.NewBufFrom(headroom, payload)
+		if err := bc.SendBuf(ctx, b); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		r, err := bc.RecvBuf(ctx)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		if r.Len() != len(payload) {
+			t.Errorf("len = %d, want %d", r.Len(), len(payload))
+		}
+		r.Release()
+	})
+	if avg >= 1 {
+		t.Fatalf("serialize tag round trip allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -38,10 +38,11 @@ var formatTag = map[string]byte{
 func Register(reg *core.Registry) {
 	reg.MustRegister(&base.Impl{
 		ImplInfo: core.ImplInfo{
-			Name:     Type + "/" + FormatBincode,
-			Type:     Type,
-			Endpoint: spec.EndpointBoth,
-			Location: core.LocUserspace,
+			Name:         Type + "/" + FormatBincode,
+			Type:         Type,
+			Endpoint:     spec.EndpointBoth,
+			Location:     core.LocUserspace,
+			SendOverhead: 1, // format tag
 		},
 		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
 			format, err := base.Str(Type, args, 0)
@@ -68,21 +69,39 @@ type tagConn struct {
 }
 
 func (c *tagConn) Send(ctx context.Context, p []byte) error {
-	buf := make([]byte, len(p)+1)
-	buf[0] = c.tag
-	copy(buf[1:], p)
-	return c.Conn.Send(ctx, buf)
+	return c.SendBuf(ctx, wire.NewBufFrom(c.Headroom(), p))
 }
 
+// SendBuf prepends the format tag into b's headroom.
+func (c *tagConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	b.Prepend(1)[0] = c.tag
+	return core.SendBuf(ctx, c.Conn, b)
+}
+
+// Headroom implements core.HeadroomConn.
+func (c *tagConn) Headroom() int { return 1 + core.HeadroomOf(c.Conn) }
+
 func (c *tagConn) Recv(ctx context.Context) ([]byte, error) {
-	p, err := c.Conn.Recv(ctx)
+	b, err := c.RecvBuf(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if len(p) == 0 || p[0] != c.tag {
-		return nil, fmt.Errorf("serialize: format mismatch (tag %#x)", firstByte(p))
+	return b.CopyOut(), nil
+}
+
+// RecvBuf checks and trims the format tag in place.
+func (c *tagConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	b, err := core.RecvBuf(ctx, c.Conn)
+	if err != nil {
+		return nil, err
 	}
-	return p[1:], nil
+	if b.Len() == 0 || b.Bytes()[0] != c.tag {
+		got := firstByte(b.Bytes())
+		b.Release()
+		return nil, fmt.Errorf("serialize: format mismatch (tag %#x)", got)
+	}
+	b.TrimFront(1)
+	return b, nil
 }
 
 func firstByte(p []byte) byte {
@@ -111,13 +130,15 @@ func Objects[T any](conn core.Conn, codec Codec[T]) *ObjConn[T] {
 	return &ObjConn[T]{conn: conn, codec: codec}
 }
 
-// Send marshals and transmits one object.
+// Send marshals and transmits one object. The encoded bytes are copied
+// once into a pooled buffer with stack headroom; every layer below
+// prepends in place.
 func (o *ObjConn[T]) Send(ctx context.Context, v T) error {
 	e := wire.NewEncoder(nil)
 	if err := o.codec.Marshal(e, v); err != nil {
 		return fmt.Errorf("serialize: marshal: %w", err)
 	}
-	return o.conn.Send(ctx, e.Bytes())
+	return core.SendBuf(ctx, o.conn, wire.NewBufFrom(core.HeadroomOf(o.conn), e.Bytes()))
 }
 
 // Recv receives and unmarshals one object.

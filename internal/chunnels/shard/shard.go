@@ -159,7 +159,7 @@ func wrapClientPush(ctx context.Context, conn core.Conn, args, params []wire.Val
 		canonical: conn,
 		shards:    conns,
 		fh:        fh,
-		in:        make(chan []byte, 1024),
+		in:        make(chan *wire.Buf, 1024),
 	}
 	pc.ctx, pc.cancel = context.WithCancel(context.Background())
 	for _, c := range conns {
@@ -174,7 +174,7 @@ type pushConn struct {
 	canonical core.Conn
 	shards    []core.Conn
 	fh        xdp.FieldHash
-	in        chan []byte
+	in        chan *wire.Buf
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -183,13 +183,14 @@ type pushConn struct {
 
 func (p *pushConn) fanIn(c core.Conn) {
 	for {
-		m, err := c.Recv(p.ctx)
+		m, err := core.RecvBuf(p.ctx, c)
 		if err != nil {
 			return
 		}
 		select {
 		case p.in <- m:
 		case <-p.ctx.Done():
+			m.Release()
 			return
 		}
 	}
@@ -199,7 +200,34 @@ func (p *pushConn) Send(ctx context.Context, b []byte) error {
 	return p.shards[p.fh.Apply(b)].Send(ctx, b)
 }
 
+// SendBuf routes the buffer to its shard's connection — sharding adds no
+// header, so this is pure passthrough.
+func (p *pushConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	return core.SendBuf(ctx, p.shards[p.fh.Apply(b.Bytes())], b)
+}
+
+// Headroom reports the worst case across shard connections, so one
+// buffer suffices whichever shard the message hashes to.
+func (p *pushConn) Headroom() int {
+	max := 0
+	for _, c := range p.shards {
+		if h := core.HeadroomOf(c); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
 func (p *pushConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := p.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf is Recv's zero-copy form.
+func (p *pushConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	select {
 	case m := <-p.in:
 		return m, nil

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// BufConn is the zero-copy fast path of the data plane. Connections that
+// implement it move wire.Buf message buffers instead of plain byte
+// slices, so a chunnel stack of depth d costs O(1) allocations per
+// message: header-adding chunnels Prepend into the buffer's reserved
+// headroom on the way down, and TrimFront their header off on the way
+// up, with transports reading into (and writing from) pooled buffers.
+//
+// Ownership is linear:
+//
+//   - SendBuf transfers ownership of b to the connection. The caller
+//     must not touch b afterwards — not even Release. The connection
+//     (or a layer below it) releases b when transmission is done.
+//   - RecvBuf transfers ownership of the returned buffer to the caller,
+//     who must Release it (or CopyOut / Detach) exactly once.
+//
+// The plain Conn methods keep their documented copying semantics
+// (Send may not retain p after return; Recv returns a caller-owned
+// slice); SendBuf/RecvBuf and plain Send/Recv may be freely mixed on
+// the same connection.
+type BufConn interface {
+	Conn
+	// SendBuf transmits one message, consuming b.
+	SendBuf(ctx context.Context, b *wire.Buf) error
+	// RecvBuf returns the next message as a buffer owned by the caller.
+	RecvBuf(ctx context.Context) (*wire.Buf, error)
+}
+
+// HeadroomConn is implemented by connections that know how much
+// headroom a buffer handed to SendBuf should reserve so that every
+// layer below can Prepend its header without reallocating. A chunnel
+// reports its own header size plus its inner connection's headroom;
+// transports report 0.
+type HeadroomConn interface {
+	Headroom() int
+}
+
+// HeadroomOf returns the send headroom to reserve for conn:
+// conn's own figure when it implements HeadroomConn, and a conservative
+// default otherwise (an unknown wrapper may add headers we cannot see).
+func HeadroomOf(conn Conn) int {
+	if h, ok := conn.(HeadroomConn); ok {
+		return h.Headroom()
+	}
+	return wire.DefaultHeadroom
+}
+
+// SendBuf sends b over conn, taking the zero-copy path when conn
+// implements BufConn and degrading to a plain Send (one copy inside the
+// transport, then release) otherwise. Ownership of b transfers to the
+// callee in both cases.
+func SendBuf(ctx context.Context, conn Conn, b *wire.Buf) error {
+	if bc, ok := conn.(BufConn); ok {
+		return bc.SendBuf(ctx, b)
+	}
+	err := conn.Send(ctx, b.Bytes())
+	b.Release()
+	return err
+}
+
+// RecvBuf receives the next message from conn as an owned buffer,
+// wrapping the plain Recv result when conn does not implement BufConn.
+// The wrap is free: plain Recv already returns a caller-owned slice.
+func RecvBuf(ctx context.Context, conn Conn) (*wire.Buf, error) {
+	if bc, ok := conn.(BufConn); ok {
+		return bc.RecvBuf(ctx)
+	}
+	p, err := conn.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return wire.WrapBuf(p), nil
+}

@@ -59,11 +59,25 @@ func (a Addr) SameHost(b Addr) bool {
 // wrap. Send transmits one message; Recv returns one whole message.
 // Message boundaries are preserved by every transport and chunnel.
 //
+// Buffer ownership convention (every implementation must honor it):
+//
+//   - Send borrows p for the duration of the call only. The
+//     implementation must not retain p (or any sub-slice of it) after
+//     Send returns; if it needs the bytes later — retransmission
+//     queues, background writers — it must copy them. The caller is
+//     free to reuse or pool p immediately after Send returns.
+//   - Recv returns a slice owned exclusively by the caller: it must not
+//     alias an internal buffer that the connection will reuse, and the
+//     caller may hold it indefinitely.
+//
+// Connections that additionally implement BufConn expose a zero-copy
+// path with explicit ownership transfer; see BufConn.
+//
 // Implementations must allow concurrent Send and Recv calls, and must
 // unblock pending calls with an error when Close is called.
 type Conn interface {
 	// Send transmits one message. It may block for flow control and
-	// honors ctx cancellation.
+	// honors ctx cancellation. It must not retain p after returning.
 	Send(ctx context.Context, p []byte) error
 	// Recv returns the next message. The returned slice is owned by the
 	// caller. It honors ctx cancellation and returns ErrClosed after

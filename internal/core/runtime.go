@@ -341,6 +341,20 @@ func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []Resolve
 			return nil, fmt.Errorf("bertha: no dialer available for %s", addr)
 		}))
 	}
+	// Capacity hint: sum the header overhead of every layer this side
+	// will run (plus the mux tag byte) so the application can allocate
+	// send buffers once, with headroom for the whole negotiated stack.
+	headroom := 1 // sendTagged's tag byte
+	for _, rn := range stack {
+		if !rn.RunsAt(side) {
+			continue
+		}
+		if impl, ok := e.registry.Lookup(rn.ImplName); ok {
+			headroom += impl.Info().SendOverhead
+		}
+	}
+	e.env.SetStackHeadroom(headroom)
+
 	var conn Conn = tc.dataConn()
 	var active []activeImpl
 	for i := len(stack) - 1; i >= 0; i-- {
@@ -392,6 +406,18 @@ type managedConn struct {
 	active []activeImpl
 	once   sync.Once
 }
+
+// SendBuf, RecvBuf, and Headroom forward the zero-copy path through the
+// management wrapper (plain interface embedding would hide it).
+func (m *managedConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	return SendBuf(ctx, m.Conn, b)
+}
+
+func (m *managedConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	return RecvBuf(ctx, m.Conn)
+}
+
+func (m *managedConn) Headroom() int { return HeadroomOf(m.Conn) }
 
 func (m *managedConn) Close() error {
 	err := m.Conn.Close()

@@ -47,24 +47,44 @@ func (t *taggedConn) isPeerClosed() bool {
 	}
 }
 
-// sendTagged transmits one message on the given channel.
+// sendTagged transmits one message on the given channel. p is copied
+// into a pooled buffer; hot-path senders use sendTaggedBuf instead.
 func (t *taggedConn) sendTagged(ctx context.Context, tag byte, p []byte) error {
-	buf := make([]byte, len(p)+1)
-	buf[0] = tag
-	copy(buf[1:], p)
-	return t.raw.Send(ctx, buf)
+	return t.sendTaggedBuf(ctx, tag, wire.NewBufFrom(1, p))
 }
 
-// recvTagged receives the next message and its tag.
-func (t *taggedConn) recvTagged(ctx context.Context) (byte, []byte, error) {
-	p, err := t.raw.Recv(ctx)
+// sendTaggedBuf prepends the channel tag into b's headroom and passes it
+// down, consuming b.
+func (t *taggedConn) sendTaggedBuf(ctx context.Context, tag byte, b *wire.Buf) error {
+	b.Prepend(1)[0] = tag
+	return SendBuf(ctx, t.raw, b)
+}
+
+// recvTaggedBuf receives the next message as an owned buffer with the
+// channel tag already trimmed off.
+func (t *taggedConn) recvTaggedBuf(ctx context.Context) (byte, *wire.Buf, error) {
+	b, err := RecvBuf(ctx, t.raw)
 	if err != nil {
 		return 0, nil, err
 	}
-	if len(p) == 0 {
+	if b.Len() == 0 {
+		b.Release()
 		return 0, nil, fmt.Errorf("bertha: empty datagram on tagged connection")
 	}
-	return p[0], p[1:], nil
+	tag := b.Bytes()[0]
+	b.TrimFront(1)
+	return tag, b, nil
+}
+
+// recvTagged receives the next message and its tag as a plain slice
+// owned by the caller (control messages are decoded with aliasing, so
+// they must not share pooled backing storage).
+func (t *taggedConn) recvTagged(ctx context.Context) (byte, []byte, error) {
+	tag, b, err := t.recvTaggedBuf(ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+	return tag, b.CopyOut(), nil
 }
 
 // recvCtrl returns the next control message, buffering any data messages
@@ -114,30 +134,53 @@ func (c *taggedDataConn) Send(ctx context.Context, p []byte) error {
 	return c.t.sendTagged(ctx, tagData, p)
 }
 
+// SendBuf prepends the data tag into b's headroom — the zero-copy entry
+// into the mux layer.
+func (c *taggedDataConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	return c.t.sendTaggedBuf(ctx, tagData, b)
+}
+
+// Headroom is the tag byte plus whatever the base transport wants.
+func (c *taggedDataConn) Headroom() int { return 1 + HeadroomOf(c.t.raw) }
+
 func (c *taggedDataConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf returns the next data message, handling interleaved control
+// traffic (ServerHello replays, close announcements) in place.
+func (c *taggedDataConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	c.t.mu.Lock()
 	if len(c.t.earlyData) > 0 {
 		p := c.t.earlyData[0]
 		c.t.earlyData = c.t.earlyData[1:]
 		c.t.mu.Unlock()
-		return p, nil
+		return wire.WrapBuf(p), nil
 	}
 	c.t.mu.Unlock()
 	if c.t.isPeerClosed() {
 		return nil, ErrClosed
 	}
 	for {
-		tag, p, err := c.t.recvTagged(ctx)
+		tag, b, err := c.t.recvTaggedBuf(ctx)
 		if err != nil {
 			return nil, err
 		}
 		switch tag {
 		case tagData:
-			return p, nil
+			return b, nil
 		case tagCtrl:
-			if closed := c.t.handleLateCtrl(ctx, p); closed {
+			closed := c.t.handleLateCtrl(ctx, b.Bytes())
+			b.Release() // handleLateCtrl does not retain the message
+			if closed {
 				return nil, ErrClosed
 			}
+		default:
+			b.Release() // unknown tag: drop (forward compatibility)
 		}
 	}
 }

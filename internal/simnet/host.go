@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/bertha-net/bertha/internal/core"
+	wbuf "github.com/bertha-net/bertha/internal/wire"
 )
 
 // Host is a machine on the fabric. Services listen at
@@ -67,7 +68,7 @@ func (h *Host) Dial(ctx context.Context, addr core.Addr) (core.Conn, error) {
 		host:   h,
 		local:  core.Addr{Net: "sim", Host: h.name, Addr: flow},
 		remote: addr,
-		recv:   make(chan []byte, 1024),
+		recv:   make(chan *wbuf.Buf, 1024),
 		closed: make(chan struct{}),
 	}
 	h.mu.Lock()
@@ -160,7 +161,7 @@ func (l *svcListener) deliver(pkt Packet) {
 			host:     l.host,
 			local:    l.addr,
 			remote:   pkt.Src,
-			recv:     make(chan []byte, 1024),
+			recv:     make(chan *wbuf.Buf, 1024),
 			closed:   make(chan struct{}),
 			listener: l,
 		}
@@ -227,18 +228,22 @@ func (l *svcListener) dropPeer(key string) {
 type hostConn struct {
 	host          *Host
 	local, remote core.Addr
-	recv          chan []byte
+	recv          chan *wbuf.Buf
 	closed        chan struct{}
 	once          sync.Once
 	listener      *svcListener // nil for dialed flows
 }
 
+// push copies an arriving packet payload into a pooled buffer. Packet
+// payloads stay plain []byte on the fabric itself because switches may
+// duplicate a packet to several ports; only the final per-host copy is
+// pooled.
 func (c *hostConn) push(p []byte) {
-	buf := make([]byte, len(p))
-	copy(buf, p)
+	b := wbuf.NewBufFrom(wbuf.DefaultHeadroom, p)
 	select {
-	case c.recv <- buf:
-	default: // receiver overrun: drop
+	case c.recv <- b:
+	default:
+		b.Release() // receiver overrun: drop
 	}
 }
 
@@ -254,15 +259,35 @@ func (c *hostConn) Send(ctx context.Context, p []byte) error {
 	return nil
 }
 
+// SendBuf copies into a fabric packet (packets may be duplicated by
+// switches, so they cannot carry pooled buffers) and releases b.
+func (c *hostConn) SendBuf(ctx context.Context, b *wbuf.Buf) error {
+	err := c.Send(ctx, b.Bytes())
+	b.Release()
+	return err
+}
+
+// Headroom: transports terminate the stack, no headers below.
+func (c *hostConn) Headroom() int { return 0 }
+
 func (c *hostConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf implements core.BufConn.
+func (c *hostConn) RecvBuf(ctx context.Context) (*wbuf.Buf, error) {
 	select {
-	case p := <-c.recv:
-		return p, nil
+	case b := <-c.recv:
+		return b, nil
 	default:
 	}
 	select {
-	case p := <-c.recv:
-		return p, nil
+	case b := <-c.recv:
+		return b, nil
 	case <-c.closed:
 		return nil, core.ErrClosed
 	case <-ctx.Done():

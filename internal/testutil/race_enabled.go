@@ -1,0 +1,10 @@
+//go:build race
+
+// Package testutil holds small helpers shared by tests, notably the
+// race-detector flag that allocation-count assertions key off: the race
+// runtime instruments allocations, so AllocsPerRun budgets only hold in
+// plain builds.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race.
+const RaceEnabled = true

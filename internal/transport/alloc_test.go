@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/testutil"
+)
+
+// TestUDPConcurrentSendDeadline hammers one socketConn from senders with
+// and without context deadlines. Before wmu serialized writes and
+// deadline management, a deadline-bearing sender's SetWriteDeadline
+// raced concurrent plain senders: their writes spuriously timed out, and
+// the deferred reset could clear a deadline a third sender had just
+// armed. Plain senders must never observe a timeout.
+func TestUDPConcurrentSendDeadline(t *testing.T) {
+	cli, srv, err := UDPPair("a", "b")
+	if err != nil {
+		t.Fatalf("pair: %v", err)
+	}
+	defer cli.Close()
+	defer srv.Close()
+
+	// Drain the receiver so kernel buffers never push back.
+	drainCtx, stopDrain := context.WithCancel(context.Background())
+	defer stopDrain()
+	go func() {
+		for {
+			if _, err := srv.Recv(drainCtx); err != nil {
+				return
+			}
+		}
+	}()
+
+	const (
+		senders = 8
+		sends   = 300
+	)
+	payload := []byte("deadline-race-probe")
+	var wg sync.WaitGroup
+	errs := make(chan error, senders)
+	for i := 0; i < senders; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < sends; n++ {
+				if i%2 == 0 {
+					// Plain sender: no deadline, must never time out.
+					if err := cli.Send(context.Background(), payload); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					// Deadline sender: generous deadline, created fresh
+					// each send so deadlines constantly arm and reset.
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					err := cli.Send(ctx, payload)
+					cancel()
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent send: %v", err)
+	}
+
+	// The socket must be left with no write deadline armed.
+	if err := cli.Send(context.Background(), payload); err != nil {
+		t.Fatalf("send after storm: %v", err)
+	}
+}
+
+// TestUDPRecvAfterStaleDeadline covers the hot-spin fix: a cancelled
+// context leaves an immediate read deadline on the socket; a later
+// deadline-free Recv must clear it and block normally instead of
+// spinning on (or forever re-hitting) the expired deadline.
+func TestUDPRecvAfterStaleDeadline(t *testing.T) {
+	cli, srv, err := UDPPair("a", "b")
+	if err != nil {
+		t.Fatalf("pair: %v", err)
+	}
+	defer cli.Close()
+	defer srv.Close()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Recv(cancelled); err == nil {
+		t.Fatal("recv with cancelled ctx: want error")
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		msg, err := srv.Recv(context.Background())
+		if err == nil && string(msg) != "after-stale" {
+			err = context.DeadlineExceeded
+		}
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader block first
+	if err := cli.Send(context.Background(), []byte("after-stale")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("recv after stale deadline: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv after stale deadline never completed")
+	}
+}
+
+// TestUDPRecvAllocs pins the pooled receive path: steady-state RecvBuf
+// on a connected socket performs no allocations.
+func TestUDPRecvAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	cli, srv, err := UDPPair("a", "b")
+	if err != nil {
+		t.Fatalf("pair: %v", err)
+	}
+	defer cli.Close()
+	defer srv.Close()
+
+	bc, ok := srv.(core.BufConn)
+	if !ok {
+		t.Fatal("socketConn must implement core.BufConn")
+	}
+
+	const runs = 50
+	payload := make([]byte, 64)
+	ctx := context.Background()
+	// Pre-send every datagram (warmup run + measured runs) so the
+	// measurement loop only receives; 64-byte messages sit comfortably
+	// in the kernel socket buffer.
+	for i := 0; i < runs+1; i++ {
+		if err := cli.Send(ctx, payload); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		b, err := bc.RecvBuf(ctx)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		b.Release()
+	})
+	if avg >= 1 {
+		t.Fatalf("udp RecvBuf allocates %.2f objects/op, want 0", avg)
+	}
+}

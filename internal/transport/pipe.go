@@ -13,17 +13,20 @@ import (
 	"sync"
 
 	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
 )
 
 // DefaultPipeCapacity is the per-direction buffered message capacity of an
 // in-process pipe.
 const DefaultPipeCapacity = 256
 
-// pipeHalf is one direction of an in-process pipe connection.
+// pipeHalf is one direction of an in-process pipe connection. The
+// channels carry owned wire.Buf messages, so the SendBuf/RecvBuf path
+// moves a message across the pipe without copying it at all.
 type pipeHalf struct {
 	local, remote core.Addr
-	send          chan []byte
-	recv          chan []byte
+	send          chan *wire.Buf
+	recv          chan *wire.Buf
 
 	closeOnce  sync.Once
 	closed     chan struct{} // closed when *this* half is closed
@@ -37,8 +40,8 @@ func Pipe(a, b core.Addr, capacity int) (core.Conn, core.Conn) {
 	if capacity <= 0 {
 		capacity = DefaultPipeCapacity
 	}
-	ab := make(chan []byte, capacity)
-	ba := make(chan []byte, capacity)
+	ab := make(chan *wire.Buf, capacity)
+	ba := make(chan *wire.Buf, capacity)
 	ca := make(chan struct{})
 	cb := make(chan struct{})
 	x := &pipeHalf{local: a, remote: b, send: ab, recv: ba, closed: ca, peerClosed: cb}
@@ -46,33 +49,53 @@ func Pipe(a, b core.Addr, capacity int) (core.Conn, core.Conn) {
 	return x, y
 }
 
-// Send implements core.Conn.
+// Send implements core.Conn (copies p, per the ownership convention).
 func (p *pipeHalf) Send(ctx context.Context, b []byte) error {
-	buf := make([]byte, len(b))
-	copy(buf, b)
+	return p.SendBuf(ctx, wire.NewBufFrom(wire.DefaultHeadroom, b))
+}
+
+// SendBuf hands the buffer to the peer without copying.
+func (p *pipeHalf) SendBuf(ctx context.Context, b *wire.Buf) error {
 	// Fail fast on a known-closed pipe so Send after Close is
 	// deterministic even when buffer space remains.
 	select {
 	case <-p.closed:
+		b.Release()
 		return core.ErrClosed
 	case <-p.peerClosed:
+		b.Release()
 		return core.ErrClosed
 	default:
 	}
 	select {
 	case <-p.closed:
+		b.Release()
 		return core.ErrClosed
 	case <-p.peerClosed:
+		b.Release()
 		return core.ErrClosed
 	case <-ctx.Done():
+		b.Release()
 		return ctx.Err()
-	case p.send <- buf:
+	case p.send <- b:
 		return nil
 	}
 }
 
+// Headroom: transports terminate the stack, no headers below.
+func (p *pipeHalf) Headroom() int { return 0 }
+
 // Recv implements core.Conn.
 func (p *pipeHalf) Recv(ctx context.Context) ([]byte, error) {
+	b, err := p.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf implements core.BufConn.
+func (p *pipeHalf) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	// Drain buffered messages even after close so no data is lost, but
 	// fail once both the buffer is empty and a side is closed.
 	select {

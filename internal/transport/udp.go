@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
 )
 
 // MaxDatagram is the largest message the socket transports accept. It
@@ -69,49 +70,102 @@ type socketConn struct {
 	local, remote core.Addr
 	closeOnce     sync.Once
 	closeErr      error
+
+	// wmu serializes writes *and* write-deadline management. Without it
+	// a deadline-bearing sender's deadline reset races concurrent
+	// senders: A sets a deadline, B's write spuriously times out, then
+	// A's reset (the old code's deferred SetWriteDeadline(time.Time{}))
+	// clears a deadline a third sender just armed.
+	wmu sync.Mutex
 }
 
 func (s *socketConn) Send(ctx context.Context, p []byte) error {
 	if len(p) > MaxDatagram {
 		return fmt.Errorf("%w: %d bytes", core.ErrMessageTooLarge, len(p))
 	}
-	if d, ok := ctx.Deadline(); ok {
+	s.wmu.Lock()
+	d, hasDeadline := ctx.Deadline()
+	if hasDeadline {
 		s.conn.SetWriteDeadline(d)
-		defer s.conn.SetWriteDeadline(time.Time{})
 	}
 	_, err := s.conn.Write(p)
-	if err != nil && isClosedErr(err) {
-		return core.ErrClosed
+	if hasDeadline {
+		// Reset only the deadline we set; no-deadline senders never
+		// touch the socket deadline.
+		s.conn.SetWriteDeadline(time.Time{})
+	}
+	s.wmu.Unlock()
+	if err != nil {
+		if isClosedErr(err) {
+			return core.ErrClosed
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() && hasDeadline {
+			return context.DeadlineExceeded
+		}
 	}
 	return err
 }
 
+// SendBuf writes the buffer and releases it — datagram sockets do not
+// retain payloads, so ownership ends at the syscall.
+func (s *socketConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	err := s.Send(ctx, b.Bytes())
+	b.Release()
+	return err
+}
+
+// Headroom: transports terminate the stack, no headers below.
+func (s *socketConn) Headroom() int { return 0 }
+
 func (s *socketConn) Recv(ctx context.Context) ([]byte, error) {
-	buf := make([]byte, MaxDatagram+1)
-	stop := ctxDeadline(ctx, s.conn.SetReadDeadline)
-	defer stop()
+	b, err := s.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf reads the next datagram into a pooled buffer owned by the
+// caller. The buffer keeps the headroom a reply path needs to prepend
+// its headers without reallocating.
+func (s *socketConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	b := wire.NewBuf(wire.DefaultHeadroom, MaxDatagram+1)
+	if ctx.Done() != nil {
+		// Only cancellable contexts arm the deadline machinery; building
+		// the method value alone would cost an allocation per receive.
+		stop := ctxDeadline(ctx, s.conn.SetReadDeadline)
+		defer stop()
+	}
 	for {
-		n, err := s.conn.Read(buf)
+		n, err := s.conn.Read(b.Bytes())
 		if err != nil {
 			if ctx.Err() != nil {
+				b.Release()
 				return nil, ctx.Err()
 			}
 			if isClosedErr(err) {
+				b.Release()
 				return nil, core.ErrClosed
 			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				// The socket deadline mirrors the context deadline and can
 				// fire a hair earlier; report the context's error.
 				if _, hasDeadline := ctx.Deadline(); hasDeadline {
+					b.Release()
 					return nil, context.DeadlineExceeded
 				}
-				continue // stale deadline from an earlier context
+				// A stale deadline from an earlier context (or a lost
+				// reset race) fires here with no deadline of our own:
+				// clear it before retrying, or this loop spins hot on
+				// an always-expired deadline.
+				s.conn.SetReadDeadline(time.Time{})
+				continue
 			}
+			b.Release()
 			return nil, err
 		}
-		out := make([]byte, n)
-		copy(out, buf[:n])
-		return out, nil
+		b.Truncate(n)
+		return b, nil
 	}
 }
 
@@ -125,25 +179,42 @@ func (s *socketConn) Close() error {
 
 // ctxDeadline propagates context cancellation into a deadline-based socket
 // API: it sets an immediate deadline when ctx is done. The returned stop
-// function must be deferred.
+// function must be deferred. Contexts that can never be cancelled cost
+// nothing. stop resets the socket deadline only when one was actually
+// armed, so deadline-free readers never clobber another caller's
+// deadline. (A cancellation racing stop can leave a stale immediate
+// deadline behind; RecvBuf's timeout branch clears those.)
 func ctxDeadline(ctx context.Context, set func(time.Time) error) (stop func()) {
 	if ctx.Done() == nil {
 		return func() {}
 	}
+	var (
+		mu    sync.Mutex
+		armed bool
+	)
 	if d, ok := ctx.Deadline(); ok {
 		set(d)
+		armed = true
 	}
 	done := make(chan struct{})
 	go func() {
 		select {
 		case <-ctx.Done():
+			mu.Lock()
+			armed = true
+			mu.Unlock()
 			set(time.Unix(1, 0)) // immediate timeout unblocks the read
 		case <-done:
 		}
 	}()
 	return func() {
 		close(done)
-		set(time.Time{})
+		mu.Lock()
+		wasArmed := armed
+		mu.Unlock()
+		if wasArmed {
+			set(time.Time{})
+		}
 	}
 }
 
@@ -177,10 +248,14 @@ func newDemuxListener(pc packetConn, addr core.Addr) *demuxListener {
 }
 
 func (l *demuxListener) readLoop() {
-	buf := make([]byte, MaxDatagram+1)
 	for {
-		n, from, err := l.pc.ReadFrom(buf)
+		// Read straight into a pooled buffer that travels to the peer's
+		// receive queue — no per-datagram copy. (ReadFrom still allocates
+		// the source net.Addr; connected sockets avoid even that.)
+		b := wire.NewBuf(wire.DefaultHeadroom, MaxDatagram+1)
+		n, from, err := l.pc.ReadFrom(b.Bytes())
 		if err != nil {
+			b.Release()
 			select {
 			case <-l.closed:
 				return
@@ -192,9 +267,8 @@ func (l *demuxListener) readLoop() {
 			}
 			continue // transient error (e.g. ICMP-induced)
 		}
+		b.Truncate(n)
 		key := from.String()
-		msg := make([]byte, n)
-		copy(msg, buf[:n])
 
 		l.mu.Lock()
 		peer, ok := l.peers[key]
@@ -204,7 +278,7 @@ func (l *demuxListener) readLoop() {
 				peer:   from,
 				local:  l.addr,
 				remote: core.Addr{Net: l.addr.Net, Addr: key},
-				recv:   make(chan []byte, recvQueueLen),
+				recv:   make(chan *wire.Buf, recvQueueLen),
 				closed: make(chan struct{}),
 			}
 			l.peers[key] = peer
@@ -214,15 +288,16 @@ func (l *demuxListener) readLoop() {
 				// Accept backlog full: drop the peer (client retries).
 				delete(l.peers, key)
 				l.mu.Unlock()
+				b.Release()
 				continue
 			}
 		}
 		l.mu.Unlock()
 
 		select {
-		case peer.recv <- msg:
+		case peer.recv <- b:
 		default:
-			// Per-peer queue full: drop (datagram semantics).
+			b.Release() // per-peer queue full: drop (datagram semantics)
 		}
 	}
 }
@@ -258,7 +333,7 @@ type demuxConn struct {
 	l             *demuxListener
 	peer          net.Addr
 	local, remote core.Addr
-	recv          chan []byte
+	recv          chan *wire.Buf
 	closed        chan struct{}
 	once          sync.Once
 }
@@ -279,15 +354,35 @@ func (c *demuxConn) Send(ctx context.Context, p []byte) error {
 	return err
 }
 
+// SendBuf writes the buffer and releases it.
+func (c *demuxConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	err := c.Send(ctx, b.Bytes())
+	b.Release()
+	return err
+}
+
+// Headroom: transports terminate the stack, no headers below.
+func (c *demuxConn) Headroom() int { return 0 }
+
 func (c *demuxConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+// RecvBuf hands the pooled buffer filled by the listener's read loop
+// straight to the caller.
+func (c *demuxConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	select {
-	case m := <-c.recv:
-		return m, nil
+	case b := <-c.recv:
+		return b, nil
 	default:
 	}
 	select {
-	case m := <-c.recv:
-		return m, nil
+	case b := <-c.recv:
+		return b, nil
 	case <-c.closed:
 		return nil, core.ErrClosed
 	case <-ctx.Done():
@@ -306,11 +401,27 @@ func (c *demuxConn) Close() error {
 		c.l.mu.Lock()
 		delete(c.l.peers, c.peer.String())
 		c.l.mu.Unlock()
+		c.drain()
 	})
 	return nil
 }
 
 // closePeer closes the conn on listener shutdown without re-locking.
 func (c *demuxConn) closePeer() {
-	c.once.Do(func() { close(c.closed) })
+	c.once.Do(func() {
+		close(c.closed)
+		c.drain()
+	})
+}
+
+// drain returns undelivered pooled buffers on close.
+func (c *demuxConn) drain() {
+	for {
+		select {
+		case b := <-c.recv:
+			b.Release()
+		default:
+			return
+		}
+	}
 }

@@ -1,0 +1,161 @@
+package bertha_bench
+
+import (
+	"context"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/chunnels/framing"
+	"github.com/bertha-net/bertha/internal/chunnels/serialize"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/testutil"
+	"github.com/bertha-net/bertha/internal/transport"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// newStackPair builds the 3-deep serialize→framing→udp benchmark stack
+// on both ends of a connected loopback UDP socket pair. Connected
+// sockets (not the demultiplexing listener) keep the receive path free
+// of per-datagram source-address allocations.
+func newStackPair(tb testing.TB) (cli, srv core.Conn) {
+	tb.Helper()
+	a, b, err := transport.UDPPair("cli", "srv")
+	if err != nil {
+		tb.Fatalf("udp pair: %v", err)
+	}
+	wrap := func(c core.Conn) core.Conn {
+		f, err := framing.New(c, framing.DefaultMaxFrame)
+		if err != nil {
+			tb.Fatalf("framing: %v", err)
+		}
+		s, err := serialize.New(f, serialize.FormatBincode)
+		if err != nil {
+			tb.Fatalf("serialize: %v", err)
+		}
+		return s
+	}
+	cli, srv = wrap(a), wrap(b)
+	tb.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli, srv
+}
+
+// echoLoop reflects every message back through the stack without
+// copying: the received buffer's trimmed headers become exactly the
+// headroom the reply's headers prepend into.
+func echoLoop(srv core.Conn) {
+	ctx := context.Background()
+	for {
+		b, err := core.RecvBuf(ctx, srv)
+		if err != nil {
+			return
+		}
+		if err := core.SendBuf(ctx, srv, b); err != nil {
+			return
+		}
+	}
+}
+
+// BenchmarkStackSend measures the send path of the 3-deep stack: one
+// pooled buffer per message, headers prepended in place, released at the
+// socket. A background drain keeps the peer's kernel buffer empty.
+func BenchmarkStackSend(b *testing.B) {
+	cli, srv := newStackPair(b)
+	go func() {
+		ctx := context.Background()
+		for {
+			m, err := core.RecvBuf(ctx, srv)
+			if err != nil {
+				return
+			}
+			m.Release()
+		}
+	}()
+
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	headroom := core.HeadroomOf(cli)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := wire.NewBufFrom(headroom, payload)
+		if err := core.SendBuf(ctx, cli, m); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+	}
+}
+
+// BenchmarkStackRecv measures the receive path of the 3-deep stack: the
+// transport's pooled buffer travels up with headers trimmed in place.
+// The peer sends exactly one message per iteration (lock-step, so
+// loopback UDP never drops).
+func BenchmarkStackRecv(b *testing.B) {
+	cli, srv := newStackPair(b)
+	req := make(chan struct{})
+	go func() {
+		ctx := context.Background()
+		payload := make([]byte, 64)
+		headroom := core.HeadroomOf(srv)
+		for range req {
+			m := wire.NewBufFrom(headroom, payload)
+			if core.SendBuf(ctx, srv, m) != nil {
+				return
+			}
+		}
+	}()
+	defer close(req)
+
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req <- struct{}{}
+		m, err := core.RecvBuf(ctx, cli)
+		if err != nil {
+			b.Fatalf("recv: %v", err)
+		}
+		m.Release()
+	}
+}
+
+// TestStackRoundTripAllocs is the tier-1 regression gate for the pooled
+// buffer path: a full round trip over the serialize→framing→udp stack —
+// send with header prepends, zero-copy echo on the peer, receive with
+// header trims — must stay at or below 2 allocations, down from ~8 with
+// the copy-per-layer implementation. In steady state it measures 0; the
+// budget of 2 absorbs a GC emptying the pools mid-run.
+func TestStackRoundTripAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	cli, srv := newStackPair(t)
+	go echoLoop(srv)
+
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	headroom := core.HeadroomOf(cli)
+
+	roundTrip := func() {
+		m := wire.NewBufFrom(headroom, payload)
+		if err := core.SendBuf(ctx, cli, m); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		r, err := core.RecvBuf(ctx, cli)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		if r.Len() != len(payload) {
+			t.Errorf("echo len = %d, want %d", r.Len(), len(payload))
+		}
+		r.Release()
+	}
+	roundTrip() // warm the buffer pools before measuring
+
+	avg := testing.AllocsPerRun(100, roundTrip)
+	if t.Failed() {
+		t.FailNow()
+	}
+	if avg > 2 {
+		t.Fatalf("stack round trip allocates %.2f objects/op, budget is 2", avg)
+	}
+}
