@@ -1,0 +1,27 @@
+// Command berthavet runs the bertha static-analysis suite: bufown
+// (linear wire.Buf ownership), overhead (Prepend totals vs declared
+// SendOverhead), and lockdisc (mutexes across blocking conn calls and
+// lock ordering).
+//
+// Standalone:
+//
+//	go run ./cmd/berthavet ./...
+//
+// As a vettool:
+//
+//	go build -o /tmp/berthavet ./cmd/berthavet
+//	go vet -vettool=/tmp/berthavet ./...
+//
+// Exit status is 0 when the tree is clean, 2 when diagnostics were
+// reported, 1 on operational failure.
+package main
+
+import (
+	"os"
+
+	"github.com/bertha-net/bertha/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,344 @@
+// Package analysis is a dependency-free re-implementation of the core of
+// golang.org/x/tools/go/analysis, sized for this repository: an Analyzer
+// is a named check over one type-checked package, a Pass is one run of an
+// analyzer, and diagnostics carry a category so golden tests and CI can
+// assert on the exact rule that fired.
+//
+// The suite exists because the zero-copy data plane (internal/wire,
+// core.BufConn) is governed by conventions the compiler cannot see:
+// linear Buf ownership, declared SendOverhead bounds, and no blocking
+// conn calls under a mutex. The analyzers in the sub-packages (bufown,
+// overhead, lockdisc) prove those conventions at build time; cmd/berthavet
+// is the multichecker that runs them standalone or as a `go vet -vettool`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SuiteRevision identifies the vet-suite rule set. Bump it whenever an
+// analyzer's diagnostics change so `go vet` re-runs cached packages and
+// `-version` output reflects the rules in force.
+const SuiteRevision = "berthavet-2026.08.1"
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's command-line and diagnostic prefix, e.g.
+	// "bufown".
+	Name string
+	// Doc is the one-paragraph description shown by -help.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos is where the finding anchors.
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Category names the specific rule, e.g. "use-after-release".
+	Category string
+	// Message is the human-readable finding.
+	Message string
+}
+
+// A Pass is one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags   []Diagnostic
+	ignores map[string]map[int]bool // filename -> line -> suppressed (built lazily)
+}
+
+// Reportf records a diagnostic unless a //berthavet:ignore directive
+// suppresses it on that line.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position.Filename, position.Line) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far, in file/line order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool {
+		pi, pj := p.Fset.Position(p.diags[i].Pos), p.Fset.Position(p.diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return p.diags
+}
+
+// suppressed reports whether a //berthavet:ignore directive on the given
+// line names this analyzer (or "all").
+func (p *Pass) suppressed(filename string, line int) bool {
+	if p.ignores == nil {
+		p.ignores = map[string]map[int]bool{}
+		for _, f := range p.Files {
+			tf := p.Fset.File(f.Pos())
+			if tf == nil {
+				continue
+			}
+			lines := map[int]bool{}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//berthavet:ignore")
+					if !ok {
+						continue
+					}
+					names := strings.Fields(rest)
+					match := len(names) == 0
+					for _, n := range names {
+						if n == p.Analyzer.Name || n == "all" {
+							match = true
+						}
+					}
+					if match {
+						lines[p.Fset.Position(c.Pos()).Line] = true
+					}
+				}
+			}
+			p.ignores[tf.Name()] = lines
+		}
+	}
+	return p.ignores[filename][line]
+}
+
+// Run applies an analyzer to a package and returns its diagnostics.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return pass.Diagnostics(), nil
+}
+
+// ---- type recognition helpers shared by the analyzers ----
+
+// wirePkg reports whether pkg is the repository's internal/wire package
+// (matched by path suffix so forks and testdata loads both qualify).
+func wirePkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "internal/wire" || strings.HasSuffix(pkg.Path(), "/internal/wire"))
+}
+
+// corePkg reports whether pkg is the repository's internal/core package.
+func corePkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "internal/core" || strings.HasSuffix(pkg.Path(), "/internal/core"))
+}
+
+// IsWirePackage reports whether the package under analysis is
+// internal/wire itself (whose Buf methods implement, rather than obey,
+// the ownership discipline).
+func IsWirePackage(pkg *types.Package) bool { return wirePkg(pkg) }
+
+// IsBufPtr reports whether t is *wire.Buf.
+func IsBufPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Buf" && wirePkg(obj.Pkg())
+}
+
+// IsImplInfo reports whether t is core.ImplInfo.
+func IsImplInfo(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ImplInfo" && corePkg(obj.Pkg())
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ConnMethodNames are the blocking data-plane calls of core.Conn /
+// core.BufConn that lockdisc guards and bufown treats as ownership
+// transfer points.
+var ConnMethodNames = map[string]bool{
+	"Send": true, "Recv": true, "SendBuf": true, "RecvBuf": true,
+}
+
+// ConnCallName classifies a call expression as a data-plane conn call:
+// a method named Send/Recv/SendBuf/RecvBuf whose first parameter is a
+// context.Context, or the package helpers core.SendBuf / core.RecvBuf.
+// It returns the display name ("conn.SendBuf", "core.RecvBuf") and true
+// when the call matches.
+func ConnCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if !ConnMethodNames[name] {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 || !IsContext(sig.Params().At(0).Type()) {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		// Package-level helper: only core.SendBuf / core.RecvBuf qualify.
+		if corePkg(fn.Pkg()) && (name == "SendBuf" || name == "RecvBuf") {
+			return "core." + name, true
+		}
+		return "", false
+	}
+	return "conn." + name, true
+}
+
+// ---- //bertha: annotations ----
+
+// Annotations is the per-file index of //bertha: directives.
+//
+//	//bertha:owns b      (func doc)  parameter b is owned by the callee [default]
+//	//bertha:borrows b   (func doc)  parameter b is borrowed: the callee must
+//	                                 not release it and callers keep ownership
+//	//bertha:transfers   (stmt line) ownership intentionally leaves this
+//	                                 function at this statement
+//	//bertha:overhead N  (stmt line or func doc) bound, in bytes, for a
+//	                                 prepend the analyzer cannot fold to a
+//	                                 constant
+type Annotations struct {
+	fset *token.FileSet
+	// transfers and overheads are keyed by "file:line".
+	transfers map[string]bool
+	overheads map[string]int
+}
+
+// CollectAnnotations indexes every //bertha: comment in the files.
+func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{fset: fset, transfers: map[string]bool{}, overheads: map[string]int{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//bertha:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// Register under the comment's own line (trailing form)
+				// and the next line (directive-above-statement form).
+				keys := []string{
+					pos.Filename + ":" + strconv.Itoa(pos.Line),
+					pos.Filename + ":" + strconv.Itoa(pos.Line+1),
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				switch fields[0] {
+				case "transfers":
+					for _, key := range keys {
+						a.transfers[key] = true
+					}
+				case "overhead":
+					if len(fields) > 1 {
+						if n, err := strconv.Atoi(fields[1]); err == nil {
+							for _, key := range keys {
+								a.overheads[key] = n
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+func (a *Annotations) key(pos token.Pos) string {
+	p := a.fset.Position(pos)
+	return p.Filename + ":" + strconv.Itoa(p.Line)
+}
+
+// TransfersAt reports whether a //bertha:transfers directive covers the
+// line containing pos.
+func (a *Annotations) TransfersAt(pos token.Pos) bool { return a.transfers[a.key(pos)] }
+
+// OverheadAt returns the declared byte bound on the line containing pos.
+func (a *Annotations) OverheadAt(pos token.Pos) (int, bool) {
+	n, ok := a.overheads[a.key(pos)]
+	return n, ok
+}
+
+// FuncDirective scans a function's doc comment for a //bertha:<verb>
+// directive naming ident (e.g. verb "borrows", ident "b").
+func FuncDirective(doc *ast.CommentGroup, verb, ident string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//bertha:"+verb)
+		if !ok {
+			continue
+		}
+		for _, f := range strings.Fields(rest) {
+			if f == ident {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncOverhead scans a function's doc comment for //bertha:overhead N.
+func FuncOverhead(doc *ast.CommentGroup) (int, bool) {
+	if doc == nil {
+		return 0, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//bertha:overhead")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) > 0 {
+			if n, err := strconv.Atoi(fields[0]); err == nil {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}

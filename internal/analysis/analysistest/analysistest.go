@@ -1,0 +1,106 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A want comment names one or more expected diagnostics for its line:
+//
+//	b.Release() // want `double-release`
+//	m[k] = b    // want "transfer" "second expectation"
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched by a diagnostic, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis"
+	"github.com/bertha-net/bertha/internal/analysis/load"
+)
+
+// Run loads internal/analysis/testdata/src/<dir> and applies a to it.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	modRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", dir)
+	exports, err := load.ExportMap(modRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := load.Dir(pkgDir, "testdata/"+dir, exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := lineKey(pos)
+		text := fmt.Sprintf("[%s/%s] %s", d.Analyzer, d.Category, d.Message)
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(text) {
+				wants[key][i] = nil // each want matches one diagnostic
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, text)
+		}
+	}
+	for key, res := range wants {
+		for _, w := range res {
+			if w != nil {
+				t.Errorf("%s: expected diagnostic matching %q did not fire", key, w)
+			}
+		}
+	}
+}
+
+func lineKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// collectWants indexes // want comments by file:line.
+func collectWants(t *testing.T, pkg *load.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					key := lineKey(pos)
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,941 @@
+// Package bufown checks the linear ownership discipline of *wire.Buf
+// values: every Buf acquired by a function (from a constructor, a
+// RecvBuf, or an owned parameter) must leave it exactly once on every
+// path — via Release/CopyOut, an annotated Detach or store
+// (//bertha:transfers), a call that takes ownership, or a return.
+//
+// Diagnostic categories:
+//
+//	use-after-release  a Buf is used after Release/CopyOut/Detach
+//	double-release     a Buf is released twice on one path
+//	leak               a path returns without consuming an owned Buf
+//	transfer           ownership leaves through Detach or a store into a
+//	                   longer-lived structure without //bertha:transfers
+//
+// Parameters of type *wire.Buf are owned by the callee by default;
+// //bertha:borrows <name> in the function's doc comment marks a
+// parameter the caller retains. The internal/wire package itself is
+// exempt: its methods implement the discipline rather than obey it.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/bertha-net/bertha/internal/analysis"
+)
+
+// Analyzer is the bufown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc:  "check linear ownership of wire.Buf values (release/transfer exactly once per path)",
+	Run:  run,
+}
+
+// st is the abstract ownership state of one Buf cell.
+type st uint8
+
+const (
+	stUntracked st = iota // borrowed, nil, or of unknown provenance
+	stOwned               // this function must consume it
+	stReleased            // terminally consumed by Release/CopyOut/Detach
+	stEscaped             // ownership transferred (call arg, return, store, capture)
+	stMaybe               // owned on some paths, consumed on others
+)
+
+// A cell is one tracked Buf value; aliased variables share a cell.
+type cell struct {
+	name  string
+	pos   token.Pos
+	depth int // loop nesting level at creation
+}
+
+// env maps variables to cells and cells to states along one path.
+type env struct {
+	vars map[*types.Var]*cell
+	st   map[*cell]st
+	def  map[*cell]bool // has a deferred Release/CopyOut
+	// pair links an error variable to the Buf cell produced by the same
+	// call (b, err := RecvBuf(...)): on the err != nil branch the Buf is
+	// nil by convention and ownership evaporates.
+	pair map[*types.Var]*cell
+}
+
+func newEnv() *env {
+	return &env{
+		vars: map[*types.Var]*cell{},
+		st:   map[*cell]st{},
+		def:  map[*cell]bool{},
+		pair: map[*types.Var]*cell{},
+	}
+}
+
+func (e *env) clone() *env {
+	c := newEnv()
+	for k, v := range e.vars {
+		c.vars[k] = v
+	}
+	for k, v := range e.st {
+		c.st[k] = v
+	}
+	for k, v := range e.def {
+		c.def[k] = v
+	}
+	for k, v := range e.pair {
+		c.pair[k] = v
+	}
+	return c
+}
+
+func (e *env) state(c *cell) st {
+	if s, ok := e.st[c]; ok {
+		return s
+	}
+	return stUntracked
+}
+
+// merge folds b into a at a control-flow join.
+func (e *env) merge(b *env) {
+	for v, c := range b.vars {
+		if _, ok := e.vars[v]; !ok {
+			e.vars[v] = c
+		}
+	}
+	seen := map[*cell]bool{}
+	for _, c := range e.vars {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		e.st[c] = mergeState(e.state(c), b.state(c))
+	}
+	for c := range b.def {
+		e.def[c] = true
+	}
+	for v, c := range b.pair {
+		if prev, ok := e.pair[v]; ok && prev != c {
+			delete(e.pair, v)
+		} else {
+			e.pair[v] = c
+		}
+	}
+}
+
+func mergeState(a, b st) st {
+	if a == b {
+		return a
+	}
+	if a == stUntracked || b == stUntracked {
+		return stUntracked
+	}
+	// released+escaped: consumed either way; anything involving owned or
+	// maybe stays conditional.
+	if (a == stReleased || a == stEscaped) && (b == stReleased || b == stEscaped) {
+		return stEscaped
+	}
+	return stMaybe
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.IsWirePackage(pass.Pkg) {
+		return nil
+	}
+	ann := analysis.CollectAnnotations(pass.Fset, pass.Files)
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fa := &funcAnalysis{pass: pass, ann: ann, decls: decls}
+			fa.runFunc(fd.Type, fd.Doc, fd.Body)
+		}
+	}
+	return nil
+}
+
+type funcAnalysis struct {
+	pass  *analysis.Pass
+	ann   *analysis.Annotations
+	decls map[*types.Func]*ast.FuncDecl
+	depth int // current loop nesting
+}
+
+func (fa *funcAnalysis) info() *types.Info { return fa.pass.TypesInfo }
+
+// runFunc analyzes one function or function literal body.
+func (fa *funcAnalysis) runFunc(ft *ast.FuncType, doc *ast.CommentGroup, body *ast.BlockStmt) {
+	e := newEnv()
+	fa.bindParams(ft, doc, e)
+	if !fa.stmtList(body.List, e) {
+		fa.exitCheck(e, body.Rbrace)
+	}
+}
+
+func (fa *funcAnalysis) bindParams(ft *ast.FuncType, doc *ast.CommentGroup, e *env) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			v, ok := fa.info().Defs[name].(*types.Var)
+			if !ok || !analysis.IsBufPtr(v.Type()) {
+				continue
+			}
+			if analysis.FuncDirective(doc, "borrows", name.Name) {
+				continue
+			}
+			c := &cell{name: name.Name, pos: name.Pos(), depth: fa.depth}
+			e.vars[v] = c
+			e.st[c] = stOwned
+		}
+	}
+}
+
+// exitCheck reports owned cells still live when a path leaves the
+// function.
+func (fa *funcAnalysis) exitCheck(e *env, at token.Pos) {
+	seen := map[*cell]bool{}
+	for _, c := range e.vars {
+		if seen[c] || e.def[c] {
+			continue
+		}
+		seen[c] = true
+		switch e.state(c) {
+		case stOwned:
+			fa.pass.Reportf(at, "leak",
+				"pooled Buf %q (acquired at line %d) is not released, transferred, or returned on this path",
+				c.name, fa.pass.Fset.Position(c.pos).Line)
+		case stMaybe:
+			fa.pass.Reportf(at, "leak",
+				"pooled Buf %q (acquired at line %d) may leak: consumed on some paths into this exit but not all",
+				c.name, fa.pass.Fset.Position(c.pos).Line)
+		}
+	}
+}
+
+// loopExitCheck reports Bufs created inside the current loop body that
+// are still owned when the iteration ends.
+func (fa *funcAnalysis) loopExitCheck(e *env, at token.Pos) {
+	seen := map[*cell]bool{}
+	for _, c := range e.vars {
+		if seen[c] || e.def[c] || c.depth < fa.depth {
+			continue
+		}
+		seen[c] = true
+		if e.state(c) == stOwned {
+			fa.pass.Reportf(at, "leak",
+				"pooled Buf %q (acquired at line %d) leaks at the end of each loop iteration",
+				c.name, fa.pass.Fset.Position(c.pos).Line)
+		}
+	}
+}
+
+// scrubDeeper drops bindings for cells created inside a loop body that
+// just went out of scope.
+func (fa *funcAnalysis) scrubDeeper(e *env) {
+	for v, c := range e.vars {
+		if c.depth > fa.depth {
+			delete(e.vars, v)
+		}
+	}
+}
+
+func (fa *funcAnalysis) stmtList(list []ast.Stmt, e *env) bool {
+	for _, s := range list {
+		if fa.stmt(s, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt analyzes one statement; the result reports whether the path
+// terminates (return, panic, break/continue, infinite loop).
+func (fa *funcAnalysis) stmt(s ast.Stmt, e *env) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		fa.expr(s.X, e)
+		return isTerminalCall(s.X)
+	case *ast.AssignStmt:
+		fa.assign(s, e)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					fa.bindIdent(name, rhs, e)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if c := fa.trackedIdent(r, e); c != nil {
+				fa.useCheck(r.Pos(), c, e)
+				e.st[c] = stEscaped
+				continue
+			}
+			fa.expr(r, e)
+		}
+		fa.exitCheck(e, s.Pos())
+		return true
+	case *ast.BlockStmt:
+		return fa.stmtList(s.List, e)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			fa.stmt(s.Init, e)
+		}
+		fa.expr(s.Cond, e)
+		eThen := e.clone()
+		eElse := e.clone()
+		// if err != nil: the paired Buf is nil on the error branch, so
+		// ownership applies only on the success branch (and vice versa
+		// for err == nil).
+		if errVar, isNeq, ok := errNilCond(fa.info(), s.Cond); ok {
+			if c, paired := e.pair[errVar]; paired {
+				errEnv, okEnv := eThen, eElse
+				if !isNeq {
+					errEnv, okEnv = eElse, eThen
+				}
+				if errEnv.state(c) == stOwned {
+					errEnv.st[c] = stUntracked
+				}
+				delete(errEnv.pair, errVar)
+				delete(okEnv.pair, errVar)
+			}
+		}
+		tTerm := fa.stmtList(s.Body.List, eThen)
+		eTerm := false
+		if s.Else != nil {
+			eTerm = fa.stmt(s.Else, eElse)
+		}
+		switch {
+		case tTerm && eTerm:
+			return true
+		case tTerm:
+			*e = *eElse
+		case eTerm:
+			*e = *eThen
+		default:
+			eThen.merge(eElse)
+			*e = *eThen
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fa.stmt(s.Init, e)
+		}
+		if s.Cond != nil {
+			fa.expr(s.Cond, e)
+		}
+		fa.depth++
+		eBody := e.clone()
+		term := fa.stmtList(s.Body.List, eBody)
+		if !term {
+			fa.loopExitCheck(eBody, s.Body.Rbrace)
+		}
+		if s.Post != nil {
+			fa.stmt(s.Post, eBody)
+		}
+		fa.depth--
+		infinite := s.Cond == nil && !hasLoopExit(s.Body)
+		if !term {
+			fa.scrubDeeper(eBody)
+			e.merge(eBody)
+		}
+		return infinite
+	case *ast.RangeStmt:
+		fa.expr(s.X, e)
+		// Loop variables of Buf type come from a container the loop does
+		// not own: bind untracked so Release in the body is accepted.
+		for _, lv := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := lv.(*ast.Ident); ok && lv != nil {
+				if v, ok := fa.info().Defs[id].(*types.Var); ok && analysis.IsBufPtr(v.Type()) {
+					delete(e.vars, v)
+				}
+			}
+		}
+		fa.depth++
+		eBody := e.clone()
+		term := fa.stmtList(s.Body.List, eBody)
+		if !term {
+			fa.loopExitCheck(eBody, s.Body.Rbrace)
+		}
+		fa.depth--
+		if !term {
+			fa.scrubDeeper(eBody)
+			e.merge(eBody)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			fa.stmt(s.Init, e)
+		}
+		if s.Tag != nil {
+			fa.expr(s.Tag, e)
+		}
+		return fa.caseClauses(s.Body, e, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			fa.stmt(s.Init, e)
+		}
+		fa.stmt(s.Assign, e)
+		return fa.caseClauses(s.Body, e, false)
+	case *ast.SelectStmt:
+		return fa.caseClauses(s.Body, e, true)
+	case *ast.DeferStmt:
+		fa.deferStmt(s, e)
+	case *ast.GoStmt:
+		fa.expr(s.Call, e)
+	case *ast.SendStmt:
+		fa.expr(s.Chan, e)
+		if c := fa.trackedIdent(s.Value, e); c != nil {
+			fa.consumeStore(s.Value.Pos(), c, e, "channel send")
+		} else {
+			fa.expr(s.Value, e)
+		}
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK || s.Tok == token.CONTINUE {
+			if fa.depth > 0 {
+				fa.loopExitCheck(e, s.Pos())
+			}
+			return true
+		}
+		return s.Tok == token.GOTO
+	case *ast.LabeledStmt:
+		return fa.stmt(s.Stmt, e)
+	case *ast.IncDecStmt:
+		fa.expr(s.X, e)
+	}
+	return false
+}
+
+// caseClauses handles switch/type-switch/select bodies: each clause is
+// analyzed from the pre-state and the surviving states are merged.
+func (fa *funcAnalysis) caseClauses(body *ast.BlockStmt, e *env, isSelect bool) bool {
+	var outs []*env
+	hasDefault := false
+	for _, cs := range body.List {
+		ec := e.clone()
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, x := range cs.List {
+				fa.expr(x, ec)
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				fa.stmt(cs.Comm, ec)
+			}
+			stmts = cs.Body
+		}
+		if !fa.stmtList(stmts, ec) {
+			outs = append(outs, ec)
+		}
+	}
+	// A select blocks until some case runs; a switch without a default
+	// can fall through unchanged.
+	exhaustive := isSelect || hasDefault
+	if len(outs) == 0 {
+		return exhaustive && len(body.List) > 0
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged.merge(o)
+	}
+	if !exhaustive {
+		merged.merge(e)
+	}
+	*e = *merged
+	return false
+}
+
+func (fa *funcAnalysis) deferStmt(s *ast.DeferStmt, e *env) {
+	if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+		if c := fa.trackedIdent(sel.X, e); c != nil {
+			switch sel.Sel.Name {
+			case "Release", "CopyOut":
+				e.def[c] = true
+				return
+			}
+		}
+	}
+	fa.expr(s.Call, e)
+}
+
+// assign handles := and = statements: alias propagation, new owned
+// cells from Buf-returning calls, and the transfer rule for stores.
+func (fa *funcAnalysis) assign(s *ast.AssignStmt, e *env) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// b, err := f(ctx) and friends: classify once, bind each LHS.
+		fa.expr(s.Rhs[0], e)
+		_, fromCall := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		var bufCell *cell
+		var errVar *types.Var
+		for _, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				fa.storeNonIdentLHS(lhs, e)
+				continue
+			}
+			if c := fa.bindVar(id, fromCall, e); c != nil {
+				bufCell = c
+			}
+			if v := fa.identVar(id); v != nil && isErrorType(v.Type()) {
+				delete(e.pair, v)
+				errVar = v
+			}
+		}
+		if bufCell != nil && errVar != nil {
+			e.pair[errVar] = bufCell
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if i < len(s.Rhs) {
+			rhs = s.Rhs[i]
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			fa.bindIdent(id, rhs, e)
+			continue
+		}
+		// Store target: m[k] = b, x.f = b, *p = b.
+		if c := fa.trackedIdent(rhs, e); c != nil {
+			fa.consumeStore(rhs.Pos(), c, e, "store")
+		} else if rhs != nil {
+			fa.expr(rhs, e)
+		}
+		fa.storeNonIdentLHS(lhs, e)
+	}
+}
+
+// storeNonIdentLHS evaluates the subexpressions of a non-identifier
+// assignment target for use checks.
+func (fa *funcAnalysis) storeNonIdentLHS(lhs ast.Expr, e *env) {
+	switch lhs := lhs.(type) {
+	case *ast.IndexExpr:
+		fa.expr(lhs.X, e)
+		fa.expr(lhs.Index, e)
+	case *ast.SelectorExpr:
+		fa.expr(lhs.X, e)
+	case *ast.StarExpr:
+		fa.expr(lhs.X, e)
+	}
+}
+
+// bindIdent binds one identifier from one RHS expression.
+func (fa *funcAnalysis) bindIdent(id *ast.Ident, rhs ast.Expr, e *env) {
+	v := fa.identVar(id)
+	if v == nil || !analysis.IsBufPtr(v.Type()) {
+		if v != nil {
+			delete(e.pair, v) // a reassigned error no longer guards its Buf
+		}
+		if rhs != nil {
+			fa.expr(rhs, e)
+		}
+		return
+	}
+	if rhs == nil {
+		delete(e.vars, v) // var b *wire.Buf — nil until assigned
+		return
+	}
+	if rid, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+		if c := fa.trackedIdentVar(rid, e); c != nil {
+			fa.useCheck(rid.Pos(), c, e)
+			e.vars[v] = c // alias: both names share the cell
+			return
+		}
+		delete(e.vars, v)
+		return
+	}
+	fa.expr(rhs, e)
+	_, fromCall := ast.Unparen(rhs).(*ast.CallExpr)
+	fa.bindVarAt(v, id, fromCall, e)
+}
+
+func (fa *funcAnalysis) bindVar(id *ast.Ident, fromCall bool, e *env) *cell {
+	v := fa.identVar(id)
+	if v == nil || !analysis.IsBufPtr(v.Type()) {
+		return nil
+	}
+	return fa.bindVarAt(v, id, fromCall, e)
+}
+
+func (fa *funcAnalysis) bindVarAt(v *types.Var, id *ast.Ident, fromCall bool, e *env) *cell {
+	if !fromCall {
+		// Map reads, channel receives, field loads, type assertions:
+		// provenance unknown, do not track.
+		delete(e.vars, v)
+		return nil
+	}
+	c := &cell{name: id.Name, pos: id.Pos(), depth: fa.depth}
+	e.vars[v] = c
+	e.st[c] = stOwned
+	return c
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// identVar resolves an identifier to its variable (definition or use).
+func (fa *funcAnalysis) identVar(id *ast.Ident) *types.Var {
+	if v, ok := fa.info().Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := fa.info().Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// trackedIdent returns the cell behind x when x is a tracked Buf
+// identifier.
+func (fa *funcAnalysis) trackedIdent(x ast.Expr, e *env) *cell {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return fa.trackedIdentVar(id, e)
+}
+
+func (fa *funcAnalysis) trackedIdentVar(id *ast.Ident, e *env) *cell {
+	v := fa.identVar(id)
+	if v == nil {
+		return nil
+	}
+	return e.vars[v]
+}
+
+// useCheck reports use of a definitely-released Buf.
+func (fa *funcAnalysis) useCheck(pos token.Pos, c *cell, e *env) {
+	if e.state(c) == stReleased {
+		fa.pass.Reportf(pos, "use-after-release",
+			"use of Buf %q after it was released or detached", c.name)
+		e.st[c] = stUntracked // silence cascading reports
+	}
+}
+
+// consumeStore applies the transfer rule: storing an owned Buf into a
+// longer-lived structure needs a //bertha:transfers annotation.
+func (fa *funcAnalysis) consumeStore(pos token.Pos, c *cell, e *env, kind string) {
+	fa.useCheck(pos, c, e)
+	if s := e.state(c); s == stOwned || s == stMaybe {
+		if !fa.ann.TransfersAt(pos) {
+			fa.pass.Reportf(pos, "transfer",
+				"ownership of Buf %q leaves this function via %s; annotate the statement with //bertha:transfers or release a copy", c.name, kind)
+		}
+	}
+	e.st[c] = stEscaped
+}
+
+// expr walks an expression, applying use checks and consumption.
+func (fa *funcAnalysis) expr(x ast.Expr, e *env) {
+	switch x := x.(type) {
+	case nil:
+	case *ast.Ident:
+		if c := fa.trackedIdentVar(x, e); c != nil {
+			fa.useCheck(x.Pos(), c, e)
+		}
+	case *ast.CallExpr:
+		fa.call(x, e)
+	case *ast.ParenExpr:
+		fa.expr(x.X, e)
+	case *ast.SelectorExpr:
+		fa.expr(x.X, e)
+	case *ast.StarExpr:
+		fa.expr(x.X, e)
+	case *ast.UnaryExpr:
+		fa.expr(x.X, e)
+	case *ast.BinaryExpr:
+		fa.expr(x.X, e)
+		fa.expr(x.Y, e)
+	case *ast.IndexExpr:
+		fa.expr(x.X, e)
+		fa.expr(x.Index, e)
+	case *ast.SliceExpr:
+		fa.expr(x.X, e)
+		fa.expr(x.Low, e)
+		fa.expr(x.High, e)
+		fa.expr(x.Max, e)
+	case *ast.TypeAssertExpr:
+		fa.expr(x.X, e)
+	case *ast.KeyValueExpr:
+		fa.expr(x.Value, e)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			val := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			if c := fa.trackedIdent(val, e); c != nil {
+				fa.consumeStore(val.Pos(), c, e, "composite literal")
+				continue
+			}
+			fa.expr(val, e)
+		}
+	case *ast.FuncLit:
+		fa.funcLit(x, e)
+	}
+}
+
+// call handles method calls on Bufs, ownership-transferring arguments,
+// and builtins.
+func (fa *funcAnalysis) call(x *ast.CallExpr, e *env) {
+	// Terminal methods on a tracked receiver.
+	if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+		if c := fa.trackedIdent(sel.X, e); c != nil {
+			switch sel.Sel.Name {
+			case "Release":
+				if e.state(c) == stReleased {
+					fa.pass.Reportf(x.Pos(), "double-release",
+						"Buf %q is released twice on this path", c.name)
+				} else if e.def[c] {
+					fa.pass.Reportf(x.Pos(), "double-release",
+						"Buf %q has a deferred release; this explicit Release runs first and double-releases", c.name)
+				}
+				e.st[c] = stReleased
+				fa.evalArgs(x, e)
+				return
+			case "CopyOut":
+				fa.useCheck(x.Pos(), c, e)
+				e.st[c] = stReleased
+				fa.evalArgs(x, e)
+				return
+			case "Detach":
+				fa.useCheck(x.Pos(), c, e)
+				if !fa.ann.TransfersAt(x.Pos()) {
+					fa.pass.Reportf(x.Pos(), "transfer",
+						"Detach removes Buf %q from pooling; annotate the statement with //bertha:transfers", c.name)
+				}
+				e.st[c] = stReleased
+				fa.evalArgs(x, e)
+				return
+			default:
+				// Any other method (Bytes, Len, Prepend, ...) is a use.
+				fa.useCheck(sel.X.Pos(), c, e)
+			}
+		} else {
+			fa.expr(sel.X, e)
+		}
+	} else {
+		// Builtins take no ownership except append, which stores.
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := fa.info().Uses[id].(*types.Builtin); isBuiltin {
+				if id.Name == "append" {
+					for i, arg := range x.Args {
+						if c := fa.trackedIdent(arg, e); c != nil && i > 0 {
+							fa.consumeStore(arg.Pos(), c, e, "append")
+							continue
+						}
+						fa.expr(arg, e)
+					}
+				} else {
+					fa.evalArgs(x, e)
+				}
+				return
+			}
+		}
+		fa.expr(x.Fun, e)
+	}
+	// Ordinary call: a *wire.Buf argument transfers ownership to the
+	// callee unless the callee borrows it.
+	callee := fa.calleeFunc(x)
+	for i, arg := range x.Args {
+		if c := fa.trackedIdent(arg, e); c != nil {
+			fa.useCheck(arg.Pos(), c, e)
+			if !fa.calleeBorrows(callee, i) {
+				if s := e.state(c); s == stOwned || s == stMaybe || s == stUntracked {
+					e.st[c] = stEscaped
+				}
+			}
+			continue
+		}
+		fa.expr(arg, e)
+	}
+}
+
+func (fa *funcAnalysis) evalArgs(x *ast.CallExpr, e *env) {
+	for _, arg := range x.Args {
+		fa.expr(arg, e)
+	}
+}
+
+// calleeFunc resolves the called function when statically known.
+func (fa *funcAnalysis) calleeFunc(x *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(x.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := fa.info().Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := fa.info().Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeBorrows reports whether the callee's i-th parameter is marked
+// //bertha:borrows in its doc comment (same-package callees only).
+func (fa *funcAnalysis) calleeBorrows(fn *types.Func, i int) bool {
+	if fn == nil {
+		return false
+	}
+	fd, ok := fa.decls[fn]
+	if !ok || fd.Type.Params == nil {
+		return false
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if idx == i {
+				return analysis.FuncDirective(fd.Doc, "borrows", name.Name)
+			}
+			idx++
+		}
+	}
+	return false
+}
+
+// funcLit marks captured owned Bufs as escaped (the closure owns them
+// now) and analyzes the literal's body as its own function.
+func (fa *funcAnalysis) funcLit(fl *ast.FuncLit, e *env) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := fa.info().Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if c, ok := e.vars[v]; ok {
+			if s := e.state(c); s == stOwned || s == stMaybe {
+				e.st[c] = stEscaped
+			}
+		}
+		return true
+	})
+	sub := &funcAnalysis{pass: fa.pass, ann: fa.ann, decls: fa.decls}
+	sub.runFunc(fl.Type, nil, fl.Body)
+}
+
+// errNilCond matches conditions of the form `err != nil` / `err == nil`
+// over a plain error variable.
+func errNilCond(info *types.Info, cond ast.Expr) (*types.Var, bool, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return nil, false, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false, false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || !isErrorType(v.Type()) {
+		return nil, false, false
+	}
+	return v, be.Op == token.NEQ, true
+}
+
+func isNilIdent(x ast.Expr) bool {
+	id, ok := x.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isTerminalCall recognizes statements that end the path: panic and the
+// conventional process-exit helpers.
+func isTerminalCall(x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Fatal", "Fatalf", "Fatalln", "Exit", "Goexit":
+			if pkg, ok := fun.X.(*ast.Ident); ok {
+				return pkg.Name == "os" || pkg.Name == "log" || pkg.Name == "runtime"
+			}
+		}
+	}
+	return false
+}
+
+// hasLoopExit reports whether a loop body contains an unlabeled break
+// or a goto that can leave a `for {}` loop.
+func hasLoopExit(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node, inNested bool)
+	walk = func(n ast.Node, inNested bool) {
+		if n == nil || found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO {
+				found = true
+			}
+			if n.Tok == token.BREAK && (!inNested || n.Label != nil) {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// Unlabeled break inside these targets them, not our loop.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if b, ok := m.(*ast.BranchStmt); ok && b.Label != nil && b.Tok == token.BREAK {
+					found = true
+				}
+				return !found
+			})
+			return
+		case *ast.FuncLit:
+			return
+		}
+		// Generic recursion over children.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			walk(m, inNested)
+			return false
+		})
+	}
+	for _, s := range body.List {
+		walk(s, false)
+	}
+	return found
+}

@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/analysistest"
+	"github.com/bertha-net/bertha/internal/analysis/bufown"
+)
+
+func TestBufown(t *testing.T) {
+	analysistest.Run(t, "bufown_a", bufown.Analyzer)
+}

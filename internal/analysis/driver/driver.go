@@ -1,0 +1,220 @@
+// Package driver is the berthavet multichecker: it runs the bufown,
+// overhead, and lockdisc analyzers over packages either standalone
+// (`berthavet ./...`) or as a `go vet -vettool` backend speaking the go
+// command's unitchecker protocol (-flags/-V=full handshakes plus a JSON
+// .cfg file per package).
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"strings"
+
+	"github.com/bertha-net/bertha/internal/analysis"
+	"github.com/bertha-net/bertha/internal/analysis/bufown"
+	"github.com/bertha-net/bertha/internal/analysis/load"
+	"github.com/bertha-net/bertha/internal/analysis/lockdisc"
+	"github.com/bertha-net/bertha/internal/analysis/overhead"
+)
+
+// Analyzers is the berthavet suite, in execution order.
+var Analyzers = []*analysis.Analyzer{bufown.Analyzer, overhead.Analyzer, lockdisc.Analyzer}
+
+// Version renders the tool version: module version (when stamped into
+// the binary) plus the vet-suite rule revision.
+func Version() string {
+	mod := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		mod = bi.Main.Version
+	}
+	return fmt.Sprintf("%s %s", mod, analysis.SuiteRevision)
+}
+
+// Main is the berthavet entry point; it returns the process exit code
+// (0 clean, 1 operational failure, 2 diagnostics found).
+func Main(args []string, stdout, stderr io.Writer) int {
+	var patterns []string
+	for _, a := range args {
+		switch {
+		case a == "-flags" || a == "--flags":
+			// go vet interrogates the tool's flags; we add none beyond
+			// the standard handshake set.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case a == "-V=full" || a == "--V=full":
+			// The go command hashes this line into its build cache key;
+			// SuiteRevision busts the cache when the rules change.
+			fmt.Fprintf(stdout, "berthavet version %s\n", Version())
+			return 0
+		case a == "-version" || a == "--version":
+			fmt.Fprintf(stdout, "berthavet %s\n", Version())
+			return 0
+		case a == "-h" || a == "-help" || a == "--help":
+			usage(stdout)
+			return 0
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(stderr, "berthavet: unknown flag %q\n", a)
+			usage(stderr)
+			return 1
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		return vetUnit(patterns[0], stderr)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return standalone(patterns, stdout, stderr)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `usage: berthavet [packages]
+
+Runs the bertha static-analysis suite (%s) over the packages:
+`, analysis.SuiteRevision)
+	for _, a := range Analyzers {
+		fmt.Fprintf(w, "  %-9s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprint(w, `
+Also usable as a vettool: go vet -vettool=$(which berthavet) ./...
+Suppress a diagnostic with //berthavet:ignore <analyzer> on its line.
+`)
+}
+
+// standalone loads patterns itself and runs every analyzer.
+func standalone(patterns []string, stdout, stderr io.Writer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "berthavet: %v\n", err)
+		return 1
+	}
+	modRoot, err := load.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "berthavet: %v\n", err)
+		return 1
+	}
+	pkgs, err := load.Patterns(modRoot, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "berthavet: %v\n", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg)
+		if err != nil {
+			fmt.Fprintf(stderr, "berthavet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: [%s/%s] %s\n",
+				pkg.Fset.Position(d.Pos), d.Analyzer, d.Category, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stderr, "berthavet: %d diagnostic(s)\n", found)
+		return 2
+	}
+	return 0
+}
+
+// RunPackage applies the whole suite to one loaded package.
+func RunPackage(pkg *load.Package) ([]analysis.Diagnostic, error) {
+	var all []analysis.Diagnostic
+	for _, a := range Analyzers {
+		diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}
+
+// vetConfig is the subset of the go command's per-package vet config we
+// consume (see cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package as directed by a go vet .cfg file.
+func vetUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "berthavet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "berthavet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command expects the facts file regardless of outcome; the
+	// suite keeps no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("berthavet"), 0o666); err != nil {
+			fmt.Fprintf(stderr, "berthavet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The suite's invariants concern production code; test files (and
+	// test-augmented variants of packages) are skipped.
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 || strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") {
+		return 0
+	}
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	// ImportMap aliases source import paths to canonical ones (vendor,
+	// test variants); surface both spellings.
+	for src, canon := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canon]; ok {
+			exports[src] = file
+		}
+	}
+	pkg, err := load.Files(cfg.ImportPath, goFiles, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "berthavet: %v\n", err)
+		return 1
+	}
+	diags, err := RunPackage(pkg)
+	if err != nil {
+		fmt.Fprintf(stderr, "berthavet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: [%s/%s] %s\n",
+			pkg.Fset.Position(d.Pos), d.Analyzer, d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+package lockdisc_test
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/analysistest"
+	"github.com/bertha-net/bertha/internal/analysis/lockdisc"
+)
+
+func TestLockdisc(t *testing.T) {
+	analysistest.Run(t, "lockdisc_a", lockdisc.Analyzer)
+}

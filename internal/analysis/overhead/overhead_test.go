@@ -1,0 +1,12 @@
+package overhead_test
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/analysistest"
+	"github.com/bertha-net/bertha/internal/analysis/overhead"
+)
+
+func TestOverhead(t *testing.T) {
+	analysistest.Run(t, "overhead_a", overhead.Analyzer)
+}

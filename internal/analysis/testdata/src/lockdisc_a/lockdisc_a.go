@@ -1,0 +1,99 @@
+// Package lockdisc_a is the golden corpus for the lockdisc analyzer.
+package lockdisc_a
+
+import (
+	"context"
+	"sync"
+)
+
+// fakeConn has the blocking data-plane shape lockdisc guards.
+type fakeConn struct{}
+
+func (fakeConn) Send(ctx context.Context, p []byte) error { return nil }
+func (fakeConn) Recv(ctx context.Context) ([]byte, error) { return nil, nil }
+
+type peer struct {
+	mu   sync.Mutex
+	wmu  sync.Mutex
+	smu  sync.RWMutex
+	conn fakeConn
+	out  chan int
+}
+
+// sendUnderLock holds mu across a blocking conn call.
+func (p *peer) sendUnderLock(ctx context.Context, msg []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Send(ctx, msg) // want `across-send`
+}
+
+// recvUnderRLock: read locks block writers just the same.
+func (p *peer) recvUnderRLock(ctx context.Context) ([]byte, error) {
+	p.smu.RLock()
+	defer p.smu.RUnlock()
+	return p.conn.Recv(ctx) // want `across-send`
+}
+
+// sendAfterUnlock releases before the blocking call: clean.
+func (p *peer) sendAfterUnlock(ctx context.Context, msg []byte) error {
+	p.mu.Lock()
+	seq := len(msg)
+	p.mu.Unlock()
+	_ = seq
+	return p.conn.Send(ctx, msg)
+}
+
+// chanSendUnderLock blocks on a channel while holding mu.
+func (p *peer) chanSendUnderLock(v int) {
+	p.mu.Lock()
+	p.out <- v // want `chan-send`
+	p.mu.Unlock()
+}
+
+// chanSendNonBlocking uses select-with-default under the lock: clean.
+func (p *peer) chanSendNonBlocking(v int) {
+	p.mu.Lock()
+	select {
+	case p.out <- v:
+	default:
+	}
+	p.mu.Unlock()
+}
+
+// unlockSendRelock is the sanctioned blocking pattern: clean.
+func (p *peer) unlockSendRelock(v int) {
+	p.mu.Lock()
+	select {
+	case p.out <- v:
+	default:
+		p.mu.Unlock()
+		p.out <- v
+		p.mu.Lock()
+	}
+	p.mu.Unlock()
+}
+
+// doubleLock re-acquires a mutex already held on the same path.
+func (p *peer) doubleLock() {
+	p.mu.Lock()
+	p.mu.Lock() // want `double-lock`
+	p.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// lockForward acquires mu before wmu.
+func (p *peer) lockForward() {
+	p.mu.Lock()
+	p.wmu.Lock() // want `order`
+	p.wmu.Unlock()
+	p.mu.Unlock()
+}
+
+// lockBackward acquires the same pair in the opposite order; together
+// with lockForward this is a deadlock-shaped inversion.
+func (p *peer) lockBackward() {
+	p.wmu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	p.wmu.Unlock()
+}

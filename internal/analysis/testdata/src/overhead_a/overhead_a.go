@@ -1,0 +1,90 @@
+// Package overhead_a is the golden corpus for the overhead analyzer.
+// The package registers one ImplInfo declaring SendOverhead 4; every
+// SendBuf send path is checked against that bound.
+package overhead_a
+
+import (
+	"context"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+const headerLen = 4
+
+func info() core.ImplInfo {
+	return core.ImplInfo{
+		Name:         "overhead_a/test",
+		Type:         "overhead_a",
+		SendOverhead: headerLen,
+	}
+}
+
+// okConn prepends exactly the declared bound: clean.
+type okConn struct{ next core.BufConn }
+
+func (c *okConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	hdr := b.Prepend(headerLen)
+	hdr[0] = 1
+	return c.next.SendBuf(ctx, b)
+}
+
+// overConn prepends a two-part header totalling 9 bytes worst-case —
+// more than the declared 4.
+type overConn struct{ next core.BufConn }
+
+func (c *overConn) SendBuf(ctx context.Context, b *wire.Buf) error { // want `exceeds`
+	b.Prepend(8)
+	if b.Len() > 1024 {
+		b.Prepend(1)
+	}
+	return c.next.SendBuf(ctx, b)
+}
+
+// loopConn prepends inside a loop: no static bound exists.
+type loopConn struct{ next core.BufConn }
+
+func (c *loopConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	for i := 0; i < 3; i++ {
+		b.Prepend(1) // want `unbounded`
+	}
+	return c.next.SendBuf(ctx, b)
+}
+
+// varConn prepends a runtime-computed size with no annotation.
+type varConn struct {
+	next core.BufConn
+	n    int
+}
+
+func (c *varConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	b.Prepend(c.n) // want `nonconst`
+	return c.next.SendBuf(ctx, b)
+}
+
+// annotatedConn bounds its runtime-computed prepend with an annotation,
+// and the bound fits the declaration: clean.
+type annotatedConn struct {
+	next core.BufConn
+	n    int
+}
+
+func (c *annotatedConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	b.Prepend(c.n) //bertha:overhead 4
+	return c.next.SendBuf(ctx, b)
+}
+
+// helperConn forwards the Buf to a same-package helper whose prepend
+// counts toward the caller's total.
+type helperConn struct{ next core.BufConn }
+
+func (c *helperConn) SendBuf(ctx context.Context, b *wire.Buf) error { // want `exceeds`
+	stamp(b)
+	b.Prepend(2)
+	return c.next.SendBuf(ctx, b)
+}
+
+func stamp(b *wire.Buf) {
+	hdr := b.Prepend(4)
+	hdr[0] = 0xbe
+}
