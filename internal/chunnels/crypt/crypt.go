@@ -100,7 +100,7 @@ func (c *cryptConn) Send(ctx context.Context, p []byte) error {
 func (c *cryptConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	ns := c.aead.NonceSize()
 	plainLen := b.Len()
-	nonce := b.Prepend(ns)
+	nonce := b.Prepend(ns) //bertha:overhead 12 GCM standard nonce, matches SendOverhead
 	if _, err := rand.Read(nonce); err != nil {
 		b.Release()
 		return fmt.Errorf("encrypt: nonce: %w", err)

@@ -220,7 +220,7 @@ func (c *frameConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 			continue
 		}
 		if flags&flagEndStream == 0 {
-			c.partial[stream] = append(frags, fb)
+			c.partial[stream] = append(frags, fb) //bertha:transfers reassembly buffer owns the fragment
 			c.mu.Unlock()
 			continue
 		}

@@ -408,9 +408,20 @@ func (e *engine) run(ctx context.Context) {
 			if found {
 				e.buf[missing] = bufEntry{payload: payload}
 			} else {
+				// Commit the gap before delivering so the state is
+				// consistent if we must drop the lock: a blocking send
+				// on e.out while holding e.mu would deadlock against
+				// senders calling submit (which takes e.mu).
 				e.log[missing] = nil
-				e.out <- Delivery{Seq: missing, Gap: true}
 				e.expected++
+				d := Delivery{Seq: missing, Gap: true}
+				select {
+				case e.out <- d:
+				default:
+					e.mu.Unlock()
+					e.out <- d
+					e.mu.Lock()
+				}
 			}
 			e.drainLocked()
 		}

@@ -187,7 +187,7 @@ func (c *orderConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 			return msg, nil
 		default:
 			if len(c.pendMap) < c.buffer {
-				c.pendMap[seq] = msg
+				c.pendMap[seq] = msg //bertha:transfers reorder buffer owns it until delivery
 			} else {
 				msg.Release()
 			}

@@ -187,7 +187,7 @@ func (a *arqConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	hdr := b.Prepend(1 + 8)
 	hdr[0] = kindData
 	binary.LittleEndian.PutUint64(hdr[1:9], seq)
-	buf := b.Detach()
+	buf := b.Detach() //bertha:transfers retransmit queue owns the raw bytes
 	a.unacked[seq] = &pending{payload: buf, lastSent: time.Now()}
 	a.sendMu.Unlock()
 
@@ -330,7 +330,7 @@ func (a *arqConn) handleData(seq uint64, b *wire.Buf) {
 		}
 	default:
 		if _, dup := a.oob[seq]; !dup && seq < a.expect+uint64(4*a.cfg.Window) { // bound the buffer
-			a.oob[seq] = b
+			a.oob[seq] = b //bertha:transfers out-of-order buffer owns it until delivery
 		} else {
 			b.Release()
 		}
@@ -355,7 +355,7 @@ func (a *arqConn) handleData(seq uint64, b *wire.Buf) {
 
 func (a *arqConn) deliverLocked(b *wire.Buf) {
 	select {
-	case a.out <- b:
+	case a.out <- b: //bertha:transfers delivery queue owns it
 	case <-a.ctx.Done():
 		b.Release()
 	}

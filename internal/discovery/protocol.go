@@ -199,15 +199,18 @@ func (s *Server) handle(ctx context.Context, req []byte) []byte {
 //
 // A Client serializes requests (one outstanding at a time) and
 // retransmits on timeout; the underlying transport may be lossy.
+// Serialization uses a semaphore channel rather than a mutex so a
+// caller waiting its turn still honors context cancellation, and no
+// lock is held across the blocking Send/Recv round trip.
 type Client struct {
-	mu     sync.Mutex
+	sem    chan struct{} // capacity 1: one request in flight
 	conn   core.Conn
 	nextID atomic.Uint64
 }
 
 // NewClient returns a Client using conn.
 func NewClient(conn core.Conn) *Client {
-	return &Client{conn: conn}
+	return &Client{sem: make(chan struct{}, 1), conn: conn}
 }
 
 // Close closes the underlying connection.
@@ -216,8 +219,12 @@ func (c *Client) Close() error { return c.conn.Close() }
 // roundTrip sends one request and awaits its response, retrying on
 // timeout.
 func (c *Client) roundTrip(ctx context.Context, build func(e *wire.Encoder)) (*wire.Decoder, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.sem }()
 	reqID := c.nextID.Add(1)
 	e := wire.NewEncoder(nil)
 	e.PutUint64(reqID)

@@ -77,7 +77,7 @@ func (p *pipeHalf) SendBuf(ctx context.Context, b *wire.Buf) error {
 	case <-ctx.Done():
 		b.Release()
 		return ctx.Err()
-	case p.send <- b:
+	case p.send <- b: //bertha:transfers receiving half owns it
 		return nil
 	}
 }

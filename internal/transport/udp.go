@@ -295,7 +295,7 @@ func (l *demuxListener) readLoop() {
 		l.mu.Unlock()
 
 		select {
-		case peer.recv <- b:
+		case peer.recv <- b: //bertha:transfers per-peer demux queue owns it
 		default:
 			b.Release() // per-peer queue full: drop (datagram semantics)
 		}
