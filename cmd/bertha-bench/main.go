@@ -30,17 +30,26 @@ import (
 	"os"
 	"time"
 
+	"github.com/bertha-net/bertha/internal/analysis/vetversion"
 	"github.com/bertha-net/bertha/internal/bench"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run paper-scale parameters (slower)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (stack experiment)")
+	showVersion := flag.Bool("version", false, "print version (module + vet-suite revision) and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] {fig2|fig3|fig4|fig5|opt|consensus|stack|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		// Numbers are only comparable across runs vetted by the same rule
+		// set, so the benchmark binary stamps the berthavet suite revision
+		// alongside the module version.
+		fmt.Printf("bertha-bench %s\n", vetversion.String())
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

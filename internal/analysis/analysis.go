@@ -20,12 +20,16 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/bertha-net/bertha/internal/analysis/vetversion"
 )
 
-// SuiteRevision identifies the vet-suite rule set. Bump it whenever an
-// analyzer's diagnostics change so `go vet` re-runs cached packages and
-// `-version` output reflects the rules in force.
-const SuiteRevision = "berthavet-2026.08.1"
+// SuiteRevision identifies the vet-suite rule set; the canonical value
+// lives in the dependency-free vetversion package so binaries can stamp
+// it without linking the framework. Bump it whenever an analyzer's
+// diagnostics change so `go vet` re-runs cached packages and `-version`
+// output reflects the rules in force.
+const SuiteRevision = vetversion.Suite
 
 // An Analyzer describes one static check.
 type Analyzer struct {

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime/debug"
 	"strings"
 
 	"github.com/bertha-net/bertha/internal/analysis"
@@ -18,6 +17,7 @@ import (
 	"github.com/bertha-net/bertha/internal/analysis/load"
 	"github.com/bertha-net/bertha/internal/analysis/lockdisc"
 	"github.com/bertha-net/bertha/internal/analysis/overhead"
+	"github.com/bertha-net/bertha/internal/analysis/vetversion"
 )
 
 // Analyzers is the berthavet suite, in execution order.
@@ -25,13 +25,7 @@ var Analyzers = []*analysis.Analyzer{bufown.Analyzer, overhead.Analyzer, lockdis
 
 // Version renders the tool version: module version (when stamped into
 // the binary) plus the vet-suite rule revision.
-func Version() string {
-	mod := "(devel)"
-	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
-		mod = bi.Main.Version
-	}
-	return fmt.Sprintf("%s %s", mod, analysis.SuiteRevision)
-}
+func Version() string { return vetversion.String() }
 
 // Main is the berthavet entry point; it returns the process exit code
 // (0 clean, 1 operational failure, 2 diagnostics found).

@@ -1,0 +1,73 @@
+package driver_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/driver"
+	"github.com/bertha-net/bertha/internal/analysis/load"
+)
+
+// TestRepositoryClean is the merge gate in test form: the entire module
+// must produce zero diagnostics. If this fails, either fix the finding
+// or annotate an intentional transfer (see DESIGN.md "Statically-checked
+// invariants").
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks every package")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := driver.Main([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("berthavet ./... = exit %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestSeededLeakFailsTheGate proves the CI job would catch a
+// reintroduced Buf leak: the seeded_leak corpus contains exactly the
+// error-path leak PR 1 was prone to, and the driver must reject it.
+func TestSeededLeakFailsTheGate(t *testing.T) {
+	modRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := load.ExportMap(modRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", "seeded_leak")
+	pkg, err := load.Dir(dir, "testdata/seeded_leak", exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.RunPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("seeded Buf leak produced no diagnostics; the CI gate is toothless")
+	}
+	leak := false
+	for _, d := range diags {
+		if d.Analyzer == "bufown" && d.Category == "leak" {
+			leak = true
+		}
+	}
+	if !leak {
+		t.Errorf("expected a bufown/leak diagnostic, got: %+v", diags)
+	}
+}
+
+// TestVersionFlag pins the -version contract shared with bertha-bench:
+// module version plus vet-suite revision.
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := driver.Main([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "berthavet ") || !strings.Contains(out, "berthavet-20") {
+		t.Errorf("-version output %q missing tool name or suite revision", out)
+	}
+}

@@ -1,0 +1,26 @@
+// Package seeded_leak is a deliberately buggy chunnel send path used by
+// the driver tests to prove the CI gate trips: if a change like this
+// ever lands in a real package, berthavet (and the berthavet CI job)
+// fails the build.
+package seeded_leak
+
+import (
+	"context"
+	"errors"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+var errTooBig = errors.New("message too large")
+
+type leakyConn struct{ next core.BufConn }
+
+// SendBuf leaks b on the validation-failure path: the early return
+// neither releases nor transfers the pooled buffer.
+func (c *leakyConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	if b.Len() > 1<<16 {
+		return errTooBig // leaked here
+	}
+	return c.next.SendBuf(ctx, b)
+}
