@@ -1,11 +1,18 @@
 // Command berthavet runs the bertha static-analysis suite: bufown
 // (linear wire.Buf ownership), overhead (Prepend totals vs declared
-// SendOverhead), and lockdisc (mutexes across blocking conn calls and
-// lock ordering).
+// SendOverhead), lockdisc (mutexes across blocking conn calls and lock
+// ordering), ctxflow (context propagation and timer lifetimes), golife
+// (goroutine shutdown edges and WaitGroup pairing), and speccheck
+// (spec stacks evaluated against the chunnel registry).
+//
+// Analyzers exchange cross-package facts: standalone mode propagates
+// them in dependency order within one process, vettool mode serializes
+// them through the .vetx files the go command threads between units.
 //
 // Standalone:
 //
 //	go run ./cmd/berthavet ./...
+//	go run ./cmd/berthavet -json ./...   # machine-readable findings
 //
 // As a vettool:
 //

@@ -40,6 +40,10 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// FactTypes lists exemplar values (pointers to zero structs) of
+	// every Fact type this analyzer exports or imports, so the driver
+	// can gob-register them for the .vetx round-trip.
+	FactTypes []Fact
 }
 
 // A Diagnostic is one finding.
@@ -61,6 +65,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the run-wide fact store: facts of already-analyzed
+	// dependency packages are read from it, and facts about this
+	// package are exported into it. Nil when the driver runs without
+	// cross-package facts (then Import*Fact reports no facts and
+	// Export*Fact is a no-op).
+	Facts *FactStore
 
 	diags   []Diagnostic
 	ignores map[string]map[int]bool // filename -> line -> suppressed (built lazily)
@@ -132,8 +142,9 @@ func (p *Pass) suppressed(filename string, line int) bool {
 }
 
 // Run applies an analyzer to a package and returns its diagnostics.
-func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+// facts may be nil for a fact-free run.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Facts: facts}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
@@ -244,16 +255,20 @@ func ConnCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
 //	//bertha:overhead N  (stmt line or func doc) bound, in bytes, for a
 //	                                 prepend the analyzer cannot fold to a
 //	                                 constant
+//	//bertha:daemon why  (stmt line) the goroutine launched here is an
+//	                                 intentional process-lifetime daemon
+//	                                 with no shutdown edge
 type Annotations struct {
 	fset *token.FileSet
-	// transfers and overheads are keyed by "file:line".
+	// transfers, overheads, and daemons are keyed by "file:line".
 	transfers map[string]bool
 	overheads map[string]int
+	daemons   map[string]bool
 }
 
 // CollectAnnotations indexes every //bertha: comment in the files.
 func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
-	a := &Annotations{fset: fset, transfers: map[string]bool{}, overheads: map[string]int{}}
+	a := &Annotations{fset: fset, transfers: map[string]bool{}, overheads: map[string]int{}, daemons: map[string]bool{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -276,6 +291,10 @@ func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 				case "transfers":
 					for _, key := range keys {
 						a.transfers[key] = true
+					}
+				case "daemon":
+					for _, key := range keys {
+						a.daemons[key] = true
 					}
 				case "overhead":
 					if len(fields) > 1 {
@@ -306,6 +325,10 @@ func (a *Annotations) OverheadAt(pos token.Pos) (int, bool) {
 	n, ok := a.overheads[a.key(pos)]
 	return n, ok
 }
+
+// DaemonAt reports whether a //bertha:daemon directive covers the line
+// containing pos.
+func (a *Annotations) DaemonAt(pos token.Pos) bool { return a.daemons[a.key(pos)] }
 
 // FuncDirective scans a function's doc comment for a //bertha:<verb>
 // directive naming ident (e.g. verb "borrows", ident "b").

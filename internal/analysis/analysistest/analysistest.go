@@ -24,25 +24,43 @@ import (
 )
 
 // Run loads internal/analysis/testdata/src/<dir> and applies a to it.
-func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+//
+// deps names other testdata corpora to load and analyze first, in
+// order, sharing one fact store: facts their analysis exports are
+// visible to the main corpus, and the main corpus may import them by
+// their synthesized path ("testdata/<dep>"). `// want` expectations are
+// checked in the dependency corpora too.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, deps ...string) {
 	t.Helper()
 	modRoot, err := load.ModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgDir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", dir)
 	exports, err := load.ExportMap(modRoot, "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := load.Dir(pkgDir, "testdata/"+dir, exports)
-	if err != nil {
-		t.Fatal(err)
+	facts := analysis.NewFactStore()
+	loader := load.NewLoader(exports)
+	for _, dep := range append(deps, dir) {
+		pkgDir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", dep)
+		pkg, err := loader.Dir(pkgDir, "testdata/"+dep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loader.Add(pkg.ImportPath, pkg.Types)
+		diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWants(t, pkg, diags)
 	}
-	diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
-	if err != nil {
-		t.Fatal(err)
-	}
+}
+
+// checkWants matches diagnostics against the package's `// want`
+// expectations, failing on both unexpected and missing findings.
+func checkWants(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, pkg)
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)

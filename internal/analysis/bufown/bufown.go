@@ -26,11 +26,23 @@ import (
 	"github.com/bertha-net/bertha/internal/analysis"
 )
 
+// BorrowsFact marks a function's //bertha:borrows parameters for
+// cross-package callers: an argument passed at one of these positions
+// stays owned by the caller instead of transferring to the callee.
+type BorrowsFact struct {
+	// Params holds the borrowed parameter indices (receiver excluded).
+	Params []int
+}
+
+// AFact marks BorrowsFact as a fact type.
+func (*BorrowsFact) AFact() {}
+
 // Analyzer is the bufown pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "bufown",
-	Doc:  "check linear ownership of wire.Buf values (release/transfer exactly once per path)",
-	Run:  run,
+	Name:      "bufown",
+	Doc:       "check linear ownership of wire.Buf values (release/transfer exactly once per path)",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*BorrowsFact)(nil)},
 }
 
 // st is the abstract ownership state of one Buf cell.
@@ -150,6 +162,28 @@ func run(pass *analysis.Pass) error {
 					decls[fn] = fd
 				}
 			}
+		}
+	}
+	// Publish each function's borrowed Buf parameters so callers in
+	// other packages keep ownership instead of assuming a transfer.
+	for fn, fd := range decls {
+		if fd.Type.Params == nil {
+			continue
+		}
+		var borrowed []int
+		idx := 0
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok &&
+					analysis.IsBufPtr(v.Type()) &&
+					analysis.FuncDirective(fd.Doc, "borrows", name.Name) {
+					borrowed = append(borrowed, idx)
+				}
+				idx++
+			}
+		}
+		if len(borrowed) > 0 {
+			pass.ExportObjectFact(fn, &BorrowsFact{Params: borrowed})
 		}
 	}
 	for _, f := range pass.Files {
@@ -801,22 +835,34 @@ func (fa *funcAnalysis) calleeFunc(x *ast.CallExpr) *types.Func {
 }
 
 // calleeBorrows reports whether the callee's i-th parameter is marked
-// //bertha:borrows in its doc comment (same-package callees only).
+// //bertha:borrows — same-package callees by their doc comment,
+// cross-package callees through the BorrowsFact their own analysis
+// exported.
 func (fa *funcAnalysis) calleeBorrows(fn *types.Func, i int) bool {
 	if fn == nil {
 		return false
 	}
-	fd, ok := fa.decls[fn]
-	if !ok || fd.Type.Params == nil {
+	if fd, ok := fa.decls[fn]; ok {
+		if fd.Type.Params == nil {
+			return false
+		}
+		idx := 0
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if idx == i {
+					return analysis.FuncDirective(fd.Doc, "borrows", name.Name)
+				}
+				idx++
+			}
+		}
 		return false
 	}
-	idx := 0
-	for _, field := range fd.Type.Params.List {
-		for _, name := range field.Names {
-			if idx == i {
-				return analysis.FuncDirective(fd.Doc, "borrows", name.Name)
+	var bf BorrowsFact
+	if fa.pass.ImportObjectFact(fn, &bf) {
+		for _, p := range bf.Params {
+			if p == i {
+				return true
 			}
-			idx++
 		}
 	}
 	return false

@@ -10,3 +10,7 @@ import (
 func TestBufown(t *testing.T) {
 	analysistest.Run(t, "bufown_a", bufown.Analyzer)
 }
+
+func TestBufownCrossPackage(t *testing.T) {
+	analysistest.Run(t, "bufown_cross", bufown.Analyzer, "bufown_dep")
+}

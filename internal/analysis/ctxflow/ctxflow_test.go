@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/analysistest"
+	"github.com/bertha-net/bertha/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "ctxflow_a", ctxflow.Analyzer, "ctxflow_dep")
+}

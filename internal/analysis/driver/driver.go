@@ -1,8 +1,17 @@
 // Package driver is the berthavet multichecker: it runs the bufown,
-// overhead, and lockdisc analyzers over packages either standalone
-// (`berthavet ./...`) or as a `go vet -vettool` backend speaking the go
-// command's unitchecker protocol (-flags/-V=full handshakes plus a JSON
-// .cfg file per package).
+// overhead, lockdisc, ctxflow, golife, and speccheck analyzers over
+// packages either standalone (`berthavet ./...`) or as a
+// `go vet -vettool` backend speaking the go command's unitchecker
+// protocol (-flags/-V=full handshakes plus a JSON .cfg file per
+// package).
+//
+// Both modes thread cross-package facts. Standalone, the driver orders
+// the loaded packages topologically by import dependency and shares one
+// in-memory analysis.FactStore, so a pass over a package sees every
+// fact its dependencies exported. Under go vet, facts are gob-encoded
+// into each package's .vetx file (VetxOutput) and read back from the
+// .vetx files of its dependencies (PackageVetx); each .vetx carries the
+// dependencies' facts too, so facts flow transitively.
 package driver
 
 import (
@@ -10,18 +19,33 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"github.com/bertha-net/bertha/internal/analysis"
 	"github.com/bertha-net/bertha/internal/analysis/bufown"
+	"github.com/bertha-net/bertha/internal/analysis/ctxflow"
+	"github.com/bertha-net/bertha/internal/analysis/golife"
 	"github.com/bertha-net/bertha/internal/analysis/load"
 	"github.com/bertha-net/bertha/internal/analysis/lockdisc"
 	"github.com/bertha-net/bertha/internal/analysis/overhead"
+	"github.com/bertha-net/bertha/internal/analysis/speccheck"
 	"github.com/bertha-net/bertha/internal/analysis/vetversion"
 )
 
 // Analyzers is the berthavet suite, in execution order.
-var Analyzers = []*analysis.Analyzer{bufown.Analyzer, overhead.Analyzer, lockdisc.Analyzer}
+var Analyzers = []*analysis.Analyzer{
+	bufown.Analyzer,
+	overhead.Analyzer,
+	lockdisc.Analyzer,
+	ctxflow.Analyzer,
+	golife.Analyzer,
+	speccheck.Analyzer,
+}
+
+func init() {
+	analysis.RegisterFactTypes(Analyzers)
+}
 
 // Version renders the tool version: module version (when stamped into
 // the binary) plus the vet-suite rule revision.
@@ -31,6 +55,7 @@ func Version() string { return vetversion.String() }
 // (0 clean, 1 operational failure, 2 diagnostics found).
 func Main(args []string, stdout, stderr io.Writer) int {
 	var patterns []string
+	jsonOut := false
 	for _, a := range args {
 		switch {
 		case a == "-flags" || a == "--flags":
@@ -46,6 +71,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		case a == "-version" || a == "--version":
 			fmt.Fprintf(stdout, "berthavet %s\n", Version())
 			return 0
+		case a == "-json" || a == "--json":
+			jsonOut = true
 		case a == "-h" || a == "-help" || a == "--help":
 			usage(stdout)
 			return 0
@@ -63,11 +90,11 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	return standalone(patterns, stdout, stderr)
+	return standalone(patterns, jsonOut, stdout, stderr)
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, `usage: berthavet [packages]
+	fmt.Fprintf(w, `usage: berthavet [-json] [packages]
 
 Runs the bertha static-analysis suite (%s) over the packages:
 `, analysis.SuiteRevision)
@@ -75,13 +102,29 @@ Runs the bertha static-analysis suite (%s) over the packages:
 		fmt.Fprintf(w, "  %-9s %s\n", a.Name, a.Doc)
 	}
 	fmt.Fprint(w, `
+Flags:
+  -json     one finding per line as JSON {file, line, col, analyzer,
+            category, message} (standalone mode only)
+  -version  print the tool and rule-set revision
+
 Also usable as a vettool: go vet -vettool=$(which berthavet) ./...
 Suppress a diagnostic with //berthavet:ignore <analyzer> on its line.
 `)
 }
 
-// standalone loads patterns itself and runs every analyzer.
-func standalone(patterns []string, stdout, stderr io.Writer) int {
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+// standalone loads patterns itself and runs every analyzer over the
+// packages in dependency order, sharing one fact store.
+func standalone(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(stderr, "berthavet: %v\n", err)
@@ -97,16 +140,26 @@ func standalone(patterns []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "berthavet: %v\n", err)
 		return 1
 	}
+	facts := analysis.NewFactStore()
 	found := 0
-	for _, pkg := range pkgs {
-		diags, err := RunPackage(pkg)
+	enc := json.NewEncoder(stdout)
+	for _, pkg := range SortDeps(pkgs) {
+		diags, err := RunPackageFacts(pkg, facts)
 		if err != nil {
 			fmt.Fprintf(stderr, "berthavet: %v\n", err)
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintf(stdout, "%s: [%s/%s] %s\n",
-				pkg.Fset.Position(d.Pos), d.Analyzer, d.Category, d.Message)
+			pos := pkg.Fset.Position(d.Pos)
+			if jsonOut {
+				enc.Encode(jsonDiag{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Category: d.Category, Message: d.Message,
+				})
+			} else {
+				fmt.Fprintf(stdout, "%s: [%s/%s] %s\n",
+					pos, d.Analyzer, d.Category, d.Message)
+			}
 			found++
 		}
 	}
@@ -117,11 +170,57 @@ func standalone(patterns []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// RunPackage applies the whole suite to one loaded package.
+// SortDeps orders loaded packages topologically: every package after
+// all of its dependencies that are also in the slice, ties broken by
+// import path for determinism.
+func SortDeps(pkgs []*load.Package) []*load.Package {
+	byPath := make(map[string]*load.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	sorted := make([]*load.Package, 0, len(pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			return // cycle (impossible in Go) or already placed
+		}
+		state[p.ImportPath] = 1
+		deps := make([]string, 0, len(p.Types.Imports()))
+		for _, imp := range p.Types.Imports() {
+			deps = append(deps, imp.Path())
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			if dp, ok := byPath[d]; ok {
+				visit(dp)
+			}
+		}
+		state[p.ImportPath] = 2
+		sorted = append(sorted, p)
+	}
+	ordered := make([]*load.Package, len(pkgs))
+	copy(ordered, pkgs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ImportPath < ordered[j].ImportPath })
+	for _, p := range ordered {
+		visit(p)
+	}
+	return sorted
+}
+
+// RunPackage applies the whole suite to one loaded package with a
+// fresh, package-local fact store (no cross-package knowledge).
 func RunPackage(pkg *load.Package) ([]analysis.Diagnostic, error) {
+	return RunPackageFacts(pkg, analysis.NewFactStore())
+}
+
+// RunPackageFacts applies the whole suite to one loaded package,
+// reading and writing cross-package facts through the given store.
+func RunPackageFacts(pkg *load.Package, facts *analysis.FactStore) ([]analysis.Diagnostic, error) {
 	var all []analysis.Diagnostic
 	for _, a := range Analyzers {
-		diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, facts)
 		if err != nil {
 			return nil, err
 		}
@@ -139,9 +238,32 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// writeVetx persists the fact store (or, on skip paths, an empty
+// placeholder) to the path go vet expects.
+func writeVetx(path string, facts *analysis.FactStore, stderr io.Writer) bool {
+	if path == "" {
+		return true
+	}
+	data := []byte("berthavet")
+	if facts != nil {
+		enc, err := facts.EncodeVetx()
+		if err != nil {
+			fmt.Fprintf(stderr, "berthavet: %v\n", err)
+			return false
+		}
+		data = enc
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintf(stderr, "berthavet: %v\n", err)
+		return false
+	}
+	return true
 }
 
 // vetUnit analyzes one package as directed by a go vet .cfg file.
@@ -156,19 +278,9 @@ func vetUnit(cfgPath string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "berthavet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The go command expects the facts file regardless of outcome; the
-	// suite keeps no cross-package facts, so it is always empty.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("berthavet"), 0o666); err != nil {
-			fmt.Fprintf(stderr, "berthavet: %v\n", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
 	// The suite's invariants concern production code; test files (and
-	// test-augmented variants of packages) are skipped.
+	// test-augmented variants of packages) are skipped — but go still
+	// expects a facts file.
 	var goFiles []string
 	for _, f := range cfg.GoFiles {
 		if !strings.HasSuffix(f, "_test.go") {
@@ -177,7 +289,20 @@ func vetUnit(cfgPath string, stderr io.Writer) int {
 	}
 	if len(goFiles) == 0 || strings.HasSuffix(cfg.ImportPath, ".test") ||
 		strings.HasSuffix(cfg.ImportPath, "_test") {
+		if !writeVetx(cfg.VetxOutput, nil, stderr) {
+			return 1
+		}
 		return 0
+	}
+	// Merge the facts every dependency exported; missing or pre-fact
+	// .vetx files just leave the store sparse (analyzers then fall back
+	// to their conservative intra-package behavior).
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if err := facts.ReadVetxFile(vetx); err != nil {
+			fmt.Fprintf(stderr, "berthavet: %v\n", err)
+			return 1
+		}
 	}
 	exports := make(map[string]string, len(cfg.PackageFile))
 	for path, file := range cfg.PackageFile {
@@ -193,15 +318,28 @@ func vetUnit(cfgPath string, stderr io.Writer) int {
 	pkg, err := load.Files(cfg.ImportPath, goFiles, exports)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			if !writeVetx(cfg.VetxOutput, nil, stderr) {
+				return 1
+			}
 			return 0
 		}
 		fmt.Fprintf(stderr, "berthavet: %v\n", err)
 		return 1
 	}
-	diags, err := RunPackage(pkg)
+	diags, err := RunPackageFacts(pkg, facts)
 	if err != nil {
 		fmt.Fprintf(stderr, "berthavet: %v\n", err)
 		return 1
+	}
+	// The store now holds dependency facts plus this package's; the
+	// .vetx therefore carries facts transitively to importers.
+	if !writeVetx(cfg.VetxOutput, facts, stderr) {
+		return 1
+	}
+	if cfg.VetxOnly {
+		// Facts-only run over a dependency of the requested patterns:
+		// report nothing, but the analyzers had to execute to export.
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(stderr, "%s: [%s/%s] %s\n",

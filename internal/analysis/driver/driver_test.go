@@ -24,6 +24,25 @@ func TestRepositoryClean(t *testing.T) {
 	}
 }
 
+// TestSuiteComplete pins the analyzer roster TestRepositoryClean runs:
+// dropping an analyzer from the suite must not silently weaken the
+// merge gate.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{"bufown", "overhead", "lockdisc", "ctxflow", "golife", "speccheck"}
+	have := map[string]bool{}
+	for _, a := range driver.Analyzers {
+		have[a.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("analyzer %q missing from driver.Analyzers", name)
+		}
+	}
+	if len(driver.Analyzers) != len(want) {
+		t.Errorf("driver.Analyzers has %d analyzers, want %d", len(driver.Analyzers), len(want))
+	}
+}
+
 // TestSeededLeakFailsTheGate proves the CI job would catch a
 // reintroduced Buf leak: the seeded_leak corpus contains exactly the
 // error-path leak PR 1 was prone to, and the driver must reject it.
@@ -56,6 +75,39 @@ func TestSeededLeakFailsTheGate(t *testing.T) {
 	}
 	if !leak {
 		t.Errorf("expected a bufown/leak diagnostic, got: %+v", diags)
+	}
+}
+
+// TestSeededOrphanFailsTheGate proves the gate catches a goroutine with
+// no shutdown edge: the seeded_orphan corpus launches a receive loop
+// with no quit channel, ctx.Done arm, or closeable range — golife must
+// reject it.
+func TestSeededOrphanFailsTheGate(t *testing.T) {
+	modRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := load.ExportMap(modRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", "seeded_orphan")
+	pkg, err := load.Dir(dir, "testdata/seeded_orphan", exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.RunPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := false
+	for _, d := range diags {
+		if d.Analyzer == "golife" && d.Category == "orphan" {
+			orphan = true
+		}
+	}
+	if !orphan {
+		t.Errorf("expected a golife/orphan diagnostic, got: %+v", diags)
 	}
 }
 

@@ -1,0 +1,12 @@
+package golife_test
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/analysistest"
+	"github.com/bertha-net/bertha/internal/analysis/golife"
+)
+
+func TestGolife(t *testing.T) {
+	analysistest.Run(t, "golife_a", golife.Analyzer, "golife_dep")
+}

@@ -144,14 +144,15 @@ func underTestdata(path string) bool {
 // packages missing from the export map.
 type exportImporter struct {
 	exports  map[string]string
+	extra    map[string]*types.Package
 	gc       types.Importer
 	source   types.Importer
 	fset     *token.FileSet
 	imported map[string]*types.Package
 }
 
-func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
-	ei := &exportImporter{exports: exports, fset: fset, imported: map[string]*types.Package{}}
+func newExportImporter(fset *token.FileSet, exports map[string]string, extra map[string]*types.Package) *exportImporter {
+	ei := &exportImporter{exports: exports, extra: extra, fset: fset, imported: map[string]*types.Package{}}
 	lookup := func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
@@ -167,6 +168,9 @@ func newExportImporter(fset *token.FileSet, exports map[string]string) *exportIm
 func (ei *exportImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	if pkg, ok := ei.extra[path]; ok {
+		return pkg, nil
 	}
 	if pkg, ok := ei.imported[path]; ok {
 		return pkg, nil
@@ -187,20 +191,47 @@ func (ei *exportImporter) Import(path string) (*types.Package, error) {
 // Dir parses and type-checks the package in dir (non-test files only,
 // honoring build constraints) against the given export map.
 func Dir(dir, importPath string, exports map[string]string) (*Package, error) {
+	return NewLoader(exports).Dir(dir, importPath)
+}
+
+// A Loader type-checks multiple packages against one shared importer
+// and FileSet, so a named type resolved while loading one package is
+// identical (pointer-equal) when a later package mentions it. The
+// golden-test harness needs this to load a dependency corpus and then a
+// main corpus that imports it.
+type Loader struct {
+	fset *token.FileSet
+	imp  *exportImporter
+}
+
+// NewLoader returns a Loader resolving imports from the export map.
+func NewLoader(exports map[string]string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: newExportImporter(fset, exports, map[string]*types.Package{})}
+}
+
+// Add registers a previously loaded package under importPath, letting
+// subsequent loads import it by that path even though no export data
+// exists for it (testdata corpora).
+func (l *Loader) Add(importPath string, pkg *types.Package) {
+	l.imp.extra[importPath] = pkg
+}
+
+// Dir parses and type-checks the package in dir through this loader.
+func (l *Loader) Dir(dir, importPath string) (*Package, error) {
 	bp, err := build.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("load: %s: %w", dir, err)
 	}
-	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(bp.GoFiles))
 	for _, name := range bp.GoFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("load: %w", err)
 		}
 		files = append(files, f)
 	}
-	return check(fset, files, importPath, exports)
+	return check(l.fset, files, importPath, l.imp)
 }
 
 // Files parses and type-checks an explicit file list as one package —
@@ -216,10 +247,10 @@ func Files(importPath string, goFiles []string, exports map[string]string) (*Pac
 		}
 		files = append(files, f)
 	}
-	return check(fset, files, importPath, exports)
+	return check(fset, files, importPath, newExportImporter(fset, exports, nil))
 }
 
-func check(fset *token.FileSet, files []*ast.File, importPath string, exports map[string]string) (*Package, error) {
+func check(fset *token.FileSet, files []*ast.File, importPath string, imp types.Importer) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -230,7 +261,7 @@ func check(fset *token.FileSet, files []*ast.File, importPath string, exports ma
 	}
 	var firstErr error
 	conf := &types.Config{
-		Importer: newExportImporter(fset, exports),
+		Importer: imp,
 		Error: func(err error) {
 			if firstErr == nil {
 				firstErr = err

@@ -26,11 +26,24 @@ import (
 	"github.com/bertha-net/bertha/internal/analysis"
 )
 
+// CostFact records the worst-case bytes a function prepends to each of
+// its *wire.Buf parameters, letting callers in other packages charge
+// cross-package helper calls against their own SendOverhead bound.
+type CostFact struct {
+	// Costs[i] is the worst-case prepend total applied to parameter i
+	// (receiver excluded); non-Buf positions hold zero.
+	Costs []int
+}
+
+// AFact marks CostFact as a fact type.
+func (*CostFact) AFact() {}
+
 // Analyzer is the overhead pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "overhead",
-	Doc:  "bound worst-case Prepend bytes on chunnel send paths against declared SendOverhead",
-	Run:  run,
+	Name:      "overhead",
+	Doc:       "bound worst-case Prepend bytes on chunnel send paths against declared SendOverhead",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*CostFact)(nil)},
 }
 
 type implDecl struct {
@@ -41,18 +54,6 @@ type implDecl struct {
 
 func run(pass *analysis.Pass) error {
 	impls := collectImpls(pass)
-	if len(impls) == 0 {
-		return nil // package registers no chunnel implementation
-	}
-	// The bound every send path must respect: the largest declared
-	// SendOverhead in the package (packages register one impl today;
-	// max keeps multi-impl packages conservative rather than wrong).
-	bound := impls[0]
-	for _, im := range impls[1:] {
-		if im.overhead > bound.overhead {
-			bound = im
-		}
-	}
 	w := &walker{
 		pass:  pass,
 		ann:   analysis.CollectAnnotations(pass.Fset, pass.Files),
@@ -68,25 +69,69 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Name.Name != "SendBuf" || fd.Recv == nil {
-				continue
+	if len(impls) > 0 {
+		// The bound every send path must respect: the largest declared
+		// SendOverhead in the package (packages register one impl today;
+		// max keeps multi-impl packages conservative rather than wrong).
+		bound := impls[0]
+		for _, im := range impls[1:] {
+			if im.overhead > bound.overhead {
+				bound = im
 			}
-			buf := bufParam(pass, fd)
-			if buf == nil {
-				continue
-			}
-			total := w.costFunc(fd, buf)
-			if total > bound.overhead {
-				pass.Reportf(fd.Name.Pos(), "exceeds",
-					"SendBuf prepends up to %d bytes but ImplInfo %q declares SendOverhead %d; raise the declaration or shrink the header",
-					total, bound.name, bound.overhead)
+		}
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Name.Name != "SendBuf" || fd.Recv == nil {
+					continue
+				}
+				buf := bufParam(pass, fd)
+				if buf == nil {
+					continue
+				}
+				total := w.costFunc(fd, buf)
+				if total > bound.overhead {
+					pass.Reportf(fd.Name.Pos(), "exceeds",
+						"SendBuf prepends up to %d bytes but ImplInfo %q declares SendOverhead %d; raise the declaration or shrink the header",
+						total, bound.name, bound.overhead)
+				}
 			}
 		}
 	}
+	w.exportCosts()
 	return nil
+}
+
+// exportCosts publishes a CostFact for every function that prepends
+// into a *wire.Buf parameter, so cross-package callers can charge the
+// call against their own bound. Costing here is quiet: packages with no
+// registered impl are not report targets (the bound check above, when
+// it ran, already reported in loud mode first).
+func (w *walker) exportCosts() {
+	w.quiet = true
+	for fn, fd := range w.decls {
+		if fd.Body == nil {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		costs := make([]int, sig.Params().Len())
+		any := false
+		for i := 0; i < sig.Params().Len(); i++ {
+			if !analysis.IsBufPtr(sig.Params().At(i).Type()) {
+				continue
+			}
+			if n := w.costCallee(fn, i); n > 0 {
+				costs[i] = n
+				any = true
+			}
+		}
+		if any {
+			w.pass.ExportObjectFact(fn, &CostFact{Costs: costs})
+		}
+	}
 }
 
 // collectImpls finds core.ImplInfo composite literals and folds their
@@ -175,6 +220,7 @@ type walker struct {
 	decls map[*types.Func]*ast.FuncDecl
 	memo  map[memoKey]int
 	stack []memoKey // recursion guard
+	quiet bool      // fact-export costing: compute totals, suppress reports
 }
 
 // costFunc computes the worst-case bytes fd prepends to buf.
@@ -335,12 +381,21 @@ func (c *coster) call(call *ast.CallExpr) int {
 	} else {
 		total += c.expr(call.Fun)
 	}
-	// Same-package call forwarding the buf: charge the callee's cost.
-	if fn := c.calleeFunc(call); fn != nil && fn.Pkg() == c.w.pass.Pkg {
+	// Call forwarding the buf: charge the callee's cost — computed
+	// directly for same-package callees, from its exported CostFact for
+	// cross-package ones.
+	if fn := c.calleeFunc(call); fn != nil {
 		for i, arg := range call.Args {
 			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
 				if v, ok := c.w.pass.TypesInfo.Uses[id].(*types.Var); ok && c.aliases[v] {
-					total += c.w.costCallee(fn, i)
+					if fn.Pkg() == c.w.pass.Pkg {
+						total += c.w.costCallee(fn, i)
+					} else {
+						var cf CostFact
+						if c.w.pass.ImportObjectFact(fn, &cf) && i < len(cf.Costs) {
+							total += cf.Costs[i]
+						}
+					}
 				}
 			}
 		}
@@ -357,16 +412,20 @@ func (c *coster) prepend(call *ast.CallExpr) int {
 		} else if a, ok := c.w.ann.OverheadAt(call.Pos()); ok {
 			n = a
 		} else {
-			c.w.pass.Reportf(call.Pos(), "nonconst",
-				"Prepend size is not a compile-time constant; annotate the statement with //bertha:overhead N to bound it")
+			if !c.w.quiet {
+				c.w.pass.Reportf(call.Pos(), "nonconst",
+					"Prepend size is not a compile-time constant; annotate the statement with //bertha:overhead N to bound it")
+			}
 			return 0
 		}
 	}
 	if c.inLoop {
 		// An annotation on a looped prepend asserts the loop total.
 		if _, ok := c.w.ann.OverheadAt(call.Pos()); !ok {
-			c.w.pass.Reportf(call.Pos(), "unbounded",
-				"Prepend inside a loop has no static bound; annotate the statement with //bertha:overhead N for the loop total")
+			if !c.w.quiet {
+				c.w.pass.Reportf(call.Pos(), "unbounded",
+					"Prepend inside a loop has no static bound; annotate the statement with //bertha:overhead N for the loop total")
+			}
 			return 0
 		}
 	}

@@ -10,3 +10,7 @@ import (
 func TestOverhead(t *testing.T) {
 	analysistest.Run(t, "overhead_a", overhead.Analyzer)
 }
+
+func TestOverheadCrossPackage(t *testing.T) {
+	analysistest.Run(t, "overhead_cross", overhead.Analyzer, "overhead_dep")
+}

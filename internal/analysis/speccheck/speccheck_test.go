@@ -1,0 +1,12 @@
+package speccheck_test
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/analysistest"
+	"github.com/bertha-net/bertha/internal/analysis/speccheck"
+)
+
+func TestSpeccheck(t *testing.T) {
+	analysistest.Run(t, "speccheck_a", speccheck.Analyzer, "speccheck_dep")
+}

@@ -1,0 +1,35 @@
+// Package bufown_cross exercises bufown's cross-package fact path: the
+// dependency corpus exported a BorrowsFact for Peek, so calls into it
+// leave ownership with the caller, while unmarked callees take it.
+package bufown_cross
+
+import (
+	dep "testdata/bufown_dep"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// crossBorrowStillOwned: the borrowing callee (known only through its
+// imported BorrowsFact) leaves ownership here, so the caller must still
+// release — and doing so is neither a double-release nor a leak.
+func crossBorrowStillOwned(headroom int) int {
+	b := wire.NewBuf(headroom, 16)
+	n := dep.Peek(b)
+	b.Release()
+	return n
+}
+
+// crossBorrowLeak: the borrowing callee does not consume the Buf, so
+// dropping it afterwards leaks — visible only because the fact says the
+// call was not a transfer.
+func crossBorrowLeak(headroom int) {
+	b := wire.NewBuf(headroom, 16)
+	_ = dep.Peek(b)
+} // want `leak`
+
+// crossTransferConsumes: an unmarked cross-package callee takes
+// ownership, exactly as before facts existed.
+func crossTransferConsumes(headroom int) {
+	b := wire.NewBuf(headroom, 16)
+	dep.Sink(b)
+}

@@ -1,0 +1,18 @@
+// Package bufown_dep is the dependency corpus for bufown's
+// cross-package fact tests: its analysis exports a BorrowsFact for
+// Peek, which the main corpus then imports.
+package bufown_dep
+
+import "github.com/bertha-net/bertha/internal/wire"
+
+// Peek inspects the Buf without taking ownership.
+//
+//bertha:borrows b
+func Peek(b *wire.Buf) int {
+	return b.Len()
+}
+
+// Sink takes ownership of the Buf and consumes it.
+func Sink(b *wire.Buf) {
+	b.Release()
+}

@@ -1,0 +1,28 @@
+// Package ctxflow_dep is the dependency corpus for the ctxflow golden
+// tests: it exports functions that block without consuming a context,
+// so analyzing it records BlocksFacts the ctxflow_a corpus consumes
+// across the package boundary.
+package ctxflow_dep
+
+import "time"
+
+// BlockingWait blocks on the channel with no context parameter: legal
+// here, but callers holding a ctx must treat calling it as blocking.
+func BlockingWait(ch chan int) int {
+	return <-ch
+}
+
+// Sleepy blocks in time.Sleep.
+func Sleepy() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Poll does not block: its select has a default arm.
+func Poll(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

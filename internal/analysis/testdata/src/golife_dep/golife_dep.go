@@ -1,0 +1,26 @@
+// Package golife_dep is the dependency corpus for the golife golden
+// tests: analyzing it exports LoopsForeverFact for Forever and a
+// SpawnsFact for StartDaemon, which golife_a consumes across the
+// package boundary.
+package golife_dep
+
+// Forever loops with no exit edge: launching it on a goroutine creates
+// a daemon, which the exported LoopsForeverFact tells callers.
+func Forever(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// StartDaemon launches a declared daemon per call; its SpawnsFact
+// records Daemon=true so unbounded callers are flagged.
+func StartDaemon(ch chan int) {
+	//bertha:daemon golden-test fixture: a declared process-lifetime pump
+	go Forever(ch)
+}
+
+// Drain exits when the channel closes: not a daemon.
+func Drain(ch chan int) {
+	for range ch {
+	}
+}

@@ -1,0 +1,55 @@
+// Package overhead_cross exercises overhead's cross-package fact path:
+// the dependency corpus exported CostFacts for its helpers, and calls
+// into them are charged against this package's declared bound.
+package overhead_cross
+
+import (
+	"context"
+
+	dep "testdata/overhead_dep"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+const headerLen = 4
+
+func info() core.ImplInfo {
+	return core.ImplInfo{
+		Name:         "overhead_cross/test",
+		Type:         "overhead_cross",
+		SendOverhead: headerLen,
+	}
+}
+
+// crossConn forwards to a cross-package helper whose CostFact charges 4
+// bytes, plus 2 locally: 6 exceeds the declared 4.
+type crossConn struct{ next core.BufConn }
+
+func (c *crossConn) SendBuf(ctx context.Context, b *wire.Buf) error { // want `exceeds`
+	dep.Stamp(b)
+	b.Prepend(2)
+	return c.next.SendBuf(ctx, b)
+}
+
+// crossOkConn stays within the bound: Stamp's 4 fact-charged bytes are
+// exactly the declaration.
+type crossOkConn struct{ next core.BufConn }
+
+func (c *crossOkConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	dep.Stamp(b)
+	return c.next.SendBuf(ctx, b)
+}
+
+// crossAnnotatedConn charges Tag's annotated 2-byte bound through its
+// fact plus 2 locally: exactly 4, clean.
+type crossAnnotatedConn struct {
+	next core.BufConn
+	n    int
+}
+
+func (c *crossAnnotatedConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	dep.Tag(b, c.n)
+	b.Prepend(2)
+	return c.next.SendBuf(ctx, b)
+}

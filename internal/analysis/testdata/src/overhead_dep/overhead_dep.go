@@ -1,0 +1,21 @@
+// Package overhead_dep is the dependency corpus for overhead's
+// cross-package fact tests. It registers no ImplInfo, so its own
+// analysis reports nothing — but it still exports CostFacts for the
+// helpers below, which the main corpus charges against its bound.
+package overhead_dep
+
+import "github.com/bertha-net/bertha/internal/wire"
+
+// Stamp prepends a 4-byte magic to the frame.
+func Stamp(b *wire.Buf) {
+	hdr := b.Prepend(4)
+	hdr[0] = 0xbe
+}
+
+// Tag's cost comes from its annotation, not its body.
+//
+//bertha:overhead 2
+func Tag(b *wire.Buf, n int) {
+	hdr := b.Prepend(n) //bertha:overhead 2
+	_ = hdr
+}

@@ -1,0 +1,23 @@
+// Package seeded_orphan is a deliberately leaky goroutine launch used
+// by the driver tests to prove the CI gate trips: a receive pump with
+// no quit edge, the exact shape of bug the golife analyzer exists to
+// stop. If a change like this ever lands in a real package, berthavet
+// (and the berthavet CI job) fails the build.
+package seeded_orphan
+
+type pump struct {
+	in chan []byte
+	fn func([]byte)
+}
+
+// Start launches the dispatch loop with no shutdown edge: nothing ever
+// closes in, and the loop has no ctx/quit case, so the goroutine — and
+// everything it captures — outlives every owner of the pump.
+func (p *pump) Start() {
+	go func() {
+		for {
+			m := <-p.in
+			p.fn(m)
+		}
+	}()
+}

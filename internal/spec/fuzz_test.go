@@ -1,0 +1,54 @@
+package spec
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// FuzzStackEncodeDecode fuzzes the wire round trip: any byte string the
+// decoder accepts must re-encode to a form that decodes to a
+// structurally equal stack, and that canonical form must be a fixed
+// point of encode∘decode. The seed corpus covers the shapes negotiation
+// actually exchanges, including nested Select branches near MaxDepth.
+func FuzzStackEncodeDecode(f *testing.F) {
+	seed := func(s *Stack) {
+		e := wire.NewEncoder(nil)
+		s.Encode(e)
+		f.Add(e.Bytes())
+	}
+	seed(nil)
+	seed(Seq(New("serialize"), New("reliable")))
+	seed(fig2Stack())
+	seed(Seq(New("x").WithScope(ScopeApplication), New("shard", wire.Uint(3))))
+	inner := Seq(Select("pick", nil, Seq(New("udp")), Seq(New("tcp").WithScope(ScopeHost))))
+	seed(Seq(Select("outer", nil, inner, Seq(Select("pick", nil, Seq(New("dpdk")), inner)))))
+	deep := Seq(New("leaf"))
+	for i := 0; i < MaxDepth; i++ {
+		deep = Seq(Select("sel", nil, deep))
+	}
+	seed(deep)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := wire.NewDecoder(data)
+		s1 := DecodeStack(d)
+		if d.Finish() != nil {
+			return // rejected input: only well-formed encodings round-trip
+		}
+		e1 := wire.NewEncoder(nil)
+		s1.Encode(e1)
+		d2 := wire.NewDecoder(e1.Bytes())
+		s2 := DecodeStack(d2)
+		if err := d2.Finish(); err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v\ninput: %x", err, data)
+		}
+		if !s2.Equal(s1) {
+			t.Fatalf("round trip changed stack: %s -> %s\ninput: %x", s1, s2, data)
+		}
+		e2 := wire.NewEncoder(nil)
+		s2.Encode(e2)
+		if string(e2.Bytes()) != string(e1.Bytes()) {
+			t.Fatalf("canonical encoding is not a fixed point\ninput: %x", data)
+		}
+	})
+}
