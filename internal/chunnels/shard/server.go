@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/bertha-net/bertha/internal/chunnels/base"
 	"github.com/bertha-net/bertha/internal/core"
@@ -42,6 +43,11 @@ func newServerImpl() *serverImpl {
 	return s
 }
 
+// steerSendTimeout bounds each forwarded request: the steering worker
+// is shared by every client, so one stuck shard connection must not
+// stall the whole queue.
+const steerSendTimeout = 5 * time.Second
+
 // steerWorker is the single shared steering thread.
 func (s *serverImpl) steerWorker() {
 	for item := range s.steerCh {
@@ -49,7 +55,9 @@ func (s *serverImpl) steerWorker() {
 		// through the network stack.
 		buf := make([]byte, len(item.payload))
 		copy(buf, item.payload)
-		_ = item.fwd.Send(context.Background(), buf)
+		ctx, cancel := context.WithTimeout(context.Background(), steerSendTimeout)
+		_ = item.fwd.Send(ctx, buf)
+		cancel()
 	}
 }
 

@@ -398,6 +398,11 @@ func teardownAll(ctx context.Context, active []activeImpl, e *Endpoint) {
 	}
 }
 
+// teardownTimeout bounds the discovery-release RPCs a closing
+// connection issues: Close has no caller context, and a dead discovery
+// service must not wedge shutdown.
+const teardownTimeout = 5 * time.Second
+
 // managedConn runs implementation teardown (and resource release) when
 // the connection closes.
 type managedConn struct {
@@ -422,7 +427,9 @@ func (m *managedConn) Headroom() int { return HeadroomOf(m.Conn) }
 func (m *managedConn) Close() error {
 	err := m.Conn.Close()
 	m.once.Do(func() {
-		teardownAll(context.Background(), m.active, m.ep)
+		ctx, cancel := context.WithTimeout(context.Background(), teardownTimeout)
+		defer cancel()
+		teardownAll(ctx, m.active, m.ep)
 	})
 	return err
 }

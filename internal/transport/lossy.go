@@ -28,6 +28,10 @@ type LossConfig struct {
 	Latency time.Duration
 }
 
+// lateSendTimeout bounds a delayed (reordered or latency-simulating)
+// delivery once its timer fires, detached from the original Send's ctx.
+const lateSendTimeout = 5 * time.Second
+
 // Lossy wraps conn's send path with the configured adversarial behaviour.
 // Receives are unaffected (wrap both ends to perturb both directions).
 func Lossy(conn core.Conn, cfg LossConfig) core.Conn {
@@ -61,8 +65,12 @@ func (l *lossyConn) Send(ctx context.Context, p []byte) error {
 			buf := make([]byte, len(msg))
 			copy(buf, msg)
 			time.AfterFunc(delay, func() {
-				// Best effort: late delivery on a closed conn is lost.
-				_ = l.Conn.Send(context.Background(), buf)
+				// Best effort: late delivery on a closed conn is lost. The
+				// caller's ctx is long gone when the timer fires; bound the
+				// send so a wedged conn cannot pile up delivery goroutines.
+				sctx, cancel := context.WithTimeout(context.Background(), lateSendTimeout)
+				defer cancel()
+				_ = l.Conn.Send(sctx, buf)
 			})
 			return
 		}
