@@ -133,6 +133,10 @@ var (
 	WithEnv = core.WithEnv
 	// WithOptimizer enables §6 DAG optimization passes.
 	WithOptimizer = core.WithOptimizer
+	// WithTelemetry records this endpoint's metrics and negotiation
+	// traces into an explicit telemetry registry instead of the
+	// process-wide default (telemetry.Default()).
+	WithTelemetry = core.WithTelemetry
 )
 
 // Policies, re-exported.

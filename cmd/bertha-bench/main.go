@@ -21,7 +21,9 @@
 // connections; Figure 5: 300000 requests); the default is a quick run.
 // The -json flag switches the stack experiment to machine-readable
 // output, reporting allocations/op and bytes/op alongside the latency
-// percentiles.
+// percentiles. The -telemetry flag adds an instrumented stack scenario
+// and prints the per-chunnel latency attribution (which layer owns what
+// share of the send-path p95).
 package main
 
 import (
@@ -37,9 +39,10 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run paper-scale parameters (slower)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (stack experiment)")
+	telem := flag.Bool("telemetry", false, "instrument every stack layer and print the per-chunnel latency attribution (stack experiment)")
 	showVersion := flag.Bool("version", false, "print version (module + vet-suite revision) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] {fig2|fig3|fig4|fig5|opt|consensus|stack|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] [-telemetry] {fig2|fig3|fig4|fig5|opt|consensus|stack|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,7 +62,7 @@ func main() {
 	fig4 := bench.Fig4Config{}
 	fig5 := bench.Fig5Config{}
 	cons := bench.ConsensusConfig{}
-	stack := bench.StackConfig{JSON: *jsonOut}
+	stack := bench.StackConfig{JSON: *jsonOut, Telemetry: *telem}
 	if *full {
 		fig3.Connections = 10000
 		fig5.Requests = 300000

@@ -14,14 +14,29 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/bertha-net/bertha/bertha/transport"
 	"github.com/bertha-net/bertha/internal/discovery"
+	"github.com/bertha-net/bertha/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7777", "UDP address to serve on")
+	telemAddr := flag.String("telemetry", "", "HTTP address serving "+telemetry.Endpoint+" (empty disables)")
 	flag.Parse()
+
+	if *telemAddr != "" {
+		errCh := make(chan error, 1)
+		telemetry.Serve(*telemAddr, telemetry.Default(), errCh)
+		select {
+		case err := <-errCh:
+			fmt.Fprintf(os.Stderr, "bertha-discovery: telemetry endpoint: %v\n", err)
+			os.Exit(1)
+		case <-time.After(100 * time.Millisecond):
+			fmt.Printf("bertha-discovery: telemetry at http://%s%s\n", *telemAddr, telemetry.Endpoint)
+		}
+	}
 
 	l, err := transport.ListenUDP("", *listen)
 	if err != nil {

@@ -31,23 +31,35 @@ import (
 	"github.com/bertha-net/bertha/internal/chunnels/shard"
 	"github.com/bertha-net/bertha/internal/kv"
 	"github.com/bertha-net/bertha/internal/stats"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/ycsb"
 )
 
 func main() {
 	var (
-		serve   = flag.Bool("serve", false, "run the sharded server")
-		listen  = flag.String("listen", "127.0.0.1:9000", "server canonical UDP address")
-		shards  = flag.Int("shards", 3, "shard count (server)")
-		connect = flag.String("connect", "", "server address to connect to (client)")
-		push    = flag.Bool("push", false, "client links the client-push sharding implementation")
-		ycsbN   = flag.Int("ycsb", 0, "run N YCSB-A operations instead of a single command")
-		records = flag.Int("records", 1000, "YCSB keyspace size")
+		serve     = flag.Bool("serve", false, "run the sharded server")
+		listen    = flag.String("listen", "127.0.0.1:9000", "server canonical UDP address")
+		shards    = flag.Int("shards", 3, "shard count (server)")
+		connect   = flag.String("connect", "", "server address to connect to (client)")
+		push      = flag.Bool("push", false, "client links the client-push sharding implementation")
+		ycsbN     = flag.Int("ycsb", 0, "run N YCSB-A operations instead of a single command")
+		records   = flag.Int("records", 1000, "YCSB keyspace size")
+		telemAddr = flag.String("telemetry", "", "HTTP address serving "+telemetry.Endpoint+" (server; empty disables)")
 	)
 	flag.Parse()
 
 	switch {
 	case *serve:
+		if *telemAddr != "" {
+			errCh := make(chan error, 1)
+			telemetry.Serve(*telemAddr, telemetry.Default(), errCh)
+			select {
+			case err := <-errCh:
+				fail(fmt.Errorf("telemetry endpoint: %w", err))
+			case <-time.After(100 * time.Millisecond):
+				fmt.Printf("bertha-kv: telemetry at http://%s%s\n", *telemAddr, telemetry.Endpoint)
+			}
+		}
 		if err := runServer(*listen, *shards); err != nil {
 			fail(err)
 		}

@@ -8,10 +8,12 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/bertha-net/bertha/internal/chunnels/crypt"
 	"github.com/bertha-net/bertha/internal/chunnels/framing"
 	"github.com/bertha-net/bertha/internal/chunnels/serialize"
 	"github.com/bertha-net/bertha/internal/core"
 	"github.com/bertha-net/bertha/internal/stats"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/transport"
 	"github.com/bertha-net/bertha/internal/wire"
 )
@@ -25,6 +27,12 @@ type StackConfig struct {
 	// JSON selects machine-readable output (one JSON document instead
 	// of the table).
 	JSON bool
+	// Telemetry adds an instrumented scenario (every layer of a
+	// serialize→encrypt→http2→udp stack wrapped in the telemetry
+	// recorder) and prints the per-layer latency attribution: each
+	// chunnel's inclusive p50/p95 and its exclusive share of the send
+	// path, the runtime's answer to "where does the time go".
+	Telemetry bool
 }
 
 func (c *StackConfig) fill() {
@@ -79,6 +87,16 @@ func Stack(w io.Writer, cfg StackConfig) error {
 		{name: "zero-copy-bufs", run: runStackBufs},
 		{name: "copy-per-message", run: runStackCopy},
 	}
+	var instrumented *telemetry.Registry
+	if cfg.Telemetry {
+		instrumented = telemetry.New()
+		scenarios = append(scenarios, scenario{
+			name: "instrumented-zero-copy",
+			run: func(cfg StackConfig) (StackResult, error) {
+				return runStackInstrumented(cfg, instrumented)
+			},
+		})
+	}
 
 	results := make([]StackResult, 0, len(scenarios))
 	for _, sc := range scenarios {
@@ -93,7 +111,11 @@ func Stack(w io.Writer, cfg StackConfig) error {
 	if cfg.JSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		return enc.Encode(map[string]any{"experiment": "stack", "results": results})
+		doc := map[string]any{"experiment": "stack", "results": results}
+		if instrumented != nil {
+			doc["telemetry"] = instrumented.Snapshot()
+		}
+		return enc.Encode(doc)
 	}
 	table := stats.NewTable(
 		fmt.Sprintf("stack: echo round trip, serialize→http2→udp, %d-byte requests", cfg.Size),
@@ -102,7 +124,53 @@ func Stack(w io.Writer, cfg StackConfig) error {
 		table.AddRow(r.Scenario, r.Messages, r.AllocsPerOp, r.BytesPerOp, r.Latency.P50, r.Latency.P95)
 	}
 	table.Render(w)
+	if instrumented != nil {
+		io.WriteString(w, "\n")
+		writeAttribution(w, instrumented)
+	}
 	return nil
+}
+
+// stackTelemetryOrder is the instrumented stack outermost-first; the
+// attribution table subtracts each layer's inner neighbour to turn the
+// inclusive latencies into exclusive shares.
+var stackTelemetryOrder = []struct{ chunnel, impl string }{
+	{"serialize", "serialize/bincode"},
+	{"encrypt", "encrypt/aesgcm"},
+	{"http2", "http2/sw"},
+	{"transport", "udp"},
+}
+
+// writeAttribution renders the per-chunnel send-latency attribution from
+// an instrumented run: inclusive p50/p95 per layer, and each layer's
+// exclusive p95 share (inclusive p95 minus the next layer in).
+func writeAttribution(w io.Writer, reg *telemetry.Registry) {
+	table := stats.NewTable(
+		"stack: per-chunnel send-latency attribution (client side)",
+		"chunnel", "impl", "sends", "incl p50 (µs)", "incl p95 (µs)", "excl p95 (µs)", "share")
+	incl := make([]float64, len(stackTelemetryOrder))
+	snaps := make([]telemetry.HistogramSnapshot, len(stackTelemetryOrder))
+	for i, l := range stackTelemetryOrder {
+		snaps[i] = reg.Conn(l.chunnel, l.impl).SendLatency.Snapshot()
+		incl[i] = snaps[i].Quantile(0.95)
+	}
+	total := incl[0]
+	for i, l := range stackTelemetryOrder {
+		excl := incl[i]
+		if i+1 < len(incl) {
+			excl -= incl[i+1]
+		}
+		if excl < 0 {
+			excl = 0 // quantile subtraction can go slightly negative
+		}
+		share := 0.0
+		if total > 0 {
+			share = excl / total
+		}
+		table.AddRow(l.chunnel, l.impl, snaps[i].Count,
+			snaps[i].Quantile(0.50), incl[i], excl, fmt.Sprintf("%.0f%%", share*100))
+	}
+	table.Render(w)
 }
 
 // stackPair builds the serialize→framing→udp stack on both ends of a
@@ -176,6 +244,91 @@ func measureStack(cfg StackConfig, roundTrip func() error) (StackResult, error) 
 // headers prepended into reserved headroom, echo without copying.
 func runStackBufs(cfg StackConfig) (StackResult, error) {
 	cli, srv, err := stackPair()
+	if err != nil {
+		return StackResult{}, err
+	}
+	defer cli.Close()
+	defer srv.Close()
+	ctx := context.Background()
+	go func() {
+		for {
+			b, err := core.RecvBuf(ctx, srv)
+			if err != nil {
+				return
+			}
+			if core.SendBuf(ctx, srv, b) != nil {
+				return
+			}
+		}
+	}()
+
+	payload := make([]byte, cfg.Size)
+	headroom := core.HeadroomOf(cli)
+	return measureStack(cfg, func() error {
+		b := wire.NewBufFrom(headroom, payload)
+		if err := core.SendBuf(ctx, cli, b); err != nil {
+			return err
+		}
+		r, err := core.RecvBuf(ctx, cli)
+		if err != nil {
+			return err
+		}
+		r.Release()
+		return nil
+	})
+}
+
+// stackPairInstrumented builds a serialize→encrypt→http2→udp stack with
+// every layer wrapped in the telemetry recorder, mirroring what
+// core.assemble does to negotiated stacks. Only the client side records
+// into reg so the attribution reflects one direction.
+func stackPairInstrumented(reg *telemetry.Registry) (cli, srv core.Conn, err error) {
+	a, b, err := transport.UDPPair("cli", "srv")
+	if err != nil {
+		return nil, nil, err
+	}
+	key := []byte("bench-attribution-key")
+	wrap := func(c core.Conn, record bool) (core.Conn, error) {
+		inst := func(conn core.Conn, chunnel, impl string) core.Conn {
+			if !record {
+				return conn
+			}
+			return core.Instrument(conn, reg.Conn(chunnel, impl))
+		}
+		c = inst(c, "transport", "udp")
+		f, err := framing.New(c, framing.DefaultMaxFrame)
+		if err != nil {
+			return nil, err
+		}
+		e, err := crypt.New(inst(f, "http2", "http2/sw"), key)
+		if err != nil {
+			return nil, err
+		}
+		s, err := serialize.New(inst(e, "encrypt", "encrypt/aesgcm"), serialize.FormatBincode)
+		if err != nil {
+			return nil, err
+		}
+		return inst(s, "serialize", "serialize/bincode"), nil
+	}
+	if cli, err = wrap(a, true); err != nil {
+		a.Close()
+		b.Close()
+		return nil, nil, err
+	}
+	if srv, err = wrap(b, false); err != nil {
+		cli.Close()
+		b.Close()
+		return nil, nil, err
+	}
+	return cli, srv, nil
+}
+
+// runStackInstrumented measures the zero-copy path with the full
+// telemetry stack enabled; the delta against zero-copy-bufs is the
+// observability overhead, and reg afterwards holds the per-layer
+// attribution.
+func runStackInstrumented(cfg StackConfig, reg *telemetry.Registry) (StackResult, error) {
+	cli, srv, err := stackPairInstrumented(reg)
 	if err != nil {
 		return StackResult{}, err
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/testutil"
 	"github.com/bertha-net/bertha/internal/wire"
 )
@@ -104,20 +105,21 @@ func TestFragmentReassembly(t *testing.T) {
 }
 
 // TestDroppedStreamsCounter injects an out-of-order CONTINUATION frame
-// and checks the discard is visible on both the per-conn and package
-// counters, and that the connection keeps delivering later messages.
+// and checks the discard is visible on the telemetry registry's
+// dropped-streams counter, and that the connection keeps delivering
+// later messages.
 func TestDroppedStreamsCounter(t *testing.T) {
 	inner := newLoopConn(8)
 	conn, err := New(inner, DefaultMaxFrame)
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
-	fc := conn.(*frameConn)
 	ctx := context.Background()
 
 	// A CONTINUATION (idx 1) for a stream with no DATA frame received:
 	// reassembly is impossible, the stream must be dropped and counted.
-	before := TotalDroppedStreams()
+	dropped := telemetry.Default().Counter(DroppedStreamsCounter)
+	before := dropped.Value()
 	rogue := make([]byte, headerLen+4)
 	rogue[0] = frameContinuation
 	rogue[1] = flagEndStream
@@ -137,10 +139,7 @@ func TestDroppedStreamsCounter(t *testing.T) {
 	if string(got) != "after-drop" {
 		t.Fatalf("recv = %q, want %q", got, "after-drop")
 	}
-	if fc.DroppedStreams() != 1 {
-		t.Fatalf("DroppedStreams = %d, want 1", fc.DroppedStreams())
-	}
-	if TotalDroppedStreams() != before+1 {
-		t.Fatalf("TotalDroppedStreams = %d, want %d", TotalDroppedStreams(), before+1)
+	if n := dropped.Value(); n != before+1 {
+		t.Fatalf("dropped_streams counter = %d, want %d", n, before+1)
 	}
 }

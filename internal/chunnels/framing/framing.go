@@ -8,12 +8,15 @@
 // Framing itself is not reliable: fragments travel as independent
 // datagrams, so on a lossy or reordering transport a CONTINUATION can
 // arrive out of order and the whole stream must be discarded (partial
-// messages are never delivered). Discards are counted — see
-// Conn-level DroppedStreams and package-level TotalDroppedStreams —
-// rather than silent. On transports that can lose or reorder datagrams,
-// place the reliability chunnel *below* framing in the DAG (closer to
-// the wire) so fragments are retransmitted and ordered before
-// reassembly; then the drop counter stays at zero.
+// messages are never delivered). Discards are counted rather than
+// silent: the "chunnel/http2/dropped_streams" counter in the process
+// telemetry registry (telemetry.Default(), served at /debug/bertha)
+// increments per discarded stream. A non-zero value on a supposedly
+// reliable stack means the DAG is missing the reliability chunnel below
+// framing: on transports that can lose or reorder datagrams, place
+// reliability *below* framing (closer to the wire) so fragments are
+// retransmitted and ordered before reassembly; then the counter stays
+// at zero.
 package framing
 
 import (
@@ -26,6 +29,7 @@ import (
 	"github.com/bertha-net/bertha/internal/chunnels/base"
 	"github.com/bertha-net/bertha/internal/core"
 	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/wire"
 )
 
@@ -69,16 +73,10 @@ func Register(reg *core.Registry) {
 	})
 }
 
-// totalDropped counts reassembly streams discarded process-wide; see
-// TotalDroppedStreams.
-var totalDropped atomic.Uint64
-
-// TotalDroppedStreams returns the number of in-progress messages any
-// framing connection in this process has discarded because a fragment
-// arrived out of order (lost or reordered below the framing layer). A
-// non-zero value on a supposedly reliable stack means the DAG is
-// missing the reliability chunnel below framing.
-func TotalDroppedStreams() uint64 { return totalDropped.Load() }
+// DroppedStreamsCounter is the telemetry counter name for reassembly
+// streams discarded on fragment loss/reorder, registered in the process
+// registry (telemetry.Default()).
+const DroppedStreamsCounter = "chunnel/http2/dropped_streams"
 
 // New wraps conn with frame encoding. maxFrame bounds each fragment's
 // payload; messages larger than maxFrame are split and reassembled.
@@ -86,23 +84,25 @@ func New(conn core.Conn, maxFrame int) (core.Conn, error) {
 	if maxFrame <= 0 {
 		return nil, fmt.Errorf("http2: invalid max frame %d", maxFrame)
 	}
-	return &frameConn{Conn: conn, maxFrame: maxFrame, partial: map[uint32][]*wire.Buf{}}, nil
+	return &frameConn{
+		Conn:     conn,
+		maxFrame: maxFrame,
+		dropped:  telemetry.Default().Counter(DroppedStreamsCounter),
+		partial:  map[uint32][]*wire.Buf{},
+	}, nil
 }
 
 type frameConn struct {
 	core.Conn
 	maxFrame   int
 	nextStream atomic.Uint32
-	dropped    atomic.Uint64
+	// dropped is the shared process-wide discard counter, resolved once
+	// at wrap time so the receive path never touches the registry.
+	dropped *telemetry.Counter
 
 	mu      sync.Mutex
 	partial map[uint32][]*wire.Buf
 }
-
-// DroppedStreams returns how many in-progress messages this connection
-// discarded on fragment reorder/loss (reach it through a type assertion
-// on the wrapped conn, or use TotalDroppedStreams).
-func (c *frameConn) DroppedStreams() uint64 { return c.dropped.Load() }
 
 // fillHeader writes the frame header for fragment i of frags into h.
 func fillHeader(h []byte, stream uint32, i, frags int) {
@@ -213,8 +213,7 @@ func (c *frameConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 			// package documentation).
 			delete(c.partial, stream)
 			c.mu.Unlock()
-			c.dropped.Add(1)
-			totalDropped.Add(1)
+			c.dropped.Inc()
 			fb.Release()
 			releaseAll(frags)
 			continue

@@ -18,6 +18,7 @@ import (
 	"github.com/bertha-net/bertha/internal/chunnels/base"
 	"github.com/bertha-net/bertha/internal/core"
 	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/wire"
 )
 
@@ -37,6 +38,12 @@ const (
 
 // ErrBroken is returned once a message exhausts its retransmissions.
 var ErrBroken = errors.New("reliable: peer unreachable (retransmissions exhausted)")
+
+// RetransmitsCounter is the telemetry counter name for messages resent
+// after an RTO expiry, registered in the process registry. A high rate
+// relative to the transport's datagram counters indicates loss below
+// the reliability layer.
+const RetransmitsCounter = "chunnel/reliable/retransmits"
 
 // Message kinds.
 const (
@@ -101,15 +108,16 @@ func New(conn core.Conn, cfg Config) (core.Conn, error) {
 	cfg.fill()
 	ctx, cancel := context.WithCancel(context.Background())
 	a := &arqConn{
-		base:    conn,
-		cfg:     cfg,
-		unacked: map[uint64]*pending{},
-		slots:   make(chan struct{}, cfg.Window),
-		out:     make(chan *wire.Buf, cfg.Window),
-		oob:     map[uint64]*wire.Buf{},
-		expect:  1,
-		ctx:     ctx,
-		cancel:  cancel,
+		base:        conn,
+		cfg:         cfg,
+		retransmits: telemetry.Default().Counter(RetransmitsCounter),
+		unacked:     map[uint64]*pending{},
+		slots:       make(chan struct{}, cfg.Window),
+		out:         make(chan *wire.Buf, cfg.Window),
+		oob:         map[uint64]*wire.Buf{},
+		expect:      1,
+		ctx:         ctx,
+		cancel:      cancel,
 	}
 	go a.pump()
 	go a.retransmitLoop()
@@ -125,6 +133,9 @@ type pending struct {
 type arqConn struct {
 	base core.Conn
 	cfg  Config
+	// retransmits is the shared process-wide resend counter
+	// (RetransmitsCounter), resolved once at wrap time.
+	retransmits *telemetry.Counter
 
 	sendMu  sync.Mutex
 	nextSeq uint64
@@ -393,6 +404,9 @@ func (a *arqConn) retransmitLoop() {
 			resend = append(resend, p.payload)
 		}
 		a.sendMu.Unlock()
+		if len(resend) > 0 {
+			a.retransmits.Add(uint64(len(resend)))
+		}
 		for _, buf := range resend {
 			if err := a.base.Send(a.ctx, buf); err != nil {
 				if errors.Is(err, core.ErrClosed) {

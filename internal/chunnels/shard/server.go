@@ -9,8 +9,14 @@ import (
 	"github.com/bertha-net/bertha/internal/chunnels/base"
 	"github.com/bertha-net/bertha/internal/core"
 	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/wire"
 )
+
+// SteeredCounter is the telemetry counter name for requests forwarded by
+// the userspace steering worker. Compare against the XDP hook's
+// redirect probe to see which steering path a deployment actually took.
+const SteeredCounter = "chunnel/shard/steered"
 
 // serverImpl is the userspace fallback: all clients' requests funnel
 // through one steering worker that forwards each request over the
@@ -50,6 +56,7 @@ const steerSendTimeout = 5 * time.Second
 
 // steerWorker is the single shared steering thread.
 func (s *serverImpl) steerWorker() {
+	steered := telemetry.Default().Counter(SteeredCounter)
 	for item := range s.steerCh {
 		// A userspace balancer copies the request and re-sends it
 		// through the network stack.
@@ -58,6 +65,7 @@ func (s *serverImpl) steerWorker() {
 		ctx, cancel := context.WithTimeout(context.Background(), steerSendTimeout)
 		_ = item.fwd.Send(ctx, buf)
 		cancel()
+		steered.Inc()
 	}
 }
 

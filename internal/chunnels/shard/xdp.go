@@ -8,6 +8,7 @@ import (
 	"github.com/bertha-net/bertha/internal/chunnels/base"
 	"github.com/bertha-net/bertha/internal/core"
 	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/wire"
 	"github.com/bertha-net/bertha/internal/xdp"
 )
@@ -27,6 +28,7 @@ type XDPImpl struct {
 
 func newXDPImpl() *XDPImpl {
 	x := &XDPImpl{hook: xdp.NewHook("xdp:rx")}
+	x.hook.RegisterTelemetry(telemetry.Default())
 	x.ImplInfo = core.ImplInfo{
 		Name:     ImplXDP,
 		Type:     Type,

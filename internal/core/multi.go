@@ -105,7 +105,9 @@ func sameBindings(a, b []ResolvedNode) bool {
 func (e *Endpoint) assembleMulti(ctx context.Context, tagged []*taggedConn, hellos []*ServerHello) (Conn, error) {
 	conns := make([]Conn, len(tagged))
 	for i, tc := range tagged {
-		conns[i] = tc.dataConn()
+		// Per-peer base connections share one "transport" metrics entry
+		// per network kind; group data-plane totals aggregate there.
+		conns[i] = Instrument(tc.dataConn(), e.tel.Conn("transport", tc.raw.LocalAddr().Net))
 	}
 	stack := hellos[0].Stack
 	var active []activeImpl
@@ -140,13 +142,14 @@ func (e *Endpoint) assembleMulti(ctx context.Context, tagged []*taggedConn, hell
 		if err := impl.Init(ctx, e.env, rn.Args); err != nil {
 			return fail(fmt.Errorf("bertha: init %q: %w", rn.ImplName, err))
 		}
+		m := e.tel.Conn(rn.Type, rn.ImplName)
 		if mw, ok := impl.(MultiWrapper); ok && len(conns) > 1 {
 			merged, err := mw.WrapMulti(ctx, conns, rn.Args, params, SideClient, e.env)
 			if err != nil {
 				impl.Teardown(ctx, e.env)
 				return fail(fmt.Errorf("bertha: wrap-multi %q: %w", rn.ImplName, err))
 			}
-			conns = []Conn{merged}
+			conns = []Conn{Instrument(merged, m)}
 		} else {
 			for ci, c := range conns {
 				wrapped, err := impl.Wrap(ctx, c, rn.Args, params, SideClient, e.env)
@@ -154,7 +157,7 @@ func (e *Endpoint) assembleMulti(ctx context.Context, tagged []*taggedConn, hell
 					impl.Teardown(ctx, e.env)
 					return fail(fmt.Errorf("bertha: wrap %q (peer %d): %w", rn.ImplName, ci, err))
 				}
-				conns[ci] = wrapped
+				conns[ci] = Instrument(wrapped, m)
 			}
 		}
 		active = append(active, activeImpl{impl: impl, claim: rn.ClaimID})
@@ -166,7 +169,7 @@ func (e *Endpoint) assembleMulti(ctx context.Context, tagged []*taggedConn, hell
 	} else {
 		out = newFanConn(conns)
 	}
-	return &managedConn{Conn: out, ep: e, active: active}, nil
+	return &managedConn{Conn: out, ep: e, side: SideClient, active: active}, nil
 }
 
 // fanConn is the default group connection when no chunnel collapses the

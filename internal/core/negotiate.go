@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/wire"
 )
 
@@ -431,6 +432,7 @@ func bindNode(ctx context.Context, node spec.Node, cands []Candidate, ch *Client
 		if chosen.Discovered && !chosen.Offer.Resources.IsZero() && srv.discovery != nil {
 			claim, err := srv.discovery.Claim(ctx, chosen.Offer.Name, chosen.Offer.Resources)
 			if err != nil {
+				srv.traceFallback(node.Type, chosen, "resource claim failed: "+err.Error())
 				usable = removeCandidate(usable, chosen)
 				continue
 			}
@@ -455,14 +457,43 @@ func bindNode(ctx context.Context, node spec.Node, cands []Candidate, ch *Client
 				if rn.ClaimID != 0 && srv.discovery != nil {
 					srv.discovery.Release(ctx, rn.ClaimID)
 				}
+				srv.traceFallback(node.Type, chosen, "params unobtainable: "+err.Error())
 				usable = removeCandidate(usable, chosen)
 				continue
 			}
 			rn.Params = params
 		}
+		srv.traceChosen(rn, chosen)
 		return rn, nil
 	}
 	return ResolvedNode{}, fmt.Errorf("%w: %q", ErrNoImplementation, node.Type)
+}
+
+// traceChosen records a TraceImplChosen event carrying the policy's
+// ranking inputs for the winning candidate.
+func (srv *negotiator) traceChosen(rn ResolvedNode, chosen Candidate) {
+	srv.tel.Trace().Record(telemetry.TraceEvent{
+		Endpoint: srv.name,
+		Side:     SideServer.String(),
+		Kind:     telemetry.TraceImplChosen,
+		Chunnel:  rn.Type,
+		Impl:     rn.ImplName,
+		Detail: fmt.Sprintf("priority=%d location=%s from=%s discovered=%v",
+			chosen.Offer.Priority, chosen.Offer.Location, chosen.From, chosen.Discovered),
+	})
+}
+
+// traceFallback records a TraceFallback event: the preferred candidate
+// was dropped and the policy re-runs over the remaining set.
+func (srv *negotiator) traceFallback(chunnelType string, dropped Candidate, why string) {
+	srv.tel.Trace().Record(telemetry.TraceEvent{
+		Endpoint: srv.name,
+		Side:     SideServer.String(),
+		Kind:     telemetry.TraceFallback,
+		Chunnel:  chunnelType,
+		Impl:     dropped.Offer.Name,
+		Detail:   why,
+	})
 }
 
 func removeCandidate(cands []Candidate, c Candidate) []Candidate {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/wire"
 )
 
@@ -40,6 +41,7 @@ type Endpoint struct {
 	policy    Policy
 	env       *Env
 	optimizer *Optimizer
+	tel       *telemetry.Registry
 }
 
 // Option configures an Endpoint.
@@ -72,6 +74,13 @@ func WithOptimizer(o *Optimizer) Option {
 	return func(e *Endpoint) { e.optimizer = o }
 }
 
+// WithTelemetry records this endpoint's metrics and negotiation traces
+// into reg instead of the process-wide telemetry.Default() registry.
+// Tests and benchmarks use it to read an isolated registry.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(e *Endpoint) { e.tel = reg }
+}
+
 // NewEndpoint creates a connection endpoint with the given debugging name
 // and Chunnel DAG — the equivalent of bertha::new(name, wrap!(...)).
 func NewEndpoint(name string, stack *spec.Stack, opts ...Option) (*Endpoint, error) {
@@ -93,6 +102,9 @@ func NewEndpoint(name string, stack *spec.Stack, opts ...Option) (*Endpoint, err
 	if e.env == nil {
 		e.env = NewEnv("")
 	}
+	if e.tel == nil {
+		e.tel = telemetry.Default()
+	}
 	return e, nil
 }
 
@@ -108,15 +120,21 @@ func (e *Endpoint) Env() *Env { return e.env }
 // Registry returns the endpoint's implementation registry.
 func (e *Endpoint) Registry() *Registry { return e.registry }
 
+// Telemetry returns the registry this endpoint records metrics and
+// negotiation traces into.
+func (e *Endpoint) Telemetry() *telemetry.Registry { return e.tel }
+
 // negotiator bundles the server-side decision inputs for negotiate.go.
 type negotiator struct {
 	host      string
+	name      string
 	stack     *spec.Stack
 	registry  *Registry
 	policy    Policy
 	discovery DiscoveryClient
 	env       *Env
 	optimizer *Optimizer
+	tel       *telemetry.Registry
 }
 
 // paramProvider finds the negotiation parameter source for a binding: the
@@ -160,13 +178,23 @@ func (e *Endpoint) negotiator(localHost string) *negotiator {
 	}
 	return &negotiator{
 		host:      host,
+		name:      e.name,
 		stack:     e.stack,
 		registry:  e.registry,
 		policy:    e.policy,
 		discovery: e.discovery,
 		env:       e.env,
 		optimizer: e.optimizer,
+		tel:       e.tel,
 	}
+}
+
+// trace records a negotiation event into the endpoint's telemetry ring.
+func (e *Endpoint) trace(side Side, kind string, ev telemetry.TraceEvent) {
+	ev.Endpoint = e.name
+	ev.Side = side.String()
+	ev.Kind = kind
+	e.tel.Trace().Record(ev)
 }
 
 // Connect establishes a negotiated connection over the raw base transport
@@ -203,21 +231,44 @@ func (e *Endpoint) Connect(ctx context.Context, raw Conn) (Conn, error) {
 	hello.Encode(enc)
 	helloBytes := append([]byte(nil), enc.Bytes()...)
 
+	e.trace(SideClient, telemetry.TraceOfferSent, telemetry.TraceEvent{
+		Detail: fmt.Sprintf("spec=%s offers=%d", e.stack, len(offers)),
+	})
+	helloStart := time.Now()
 	sh, err := awaitServerHello(ctx, tc, helloBytes, hello.Nonce)
+	rtt := time.Since(helloStart)
 	if err != nil {
+		e.trace(SideClient, telemetry.TraceFailed, telemetry.TraceEvent{Detail: err.Error()})
 		raw.Close()
 		return nil, err
 	}
 	if sh.Err != "" {
+		e.trace(SideClient, telemetry.TraceFailed, telemetry.TraceEvent{
+			Detail: sh.Err, Micros: float64(rtt.Nanoseconds()) / 1e3,
+		})
 		raw.Close()
 		return nil, fmt.Errorf("%w: %s", ErrNegotiation, sh.Err)
+	}
+	e.trace(SideClient, telemetry.TraceServerHello, telemetry.TraceEvent{
+		Detail: fmt.Sprintf("peer=%s stack=%d nodes", sh.Name, len(sh.Stack)),
+		Micros: float64(rtt.Nanoseconds()) / 1e3,
+	})
+	for _, rn := range sh.Stack {
+		e.trace(SideClient, telemetry.TraceImplChosen, telemetry.TraceEvent{
+			Chunnel: rn.Type, Impl: rn.ImplName,
+			Detail: fmt.Sprintf("location=%s owner=%s", rn.Location, rn.Owner),
+		})
 	}
 
 	conn, err := e.assemble(ctx, tc, sh.Stack, SideClient)
 	if err != nil {
+		e.trace(SideClient, telemetry.TraceFailed, telemetry.TraceEvent{Detail: err.Error()})
 		raw.Close()
 		return nil, err
 	}
+	e.trace(SideClient, telemetry.TraceConnected, telemetry.TraceEvent{
+		Detail: describeStack(sh.Stack),
+	})
 	return conn, nil
 }
 
@@ -306,6 +357,9 @@ func (e *Endpoint) accept(ctx context.Context, raw Conn) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.trace(SideServer, telemetry.TraceHelloRecv, telemetry.TraceEvent{
+		Detail: fmt.Sprintf("peer=%s host=%s spec=%s offers=%d", ch.Name, ch.Host, ch.Spec, len(ch.Offers)),
+	})
 
 	sh := &ServerHello{Nonce: ch.Nonce, Name: e.name, Host: neg.host}
 	resolved, derr := decide(ctx, ch, neg)
@@ -321,13 +375,40 @@ func (e *Endpoint) accept(ctx context.Context, raw Conn) (Conn, error) {
 		return nil, fmt.Errorf("%w: send server hello: %v", ErrNegotiation, err)
 	}
 	if derr != nil {
+		e.trace(SideServer, telemetry.TraceFailed, telemetry.TraceEvent{Detail: derr.Error()})
 		return nil, derr
 	}
 	// Duplicate ClientHellos (client retransmits over lossy links) are
 	// answered with the cached reply by the tagged conn's control loop.
 	tc.setCtrlResponder(ch.Nonce, reply)
 
-	return e.assemble(ctx, tc, resolved, SideServer)
+	conn, err := e.assemble(ctx, tc, resolved, SideServer)
+	if err != nil {
+		e.trace(SideServer, telemetry.TraceFailed, telemetry.TraceEvent{Detail: err.Error()})
+		return nil, err
+	}
+	e.trace(SideServer, telemetry.TraceConnected, telemetry.TraceEvent{
+		Detail: describeStack(resolved),
+	})
+	return conn, nil
+}
+
+// describeStack renders a resolved stack as "type=impl → type=impl" for
+// trace events.
+func describeStack(stack []ResolvedNode) string {
+	if len(stack) == 0 {
+		return "(empty stack)"
+	}
+	var b []byte
+	for i, rn := range stack {
+		if i > 0 {
+			b = append(b, " → "...)
+		}
+		b = append(b, rn.Type...)
+		b = append(b, '=')
+		b = append(b, rn.ImplName...)
+	}
+	return string(b)
 }
 
 // assemble instantiates the local side of a resolved stack: Init then Wrap
@@ -355,7 +436,10 @@ func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []Resolve
 	}
 	e.env.SetStackHeadroom(headroom)
 
-	var conn Conn = tc.dataConn()
+	// The base of the instrumented stack: the mux data channel, recorded
+	// under the pseudo-chunnel type "transport" so readouts attribute
+	// wire time separately from every chunnel above it.
+	var conn Conn = Instrument(tc.dataConn(), e.tel.Conn("transport", tc.raw.LocalAddr().Net))
 	var active []activeImpl
 	for i := len(stack) - 1; i >= 0; i-- {
 		rn := stack[i]
@@ -378,10 +462,13 @@ func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []Resolve
 			teardownAll(ctx, active, e)
 			return nil, fmt.Errorf("bertha: wrap %q: %w", rn.ImplName, err)
 		}
-		conn = wrapped
+		// Each resolved node gets an instrumented wrapper above it,
+		// preallocated per (type, impl) pair: sends/recvs/bytes/errors
+		// and inclusive latency, at zero allocations per message.
+		conn = Instrument(wrapped, e.tel.Conn(rn.Type, rn.ImplName))
 		active = append(active, activeImpl{impl: impl, claim: rn.ClaimID})
 	}
-	return &managedConn{Conn: conn, ep: e, active: active}, nil
+	return &managedConn{Conn: conn, ep: e, side: side, active: active}, nil
 }
 
 type activeImpl struct {
@@ -408,6 +495,7 @@ const teardownTimeout = 5 * time.Second
 type managedConn struct {
 	Conn
 	ep     *Endpoint
+	side   Side
 	active []activeImpl
 	once   sync.Once
 }
@@ -430,6 +518,9 @@ func (m *managedConn) Close() error {
 		ctx, cancel := context.WithTimeout(context.Background(), teardownTimeout)
 		defer cancel()
 		teardownAll(ctx, m.active, m.ep)
+		m.ep.trace(m.side, telemetry.TraceTeardown, telemetry.TraceEvent{
+			Detail: fmt.Sprintf("%d impls torn down", len(m.active)),
+		})
 	})
 	return err
 }

@@ -9,8 +9,28 @@ import (
 	"time"
 
 	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/wire"
 )
+
+// opCounters are the served-operation counters, registered in the
+// process registry under "discovery/<op>" and incremented per request
+// the server handles (including ones that fail with a status error).
+type opCounters struct {
+	register, withdraw, query, claim, release, malformed *telemetry.Counter
+}
+
+func newOpCounters() *opCounters {
+	reg := telemetry.Default()
+	return &opCounters{
+		register:  reg.Counter("discovery/register"),
+		withdraw:  reg.Counter("discovery/withdraw"),
+		query:     reg.Counter("discovery/query"),
+		claim:     reg.Counter("discovery/claim"),
+		release:   reg.Counter("discovery/release"),
+		malformed: reg.Counter("discovery/malformed"),
+	}
+}
 
 // Wire protocol: every request is one datagram
 //
@@ -48,6 +68,7 @@ const requestRetries = 6
 type Server struct {
 	svc *Service
 	l   core.Listener
+	ops *opCounters
 
 	mu     sync.Mutex
 	closed bool
@@ -59,7 +80,7 @@ type Server struct {
 // stop.
 func Serve(svc *Service, l core.Listener) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{svc: svc, l: l, cancel: cancel}
+	s := &Server{svc: svc, l: l, ops: newOpCounters(), cancel: cancel}
 	s.wg.Add(1)
 	go s.acceptLoop(ctx)
 	return s
@@ -118,7 +139,22 @@ func (s *Server) handle(ctx context.Context, req []byte) []byte {
 	reqID := d.Uint64()
 	op := d.Uint8()
 	if d.Err() != nil {
+		s.ops.malformed.Inc()
 		return nil
+	}
+	switch op {
+	case opRegister:
+		s.ops.register.Inc()
+	case opWithdraw:
+		s.ops.withdraw.Inc()
+	case opQuery:
+		s.ops.query.Inc()
+	case opClaim:
+		s.ops.claim.Inc()
+	case opRelease:
+		s.ops.release.Inc()
+	default:
+		s.ops.malformed.Inc()
 	}
 	e := wire.NewEncoder(nil)
 	e.PutUint64(reqID)

@@ -244,6 +244,43 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+// TestTableFloatGolden pins the width-aware float rendering: small
+// values keep the one-decimal form, values past seven integer digits
+// switch to scientific notation instead of blowing out their column,
+// and non-finite values render as names.
+func TestTableFloatGolden(t *testing.T) {
+	tb := NewTable("counters", "name", "value")
+	tb.AddRow("small", 12.5)
+	tb.AddRow("seven-digits", 9999999.4)
+	tb.AddRow("eight-digits", 12345678.0)
+	tb.AddRow("huge", 123456789012.0)
+	tb.AddRow("negative-huge", -98765432.1)
+	tb.AddRow("nan", math.NaN())
+	var sb strings.Builder
+	tb.Render(&sb)
+	// The renderer pads every cell to the column width; strip the
+	// trailing pad so the golden stays readable.
+	lines := strings.Split(sb.String(), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	got := strings.Join(lines, "\n")
+
+	const want = `## counters
+name           value
+-------------------------
+small          12.5
+seven-digits   9999999.4
+eight-digits   1.235e+07
+huge           1.235e+11
+negative-huge  -9.877e+07
+nan            NaN
+`
+	if got != want {
+		t.Errorf("table render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestBoxplotRow(t *testing.T) {
 	r := NewRecorder(0)
 	for i := 0; i < 100; i++ {

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -21,13 +22,13 @@ func NewTable(title string, columns ...string) *Table {
 }
 
 // AddRow appends a row. Cells are formatted with %v; float64 cells are
-// rendered with one decimal place.
+// rendered width-aware via formatFloat.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.1f", v)
+			row[i] = formatFloat(v)
 		case string:
 			row[i] = v
 		default:
@@ -35,6 +36,25 @@ func (t *Table) AddRow(cells ...any) {
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders a float cell with one decimal place while the
+// integer part fits in seven digits, and compact scientific notation
+// beyond that — a cumulative byte counter rendered as
+// "123456789012.0" would otherwise blow out its column and misalign
+// the whole table. Non-finite values render as their names rather
+// than as digits.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 0):
+		return fmt.Sprintf("%v", v)
+	case math.Abs(v) >= 1e7:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
 }
 
 // Rows returns the formatted rows added so far.

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Endpoint is the conventional introspection path daemons mount the
+// handler on.
+const Endpoint = "/debug/bertha"
+
+// Handler returns an http.Handler serving the registry's snapshot as an
+// indented JSON document: per-chunnel-type, per-implementation counters
+// and latency quantiles, named counters and probes, and the retained
+// negotiation trace events. With ?format=text it renders the fixed-width
+// table dump instead.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			// Headers are gone; nothing useful left to report.
+			return
+		}
+	})
+}
+
+// Serve mounts the registry's handler on Endpoint and serves HTTP on
+// addr in a background goroutine. It returns the server so callers can
+// Close it, and reports a startup error through errCh (nil channel:
+// errors are dropped). It exists so the daemons' -telemetry flag is one
+// call.
+func Serve(addr string, r *Registry, errCh chan<- error) *http.Server {
+	mux := http.NewServeMux()
+	mux.Handle(Endpoint, Handler(r))
+	srv := &http.Server{Addr: addr, Handler: mux}
+	//bertha:daemon telemetry endpoint serves for the process lifetime; Close shuts it down
+	go func() {
+		err := srv.ListenAndServe()
+		if errCh != nil {
+			select {
+			case errCh <- err:
+			default:
+			}
+		}
+	}()
+	return srv
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentObserveAndSnapshot hammers one registry from 16 writer
+// goroutines — counters, histograms, per-conn records, and trace events
+// — while a reader concurrently snapshots. Run under -race -count=2 in
+// CI; the assertions below check nothing is lost once the writers stop.
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	const (
+		writers = 16
+		perG    = 2000
+	)
+	r := New()
+	c := r.Counter("hammered")
+	h := r.Histogram("hammered_lat")
+	m := r.Conn("encrypt", "encrypt/aesgcm")
+
+	var writersWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Reader: snapshot continuously while writers run. Results are
+	// discarded; the race detector is the assertion.
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := r.Snapshot()
+				_ = snap.Counters["hammered"]
+				for _, cs := range snap.Conns {
+					_ = cs.SendLatency.P95
+				}
+			}
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i%100) * time.Microsecond)
+				m.RecordSend(64, time.Microsecond, nil)
+				m.RecordRecv(64, time.Microsecond, nil)
+				if i%100 == 0 {
+					r.Trace().Record(TraceEvent{Kind: TraceConnected, Detail: "hammer"})
+					// Get-or-create races against other writers too.
+					r.Counter("hammered").Add(0)
+				}
+			}
+		}(g)
+	}
+	writersWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	const total = writers * perG
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	snap := r.Snapshot()
+	if len(snap.Conns) != 1 {
+		t.Fatalf("conns = %d, want 1", len(snap.Conns))
+	}
+	cs := snap.Conns[0]
+	if cs.Sends != total || cs.Recvs != total {
+		t.Errorf("sends/recvs = %d/%d, want %d", cs.Sends, cs.Recvs, total)
+	}
+	if cs.SendBytes != total*64 {
+		t.Errorf("send bytes = %d, want %d", cs.SendBytes, total*64)
+	}
+	wantTrace := uint64(writers * (perG / 100))
+	if snap.TraceTotal != wantTrace {
+		t.Errorf("trace total = %d, want %d", snap.TraceTotal, wantTrace)
+	}
+	if len(snap.Trace) != DefaultTraceLen {
+		t.Errorf("retained trace = %d, want ring capacity %d", len(snap.Trace), DefaultTraceLen)
+	}
+}

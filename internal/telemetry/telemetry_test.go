@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/testutil"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("x") != c {
+		t.Error("Counter is not idempotent per name")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)                // bucket 1: [1,2)
+	h.Observe(3)                // bucket 2: [2,4)
+	h.Observe(1024)             // bucket 11: [1024,2048)
+	h.Observe(-5 * time.Second) // clamps to zero
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Buckets[0] != 2 {
+		t.Errorf("zero bucket = %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[1] != 1 || s.Buckets[2] != 1 || s.Buckets[11] != 1 {
+		t.Errorf("buckets = %v", s.Buckets[:12])
+	}
+	if s.Sum != 1+3+1024 {
+		t.Errorf("sum = %d, want 1028", s.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations of ~1µs, 10 of ~1ms: p50 must sit in the µs
+	// bucket and p99.9-ish territory in the ms bucket.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.50)
+	if p50 < 0.5 || p50 > 2.1 {
+		t.Errorf("p50 = %.2fµs, want ~1µs", p50)
+	}
+	p999 := s.Quantile(0.9999)
+	if p999 < 500 || p999 > 2100 {
+		t.Errorf("p99.99 = %.2fµs, want ~1000µs", p999)
+	}
+	if q := s.Quantile(1); math.IsNaN(q) || q < p50 {
+		t.Errorf("p100 = %.2f, want ≥ p50", q)
+	}
+	mean := s.Mean()
+	want := (1000.0*1000 + 10*1000000) / 1010.0 / 1e3
+	if math.Abs(mean-want) > 0.01 {
+		t.Errorf("mean = %.3fµs, want %.3f", mean, want)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) {
+		t.Error("empty histogram must report NaN")
+	}
+	if hs := histStats(s); hs.P50 != 0 || hs.Mean != 0 {
+		t.Errorf("histStats of empty = %+v, want zeros (JSON-safe)", hs)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	sum := h.Summary()
+	if sum.Count != 100 {
+		t.Errorf("summary count = %d", sum.Count)
+	}
+	if sum.P50 <= sum.P5 || sum.P95 < sum.P50 {
+		t.Errorf("summary quantiles not ordered: %+v", sum)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(4)
+	now := time.Unix(1700000000, 0)
+	tr.clock = func() time.Time { return now }
+	for i := 0; i < 6; i++ {
+		tr.Record(TraceEvent{Kind: TraceImplChosen, Detail: string(rune('a' + i))})
+	}
+	if tr.Total() != 6 {
+		t.Fatalf("total = %d, want 6", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	// Oldest first, sequence numbers survive the wrap.
+	for i, ev := range evs {
+		if ev.Seq != uint64(2+i) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, 2+i)
+		}
+		if !ev.At.Equal(now) {
+			t.Errorf("event %d not stamped", i)
+		}
+	}
+	if evs[0].Detail != "c" || evs[3].Detail != "f" {
+		t.Errorf("ring order wrong: %q..%q", evs[0].Detail, evs[3].Detail)
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	ev := TraceEvent{Seq: 3, Endpoint: "kv", Side: "server", Kind: TraceImplChosen,
+		Chunnel: "shard", Impl: "shard/xdp", Micros: 12.5, Detail: "priority=20"}
+	s := ev.String()
+	for _, want := range []string{"#3", "kv/server", "impl-chosen", "shard=shard/xdp", "12.5µs", "priority=20"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSnapshotAndHandler(t *testing.T) {
+	r := New()
+	r.Counter("transport/udp/datagrams_sent").Add(42)
+	r.Gauge("conns").Set(3)
+	r.Histogram("hello_rtt").Observe(80 * time.Microsecond)
+	r.RegisterProbe("xdp/rx/redirect", func() uint64 { return 7 })
+	m := r.Conn("shard", "shard/xdp")
+	m.RecordSend(100, 5*time.Microsecond, nil)
+	m.RecordRecv(60, 8*time.Microsecond, nil)
+	m.RecordSend(0, 0, errors.New("boom")) // errors counted separately
+	r.Trace().Record(TraceEvent{Endpoint: "kv", Side: "server", Kind: TraceConnected})
+
+	snap := r.Snapshot()
+	if snap.Counters["transport/udp/datagrams_sent"] != 42 {
+		t.Errorf("counter missing from snapshot: %v", snap.Counters)
+	}
+	if snap.Counters["xdp/rx/redirect"] != 7 {
+		t.Errorf("probe missing from snapshot: %v", snap.Counters)
+	}
+	if len(snap.Conns) != 1 || snap.Conns[0].Sends != 1 || snap.Conns[0].SendErrs != 1 {
+		t.Errorf("conn stats wrong: %+v", snap.Conns)
+	}
+	if snap.TraceTotal != 1 || len(snap.Trace) != 1 {
+		t.Errorf("trace missing: total=%d len=%d", snap.TraceTotal, len(snap.Trace))
+	}
+
+	// JSON endpoint round-trips and is well-formed.
+	req := httptest.NewRequest("GET", Endpoint, nil)
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("endpoint emitted malformed JSON: %v", err)
+	}
+	if decoded.Counters["transport/udp/datagrams_sent"] != 42 {
+		t.Errorf("decoded counters = %v", decoded.Counters)
+	}
+
+	// Text dump renders the same data as tables.
+	req = httptest.NewRequest("GET", Endpoint+"?format=text", nil)
+	rec = httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, req)
+	out := rec.Body.String()
+	for _, want := range []string{"telemetry: counters", "transport/udp/datagrams_sent", "shard/xdp", "negotiation trace"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObserveAllocs pins the hot path at zero allocations: counters,
+// gauges, histograms, and the full per-message ConnMetrics record.
+func TestObserveAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	m := r.Conn("serialize", "serialize/bincode")
+	avg := testing.AllocsPerRun(500, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(3 * time.Microsecond)
+		m.RecordSend(64, 2*time.Microsecond, nil)
+		m.RecordRecv(64, 2*time.Microsecond, nil)
+	})
+	if avg != 0 {
+		t.Fatalf("telemetry hot path allocates %.2f objects/op, want 0", avg)
+	}
+}

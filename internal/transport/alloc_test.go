@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/testutil"
 )
 
@@ -159,5 +160,52 @@ func TestUDPRecvAllocs(t *testing.T) {
 	})
 	if avg >= 1 {
 		t.Fatalf("udp RecvBuf allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestUDPRecvAllocsInstrumented is TestUDPRecvAllocs with the socket
+// wrapped in telemetry instrumentation: the per-message latency
+// histogram and byte counters must add zero allocations on top of the
+// pooled receive path.
+func TestUDPRecvAllocsInstrumented(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	cli, srv, err := UDPPair("a", "b")
+	if err != nil {
+		t.Fatalf("pair: %v", err)
+	}
+	defer cli.Close()
+	defer srv.Close()
+
+	reg := telemetry.New()
+	m := reg.Conn("transport", "udp")
+	bc, ok := core.Instrument(srv, m).(core.BufConn)
+	if !ok {
+		t.Fatal("instrumented socketConn must implement core.BufConn")
+	}
+
+	const runs = 50
+	payload := make([]byte, 64)
+	ctx := context.Background()
+	for i := 0; i < runs+1; i++ {
+		if err := cli.Send(ctx, payload); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		b, err := bc.RecvBuf(ctx)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		b.Release()
+	})
+	if avg >= 1 {
+		t.Fatalf("instrumented udp RecvBuf allocates %.2f objects/op, want 0", avg)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Conns) != 1 || snap.Conns[0].Recvs < runs {
+		t.Fatalf("instrumentation recorded %+v, want ≥%d recvs", snap.Conns, runs)
 	}
 }

@@ -25,6 +25,7 @@ const DefaultPipeCapacity = 256
 // moves a message across the pipe without copying it at all.
 type pipeHalf struct {
 	local, remote core.Addr
+	tel           *netCounters
 	send          chan *wire.Buf
 	recv          chan *wire.Buf
 
@@ -44,8 +45,9 @@ func Pipe(a, b core.Addr, capacity int) (core.Conn, core.Conn) {
 	ba := make(chan *wire.Buf, capacity)
 	ca := make(chan struct{})
 	cb := make(chan struct{})
-	x := &pipeHalf{local: a, remote: b, send: ab, recv: ba, closed: ca, peerClosed: cb}
-	y := &pipeHalf{local: b, remote: a, send: ba, recv: ab, closed: cb, peerClosed: ca}
+	tel := countersFor("pipe")
+	x := &pipeHalf{local: a, remote: b, tel: tel, send: ab, recv: ba, closed: ca, peerClosed: cb}
+	y := &pipeHalf{local: b, remote: a, tel: tel, send: ba, recv: ab, closed: cb, peerClosed: ca}
 	return x, y
 }
 
@@ -78,6 +80,7 @@ func (p *pipeHalf) SendBuf(ctx context.Context, b *wire.Buf) error {
 		b.Release()
 		return ctx.Err()
 	case p.send <- b: //bertha:transfers receiving half owns it
+		p.tel.sent.Inc()
 		return nil
 	}
 }
@@ -100,11 +103,13 @@ func (p *pipeHalf) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	// fail once both the buffer is empty and a side is closed.
 	select {
 	case b := <-p.recv:
+		p.tel.recvd.Inc()
 		return b, nil
 	default:
 	}
 	select {
 	case b := <-p.recv:
+		p.tel.recvd.Inc()
 		return b, nil
 	case <-p.closed:
 		return nil, core.ErrClosed
@@ -112,6 +117,7 @@ func (p *pipeHalf) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 		// Peer closed: deliver anything still buffered.
 		select {
 		case b := <-p.recv:
+			p.tel.recvd.Inc()
 			return b, nil
 		default:
 			return nil, core.ErrClosed

@@ -1,0 +1,43 @@
+package transport
+
+import (
+	"sync"
+
+	"github.com/bertha-net/bertha/internal/telemetry"
+)
+
+// netCounters holds one transport kind's datagram counters, resolved
+// once per kind from the process telemetry registry so the data path
+// never touches a map: sends and receives are single atomic adds.
+type netCounters struct {
+	sent  *telemetry.Counter
+	recvd *telemetry.Counter
+	// dropped counts datagrams discarded at a full demux queue or accept
+	// backlog — legal under datagram semantics, but visible.
+	dropped *telemetry.Counter
+}
+
+var (
+	netCountersMu sync.Mutex
+	netCountersBy = map[string]*netCounters{}
+)
+
+// countersFor returns the shared counters for a transport kind ("udp",
+// "unix", "pipe"), creating them in telemetry.Default() on first use.
+// Call at connection setup, never per datagram.
+func countersFor(netName string) *netCounters {
+	netCountersMu.Lock()
+	defer netCountersMu.Unlock()
+	c, ok := netCountersBy[netName]
+	if !ok {
+		reg := telemetry.Default()
+		prefix := "transport/" + netName + "/"
+		c = &netCounters{
+			sent:    reg.Counter(prefix + "datagrams_sent"),
+			recvd:   reg.Counter(prefix + "datagrams_recvd"),
+			dropped: reg.Counter(prefix + "datagrams_dropped"),
+		}
+		netCountersBy[netName] = c
+	}
+	return c
+}

@@ -61,6 +61,7 @@ func DialUDP(hostID, raddr string) (core.Conn, error) {
 		conn:   uc,
 		local:  core.Addr{Net: "udp", Host: hostID, Addr: uc.LocalAddr().String()},
 		remote: core.Addr{Net: "udp", Host: "", Addr: raddr},
+		tel:    countersFor("udp"),
 	}, nil
 }
 
@@ -68,8 +69,11 @@ func DialUDP(hostID, raddr string) (core.Conn, error) {
 type socketConn struct {
 	conn          net.Conn
 	local, remote core.Addr
-	closeOnce     sync.Once
-	closeErr      error
+	// tel is the transport kind's shared datagram counters, resolved at
+	// construction (constructors must set it).
+	tel       *netCounters
+	closeOnce sync.Once
+	closeErr  error
 
 	// wmu serializes writes *and* write-deadline management. Without it
 	// a deadline-bearing sender's deadline reset races concurrent
@@ -102,8 +106,10 @@ func (s *socketConn) Send(ctx context.Context, p []byte) error {
 		if ne, ok := err.(net.Error); ok && ne.Timeout() && hasDeadline {
 			return context.DeadlineExceeded
 		}
+		return err
 	}
-	return err
+	s.tel.sent.Inc()
+	return nil
 }
 
 // SendBuf writes the buffer and releases it — datagram sockets do not
@@ -165,6 +171,7 @@ func (s *socketConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 			return nil, err
 		}
 		b.Truncate(n)
+		s.tel.recvd.Inc()
 		return b, nil
 	}
 }
@@ -227,6 +234,7 @@ func isClosedErr(err error) bool {
 type demuxListener struct {
 	pc   packetConn
 	addr core.Addr
+	tel  *netCounters
 
 	mu     sync.Mutex
 	peers  map[string]*demuxConn
@@ -239,6 +247,7 @@ func newDemuxListener(pc packetConn, addr core.Addr) *demuxListener {
 	l := &demuxListener{
 		pc:     pc,
 		addr:   addr,
+		tel:    countersFor(addr.Net),
 		peers:  make(map[string]*demuxConn),
 		accept: make(chan *demuxConn, 128),
 		closed: make(chan struct{}),
@@ -268,6 +277,7 @@ func (l *demuxListener) readLoop() {
 			continue // transient error (e.g. ICMP-induced)
 		}
 		b.Truncate(n)
+		l.tel.recvd.Inc()
 		key := from.String()
 
 		l.mu.Lock()
@@ -289,6 +299,7 @@ func (l *demuxListener) readLoop() {
 				delete(l.peers, key)
 				l.mu.Unlock()
 				b.Release()
+				l.tel.dropped.Inc()
 				continue
 			}
 		}
@@ -298,6 +309,7 @@ func (l *demuxListener) readLoop() {
 		case peer.recv <- b: //bertha:transfers per-peer demux queue owns it
 		default:
 			b.Release() // per-peer queue full: drop (datagram semantics)
+			l.tel.dropped.Inc()
 		}
 	}
 }
@@ -348,10 +360,14 @@ func (c *demuxConn) Send(ctx context.Context, p []byte) error {
 	default:
 	}
 	_, err := c.l.pc.WriteTo(p, c.peer)
-	if err != nil && isClosedErr(err) {
-		return core.ErrClosed
+	if err != nil {
+		if isClosedErr(err) {
+			return core.ErrClosed
+		}
+		return err
 	}
-	return err
+	c.l.tel.sent.Inc()
+	return nil
 }
 
 // SendBuf writes the buffer and releases it.

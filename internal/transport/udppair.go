@@ -58,6 +58,7 @@ func udpPairOnce(hostA, hostB string) (core.Conn, core.Conn, error) {
 			conn:   c,
 			local:  core.Addr{Net: "udp", Host: host, Addr: c.LocalAddr().String()},
 			remote: core.Addr{Net: "udp", Host: peerHost, Addr: c.RemoteAddr().String()},
+			tel:    countersFor("udp"),
 		}
 	}
 	return mk(ca, hostA, hostB), mk(cb, hostB, hostA), nil

@@ -84,6 +84,7 @@ func DialUnix(hostID, path string) (core.Conn, error) {
 			conn:   uc,
 			local:  core.Addr{Net: "unix", Host: hostID, Addr: clientPath},
 			remote: core.Addr{Net: "unix", Host: hostID, Addr: path},
+			tel:    countersFor("unix"),
 		},
 		clientPath: clientPath,
 	}, nil

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/bertha-net/bertha/internal/telemetry"
 )
 
 // Verdict is a program's decision for one packet.
@@ -311,6 +313,25 @@ func (h *Hook) Attached() (string, bool) {
 		return "", false
 	}
 	return h.prog.Name, true
+}
+
+// RegisterTelemetry publishes the hook's per-verdict counters as probes
+// in reg, named "xdp/<hook name>/<verdict>". Stats() remains the
+// bpftool-style direct readout; the probes surface the same counters in
+// the process snapshot (/debug/bertha) without a second set of atomics
+// on the datapath. Probes read the *current* program's stats; after a
+// detach/attach cycle they follow the new program, like bpftool.
+func (h *Hook) RegisterTelemetry(reg *telemetry.Registry) {
+	read := func(pick func(StatsSnapshot) uint64) func() uint64 {
+		return func() uint64 { return pick(h.Stats()) }
+	}
+	prefix := "xdp/" + h.Name + "/"
+	reg.RegisterProbe(prefix+"processed", read(func(s StatsSnapshot) uint64 { return s.Processed }))
+	reg.RegisterProbe(prefix+"pass", read(func(s StatsSnapshot) uint64 { return s.Passed }))
+	reg.RegisterProbe(prefix+"drop", read(func(s StatsSnapshot) uint64 { return s.Dropped }))
+	reg.RegisterProbe(prefix+"tx", read(func(s StatsSnapshot) uint64 { return s.Txed }))
+	reg.RegisterProbe(prefix+"redirect", read(func(s StatsSnapshot) uint64 { return s.Redirected }))
+	reg.RegisterProbe(prefix+"aborted", read(func(s StatsSnapshot) uint64 { return s.Aborted }))
 }
 
 // Stats returns the current program's statistics (zero snapshot when no

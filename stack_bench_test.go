@@ -7,6 +7,7 @@ import (
 	"github.com/bertha-net/bertha/internal/chunnels/framing"
 	"github.com/bertha-net/bertha/internal/chunnels/serialize"
 	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/testutil"
 	"github.com/bertha-net/bertha/internal/transport"
 	"github.com/bertha-net/bertha/internal/wire"
@@ -17,23 +18,43 @@ import (
 // sockets (not the demultiplexing listener) keep the receive path free
 // of per-datagram source-address allocations.
 func newStackPair(tb testing.TB) (cli, srv core.Conn) {
+	return newStackPairTelemetry(tb, nil)
+}
+
+// newStackPairTelemetry is newStackPair with every layer of the client
+// stack wrapped in telemetry instrumentation recording into reg. A nil
+// reg leaves the stack bare. The server side stays uninstrumented so
+// the echo peer's cost doesn't leak into the client's measurement.
+func newStackPairTelemetry(tb testing.TB, reg *telemetry.Registry) (cli, srv core.Conn) {
 	tb.Helper()
 	a, b, err := transport.UDPPair("cli", "srv")
 	if err != nil {
 		tb.Fatalf("udp pair: %v", err)
 	}
-	wrap := func(c core.Conn) core.Conn {
+	instr := func(c core.Conn, chunnelType, impl string) core.Conn {
+		if reg == nil {
+			return c
+		}
+		return core.Instrument(c, reg.Conn(chunnelType, impl))
+	}
+	wrap := func(c core.Conn, instrumented bool) core.Conn {
+		if instrumented {
+			c = instr(c, "transport", "udp")
+		}
 		f, err := framing.New(c, framing.DefaultMaxFrame)
 		if err != nil {
 			tb.Fatalf("framing: %v", err)
+		}
+		if instrumented {
+			f = instr(f, "http2", "http2/sw")
 		}
 		s, err := serialize.New(f, serialize.FormatBincode)
 		if err != nil {
 			tb.Fatalf("serialize: %v", err)
 		}
-		return s
+		return instr(s, "serialize", "serialize/bincode")
 	}
-	cli, srv = wrap(a), wrap(b)
+	cli, srv = wrap(a, true), wrap(b, false)
 	tb.Cleanup(func() { cli.Close(); srv.Close() })
 	return cli, srv
 }
@@ -157,5 +178,124 @@ func TestStackRoundTripAllocs(t *testing.T) {
 	}
 	if avg > 2 {
 		t.Fatalf("stack round trip allocates %.2f objects/op, budget is 2", avg)
+	}
+}
+
+// BenchmarkStackSendInstrumented is BenchmarkStackSend with telemetry
+// recording at every layer: three ConnMetrics (serialize, http2,
+// transport) each taking two timestamps and a handful of atomic adds
+// per message. The alloc column must read 0 — instrumentation rides the
+// pooled-buffer path without touching the heap.
+func BenchmarkStackSendInstrumented(b *testing.B) {
+	cli, srv := newStackPairTelemetry(b, telemetry.New())
+	go func() {
+		ctx := context.Background()
+		for {
+			m, err := core.RecvBuf(ctx, srv)
+			if err != nil {
+				return
+			}
+			m.Release()
+		}
+	}()
+
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	headroom := core.HeadroomOf(cli)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := wire.NewBufFrom(headroom, payload)
+		if err := core.SendBuf(ctx, cli, m); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+	}
+}
+
+// BenchmarkStackRecvInstrumented is BenchmarkStackRecv with telemetry
+// recording at every layer of the receiving stack.
+func BenchmarkStackRecvInstrumented(b *testing.B) {
+	cli, srv := newStackPairTelemetry(b, telemetry.New())
+	req := make(chan struct{})
+	go func() {
+		ctx := context.Background()
+		payload := make([]byte, 64)
+		headroom := core.HeadroomOf(srv)
+		for range req {
+			m := wire.NewBufFrom(headroom, payload)
+			if core.SendBuf(ctx, srv, m) != nil {
+				return
+			}
+		}
+	}()
+	defer close(req)
+
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req <- struct{}{}
+		m, err := core.RecvBuf(ctx, cli)
+		if err != nil {
+			b.Fatalf("recv: %v", err)
+		}
+		m.Release()
+	}
+}
+
+// TestStackRoundTripAllocsInstrumented is TestStackRoundTripAllocs with
+// telemetry enabled on every client layer. The budget stays at 2: the
+// instrumentation is atomic adds against preallocated ConnMetrics, so
+// enabling it must not cost a single extra allocation (steady state
+// measures 0). It also cross-checks that the metrics actually recorded.
+func TestStackRoundTripAllocsInstrumented(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	reg := telemetry.New()
+	cli, srv := newStackPairTelemetry(t, reg)
+	go echoLoop(srv)
+
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	headroom := core.HeadroomOf(cli)
+
+	roundTrip := func() {
+		m := wire.NewBufFrom(headroom, payload)
+		if err := core.SendBuf(ctx, cli, m); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		r, err := core.RecvBuf(ctx, cli)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		if r.Len() != len(payload) {
+			t.Errorf("echo len = %d, want %d", r.Len(), len(payload))
+		}
+		r.Release()
+	}
+	roundTrip() // warm the buffer pools before measuring
+
+	const runs = 100
+	avg := testing.AllocsPerRun(runs, roundTrip)
+	if t.Failed() {
+		t.FailNow()
+	}
+	if avg > 2 {
+		t.Fatalf("instrumented stack round trip allocates %.2f objects/op, budget is 2", avg)
+	}
+
+	// Every layer must have observed every round trip.
+	snap := reg.Snapshot()
+	if len(snap.Conns) != 3 {
+		t.Fatalf("instrumented layers = %d, want 3", len(snap.Conns))
+	}
+	for _, c := range snap.Conns {
+		if c.Sends < runs || c.Recvs < runs {
+			t.Errorf("%s/%s recorded %d sends / %d recvs, want ≥%d",
+				c.Chunnel, c.Impl, c.Sends, c.Recvs, runs)
+		}
 	}
 }
