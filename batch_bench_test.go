@@ -1,0 +1,159 @@
+package bertha_bench
+
+import (
+	"context"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/testutil"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// batchDrain releases everything the peer receives, using the vectored
+// receive path so the drain keeps up with batched senders.
+func batchDrain(srv core.Conn) {
+	ctx := context.Background()
+	bufs := make([]*wire.Buf, 64)
+	for {
+		n, err := core.RecvBufs(ctx, srv, bufs)
+		if err != nil {
+			return
+		}
+		core.ReleaseAll(bufs[:n])
+	}
+}
+
+// batchEchoLoop reflects bursts back through the stack: drain a burst,
+// return the burst, one vectored call each way.
+func batchEchoLoop(srv core.Conn) {
+	ctx := context.Background()
+	bufs := make([]*wire.Buf, 64)
+	for {
+		n, err := core.RecvBufs(ctx, srv, bufs)
+		if err != nil {
+			return
+		}
+		if core.SendBufs(ctx, srv, bufs[:n]) != nil {
+			return
+		}
+	}
+}
+
+// BenchmarkStackSendBatch32 is BenchmarkStackSend through the vectored
+// path: 32-message bursts via core.SendBufs over the same 3-deep stack.
+// b.N counts messages, so ns/op is directly comparable with
+// BenchmarkStackSend — the PR 5 acceptance floor is ≥2x the messages/sec
+// (≤½ the ns/op) at 0 allocs/op.
+func BenchmarkStackSendBatch32(b *testing.B) {
+	const burst = 32
+	cli, srv := newStackPair(b)
+	go batchDrain(srv)
+
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	headroom := core.HeadroomOf(cli)
+	out := make([]*wire.Buf, burst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		n := burst
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			out[j] = wire.NewBufFrom(headroom, payload)
+		}
+		if err := core.SendBufs(ctx, cli, out[:n]); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+	}
+}
+
+// BenchmarkStackSendBatch8 sweeps the small-burst point of the same
+// path for the EXPERIMENTS.md record.
+func BenchmarkStackSendBatch8(b *testing.B) {
+	const burst = 8
+	cli, srv := newStackPair(b)
+	go batchDrain(srv)
+
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	headroom := core.HeadroomOf(cli)
+	out := make([]*wire.Buf, burst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		n := burst
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			out[j] = wire.NewBufFrom(headroom, payload)
+		}
+		if err := core.SendBufs(ctx, cli, out[:n]); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+	}
+}
+
+// TestStackBatchAllocs is the allocation gate for the vectored path: a
+// full 32-message burst round trip — SendBufs with header stamping in
+// one pass, batched echo on the peer, RecvBufs drain — must stay at or
+// below 2 allocations per *burst* (steady state measures 0; the budget
+// absorbs a GC emptying the pools mid-run). Everything is preallocated:
+// the burst slices live outside the measured window, the buffers are
+// pooled, and the transport's mmsg scratch and RawConn callbacks are
+// created once at first use.
+func TestStackBatchAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	const burst = 32
+	cli, srv := newStackPair(t)
+	go batchEchoLoop(srv)
+
+	// A deadline-free context keeps the transport's ctx watcher off the
+	// hot path; a lost datagram is covered by the suite timeout.
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	headroom := core.HeadroomOf(cli)
+	out := make([]*wire.Buf, burst)
+	in := make([]*wire.Buf, burst)
+
+	roundTrip := func() {
+		for i := range out {
+			out[i] = wire.NewBufFrom(headroom, payload)
+		}
+		if err := core.SendBufs(ctx, cli, out); err != nil {
+			t.Errorf("send burst: %v", err)
+			return
+		}
+		got := 0
+		for got < burst {
+			n, err := core.RecvBufs(ctx, cli, in[:burst-got])
+			if err != nil {
+				t.Errorf("recv burst: %v", err)
+				return
+			}
+			for _, b := range in[:n] {
+				if b.Len() != len(payload) {
+					t.Errorf("echo len = %d, want %d", b.Len(), len(payload))
+				}
+			}
+			core.ReleaseAll(in[:n])
+			got += n
+		}
+	}
+	roundTrip() // warm the pools and the transport's batch scratch
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	avg := testing.AllocsPerRun(50, roundTrip)
+	if t.Failed() {
+		t.FailNow()
+	}
+	if avg > 2 {
+		t.Fatalf("32-burst round trip allocates %.2f objects/burst, budget is 2", avg)
+	}
+}

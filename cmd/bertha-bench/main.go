@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bertha-bench [flags] <experiment>
+//	bertha-bench [flags] <experiment> [<experiment>...]
 //
 // Experiments:
 //
@@ -15,7 +15,11 @@
 //	opt        §6 pipeline reordering / TLS fusion ablation
 //	consensus  ordered-multicast sequencer placement ablation
 //	stack      zero-copy buffer path: allocs/op + latency per round trip
+//	batch      vectored SendBufs/RecvBufs burst sweep vs per-message loop
 //	all        everything above, in order
+//
+// Several experiments may be named in one invocation; with -json each
+// prints its own JSON document in order (a JSON stream).
 //
 // The -full flag runs paper-scale parameters (Figure 3: 10000
 // connections; Figure 5: 300000 requests); the default is a quick run.
@@ -42,7 +46,7 @@ func main() {
 	telem := flag.Bool("telemetry", false, "instrument every stack layer and print the per-chunnel latency attribution (stack experiment)")
 	showVersion := flag.Bool("version", false, "print version (module + vet-suite revision) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] [-telemetry] {fig2|fig3|fig4|fig5|opt|consensus|stack|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] [-telemetry] {fig2|fig3|fig4|fig5|opt|consensus|stack|batch|all}...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -53,7 +57,7 @@ func main() {
 		fmt.Printf("bertha-bench %s\n", vetversion.String())
 		return
 	}
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -63,6 +67,7 @@ func main() {
 	fig5 := bench.Fig5Config{}
 	cons := bench.ConsensusConfig{}
 	stack := bench.StackConfig{JSON: *jsonOut, Telemetry: *telem}
+	batch := bench.BatchConfig{JSON: *jsonOut}
 	if *full {
 		fig3.Connections = 10000
 		fig5.Requests = 300000
@@ -70,6 +75,7 @@ func main() {
 		fig4.Duration = 8 * time.Second
 		cons.Ops = 2000
 		stack.Messages = 50000
+		batch.Messages = 65536
 	} else {
 		fig4.Duration = 4 * time.Second
 		fig4.LocalStartAt = 2 * time.Second
@@ -93,8 +99,10 @@ func main() {
 			return bench.Consensus(os.Stdout, cons)
 		case "stack":
 			return bench.Stack(os.Stdout, stack)
+		case "batch":
+			return bench.Batch(os.Stdout, batch)
 		case "all":
-			for _, n := range []string{"fig2", "fig3", "fig4", "fig5", "opt", "consensus", "stack"} {
+			for _, n := range []string{"fig2", "fig3", "fig4", "fig5", "opt", "consensus", "stack", "batch"} {
 				if err := run(n); err != nil {
 					return fmt.Errorf("%s: %w", n, err)
 				}
@@ -105,8 +113,10 @@ func main() {
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
-	if err := run(flag.Arg(0)); err != nil {
-		fmt.Fprintf(os.Stderr, "bertha-bench: %v\n", err)
-		os.Exit(1)
+	for _, name := range flag.Args() {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "bertha-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -183,6 +183,13 @@ func IsBufPtr(t types.Type) bool {
 	return obj.Name() == "Buf" && wirePkg(obj.Pkg())
 }
 
+// IsBufSlice reports whether t is []*wire.Buf — the burst type the
+// batch data plane moves through SendBufs/RecvBufs.
+func IsBufSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && IsBufPtr(sl.Elem())
+}
+
 // IsImplInfo reports whether t is core.ImplInfo.
 func IsImplInfo(t types.Type) bool {
 	named, ok := t.(*types.Named)
@@ -204,17 +211,19 @@ func IsContext(t types.Type) bool {
 }
 
 // ConnMethodNames are the blocking data-plane calls of core.Conn /
-// core.BufConn that lockdisc guards and bufown treats as ownership
-// transfer points.
+// core.BufConn / core.BatchConn that lockdisc guards and bufown treats
+// as ownership transfer points.
 var ConnMethodNames = map[string]bool{
 	"Send": true, "Recv": true, "SendBuf": true, "RecvBuf": true,
+	"SendBufs": true, "RecvBufs": true,
 }
 
 // ConnCallName classifies a call expression as a data-plane conn call:
-// a method named Send/Recv/SendBuf/RecvBuf whose first parameter is a
-// context.Context, or the package helpers core.SendBuf / core.RecvBuf.
-// It returns the display name ("conn.SendBuf", "core.RecvBuf") and true
-// when the call matches.
+// a method named Send/Recv/SendBuf/RecvBuf (or the batch variants
+// SendBufs/RecvBufs) whose first parameter is a context.Context, or the
+// package helpers core.SendBuf / core.RecvBuf / core.SendBufs /
+// core.RecvBufs. It returns the display name ("conn.SendBuf",
+// "core.RecvBufs") and true when the call matches.
 func ConnCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -234,8 +243,9 @@ func ConnCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	if sig.Recv() == nil {
-		// Package-level helper: only core.SendBuf / core.RecvBuf qualify.
-		if corePkg(fn.Pkg()) && (name == "SendBuf" || name == "RecvBuf") {
+		// Package-level helper: only the core send/recv helpers qualify.
+		if corePkg(fn.Pkg()) && (name == "SendBuf" || name == "RecvBuf" ||
+			name == "SendBufs" || name == "RecvBufs") {
 			return "core." + name, true
 		}
 		return "", false

@@ -16,6 +16,12 @@
 // //bertha:borrows <name> in the function's doc comment marks a
 // parameter the caller retains. The internal/wire package itself is
 // exempt: its methods implement the discipline rather than obey it.
+//
+// The batch path follows the same discipline element-wise: a
+// []*wire.Buf argument to SendBufs transfers every element to the
+// callee, and a RecvBufs-style method storing into an element of a
+// []*wire.Buf parameter hands that Buf to the caller — the store is the
+// sanctioned transfer and needs no annotation.
 package bufown
 
 import (
@@ -204,6 +210,11 @@ type funcAnalysis struct {
 	ann   *analysis.Annotations
 	decls map[*types.Func]*ast.FuncDecl
 	depth int // current loop nesting
+	// intoParams holds the function's []*wire.Buf parameters. A store
+	// into an element of one is the RecvBufs contract — ownership moves
+	// to the caller through the slice — so it consumes the Buf without
+	// needing a //bertha:transfers annotation.
+	intoParams map[*types.Var]bool
 }
 
 func (fa *funcAnalysis) info() *types.Info { return fa.pass.TypesInfo }
@@ -224,7 +235,17 @@ func (fa *funcAnalysis) bindParams(ft *ast.FuncType, doc *ast.CommentGroup, e *e
 	for _, field := range ft.Params.List {
 		for _, name := range field.Names {
 			v, ok := fa.info().Defs[name].(*types.Var)
-			if !ok || !analysis.IsBufPtr(v.Type()) {
+			if !ok {
+				continue
+			}
+			if analysis.IsBufSlice(v.Type()) {
+				if fa.intoParams == nil {
+					fa.intoParams = map[*types.Var]bool{}
+				}
+				fa.intoParams[v] = true
+				continue
+			}
+			if !analysis.IsBufPtr(v.Type()) {
 				continue
 			}
 			if analysis.FuncDirective(doc, "borrows", name.Name) {
@@ -235,6 +256,22 @@ func (fa *funcAnalysis) bindParams(ft *ast.FuncType, doc *ast.CommentGroup, e *e
 			e.st[c] = stOwned
 		}
 	}
+}
+
+// isIntoStore reports whether lhs indexes one of the function's
+// []*wire.Buf parameters — the caller-visible slot a RecvBufs-style
+// method hands received buffers back through.
+func (fa *funcAnalysis) isIntoStore(lhs ast.Expr) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(ix.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v := fa.identVar(id)
+	return v != nil && fa.intoParams[v]
 }
 
 // exitCheck reports owned cells still live when a path leaves the
@@ -354,6 +391,21 @@ func (fa *funcAnalysis) stmt(s ast.Stmt, e *env) bool {
 				}
 				delete(errEnv.pair, errVar)
 				delete(okEnv.pair, errVar)
+			}
+		}
+		// if b != nil: on the nil branch the Buf carries no ownership
+		// (Release is nil-safe and there is nothing to leak), so a
+		// helper returning (msg, nil, nil) for "parked" — the batch
+		// decode shape — doesn't flag the fallthrough path.
+		if bufVar, isNeq, ok := bufNilCond(fa.info(), s.Cond); ok {
+			if c := e.vars[bufVar]; c != nil {
+				nilEnv := eElse
+				if !isNeq {
+					nilEnv = eThen
+				}
+				if s := nilEnv.state(c); s == stOwned || s == stMaybe {
+					nilEnv.st[c] = stUntracked
+				}
 			}
 		}
 		tTerm := fa.stmtList(s.Body.List, eThen)
@@ -558,7 +610,14 @@ func (fa *funcAnalysis) assign(s *ast.AssignStmt, e *env) {
 		}
 		// Store target: m[k] = b, x.f = b, *p = b.
 		if c := fa.trackedIdent(rhs, e); c != nil {
-			fa.consumeStore(rhs.Pos(), c, e, "store")
+			if fa.isIntoStore(lhs) {
+				// into[i] = b inside a RecvBufs-shaped method: the slice
+				// belongs to the caller, so the store IS the transfer.
+				fa.useCheck(rhs.Pos(), c, e)
+				e.st[c] = stEscaped
+			} else {
+				fa.consumeStore(rhs.Pos(), c, e, "store")
+			}
 		} else if rhs != nil {
 			fa.expr(rhs, e)
 		}
@@ -911,6 +970,31 @@ func errNilCond(info *types.Info, cond ast.Expr) (*types.Var, bool, bool) {
 	}
 	v, ok := info.Uses[id].(*types.Var)
 	if !ok || !isErrorType(v.Type()) {
+		return nil, false, false
+	}
+	return v, be.Op == token.NEQ, true
+}
+
+// bufNilCond matches conditions of the form `b != nil` / `b == nil`
+// over a plain *wire.Buf variable.
+func bufNilCond(info *types.Info, cond ast.Expr) (*types.Var, bool, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return nil, false, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false, false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || !analysis.IsBufPtr(v.Type()) {
 		return nil, false, false
 	}
 	return v, be.Op == token.NEQ, true

@@ -15,6 +15,12 @@
 //
 // Prepends whose size is not a compile-time constant can be bounded with
 // //bertha:overhead N on the statement line (or the line above).
+//
+// Batch send paths are held to the same per-message bound: in a
+// SendBufs body, a Prepend applied to the element variable of a range
+// loop over the burst parameter executes once per element, so it counts
+// per-element against SendOverhead instead of tripping the unbounded
+// rule.
 package overhead
 
 import (
@@ -82,18 +88,35 @@ func run(pass *analysis.Pass) error {
 		for _, f := range pass.Files {
 			for _, d := range f.Decls {
 				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || fd.Name.Name != "SendBuf" || fd.Recv == nil {
+				if !ok || fd.Body == nil || fd.Recv == nil {
 					continue
 				}
-				buf := bufParam(pass, fd)
-				if buf == nil {
-					continue
-				}
-				total := w.costFunc(fd, buf)
-				if total > bound.overhead {
-					pass.Reportf(fd.Name.Pos(), "exceeds",
-						"SendBuf prepends up to %d bytes but ImplInfo %q declares SendOverhead %d; raise the declaration or shrink the header",
-						total, bound.name, bound.overhead)
+				switch fd.Name.Name {
+				case "SendBuf":
+					buf := bufParam(pass, fd)
+					if buf == nil {
+						continue
+					}
+					total := w.costFunc(fd, buf)
+					if total > bound.overhead {
+						pass.Reportf(fd.Name.Pos(), "exceeds",
+							"SendBuf prepends up to %d bytes but ImplInfo %q declares SendOverhead %d; raise the declaration or shrink the header",
+							total, bound.name, bound.overhead)
+					}
+				case "SendBufs":
+					// The batch path must respect the same per-message
+					// bound: each element of the burst gets at most
+					// SendOverhead bytes of headers.
+					slice := bufSliceParam(pass, fd)
+					if slice == nil {
+						continue
+					}
+					total := w.costBatch(fd, slice)
+					if total > bound.overhead {
+						pass.Reportf(fd.Name.Pos(), "exceeds",
+							"SendBufs prepends up to %d bytes per element but ImplInfo %q declares SendOverhead %d; raise the declaration or shrink the header",
+							total, bound.name, bound.overhead)
+					}
 				}
 			}
 		}
@@ -192,6 +215,70 @@ func foldInt(v constant.Value) (int, bool) {
 		return 0, false
 	}
 	return int(n), true
+}
+
+// bufSliceParam returns the []*wire.Buf parameter of a SendBufs
+// declaration.
+func bufSliceParam(pass *analysis.Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && analysis.IsBufSlice(v.Type()) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// costBatch computes the worst-case bytes a SendBufs body prepends to
+// any single element of its burst parameter. Each range loop over the
+// burst visits every element once, so a Prepend there is per-element
+// bounded — not "unbounded" — and loops are summed because each one
+// stacks more header onto the same messages.
+func (w *walker) costBatch(fd *ast.FuncDecl, slice *types.Var) int {
+	if n, ok := analysis.FuncOverhead(fd.Doc); ok {
+		return n
+	}
+	total := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !exprUsesVar(w.pass.TypesInfo, rs.X, slice) {
+			return true
+		}
+		val, ok := rs.Value.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := w.pass.TypesInfo.Defs[val].(*types.Var)
+		if !ok || !analysis.IsBufPtr(v.Type()) {
+			return true
+		}
+		c := &coster{w: w, buf: v, aliases: map[*types.Var]bool{v: true}}
+		total += c.block(rs.Body.List)
+		return false
+	})
+	return total
+}
+
+// exprUsesVar reports whether x mentions v (directly or through a
+// reslice like bs[i:]).
+func exprUsesVar(info *types.Info, x ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(x, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if u, ok := info.Uses[id].(*types.Var); ok && u == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // bufParam returns the *wire.Buf parameter of a SendBuf declaration.

@@ -123,3 +123,57 @@ func useAfterDetach(b *wire.Buf) int {
 	_ = raw
 	return b.Len() // want `use-after-release`
 }
+
+// recvIntoSlice is the RecvBufs contract: storing an owned Buf into an
+// element of a []*wire.Buf parameter hands it to the caller — the store
+// is the transfer and needs no annotation.
+func recvIntoSlice(ctx context.Context, c core.BufConn, into []*wire.Buf) (int, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return 0, err
+	}
+	into[0] = b // fine: the caller owns the slice and receives the Buf
+	return 1, nil
+}
+
+// storeIntoLocalSlice is NOT the RecvBufs shape: the slice is local, so
+// the store still needs a //bertha:transfers annotation.
+func storeIntoLocalSlice(ctx context.Context, c core.BufConn) error {
+	pend := make([]*wire.Buf, 1)
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return err
+	}
+	pend[0] = b // want `transfer`
+	_ = pend
+	return nil
+}
+
+// nilCheckedHelper returns an owned Buf on one branch and nil on the
+// other; the caller's fallthrough after `if msg != nil { return }`
+// carries no ownership and must not flag as a leak.
+func nilCheckedHelper(ctx context.Context, c core.BufConn) (*wire.Buf, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if b.Len() < 2 {
+		b.Release()
+		return nil, nil
+	}
+	return b, nil
+}
+
+// nilRefinedLoop is the batch-decode shape: each iteration either
+// returns the completed message or continues with msg == nil. Clean.
+func nilRefinedLoop(ctx context.Context, c core.BufConn) (*wire.Buf, error) {
+	for {
+		msg, err := nilCheckedHelper(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		if msg != nil {
+			return msg, nil
+		}
+	}
+}

@@ -88,3 +88,44 @@ func stamp(b *wire.Buf) {
 	hdr := b.Prepend(4)
 	hdr[0] = 0xbe
 }
+
+// batchOkConn stamps each element of the burst with exactly the
+// declared bound: per-element Prepends in a range over the burst are
+// bounded, not "unbounded", and the path stays clean.
+type batchOkConn struct{ next core.BufConn }
+
+func (c *batchOkConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	for _, b := range bs {
+		hdr := b.Prepend(headerLen)
+		hdr[0] = 1
+	}
+	return nil
+}
+
+// batchOverConn stacks two per-element headers totalling 6 bytes —
+// more than the declared 4 — across two passes over the same burst.
+type batchOverConn struct{ next core.BufConn }
+
+func (c *batchOverConn) SendBufs(ctx context.Context, bs []*wire.Buf) error { // want `exceeds`
+	for _, b := range bs {
+		b.Prepend(4)
+	}
+	for _, b := range bs {
+		b.Prepend(2)
+	}
+	return nil
+}
+
+// batchVarConn prepends a runtime-computed size per element with no
+// annotation: same nonconst rule as the single-message path.
+type batchVarConn struct {
+	next core.BufConn
+	n    int
+}
+
+func (c *batchVarConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	for _, b := range bs {
+		b.Prepend(c.n) // want `nonconst`
+	}
+	return nil
+}

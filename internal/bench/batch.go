@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/stats"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// BatchConfig parameterizes the batched-datapath experiment.
+type BatchConfig struct {
+	// Messages is the number of messages moved per scenario (rounded
+	// down to a multiple of each burst size).
+	Messages int
+	// Size is the payload size in bytes.
+	Size int
+	// Bursts is the burst-size sweep.
+	Bursts []int
+	// JSON selects machine-readable output.
+	JSON bool
+}
+
+func (c *BatchConfig) fill() {
+	if c.Messages <= 0 {
+		c.Messages = 8192
+	}
+	if c.Size <= 0 {
+		c.Size = 64
+	}
+	if len(c.Bursts) == 0 {
+		c.Bursts = []int{1, 8, 32, 128}
+	}
+}
+
+// BatchResult is one burst size's measurement: the vectored path
+// (SendBufs/RecvBufs end to end) against the per-message loop moving
+// the same messages with the same number in flight.
+type BatchResult struct {
+	Burst           int     `json:"burst"`
+	Messages        int     `json:"messages"`
+	PayloadBytes    int     `json:"payload_bytes"`
+	BatchMsgsPerSec float64 `json:"msgs_per_sec_batch"`
+	LoopMsgsPerSec  float64 `json:"msgs_per_sec_loop"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// Batch measures the first-class batch path over the same
+// serialize→http2→udp stack the stack experiment uses: for each burst
+// size, a client pushes bursts through core.SendBufs and receives the
+// echoes through core.RecvBufs, against a baseline that moves the same
+// burst one SendBuf/RecvBuf at a time. Both modes keep exactly one
+// burst in flight, so the delta isolates vectorization — header
+// stamping in one pass, one lock acquisition and one
+// sendmmsg/recvmmsg syscall per burst — rather than pipelining depth.
+func Batch(w io.Writer, cfg BatchConfig) error {
+	cfg.fill()
+	results := make([]BatchResult, 0, len(cfg.Bursts))
+	for _, burst := range cfg.Bursts {
+		if burst <= 0 {
+			return fmt.Errorf("batch: invalid burst %d", burst)
+		}
+		msgs := cfg.Messages / burst * burst
+		if msgs == 0 {
+			msgs = burst
+		}
+		batchRate, err := runBatch(cfg, burst, msgs, true)
+		if err != nil {
+			return fmt.Errorf("batch burst=%d vectored: %w", burst, err)
+		}
+		loopRate, err := runBatch(cfg, burst, msgs, false)
+		if err != nil {
+			return fmt.Errorf("batch burst=%d loop: %w", burst, err)
+		}
+		speedup := 0.0
+		if loopRate > 0 {
+			speedup = batchRate / loopRate
+		}
+		results = append(results, BatchResult{
+			Burst:           burst,
+			Messages:        msgs,
+			PayloadBytes:    cfg.Size,
+			BatchMsgsPerSec: batchRate,
+			LoopMsgsPerSec:  loopRate,
+			Speedup:         speedup,
+		})
+	}
+
+	if cfg.JSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"experiment": "batch", "results": results})
+	}
+	table := stats.NewTable(
+		fmt.Sprintf("batch: burst echo over serialize→http2→udp, %d-byte messages", cfg.Size),
+		"burst", "msgs", "batch msg/s", "loop msg/s", "speedup")
+	for _, r := range results {
+		table.AddRow(r.Burst, r.Messages,
+			fmt.Sprintf("%.0f", r.BatchMsgsPerSec),
+			fmt.Sprintf("%.0f", r.LoopMsgsPerSec),
+			fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	table.Render(w)
+	return nil
+}
+
+// runBatch moves msgs messages in bursts of burst over a fresh stack
+// pair and returns the sustained message rate. vectored selects the
+// batch path end to end (client and echo server); otherwise both sides
+// loop per message with the same burst in flight.
+func runBatch(cfg BatchConfig, burst, msgs int, vectored bool) (float64, error) {
+	cli, srv, err := stackPair()
+	if err != nil {
+		return 0, err
+	}
+	defer cli.Close()
+	defer srv.Close()
+	ctx := context.Background()
+	go batchEcho(ctx, srv, burst, vectored)
+
+	payload := make([]byte, cfg.Size)
+	headroom := core.HeadroomOf(cli)
+	out := make([]*wire.Buf, burst)
+	in := make([]*wire.Buf, burst)
+
+	// One round: send a full burst, then collect the echoed burst. Runs
+	// under a deadline so a dropped datagram (possible on a loaded
+	// machine, UDP being UDP) fails the round rather than hanging.
+	round := func() error {
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		if vectored {
+			for i := range out {
+				out[i] = wire.NewBufFrom(headroom, payload)
+			}
+			if err := core.SendBufs(rctx, cli, out); err != nil {
+				return err
+			}
+			got := 0
+			for got < burst {
+				n, err := core.RecvBufs(rctx, cli, in[:burst-got])
+				if err != nil {
+					return err
+				}
+				core.ReleaseAll(in[:n])
+				got += n
+			}
+			return nil
+		}
+		for i := 0; i < burst; i++ {
+			if err := core.SendBuf(rctx, cli, wire.NewBufFrom(headroom, payload)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < burst; i++ {
+			b, err := core.RecvBuf(rctx, cli)
+			if err != nil {
+				return err
+			}
+			b.Release()
+		}
+		return nil
+	}
+
+	rounds := msgs / burst
+	warm := rounds / 10
+	if warm < 4 {
+		warm = 4
+	}
+	for i := 0; i < warm; i++ {
+		if err := round(); err != nil {
+			return 0, err
+		}
+	}
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := round(); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(t0)
+	return float64(rounds*burst) / elapsed.Seconds(), nil
+}
+
+// batchEcho bounces everything it receives back to the sender, using
+// the vectored path (drain a burst, return a burst) or the per-message
+// path to match the scenario under test.
+func batchEcho(ctx context.Context, conn core.Conn, burst int, vectored bool) {
+	if !vectored {
+		for {
+			b, err := core.RecvBuf(ctx, conn)
+			if err != nil {
+				return
+			}
+			if core.SendBuf(ctx, conn, b) != nil {
+				return
+			}
+		}
+	}
+	scratch := make([]*wire.Buf, burst)
+	for {
+		n, err := core.RecvBufs(ctx, conn, scratch)
+		if err != nil {
+			return
+		}
+		if core.SendBufs(ctx, conn, scratch[:n]) != nil {
+			return
+		}
+	}
+}

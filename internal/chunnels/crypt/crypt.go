@@ -111,6 +111,72 @@ func (c *cryptConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	return core.SendBuf(ctx, c.Conn, b)
 }
 
+// SendBufs seals the whole burst in one pass — each message in place
+// with its own fresh nonce — then hands the sealed burst down whole. A
+// nonce failure aborts before anything is transmitted.
+func (c *cryptConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	ns := c.aead.NonceSize()
+	for _, b := range bs {
+		plainLen := b.Len()
+		nonce := b.Prepend(ns) //bertha:overhead 12 GCM standard nonce, matches SendOverhead
+		if _, err := rand.Read(nonce); err != nil {
+			core.ReleaseAll(bs)
+			return &core.BatchError{Sent: 0, Err: fmt.Errorf("encrypt: nonce: %w", err)}
+		}
+		b.Extend(c.aead.Overhead())
+		msg := b.Bytes() // nonce | plaintext | tag space
+		c.aead.Seal(msg[ns:ns], msg[:ns], msg[ns:ns+plainLen], nil)
+	}
+	return core.SendBufs(ctx, c.Conn, bs)
+}
+
+// RecvBufs opens a burst in one pass. Messages that fail authentication
+// (or are too short) are dropped individually — datagram semantics —
+// and the plaintexts compact into into's prefix; the call only fails
+// when an entire burst was bad.
+func (c *cryptConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	ns := c.aead.NonceSize()
+	for {
+		n, err := core.RecvBufs(ctx, c.Conn, into)
+		if err != nil {
+			return 0, err
+		}
+		out := 0
+		var firstErr error
+		for i := 0; i < n; i++ {
+			b := into[i]
+			sealed := b.Bytes()
+			if len(sealed) < ns+c.aead.Overhead() {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("encrypt: short ciphertext (%d bytes)", len(sealed))
+				}
+				b.Release()
+				continue
+			}
+			if _, err := c.aead.Open(sealed[ns:ns], sealed[:ns], sealed[ns:], nil); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("encrypt: authentication failed: %w", err)
+				}
+				b.Release()
+				continue
+			}
+			b.TrimFront(ns)
+			b.TrimBack(c.aead.Overhead())
+			into[out] = b
+			out++
+		}
+		if out > 0 {
+			return out, nil
+		}
+		if firstErr != nil {
+			return 0, firstErr
+		}
+	}
+}
+
 // Headroom implements core.HeadroomConn.
 func (c *cryptConn) Headroom() int { return c.aead.NonceSize() + core.HeadroomOf(c.Conn) }
 

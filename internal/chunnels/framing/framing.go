@@ -142,6 +142,63 @@ func (c *frameConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	return err
 }
 
+// SendBufs frames a burst. The common case — every message fits one
+// frame — stamps all headers in one pass and hands the burst down
+// whole; mixed bursts vectorize the maximal single-frame runs and fall
+// back to per-fragment sends for oversized messages. BatchError.Sent
+// counts whole messages at this layer (a message whose fragments were
+// partially transmitted is not counted).
+func (c *frameConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	small := true
+	for _, b := range bs {
+		if b.Len() > c.maxFrame {
+			small = false
+			break
+		}
+	}
+	if small {
+		for _, b := range bs {
+			fillHeader(b.Prepend(headerLen), c.nextStream.Add(1), 0, 1)
+		}
+		return core.SendBufs(ctx, c.Conn, bs)
+	}
+	sent := 0
+	i := 0
+	for i < len(bs) {
+		if bs[i].Len() <= c.maxFrame {
+			j := i + 1
+			for j < len(bs) && bs[j].Len() <= c.maxFrame {
+				j++
+			}
+			run := bs[i:j]
+			for _, b := range run {
+				fillHeader(b.Prepend(headerLen), c.nextStream.Add(1), 0, 1)
+			}
+			if err := core.SendBufs(ctx, c.Conn, run); err != nil {
+				core.ReleaseAll(bs[j:])
+				cause := err
+				if be, ok := err.(*core.BatchError); ok {
+					cause = be.Err
+				}
+				return &core.BatchError{Sent: sent + core.BatchSent(err), Err: cause}
+			}
+			sent += len(run)
+			i = j
+			continue
+		}
+		p := bs[i].Bytes()
+		err := c.sendFragments(ctx, p)
+		bs[i].Release()
+		if err != nil {
+			core.ReleaseAll(bs[i+1:])
+			return &core.BatchError{Sent: sent, Err: err}
+		}
+		sent++
+		i++
+	}
+	return nil
+}
+
 // Headroom implements core.HeadroomConn.
 func (c *frameConn) Headroom() int { return headerLen + core.HeadroomOf(c.Conn) }
 
@@ -189,60 +246,114 @@ func (c *frameConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 		if err != nil {
 			return nil, err
 		}
-		f := fb.Bytes()
-		if len(f) < headerLen {
-			n := len(f)
-			fb.Release()
-			return nil, fmt.Errorf("http2: short frame (%d bytes)", n)
+		msg, err := c.processFrame(fb)
+		if err != nil {
+			return nil, err
 		}
-		ft, flags := f[0], f[1]
-		stream := binary.LittleEndian.Uint32(f[2:6])
-		idx := binary.LittleEndian.Uint16(f[6:8])
-		if ft != frameData && ft != frameContinuation {
-			fb.Release()
-			return nil, fmt.Errorf("http2: unknown frame type %#x", ft)
+		if msg != nil {
+			return msg, nil
 		}
-		fb.TrimFront(headerLen)
+	}
+}
 
-		c.mu.Lock()
-		frags := c.partial[stream]
-		if int(idx) != len(frags) {
-			// Fragment loss or reorder below us: the stream cannot be
-			// reassembled. Drop it *visibly* (counters) — and pair with
-			// the reliability chunnel on lossy transports (see the
-			// package documentation).
-			delete(c.partial, stream)
-			c.mu.Unlock()
-			c.dropped.Inc()
-			fb.Release()
-			releaseAll(frags)
-			continue
-		}
-		if flags&flagEndStream == 0 {
-			c.partial[stream] = append(frags, fb) //bertha:transfers reassembly buffer owns the fragment
-			c.mu.Unlock()
-			continue
-		}
+// processFrame absorbs one arriving frame, consuming fb in every case:
+// a completed message is returned (single-frame messages zero-copy, the
+// header trimmed in place); continuations park in the reassembly map
+// and return (nil, nil); malformed frames are an error.
+func (c *frameConn) processFrame(fb *wire.Buf) (*wire.Buf, error) {
+	f := fb.Bytes()
+	if len(f) < headerLen {
+		n := len(f)
+		fb.Release()
+		return nil, fmt.Errorf("http2: short frame (%d bytes)", n)
+	}
+	ft, flags := f[0], f[1]
+	stream := binary.LittleEndian.Uint32(f[2:6])
+	idx := binary.LittleEndian.Uint16(f[6:8])
+	if ft != frameData && ft != frameContinuation {
+		fb.Release()
+		return nil, fmt.Errorf("http2: unknown frame type %#x", ft)
+	}
+	fb.TrimFront(headerLen)
+
+	c.mu.Lock()
+	frags := c.partial[stream]
+	if int(idx) != len(frags) {
+		// Fragment loss or reorder below us: the stream cannot be
+		// reassembled. Drop it *visibly* (counters) — and pair with
+		// the reliability chunnel on lossy transports (see the
+		// package documentation).
 		delete(c.partial, stream)
 		c.mu.Unlock()
-
-		if len(frags) == 0 {
-			return fb, nil // single-frame message: zero-copy
-		}
-		total := fb.Len()
-		for _, fr := range frags {
-			total += fr.Len()
-		}
-		out := wire.NewBuf(wire.DefaultHeadroom, total)
-		dst := out.Bytes()
-		n := 0
-		for _, fr := range frags {
-			n += copy(dst[n:], fr.Bytes())
-			fr.Release()
-		}
-		copy(dst[n:], fb.Bytes())
+		c.dropped.Inc()
 		fb.Release()
-		return out, nil
+		releaseAll(frags)
+		return nil, nil
+	}
+	if flags&flagEndStream == 0 {
+		c.partial[stream] = append(frags, fb) //bertha:transfers reassembly buffer owns the fragment
+		c.mu.Unlock()
+		return nil, nil
+	}
+	delete(c.partial, stream)
+	c.mu.Unlock()
+
+	if len(frags) == 0 {
+		return fb, nil // single-frame message: zero-copy
+	}
+	total := fb.Len()
+	for _, fr := range frags {
+		total += fr.Len()
+	}
+	out := wire.NewBuf(wire.DefaultHeadroom, total)
+	dst := out.Bytes()
+	n := 0
+	for _, fr := range frags {
+		n += copy(dst[n:], fr.Bytes())
+		fr.Release()
+	}
+	copy(dst[n:], fb.Bytes())
+	fb.Release()
+	return out, nil
+}
+
+// RecvBufs receives a burst of frames and reassembles in one pass:
+// completed messages compact into into's prefix, continuations park for
+// later, and malformed frames drop individually (the call only fails
+// when a burst produced no messages and at least one frame was bad).
+func (c *frameConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	for {
+		n, err := core.RecvBufs(ctx, c.Conn, into)
+		if err != nil {
+			return 0, err
+		}
+		out := 0
+		var firstErr error
+		for i := 0; i < n; i++ {
+			// out ≤ i at every write: each consumed frame yields at most
+			// one message, so compaction never overtakes the read index.
+			msg, err := c.processFrame(into[i])
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if msg != nil {
+				into[out] = msg
+				out++
+			}
+		}
+		if out > 0 {
+			return out, nil
+		}
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		// Whole burst was continuations (or dropped streams): go again.
 	}
 }
 

@@ -99,6 +99,63 @@ func (c *orderConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	return core.SendBuf(ctx, c.Conn, b)
 }
 
+// SendBufs reserves a contiguous sequence range under one sendMu
+// acquisition and stamps the burst in slice order, then hands it down
+// whole. If the burst aborts partway the unsent tail's sequence numbers
+// are burned; the receiver's gap handling skips them like any loss.
+func (c *orderConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	if len(bs) == 0 {
+		return nil
+	}
+	c.sendMu.Lock()
+	base := c.nextSeq + 1
+	c.nextSeq += uint64(len(bs))
+	c.sendMu.Unlock()
+	for i, b := range bs {
+		binary.LittleEndian.PutUint64(b.Prepend(8), base+uint64(i))
+	}
+	return core.SendBufs(ctx, c.Conn, bs)
+}
+
+// RecvBufs delivers a contiguous in-order run: first whatever the
+// reorder buffer already holds (one lock acquisition for the whole
+// run), otherwise one ordered receive — with RecvBuf's full gap
+// handling — followed by a drain of anything it unblocked.
+func (c *orderConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	if n := c.drainReady(into); n > 0 {
+		return n, nil
+	}
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return 0, err
+	}
+	into[0] = b
+	return 1 + c.drainReady(into[1:]), nil
+}
+
+// drainReady moves the longest already-buffered in-order run into into
+// under one recvMu acquisition.
+func (c *orderConn) drainReady(into []*wire.Buf) int {
+	n := 0
+	c.recvMu.Lock()
+	for n < len(into) {
+		b, ok := c.pendMap[c.expect]
+		if !ok {
+			break
+		}
+		delete(c.pendMap, c.expect)
+		c.expect++
+		c.gapSince = time.Time{}
+		into[n] = b
+		n++
+	}
+	c.recvMu.Unlock()
+	return n
+}
+
 // Headroom implements core.HeadroomConn.
 func (c *orderConn) Headroom() int { return 8 + core.HeadroomOf(c.Conn) }
 

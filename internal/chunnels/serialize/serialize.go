@@ -78,6 +78,53 @@ func (c *tagConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	return core.SendBuf(ctx, c.Conn, b)
 }
 
+// SendBufs stamps the format tag onto every message in one pass, then
+// hands the burst down whole.
+func (c *tagConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	for _, b := range bs {
+		b.Prepend(1)[0] = c.tag
+	}
+	return core.SendBufs(ctx, c.Conn, bs)
+}
+
+// RecvBufs checks and trims the format tag across a burst in one pass.
+// Mismatched messages are dropped individually (datagram semantics) and
+// the survivors compact into into's prefix; the call only fails when an
+// entire burst is bad.
+func (c *tagConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	for {
+		n, err := core.RecvBufs(ctx, c.Conn, into)
+		if err != nil {
+			return 0, err
+		}
+		out := 0
+		var firstErr error
+		for i := 0; i < n; i++ {
+			b := into[i]
+			if b.Len() == 0 || b.Bytes()[0] != c.tag {
+				got := firstByte(b.Bytes())
+				b.Release()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("serialize: format mismatch (tag %#x)", got)
+				}
+				continue
+			}
+			b.TrimFront(1)
+			into[out] = b
+			out++
+		}
+		if out > 0 {
+			return out, nil
+		}
+		if firstErr != nil {
+			return 0, firstErr
+		}
+	}
+}
+
 // Headroom implements core.HeadroomConn.
 func (c *tagConn) Headroom() int { return 1 + core.HeadroomOf(c.Conn) }
 

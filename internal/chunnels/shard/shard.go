@@ -206,6 +206,56 @@ func (p *pushConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	return core.SendBuf(ctx, p.shards[p.fh.Apply(b.Bytes())], b)
 }
 
+// SendBufs steers the burst in one pass: the shard function runs per
+// message, and contiguous same-shard runs travel down as sub-bursts so
+// a burst destined for one shard stays a single vectored send.
+func (p *pushConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	sent := 0
+	i := 0
+	for i < len(bs) {
+		shard := p.fh.Apply(bs[i].Bytes())
+		j := i + 1
+		for j < len(bs) && p.fh.Apply(bs[j].Bytes()) == shard {
+			j++
+		}
+		if err := core.SendBufs(ctx, p.shards[shard], bs[i:j]); err != nil {
+			core.ReleaseAll(bs[j:])
+			cause := err
+			if be, ok := err.(*core.BatchError); ok {
+				cause = be.Err
+			}
+			return &core.BatchError{Sent: sent + core.BatchSent(err), Err: cause}
+		}
+		sent += j - i
+		i = j
+	}
+	return nil
+}
+
+// RecvBufs blocks for the first fanned-in reply, then drains whatever
+// the fan-in workers have already queued.
+func (p *pushConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	b, err := p.RecvBuf(ctx)
+	if err != nil {
+		return 0, err
+	}
+	into[0] = b
+	n := 1
+	for n < len(into) {
+		select {
+		case m := <-p.in:
+			into[n] = m
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
 // Headroom reports the worst case across shard connections, so one
 // buffer suffices whichever shard the message hashes to.
 func (p *pushConn) Headroom() int {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// BatchConn is the vectored extension of the zero-copy data plane:
+// connections that implement it move bursts of wire.Buf messages in one
+// call, amortizing per-message costs (lock acquisitions, syscalls,
+// channel operations) across the burst. Transports with kernel batch
+// support (sendmmsg/recvmmsg) collapse a burst into one syscall; cheap
+// header chunnels stamp every message in one pass before handing the
+// whole burst down.
+//
+// Ownership stays linear, extended element-wise:
+//
+//   - SendBufs transfers ownership of every element of bs to the
+//     connection, even on error: the callee releases whatever it did not
+//     transmit. The caller must not touch any element afterwards.
+//   - RecvBufs fills into[:n] with buffers owned by the caller, who must
+//     Release (or CopyOut / Detach) each exactly once. It blocks for the
+//     first message and then opportunistically drains whatever else is
+//     immediately available, so n satisfies 1 ≤ n ≤ len(into) on
+//     success. On error no buffers are delivered (n == 0).
+//
+// The error contract for SendBufs is "first error aborts the burst":
+// a failure at message i stops transmission, releases messages i..end,
+// and reports how many were sent via *BatchError.
+type BatchConn interface {
+	Conn
+	// SendBufs transmits the burst in order, consuming every element.
+	SendBufs(ctx context.Context, bs []*wire.Buf) error
+	// RecvBufs receives up to len(into) messages, blocking only for the
+	// first, and returns how many of into's leading elements it filled.
+	RecvBufs(ctx context.Context, into []*wire.Buf) (int, error)
+}
+
+// BatchError reports a burst that aborted partway: Sent messages were
+// transmitted before Err stopped the burst, and the remainder was
+// released by the callee.
+type BatchError struct {
+	// Sent is how many leading messages of the burst were transmitted.
+	Sent int
+	// Err is the failure that aborted the burst.
+	Err error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("batch aborted after %d sent: %v", e.Sent, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is / errors.As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// BatchSent returns how many messages a SendBufs error left transmitted
+// (0 for non-batch errors, which abort before anything was sent). Layers
+// that split a burst into sub-bursts use it to accumulate an accurate
+// total across inner BatchErrors.
+func BatchSent(err error) int {
+	if be, ok := err.(*BatchError); ok {
+		return be.Sent
+	}
+	return 0
+}
+
+// SendBufs sends the burst over conn, taking the vectored path when conn
+// implements BatchConn and degrading to a per-message SendBuf loop
+// otherwise. Ownership of every element transfers to the callee in both
+// cases; on error the unsent tail is released and the returned
+// *BatchError reports how many messages went out.
+func SendBufs(ctx context.Context, conn Conn, bs []*wire.Buf) error {
+	if bc, ok := conn.(BatchConn); ok {
+		return bc.SendBufs(ctx, bs)
+	}
+	for i, b := range bs {
+		if err := SendBuf(ctx, conn, b); err != nil {
+			ReleaseAll(bs[i+1:])
+			return &BatchError{Sent: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// RecvBufs receives at least one and up to len(into) messages from conn
+// into into, returning how many leading elements it filled. Non-batch
+// connections deliver exactly one message per call (the per-message
+// fallback); batch-aware connections drain whatever is immediately
+// available after the first. An empty into returns (0, nil).
+func RecvBufs(ctx context.Context, conn Conn, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	if bc, ok := conn.(BatchConn); ok {
+		return bc.RecvBufs(ctx, into)
+	}
+	b, err := RecvBuf(ctx, conn)
+	if err != nil {
+		return 0, err
+	}
+	into[0] = b
+	return 1, nil
+}
+
+// ReleaseAll releases every buffer in bs — the cleanup path for a burst
+// owner aborting partway. Nil elements are skipped.
+func ReleaseAll(bs []*wire.Buf) {
+	for _, b := range bs {
+		b.Release()
+	}
+}

@@ -67,6 +67,38 @@ func (c *instrumentedConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	return b, err
 }
 
+// SendBufs forwards the vectored path, recording the realized burst
+// size into the layer's batch histogram. Payload bytes are summed
+// before ownership transfers down the stack. A partial burst (the
+// callee aborted after sending a prefix) records the transmitted count.
+func (c *instrumentedConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	bytes := 0
+	for _, b := range bs {
+		bytes += b.Len()
+	}
+	t0 := time.Now()
+	err := SendBufs(ctx, c.Conn, bs)
+	sent := len(bs)
+	if err != nil {
+		sent = BatchSent(err)
+	}
+	c.m.RecordSendBatch(sent, bytes, time.Since(t0), err)
+	return err
+}
+
+// RecvBufs forwards the vectored path, recording the realized burst
+// size; ownership of the filled buffers passes untouched to the caller.
+func (c *instrumentedConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	t0 := time.Now()
+	n, err := RecvBufs(ctx, c.Conn, into)
+	bytes := 0
+	for _, b := range into[:n] {
+		bytes += b.Len()
+	}
+	c.m.RecordRecvBatch(n, bytes, time.Since(t0), err)
+	return n, err
+}
+
 // Headroom reports the wrapped connection's headroom: instrumentation
 // adds no headers.
 func (c *instrumentedConn) Headroom() int { return HeadroomOf(c.Conn) }

@@ -439,8 +439,17 @@ func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []Resolve
 	// The base of the instrumented stack: the mux data channel, recorded
 	// under the pseudo-chunnel type "transport" so readouts attribute
 	// wire time separately from every chunnel above it.
-	var conn Conn = Instrument(tc.dataConn(), e.tel.Conn("transport", tc.raw.LocalAddr().Net))
+	data := tc.dataConn()
+	var conn Conn = Instrument(data, e.tel.Conn("transport", tc.raw.LocalAddr().Net))
 	var active []activeImpl
+	// Batch-awareness bookkeeping: a SendBufs burst entering the top of
+	// the stack stays vectored only while every layer on the way down
+	// implements BatchConn natively; the first per-message layer breaks
+	// it into a SendBuf loop. The instrumented wrappers forward the
+	// vectored path transparently, so awareness is judged on the chunnel
+	// connections themselves (before instrumentation), innermost first.
+	_, baseAware := data.(BatchConn)
+	aware := append(make([]bool, 0, len(stack)+1), baseAware)
 	for i := len(stack) - 1; i >= 0; i-- {
 		rn := stack[i]
 		if !rn.RunsAt(side) {
@@ -462,12 +471,24 @@ func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []Resolve
 			teardownAll(ctx, active, e)
 			return nil, fmt.Errorf("bertha: wrap %q: %w", rn.ImplName, err)
 		}
+		_, isAware := wrapped.(BatchConn)
+		aware = append(aware, isAware)
 		// Each resolved node gets an instrumented wrapper above it,
 		// preallocated per (type, impl) pair: sends/recvs/bytes/errors
 		// and inclusive latency, at zero allocations per message.
 		conn = Instrument(wrapped, e.tel.Conn(rn.Type, rn.ImplName))
 		active = append(active, activeImpl{impl: impl, claim: rn.ClaimID})
 	}
+	// The vectored segment is the contiguous batch-aware run from the
+	// top of the stack down: that is how deep an application burst
+	// travels before degrading to per-message sends.
+	vectored := 0
+	for i := len(aware) - 1; i >= 0 && aware[i]; i-- {
+		vectored++
+	}
+	e.trace(side, telemetry.TraceBatchPath, telemetry.TraceEvent{
+		Detail: fmt.Sprintf("vectored %d/%d layers from the top", vectored, len(aware)),
+	})
 	return &managedConn{Conn: conn, ep: e, side: side, active: active}, nil
 }
 
@@ -508,6 +529,14 @@ func (m *managedConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 
 func (m *managedConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	return RecvBuf(ctx, m.Conn)
+}
+
+func (m *managedConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	return SendBufs(ctx, m.Conn, bs)
+}
+
+func (m *managedConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	return RecvBufs(ctx, m.Conn, into)
 }
 
 func (m *managedConn) Headroom() int { return HeadroomOf(m.Conn) }

@@ -140,6 +140,15 @@ func (c *taggedDataConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	return c.t.sendTaggedBuf(ctx, tagData, b)
 }
 
+// SendBufs stamps the data tag onto every message in one pass, then
+// hands the whole burst to the base transport.
+func (c *taggedDataConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	for _, b := range bs {
+		b.Prepend(1)[0] = tagData
+	}
+	return SendBufs(ctx, c.t.raw, bs)
+}
+
 // Headroom is the tag byte plus whatever the base transport wants.
 func (c *taggedDataConn) Headroom() int { return 1 + HeadroomOf(c.t.raw) }
 
@@ -181,6 +190,66 @@ func (c *taggedDataConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 			}
 		default:
 			b.Release() // unknown tag: drop (forward compatibility)
+		}
+	}
+}
+
+// RecvBufs drains a burst of data messages, demultiplexing the channel
+// tags in one pass: control traffic is handled in place (as in RecvBuf)
+// and data messages compact into into's prefix. Handshake-era buffered
+// data is delivered first, one message per call (it predates the batch
+// path and is already unpooled).
+func (c *taggedDataConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	c.t.mu.Lock()
+	if len(c.t.earlyData) > 0 {
+		p := c.t.earlyData[0]
+		c.t.earlyData = c.t.earlyData[1:]
+		c.t.mu.Unlock()
+		into[0] = wire.WrapBuf(p)
+		return 1, nil
+	}
+	c.t.mu.Unlock()
+	if c.t.isPeerClosed() {
+		return 0, ErrClosed
+	}
+	for {
+		n, err := RecvBufs(ctx, c.t.raw, into)
+		if err != nil {
+			return 0, err
+		}
+		out := 0
+		closed := false
+		for i := 0; i < n; i++ {
+			b := into[i]
+			if b.Len() == 0 {
+				b.Release() // empty datagram: cannot carry a tag, drop
+				continue
+			}
+			tag := b.Bytes()[0]
+			b.TrimFront(1)
+			switch tag {
+			case tagData:
+				if closed {
+					b.Release() // data after an observed close: drop
+					continue
+				}
+				into[out] = b
+				out++
+			case tagCtrl:
+				closed = c.t.handleLateCtrl(ctx, b.Bytes()) || closed
+				b.Release() // handleLateCtrl does not retain the message
+			default:
+				b.Release() // unknown tag: drop (forward compatibility)
+			}
+		}
+		if out > 0 {
+			return out, nil
+		}
+		if closed {
+			return 0, ErrClosed
 		}
 	}
 }

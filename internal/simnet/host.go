@@ -267,6 +267,51 @@ func (c *hostConn) SendBuf(ctx context.Context, b *wbuf.Buf) error {
 	return err
 }
 
+// SendBufs injects the burst onto the fabric with one closed-state
+// check up front. Each message is still copied into its own Packet
+// (switches may duplicate packets across ports); all buffers are
+// released here.
+func (c *hostConn) SendBufs(ctx context.Context, bs []*wbuf.Buf) error {
+	select {
+	case <-c.closed:
+		core.ReleaseAll(bs)
+		return &core.BatchError{Sent: 0, Err: core.ErrClosed}
+	default:
+	}
+	for _, b := range bs {
+		p := b.Bytes()
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		c.host.send(Packet{Src: c.local, Dst: c.remote, Payload: buf})
+		b.Release()
+	}
+	return nil
+}
+
+// RecvBufs blocks for the first message, then drains whatever the
+// fabric has already delivered to this endpoint's queue.
+func (c *hostConn) RecvBufs(ctx context.Context, into []*wbuf.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return 0, err
+	}
+	into[0] = b
+	n := 1
+	for n < len(into) {
+		select {
+		case b := <-c.recv:
+			into[n] = b
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
 // Headroom: transports terminate the stack, no headers below.
 func (c *hostConn) Headroom() int { return 0 }
 

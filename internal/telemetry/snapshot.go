@@ -36,6 +36,17 @@ type HistogramStats struct {
 	P99   float64 `json:"p99_us"`
 }
 
+// BatchStats is a burst-size readout in messages per vectored call,
+// present only for connections that saw SendBufs/RecvBufs traffic.
+type BatchStats struct {
+	// Bursts is the number of vectored calls recorded.
+	Bursts uint64 `json:"bursts"`
+	// Mean, P50, and P95 are burst sizes in messages.
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+}
+
 // ConnStats is one (chunnel type, impl) pair's data-plane readout.
 type ConnStats struct {
 	Chunnel     string         `json:"chunnel"`
@@ -48,6 +59,10 @@ type ConnStats struct {
 	RecvErrs    uint64         `json:"recv_errors"`
 	SendLatency HistogramStats `json:"send_latency_us"`
 	RecvLatency HistogramStats `json:"recv_latency_us"`
+	// SendBatch and RecvBatch are the realized burst-size distributions,
+	// nil when no vectored traffic was recorded.
+	SendBatch *BatchStats `json:"send_batch,omitempty"`
+	RecvBatch *BatchStats `json:"recv_batch,omitempty"`
 }
 
 // histStats converts a snapshot, mapping NaN (empty histogram) to 0 so
@@ -65,6 +80,27 @@ func histStats(s HistogramSnapshot) HistogramStats {
 		P50:   z(s.Quantile(0.50)),
 		P95:   z(s.Quantile(0.95)),
 		P99:   z(s.Quantile(0.99)),
+	}
+}
+
+// batchStats converts a value-histogram snapshot into a burst-size
+// readout, returning nil when no bursts were recorded so the field
+// stays out of the JSON document.
+func batchStats(s HistogramSnapshot) *BatchStats {
+	if s.Count == 0 {
+		return nil
+	}
+	z := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return v
+	}
+	return &BatchStats{
+		Bursts: s.Count,
+		Mean:   z(s.ValueMean()),
+		P50:    z(s.ValueQuantile(0.50)),
+		P95:    z(s.ValueQuantile(0.95)),
 	}
 }
 
@@ -102,6 +138,8 @@ func (r *Registry) Snapshot() Snapshot {
 			RecvErrs:    m.RecvErrs.Value(),
 			SendLatency: histStats(m.SendLatency.Snapshot()),
 			RecvLatency: histStats(m.RecvLatency.Snapshot()),
+			SendBatch:   batchStats(m.SendBatch.Snapshot()),
+			RecvBatch:   batchStats(m.RecvBatch.Snapshot()),
 		})
 	}
 	trace := r.trace
@@ -147,6 +185,27 @@ func (s Snapshot) WriteText(w io.Writer) {
 				c.SendLatency.P50, c.SendLatency.P95, c.SendLatency.P99, c.RecvLatency.P95)
 		}
 		tt.Render(w)
+		io.WriteString(w, "\n")
+	}
+	batched := false
+	for _, c := range s.Conns {
+		if c.SendBatch != nil || c.RecvBatch != nil {
+			batched = true
+			break
+		}
+	}
+	if batched {
+		bt := stats.NewTable("telemetry: batch sizes (messages per vectored call)",
+			"chunnel", "impl", "dir", "bursts", "mean", "p50", "p95")
+		for _, c := range s.Conns {
+			if c.SendBatch != nil {
+				bt.AddRow(c.Chunnel, c.Impl, "send", c.SendBatch.Bursts, c.SendBatch.Mean, c.SendBatch.P50, c.SendBatch.P95)
+			}
+			if c.RecvBatch != nil {
+				bt.AddRow(c.Chunnel, c.Impl, "recv", c.RecvBatch.Bursts, c.RecvBatch.Mean, c.RecvBatch.P50, c.RecvBatch.P95)
+			}
+		}
+		bt.Render(w)
 		io.WriteString(w, "\n")
 	}
 	if len(s.Trace) > 0 {

@@ -88,6 +88,16 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.count.Add(1)
 }
 
+// ObserveValue records one unitless value (e.g. a batch size in
+// messages) into the same log₂ buckets. Readouts of a value histogram
+// use ValueMean / ValueQuantile, which do not apply the nanosecond→µs
+// conversion of the duration readouts.
+func (h *Histogram) ObserveValue(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -169,6 +179,21 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count) / 1e3
 }
 
+// ValueMean returns the mean in the histogram's raw units — the readout
+// for histograms fed with ObserveValue (NaN when empty).
+func (s HistogramSnapshot) ValueMean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// ValueQuantile returns the q-th quantile in the histogram's raw units —
+// the readout for histograms fed with ObserveValue.
+func (s HistogramSnapshot) ValueQuantile(q float64) float64 {
+	return s.Quantile(q) * 1e3
+}
+
 // Summary renders the snapshot as a stats.Summary in microseconds.
 func (s HistogramSnapshot) Summary() stats.Summary {
 	return stats.Summary{
@@ -207,6 +232,12 @@ type ConnMetrics struct {
 	// next message.
 	SendLatency Histogram
 	RecvLatency Histogram
+	// SendBatch and RecvBatch record the realized burst sizes (messages
+	// per SendBufs/RecvBufs call) as value histograms; per-message
+	// SendBuf/RecvBuf traffic does not feed them, so their counts are
+	// the number of vectored calls, not messages.
+	SendBatch Histogram
+	RecvBatch Histogram
 }
 
 // RecordSend records one send outcome of n bytes taking d.
@@ -229,6 +260,38 @@ func (m *ConnMetrics) RecordRecv(n int, d time.Duration, err error) {
 	m.Recvs.Inc()
 	m.RecvBytes.Add(uint64(n))
 	m.RecvLatency.Observe(d)
+}
+
+// RecordSendBatch records one SendBufs outcome: sent messages totalling
+// bytes payload bytes, taking d. A partially sent burst (sent > 0 with a
+// non-nil err) counts its transmitted prefix and the error.
+func (m *ConnMetrics) RecordSendBatch(sent, bytes int, d time.Duration, err error) {
+	if err != nil {
+		m.SendErrs.Inc()
+	}
+	if sent <= 0 {
+		return
+	}
+	m.Sends.Add(uint64(sent))
+	m.SendBytes.Add(uint64(bytes))
+	m.SendLatency.Observe(d)
+	m.SendBatch.ObserveValue(uint64(sent))
+}
+
+// RecordRecvBatch records one RecvBufs outcome of n messages totalling
+// bytes payload bytes, taking d.
+func (m *ConnMetrics) RecordRecvBatch(n, bytes int, d time.Duration, err error) {
+	if err != nil {
+		m.RecvErrs.Inc()
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	m.Recvs.Add(uint64(n))
+	m.RecvBytes.Add(uint64(bytes))
+	m.RecvLatency.Observe(d)
+	m.RecvBatch.ObserveValue(uint64(n))
 }
 
 // connKey identifies a ConnMetrics in the registry.

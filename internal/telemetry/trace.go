@@ -28,6 +28,10 @@ const (
 	// TraceFallback: the preferred candidate was dropped (resource claim
 	// failed, parameters unobtainable) and the policy re-ran.
 	TraceFallback = "fallback"
+	// TraceBatchPath: stack assembly measured the contiguous batch-aware
+	// segment; Detail reports how many layers a vectored SendBufs burst
+	// traverses before degrading to per-message sends.
+	TraceBatchPath = "batch-path"
 	// TraceConnected: stack assembly completed; Detail lists the stack.
 	TraceConnected = "connected"
 	// TraceFailed: negotiation or assembly failed; Detail is the error.

@@ -85,6 +85,64 @@ func (p *pipeHalf) SendBuf(ctx context.Context, b *wire.Buf) error {
 	}
 }
 
+// SendBufs enqueues the burst with one closed-state check up front;
+// each message still lands in the channel individually (capacity
+// backpressure applies per message). The first failure aborts the burst
+// and releases the unsent tail.
+func (p *pipeHalf) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	select {
+	case <-p.closed:
+		core.ReleaseAll(bs)
+		return &core.BatchError{Sent: 0, Err: core.ErrClosed}
+	case <-p.peerClosed:
+		core.ReleaseAll(bs)
+		return &core.BatchError{Sent: 0, Err: core.ErrClosed}
+	default:
+	}
+	for i, b := range bs {
+		select {
+		case <-p.closed:
+			core.ReleaseAll(bs[i:])
+			return &core.BatchError{Sent: i, Err: core.ErrClosed}
+		case <-p.peerClosed:
+			core.ReleaseAll(bs[i:])
+			return &core.BatchError{Sent: i, Err: core.ErrClosed}
+		case <-ctx.Done():
+			core.ReleaseAll(bs[i:])
+			return &core.BatchError{Sent: i, Err: ctx.Err()}
+		case p.send <- b: //bertha:transfers receiving half owns it
+		}
+	}
+	p.tel.sent.Add(uint64(len(bs)))
+	return nil
+}
+
+// RecvBufs blocks for the first message, then drains whatever the peer
+// has already buffered — a burst costs one blocking receive.
+func (p *pipeHalf) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	b, err := p.RecvBuf(ctx)
+	if err != nil {
+		return 0, err
+	}
+	into[0] = b
+	n := 1
+	for n < len(into) {
+		select {
+		case b := <-p.recv:
+			into[n] = b
+			n++
+		default:
+			p.tel.recvd.Add(uint64(n - 1)) // RecvBuf counted the first
+			return n, nil
+		}
+	}
+	p.tel.recvd.Add(uint64(n - 1))
+	return n, nil
+}
+
 // Headroom: transports terminate the stack, no headers below.
 func (p *pipeHalf) Headroom() int { return 0 }
 

@@ -80,7 +80,19 @@ type socketConn struct {
 	// senders: A sets a deadline, B's write spuriously times out, then
 	// A's reset (the old code's deferred SetWriteDeadline(time.Time{}))
 	// clears a deadline a third sender just armed.
+	//
+	// The batch path takes wmu exactly once per burst: SendBufs arms the
+	// deadline, transmits the whole burst (one sendmmsg on linux, a
+	// write loop elsewhere), and resets — per-message locking would
+	// interleave concurrent bursts and pay the acquisition n times.
 	wmu sync.Mutex
+	// sendmm/recvmm hold the platform batch-syscall state (cached raw
+	// conn, scratch header arrays). sendmm is guarded by wmu; recvmm by
+	// rmu, which also serializes concurrent RecvBufs callers so a burst
+	// is drained by one reader at a time.
+	sendmm mmsgState
+	rmu    sync.Mutex
+	recvmm mmsgState
 }
 
 func (s *socketConn) Send(ctx context.Context, p []byte) error {
@@ -120,6 +132,113 @@ func (s *socketConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	return err
 }
 
+// SendBufs transmits the burst behind a single wmu acquisition: one
+// deadline arm, the whole burst (one sendmmsg syscall on linux, a write
+// loop elsewhere), one reset. Ownership of every element ends here —
+// datagram sockets do not retain payloads — so all buffers are released
+// before returning. The first failure aborts the burst; the returned
+// *core.BatchError reports how many messages went out.
+func (s *socketConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	if len(bs) == 0 {
+		return nil
+	}
+	s.wmu.Lock()
+	d, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		s.conn.SetWriteDeadline(d)
+	}
+	sent, err := s.writeBurst(bs)
+	if hasDeadline {
+		s.conn.SetWriteDeadline(time.Time{})
+	}
+	s.wmu.Unlock()
+	if sent > 0 {
+		s.tel.sent.Add(uint64(sent))
+	}
+	core.ReleaseAll(bs)
+	if err != nil {
+		return &core.BatchError{Sent: sent, Err: s.mapSendErr(err, hasDeadline)}
+	}
+	return nil
+}
+
+// mapSendErr normalizes a burst write failure the same way Send does.
+func (s *socketConn) mapSendErr(err error, hasDeadline bool) error {
+	if isClosedErr(err) {
+		return core.ErrClosed
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() && hasDeadline {
+		return context.DeadlineExceeded
+	}
+	return err
+}
+
+// writeBurstLoop is the portable burst path: one Write per message, the
+// deadline and lock already handled by the caller.
+func (s *socketConn) writeBurstLoop(bs []*wire.Buf) (int, error) {
+	for i, b := range bs {
+		if b.Len() > MaxDatagram {
+			return i, oversizeErr(b.Len())
+		}
+		if _, err := s.conn.Write(b.Bytes()); err != nil {
+			return i, err
+		}
+	}
+	return len(bs), nil
+}
+
+// RecvBufs drains a burst of datagrams into pooled buffers owned by the
+// caller, blocking only for the first. On linux the drain is one
+// recvmmsg syscall; elsewhere it degrades to a single-message receive.
+func (s *socketConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	if !batchRecvSupported {
+		b, err := s.RecvBuf(ctx)
+		if err != nil {
+			return 0, err
+		}
+		into[0] = b
+		return 1, nil
+	}
+	if ctx.Done() != nil {
+		stop := ctxDeadline(ctx, s.conn.SetReadDeadline)
+		defer stop()
+	}
+	for {
+		s.rmu.Lock()
+		n, err := s.readBurst(into)
+		s.rmu.Unlock()
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			if isClosedErr(err) {
+				return 0, core.ErrClosed
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				if d, hasDeadline := ctx.Deadline(); hasDeadline {
+					if time.Until(d) > 0 {
+						// Stale immediate deadline (see RecvBuf): re-arm
+						// to our own deadline and retry.
+						s.conn.SetReadDeadline(d)
+						continue
+					}
+					return 0, context.DeadlineExceeded
+				}
+				// Stale deadline from an earlier context: clear and retry
+				// (see RecvBuf).
+				s.conn.SetReadDeadline(time.Time{})
+				continue
+			}
+			return 0, err
+		}
+		s.tel.recvd.Add(uint64(n))
+		return n, nil
+	}
+}
+
 // Headroom: transports terminate the stack, no headers below.
 func (s *socketConn) Headroom() int { return 0 }
 
@@ -154,16 +273,24 @@ func (s *socketConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 				return nil, core.ErrClosed
 			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				// The socket deadline mirrors the context deadline and can
-				// fire a hair earlier; report the context's error.
-				if _, hasDeadline := ctx.Deadline(); hasDeadline {
+				if d, hasDeadline := ctx.Deadline(); hasDeadline {
+					if time.Until(d) > 0 {
+						// Our deadline is still in the future, so this
+						// timeout came from a *stale* immediate deadline —
+						// an earlier context's cancellation racing its
+						// reset (see ctxDeadline). Re-arm to our own
+						// deadline and retry.
+						s.conn.SetReadDeadline(d)
+						continue
+					}
+					// The socket deadline mirrors the context deadline and
+					// can fire a hair earlier; report the context's error.
 					b.Release()
 					return nil, context.DeadlineExceeded
 				}
-				// A stale deadline from an earlier context (or a lost
-				// reset race) fires here with no deadline of our own:
-				// clear it before retrying, or this loop spins hot on
-				// an always-expired deadline.
+				// A stale deadline fires here with no deadline of our
+				// own: clear it before retrying, or this loop spins hot
+				// on an always-expired deadline.
 				s.conn.SetReadDeadline(time.Time{})
 				continue
 			}
@@ -227,6 +354,11 @@ func ctxDeadline(ctx context.Context, set func(time.Time) error) (stop func()) {
 
 func isClosedErr(err error) bool {
 	return errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrClosed)
+}
+
+// oversizeErr reports a datagram exceeding MaxDatagram.
+func oversizeErr(n int) error {
+	return fmt.Errorf("%w: %d bytes", core.ErrMessageTooLarge, n)
 }
 
 // demuxListener demultiplexes one datagram socket into per-peer core.Conns
@@ -375,6 +507,60 @@ func (c *demuxConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	err := c.Send(ctx, b.Bytes())
 	b.Release()
 	return err
+}
+
+// SendBufs writes the burst through the shared listener socket with one
+// closed-state check up front. WriteTo is already serialized by the
+// kernel; the first failure aborts the burst.
+func (c *demuxConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	select {
+	case <-c.closed:
+		core.ReleaseAll(bs)
+		return &core.BatchError{Sent: 0, Err: core.ErrClosed}
+	default:
+	}
+	for i, b := range bs {
+		if b.Len() > MaxDatagram {
+			err := oversizeErr(b.Len())
+			core.ReleaseAll(bs[i:])
+			return &core.BatchError{Sent: i, Err: err}
+		}
+		if _, err := c.l.pc.WriteTo(b.Bytes(), c.peer); err != nil {
+			if isClosedErr(err) {
+				err = core.ErrClosed
+			}
+			core.ReleaseAll(bs[i:])
+			return &core.BatchError{Sent: i, Err: err}
+		}
+		c.l.tel.sent.Inc()
+		b.Release()
+	}
+	return nil
+}
+
+// RecvBufs drains the per-peer receive queue: blocking for the first
+// message, then taking whatever the listener's read loop has already
+// enqueued — a burst costs one blocking receive however large it is.
+func (c *demuxConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return 0, err
+	}
+	into[0] = b
+	n := 1
+	for n < len(into) {
+		select {
+		case b := <-c.recv:
+			into[n] = b
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
 }
 
 // Headroom: transports terminate the stack, no headers below.

@@ -1,0 +1,358 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched datagram I/O via sendmmsg(2)/recvmmsg(2). One syscall moves a
+// whole burst, which is where the batch path's throughput win comes
+// from: the per-message cost drops from one syscall + one lock to a
+// share of one syscall. The raw syscalls are driven through
+// syscall.RawConn so the runtime poller still parks the goroutine on
+// EAGAIN instead of spinning.
+//
+// Everything here is careful about allocation: the mmsghdr/iovec scratch
+// arrays are fixed-size fields of mmsgState, the RawConn callbacks are
+// method values created once, and receive-side buffers are pooled and
+// retained across calls. SendBufs/RecvBufs stay at 0 allocs/op.
+
+package transport
+
+import (
+	"syscall"
+	"unsafe"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// batchRecvSupported gates socketConn.RecvBufs onto readBurst; the
+// portable build degrades to single-message receives instead.
+const batchRecvSupported = true
+
+// mmsgChunk bounds one sendmmsg/recvmmsg invocation. Linux caps vlen at
+// UIO_MAXIOV internally; 64 keeps the fixed scratch arrays small while
+// amortizing the syscall ~60x.
+const mmsgChunk = 64
+
+// UDP generalized segmentation offload: a burst of equal-size datagrams
+// goes down as ONE sendmsg whose payload the kernel splits back into
+// datagrams at the device (UDP_SEGMENT cmsg, linux ≥ 4.18). Where
+// sendmmsg only amortizes syscall entry — the kernel still runs the
+// full udp_sendmsg path per datagram — GSO runs the socket/route/skb
+// setup once per burst, which is where most of the per-datagram kernel
+// time lives on loopback.
+const (
+	solUDP     = 17  // SOL_UDP
+	udpSegment = 103 // UDP_SEGMENT: gso_size for this sendmsg
+
+	gsoMaxSegs  = 64    // UDP_MAX_SEGMENTS
+	gsoMaxBytes = 64000 // total payload ceiling for one GSO super-datagram
+
+	cmsgSegLen   = 18 // CMSG_LEN(2): cmsghdr + uint16 payload
+	cmsgSegSpace = 24 // CMSG_SPACE(2): the above, padded to cmsg alignment
+)
+
+// GSO support is probed with the first eligible burst: kernels without
+// UDP_SEGMENT reject the unknown cmsg with EINVAL and the state degrades
+// to plain sendmmsg permanently.
+const (
+	gsoUnknown = iota
+	gsoYes
+	gsoNo
+)
+
+// mmsghdr mirrors struct mmsghdr on linux amd64/arm64: a msghdr plus the
+// per-message transfer count, padded to 8-byte alignment (64 bytes).
+type mmsghdr struct {
+	hdr    syscall.Msghdr
+	msgLen uint32
+	_      [4]byte
+}
+
+// mmsgState is one direction's batch-syscall scratch: the cached
+// RawConn, header/iovec arrays, and the in/out fields the pre-created
+// RawConn callback communicates through (a fresh closure per burst
+// would allocate). An instance serves either sends or receives, guarded
+// by the owning socketConn's wmu or rmu respectively.
+type mmsgState struct {
+	raw   syscall.RawConn
+	tried bool // SyscallConn attempted; raw may still be nil (fallback)
+	fn    func(fd uintptr) bool
+
+	hdrs [mmsgChunk]mmsghdr
+	iovs [mmsgChunk]syscall.Iovec
+
+	// Send-side callback state: the burst being written and the running
+	// count of messages the kernel accepted.
+	bs []*wire.Buf
+	// GSO fast-path state: probe result, the segment size of the burst
+	// in flight, the pre-created sendGSO callback, and the UDP_SEGMENT
+	// control message (a struct field so it stays addressable across the
+	// syscall without allocating).
+	gso   int
+	seg   int
+	gsoFn func(fd uintptr) bool
+	ctrl  [cmsgSegSpace]byte
+	// Recv-side callback state: how many slots the caller wants, and
+	// pooled buffers retained across calls so a drained burst costs no
+	// pool round-trips.
+	want    int
+	scratch [mmsgChunk]*wire.Buf
+
+	n   int
+	err error
+}
+
+// initRaw resolves the RawConn once. A nil raw after init means the
+// underlying conn does not expose a raw fd (never the case for the net
+// package's UDP/unixgram sockets) and callers fall back.
+func (m *mmsgState) initRaw(s *socketConn, fn func(fd uintptr) bool) {
+	m.tried = true
+	sc, ok := s.conn.(syscall.Conn)
+	if !ok {
+		return
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return
+	}
+	m.raw = raw
+	m.fn = fn
+}
+
+// writeBurst transmits bs with sendmmsg, honouring the write deadline
+// already armed by SendBufs (RawConn.Write surfaces it as a timeout
+// error). Caller holds wmu. Returns how many messages went out.
+func (s *socketConn) writeBurst(bs []*wire.Buf) (int, error) {
+	m := &s.sendmm
+	if !m.tried {
+		m.initRaw(s, m.sendChunks)
+		m.gsoFn = m.sendGSO
+	}
+	if m.raw == nil {
+		return s.writeBurstLoop(bs)
+	}
+	// Oversize messages abort the burst at their index; the valid prefix
+	// is still transmitted so BatchError.Sent stays accurate.
+	limit := len(bs)
+	var sizeErr error
+	for i, b := range bs {
+		if b.Len() > MaxDatagram {
+			limit = i
+			sizeErr = oversizeErr(b.Len())
+			break
+		}
+	}
+	m.bs = bs[:limit]
+	m.n = 0
+	m.err = nil
+	var err error
+	if seg, ok := gsoEligible(m.bs); ok && m.gso != gsoNo {
+		m.seg = seg
+		err = m.raw.Write(m.gsoFn)
+		if m.gso == gsoNo && m.n == 0 && m.err == nil && err == nil {
+			// Probe failed before anything went out: replay the whole
+			// burst through plain sendmmsg.
+			err = m.raw.Write(m.fn)
+		}
+	} else {
+		err = m.raw.Write(m.fn)
+	}
+	sent, werr := m.n, m.err
+	m.bs = nil
+	if werr == nil {
+		werr = err // deadline/closed-fd errors from the poller
+	}
+	if werr == nil {
+		werr = sizeErr
+	}
+	return sent, werr
+}
+
+// gsoEligible reports whether bs can ride the UDP_SEGMENT fast path:
+// at least two messages, every one the same nonzero size. (The kernel
+// also allows a short final segment, but uniform bursts are what the
+// chunnel stack produces and the check stays branch-trivial.)
+func gsoEligible(bs []*wire.Buf) (seg int, ok bool) {
+	if len(bs) < 2 {
+		return 0, false
+	}
+	seg = bs[0].Len()
+	if seg == 0 || seg*2 > gsoMaxBytes {
+		return 0, false
+	}
+	for _, b := range bs[1:] {
+		if b.Len() != seg {
+			return 0, false
+		}
+	}
+	return seg, true
+}
+
+// sendChunks is the RawConn.Write callback: it pushes m.bs through
+// sendmmsg in ≤mmsgChunk slices. Returning false parks the goroutine in
+// the poller until the socket is writable again.
+func (m *mmsgState) sendChunks(fd uintptr) bool {
+	for m.n < len(m.bs) {
+		pending := m.bs[m.n:]
+		cnt := len(pending)
+		if cnt > mmsgChunk {
+			cnt = mmsgChunk
+		}
+		for i := 0; i < cnt; i++ {
+			p := pending[i].Bytes()
+			m.iovs[i] = syscall.Iovec{Len: uint64(len(p))}
+			if len(p) > 0 {
+				m.iovs[i].Base = &p[0]
+			}
+			m.hdrs[i] = mmsghdr{}
+			m.hdrs[i].hdr.Iov = &m.iovs[i]
+			m.hdrs[i].hdr.Iovlen = 1
+		}
+		r1, _, errno := syscall.Syscall6(sysSENDMMSG,
+			fd, uintptr(unsafe.Pointer(&m.hdrs[0])), uintptr(cnt), 0, 0, 0)
+		switch errno {
+		case 0:
+			m.n += int(r1)
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		default:
+			m.err = errno
+			return true
+		}
+	}
+	return true
+}
+
+// sendGSO is the RawConn.Write callback for uniform bursts: each
+// ≤gsoMaxSegs slice of m.bs becomes one sendmsg whose iovec array
+// concatenates the messages and whose UDP_SEGMENT cmsg tells the kernel
+// where to cut them apart again. The first successful call locks the
+// probe to gsoYes; an EINVAL-class rejection before anything was sent
+// locks it to gsoNo and the caller replays via sendmmsg.
+func (m *mmsgState) sendGSO(fd uintptr) bool {
+	for m.n < len(m.bs) {
+		pending := m.bs[m.n:]
+		cnt := len(pending)
+		if cnt > gsoMaxSegs {
+			cnt = gsoMaxSegs
+		}
+		if max := gsoMaxBytes / m.seg; cnt > max {
+			cnt = max
+		}
+		for i := 0; i < cnt; i++ {
+			p := pending[i].Bytes()
+			m.iovs[i] = syscall.Iovec{Base: &p[0], Len: uint64(len(p))}
+		}
+		*(*uint64)(unsafe.Pointer(&m.ctrl[0])) = cmsgSegLen
+		*(*int32)(unsafe.Pointer(&m.ctrl[8])) = solUDP
+		*(*int32)(unsafe.Pointer(&m.ctrl[12])) = udpSegment
+		*(*uint16)(unsafe.Pointer(&m.ctrl[16])) = uint16(m.seg)
+		h := &m.hdrs[0].hdr
+		*h = syscall.Msghdr{
+			Iov:        &m.iovs[0],
+			Iovlen:     uint64(cnt),
+			Control:    &m.ctrl[0],
+			Controllen: cmsgSegSpace,
+		}
+		_, _, errno := syscall.Syscall6(syscall.SYS_SENDMSG,
+			fd, uintptr(unsafe.Pointer(h)), 0, 0, 0, 0)
+		switch errno {
+		case 0:
+			// UDP sendmsg is atomic: the whole super-datagram went out.
+			m.gso = gsoYes
+			m.n += cnt
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		case syscall.EINVAL, syscall.EOPNOTSUPP, syscall.ENOPROTOOPT:
+			if m.gso != gsoYes && m.n == 0 {
+				m.gso = gsoNo // kernel predates UDP_SEGMENT
+				return true
+			}
+			m.err = errno
+			return true
+		default:
+			m.err = errno
+			return true
+		}
+	}
+	return true
+}
+
+// readBurst fills into with up to len(into) datagrams from one recvmmsg
+// call, blocking (in the poller) only until the first arrives. Caller
+// holds rmu. The returned buffers are pooled and owned by the caller.
+func (s *socketConn) readBurst(into []*wire.Buf) (int, error) {
+	m := &s.recvmm
+	if !m.tried {
+		m.initRaw(s, m.recvChunk)
+	}
+	if m.raw == nil {
+		// No raw fd: single-message read, mapped by the caller exactly
+		// like RecvBuf's error path.
+		b := wire.NewBuf(wire.DefaultHeadroom, MaxDatagram+1)
+		n, err := s.conn.Read(b.Bytes())
+		if err != nil {
+			b.Release()
+			return 0, err
+		}
+		b.Truncate(n)
+		into[0] = b
+		return 1, nil
+	}
+	m.want = len(into)
+	m.n = 0
+	m.err = nil
+	err := m.raw.Read(m.fn)
+	if m.err == nil {
+		m.err = err // deadline/closed-fd errors from the poller
+	}
+	if m.err != nil {
+		return 0, m.err
+	}
+	for i := 0; i < m.n; i++ {
+		b := m.scratch[i]
+		m.scratch[i] = nil
+		b.Truncate(int(m.hdrs[i].msgLen))
+		into[i] = b
+	}
+	return m.n, nil
+}
+
+// recvChunk is the RawConn.Read callback: one recvmmsg for up to
+// m.want messages. On a non-blocking socket recvmmsg returns whatever
+// is queued without waiting once at least one datagram is available, so
+// a burst costs one syscall; EAGAIN (nothing queued) parks the
+// goroutine in the poller.
+func (m *mmsgState) recvChunk(fd uintptr) bool {
+	cnt := m.want
+	if cnt > mmsgChunk {
+		cnt = mmsgChunk
+	}
+	for i := 0; i < cnt; i++ {
+		if m.scratch[i] == nil {
+			m.scratch[i] = wire.NewBuf(wire.DefaultHeadroom, MaxDatagram+1)
+		}
+		p := m.scratch[i].Bytes()
+		m.iovs[i] = syscall.Iovec{Base: &p[0], Len: uint64(len(p))}
+		m.hdrs[i] = mmsghdr{}
+		m.hdrs[i].hdr.Iov = &m.iovs[i]
+		m.hdrs[i].hdr.Iovlen = 1
+	}
+	for {
+		r1, _, errno := syscall.Syscall6(sysRECVMMSG,
+			fd, uintptr(unsafe.Pointer(&m.hdrs[0])), uintptr(cnt), 0, 0, 0)
+		switch errno {
+		case 0:
+			m.n = int(r1)
+			return true
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		default:
+			m.err = errno
+			return true
+		}
+	}
+}

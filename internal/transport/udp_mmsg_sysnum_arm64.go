@@ -1,0 +1,11 @@
+//go:build linux && arm64
+
+package transport
+
+// Syscall numbers for the batch datagram syscalls. sendmmsg postdates
+// the frozen syscall package's generated tables, so both numbers are
+// pinned here per architecture.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
 )
 
 // RxPath pumps a base connection's receive stream through a hook and
@@ -53,33 +54,51 @@ func NewRxPath(base core.Conn, hook *Hook, nqueues int) *RxPath {
 	return r
 }
 
+// pump drains the base connection in MaxBurst-sized bursts: one
+// vectored receive fills the burst (blocking only for the first
+// packet), one RunBurst call produces every verdict, and one routing
+// pass disposes of them. Received buffers are detached — queue
+// consumers hold plain []byte with no pool obligations.
 func (r *RxPath) pump(ctx context.Context) {
 	defer close(r.done)
+	var (
+		bufs     [MaxBurst]*wire.Buf
+		pkts     [MaxBurst]Packet
+		verdicts [MaxBurst]Verdict
+	)
 	for {
-		data, err := r.base.Recv(ctx)
+		n, err := core.RecvBufs(ctx, r.base, bufs[:])
 		if err != nil {
 			return
 		}
-		pkt := Packet{Data: data}
-		switch r.hook.Run(&pkt) {
-		case Pass:
-			select {
-			case r.pass <- pkt.Data:
-			default: // queue full: drop
-			}
-		case Redirect:
-			q := pkt.RedirectQueue()
-			if q >= 0 && q < len(r.queues) {
+		for i := 0; i < n; i++ {
+			pkts[i] = Packet{Data: bufs[i].Detach()}
+			bufs[i] = nil
+		}
+		r.hook.RunBurst(pkts[:n], verdicts[:n])
+		for i := 0; i < n; i++ {
+			pkt := &pkts[i]
+			switch verdicts[i] {
+			case Pass:
 				select {
-				case r.queues[q] <- pkt.Data:
-				default: // ring full: drop
+				case r.pass <- pkt.Data:
+				default: // queue full: drop
 				}
+			case Redirect:
+				q := pkt.RedirectQueue()
+				if q >= 0 && q < len(r.queues) {
+					select {
+					case r.queues[q] <- pkt.Data:
+					default: // ring full: drop
+					}
+				}
+			case Tx:
+				// Bounce back out the interface (best effort).
+				_ = r.base.Send(ctx, pkt.Data)
+			case Drop, Aborted:
+				// Discarded.
 			}
-		case Tx:
-			// Bounce back out the interface (best effort).
-			_ = r.base.Send(ctx, pkt.Data)
-		case Drop, Aborted:
-			// Discarded.
+			pkt.Data = nil
 		}
 	}
 }
