@@ -9,6 +9,7 @@ import (
 	"github.com/bertha-net/bertha/internal/core"
 	"github.com/bertha-net/bertha/internal/telemetry"
 	"github.com/bertha-net/bertha/internal/testutil"
+	"github.com/bertha-net/bertha/internal/transport"
 	"github.com/bertha-net/bertha/internal/wire"
 )
 
@@ -141,5 +142,46 @@ func TestDroppedStreamsCounter(t *testing.T) {
 	}
 	if n := dropped.Value(); n != before+1 {
 		t.Fatalf("dropped_streams counter = %d, want %d", n, before+1)
+	}
+}
+
+// TestMalformedFramesCounterBatch sends a burst holding one good frame
+// and one unknown-type frame through the batch receive path: RecvBufs
+// keeps the good message (so it reports no error) and the discarded
+// malformed frame must surface on the malformed-frames counter.
+func TestMalformedFramesCounterBatch(t *testing.T) {
+	a, b := transport.Pipe(core.Addr{}, core.Addr{}, 16)
+	conn, err := New(b, DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	ctx := context.Background()
+
+	malformed := telemetry.Default().Counter(MalformedFramesCounter)
+	before := malformed.Value()
+
+	good := make([]byte, headerLen+2)
+	good[0] = frameData
+	good[1] = flagEndStream
+	binary.LittleEndian.PutUint32(good[2:6], 1)
+	copy(good[headerLen:], "ok")
+	rogue := make([]byte, headerLen+2)
+	rogue[0] = 0x5 // not DATA or CONTINUATION
+	burst := []*wire.Buf{wire.NewBufFrom(0, good), wire.NewBufFrom(0, rogue)}
+	if err := core.SendBufs(ctx, a, burst); err != nil {
+		t.Fatalf("inject burst: %v", err)
+	}
+
+	into := make([]*wire.Buf, 4)
+	n, err := conn.(core.BatchConn).RecvBufs(ctx, into)
+	if err != nil {
+		t.Fatalf("RecvBufs: %v (good message must mask the malformed frame's error)", err)
+	}
+	if n != 1 || string(into[0].Bytes()) != "ok" {
+		t.Fatalf("RecvBufs = %d messages (first %q), want 1 %q", n, into[0].Bytes(), "ok")
+	}
+	into[0].Release()
+	if v := malformed.Value(); v != before+1 {
+		t.Errorf("malformed_frames counter = %d, want %d", v, before+1)
 	}
 }

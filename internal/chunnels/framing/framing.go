@@ -78,6 +78,12 @@ func Register(reg *core.Registry) {
 // registry (telemetry.Default()).
 const DroppedStreamsCounter = "chunnel/http2/dropped_streams"
 
+// MalformedFramesCounter counts malformed frames (short, or unknown
+// frame type) discarded on the batch receive path. RecvBuf fails on the
+// first malformed frame, but RecvBufs keeps the rest of a burst that
+// already produced messages — this counter keeps those discards visible.
+const MalformedFramesCounter = "chunnel/http2/malformed_frames"
+
 // New wraps conn with frame encoding. maxFrame bounds each fragment's
 // payload; messages larger than maxFrame are split and reassembled.
 func New(conn core.Conn, maxFrame int) (core.Conn, error) {
@@ -85,10 +91,11 @@ func New(conn core.Conn, maxFrame int) (core.Conn, error) {
 		return nil, fmt.Errorf("http2: invalid max frame %d", maxFrame)
 	}
 	return &frameConn{
-		Conn:     conn,
-		maxFrame: maxFrame,
-		dropped:  telemetry.Default().Counter(DroppedStreamsCounter),
-		partial:  map[uint32][]*wire.Buf{},
+		Conn:      conn,
+		maxFrame:  maxFrame,
+		dropped:   telemetry.Default().Counter(DroppedStreamsCounter),
+		malformed: telemetry.Default().Counter(MalformedFramesCounter),
+		partial:   map[uint32][]*wire.Buf{},
 	}, nil
 }
 
@@ -96,9 +103,11 @@ type frameConn struct {
 	core.Conn
 	maxFrame   int
 	nextStream atomic.Uint32
-	// dropped is the shared process-wide discard counter, resolved once
-	// at wrap time so the receive path never touches the registry.
-	dropped *telemetry.Counter
+	// dropped and malformed are the shared process-wide discard
+	// counters, resolved once at wrap time so the receive path never
+	// touches the registry.
+	dropped   *telemetry.Counter
+	malformed *telemetry.Counter
 
 	mu      sync.Mutex
 	partial map[uint32][]*wire.Buf
@@ -319,8 +328,10 @@ func (c *frameConn) processFrame(fb *wire.Buf) (*wire.Buf, error) {
 
 // RecvBufs receives a burst of frames and reassembles in one pass:
 // completed messages compact into into's prefix, continuations park for
-// later, and malformed frames drop individually (the call only fails
-// when a burst produced no messages and at least one frame was bad).
+// later, and malformed frames drop individually — each counted in
+// MalformedFramesCounter so a peer sending garbage stays visible even
+// when the burst still produced messages (the call only fails when a
+// burst produced no messages and at least one frame was bad).
 func (c *frameConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
 	if len(into) == 0 {
 		return 0, nil
@@ -337,6 +348,7 @@ func (c *frameConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error)
 			// one message, so compaction never overtakes the read index.
 			msg, err := c.processFrame(into[i])
 			if err != nil {
+				c.malformed.Inc()
 				if firstErr == nil {
 					firstErr = err
 				}

@@ -48,6 +48,10 @@ func TestUDPBatchRoundTrip(t *testing.T) {
 	sizes := [][]int{
 		{128, 128, 128, 128, 128, 128, 128, 128}, // uniform: GSO eligible
 		{16, 900, 1, 400, 16, 16},                // mixed: plain sendmmsg
+		// Uniform but above the GSO segment cap: must ride sendmmsg (a
+		// gso_size beyond the path MTU would EINVAL where sendmmsg
+		// delivers via IP fragmentation).
+		{2048, 2048, 2048, 2048, 2048, 2048},
 	}
 	for _, burst := range sizes {
 		want := make([][]byte, len(burst))
@@ -171,6 +175,33 @@ func TestUDPConcurrentBatchWriters(t *testing.T) {
 	wg.Wait()
 	if len(seen) != total {
 		t.Errorf("received %d distinct messages, want %d", len(seen), total)
+	}
+}
+
+// TestPipeBatchPartialSendCounted aborts a pipe burst mid-way (context
+// deadline with the pipe full) and checks the messages that did go out
+// are reflected in both BatchError.Sent and the sent counter — the same
+// partial-send accounting socketConn.SendBufs does.
+func TestPipeBatchPartialSendCounted(t *testing.T) {
+	a, _ := Pipe(core.Addr{}, core.Addr{}, 2)
+	sent := countersFor("pipe").sent
+	before := sent.Value()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	bs := make([]*wire.Buf, 5)
+	for i := range bs {
+		bs[i] = wire.NewBuf(0, 4)
+	}
+	err := core.SendBufs(ctx, a, bs)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SendBufs on full pipe = %v, want DeadlineExceeded", err)
+	}
+	if n := core.BatchSent(err); n != 2 {
+		t.Fatalf("BatchError.Sent = %d, want 2 (pipe capacity)", n)
+	}
+	if d := sent.Value() - before; d != 2 {
+		t.Errorf("sent counter advanced by %d, want 2 (partial burst must be counted)", d)
 	}
 }
 

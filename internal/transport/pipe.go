@@ -102,12 +102,15 @@ func (p *pipeHalf) SendBufs(ctx context.Context, bs []*wire.Buf) error {
 	for i, b := range bs {
 		select {
 		case <-p.closed:
+			p.tel.sent.Add(uint64(i)) // count the partial send, like socketConn
 			core.ReleaseAll(bs[i:])
 			return &core.BatchError{Sent: i, Err: core.ErrClosed}
 		case <-p.peerClosed:
+			p.tel.sent.Add(uint64(i))
 			core.ReleaseAll(bs[i:])
 			return &core.BatchError{Sent: i, Err: core.ErrClosed}
 		case <-ctx.Done():
+			p.tel.sent.Add(uint64(i))
 			core.ReleaseAll(bs[i:])
 			return &core.BatchError{Sent: i, Err: ctx.Err()}
 		case p.send <- b: //bertha:transfers receiving half owns it

@@ -15,6 +15,7 @@
 package transport
 
 import (
+	"net"
 	"syscall"
 	"unsafe"
 
@@ -44,18 +45,38 @@ const (
 	gsoMaxSegs  = 64    // UDP_MAX_SEGMENTS
 	gsoMaxBytes = 64000 // total payload ceiling for one GSO super-datagram
 
+	// gsoMaxSeg caps the per-segment size eligible for the GSO path. The
+	// kernel rejects a sendmsg whose gso_size plus headers exceeds the
+	// path MTU (udp_send_skb returns EINVAL), where plain sendmmsg would
+	// have delivered via IP fragmentation — so larger segments ride
+	// sendmmsg instead. 1400 clears a standard 1500-byte ethernet MTU
+	// with room for IP/UDP headers and modest encapsulation.
+	gsoMaxSeg = 1400
+
 	cmsgSegLen   = 18 // CMSG_LEN(2): cmsghdr + uint16 payload
 	cmsgSegSpace = 24 // CMSG_SPACE(2): the above, padded to cmsg alignment
 )
 
 // GSO support is probed with the first eligible burst: kernels without
-// UDP_SEGMENT reject the unknown cmsg with EINVAL and the state degrades
-// to plain sendmmsg permanently.
+// UDP_SEGMENT reject the unknown cmsg with EINVAL before sending
+// anything, and the state degrades to plain sendmmsg permanently. A
+// rejection after the probe has succeeded (e.g. a path MTU smaller than
+// the segment size) is treated as transient: the burst falls back to
+// sendmmsg without touching the latched state.
 const (
 	gsoUnknown = iota
 	gsoYes
 	gsoNo
 )
+
+// sendmsg issues SYS_SENDMSG through a package variable so tests can
+// inject the kernel's EINVAL-class UDP_SEGMENT rejections (a path MTU
+// below the segment size, a pre-4.18 kernel), which loopback — with its
+// 64k MTU and modern kernels — cannot produce organically.
+var sendmsg = func(fd, msg uintptr) syscall.Errno {
+	_, _, errno := syscall.Syscall6(syscall.SYS_SENDMSG, fd, msg, 0, 0, 0, 0)
+	return errno
+}
 
 // mmsghdr mirrors struct mmsghdr on linux amd64/arm64: a msghdr plus the
 // per-message transfer count, padded to 8-byte alignment (64 bytes).
@@ -85,10 +106,14 @@ type mmsgState struct {
 	// in flight, the pre-created sendGSO callback, and the UDP_SEGMENT
 	// control message (a struct field so it stays addressable across the
 	// syscall without allocating).
-	gso   int
-	seg   int
-	gsoFn func(fd uintptr) bool
-	ctrl  [cmsgSegSpace]byte
+	gso int
+	seg int
+	// gsoFallback is set when the kernel rejected a UDP_SEGMENT sendmsg
+	// (EINVAL-class): the burst's unsent tail must be replayed through
+	// plain sendmmsg.
+	gsoFallback bool
+	gsoFn       func(fd uintptr) bool
+	ctrl        [cmsgSegSpace]byte
 	// Recv-side callback state: how many slots the caller wants, and
 	// pooled buffers retained across calls so a drained burst costs no
 	// pool round-trips.
@@ -124,6 +149,11 @@ func (s *socketConn) writeBurst(bs []*wire.Buf) (int, error) {
 	if !m.tried {
 		m.initRaw(s, m.sendChunks)
 		m.gsoFn = m.sendGSO
+		if _, ok := s.conn.(*net.UDPConn); !ok {
+			// UDP_SEGMENT is UDP-only; never fire the doomed probe cmsg
+			// on unixgram sockets.
+			m.gso = gsoNo
+		}
 	}
 	if m.raw == nil {
 		return s.writeBurstLoop(bs)
@@ -145,10 +175,13 @@ func (s *socketConn) writeBurst(bs []*wire.Buf) (int, error) {
 	var err error
 	if seg, ok := gsoEligible(m.bs); ok && m.gso != gsoNo {
 		m.seg = seg
+		m.gsoFallback = false
 		err = m.raw.Write(m.gsoFn)
-		if m.gso == gsoNo && m.n == 0 && m.err == nil && err == nil {
-			// Probe failed before anything went out: replay the whole
-			// burst through plain sendmmsg.
+		if m.gsoFallback && m.err == nil && err == nil {
+			// The kernel rejected UDP_SEGMENT (probe failure, or a path
+			// MTU smaller than the segment size mid-burst): replay the
+			// unsent tail through plain sendmmsg, which delivers via IP
+			// fragmentation. sendChunks resumes from m.n.
 			err = m.raw.Write(m.fn)
 		}
 	} else {
@@ -174,7 +207,7 @@ func gsoEligible(bs []*wire.Buf) (seg int, ok bool) {
 		return 0, false
 	}
 	seg = bs[0].Len()
-	if seg == 0 || seg*2 > gsoMaxBytes {
+	if seg == 0 || seg > gsoMaxSeg {
 		return 0, false
 	}
 	for _, b := range bs[1:] {
@@ -226,8 +259,12 @@ func (m *mmsgState) sendChunks(fd uintptr) bool {
 // ≤gsoMaxSegs slice of m.bs becomes one sendmsg whose iovec array
 // concatenates the messages and whose UDP_SEGMENT cmsg tells the kernel
 // where to cut them apart again. The first successful call locks the
-// probe to gsoYes; an EINVAL-class rejection before anything was sent
-// locks it to gsoNo and the caller replays via sendmmsg.
+// probe to gsoYes; an EINVAL-class rejection by an unprobed socket locks
+// it to gsoNo. Either way a rejection sets gsoFallback and the caller
+// replays the unsent tail via sendmmsg — a rejected burst is never
+// failed, because plain sendmmsg can still deliver it (the kernel also
+// returns EINVAL when gso_size exceeds the path MTU minus headers, a
+// per-burst condition, not a capability verdict).
 func (m *mmsgState) sendGSO(fd uintptr) bool {
 	for m.n < len(m.bs) {
 		pending := m.bs[m.n:]
@@ -253,8 +290,7 @@ func (m *mmsgState) sendGSO(fd uintptr) bool {
 			Control:    &m.ctrl[0],
 			Controllen: cmsgSegSpace,
 		}
-		_, _, errno := syscall.Syscall6(syscall.SYS_SENDMSG,
-			fd, uintptr(unsafe.Pointer(h)), 0, 0, 0, 0)
+		errno := sendmsg(fd, uintptr(unsafe.Pointer(h)))
 		switch errno {
 		case 0:
 			// UDP sendmsg is atomic: the whole super-datagram went out.
@@ -265,11 +301,18 @@ func (m *mmsgState) sendGSO(fd uintptr) bool {
 		case syscall.EAGAIN:
 			return false
 		case syscall.EINVAL, syscall.EOPNOTSUPP, syscall.ENOPROTOOPT:
+			// The kernel rejected the UDP_SEGMENT cmsg. On an unprobed
+			// socket that never sent a segment this means no UDP_SEGMENT
+			// support: latch gsoNo so future bursts skip the attempt.
+			// After a successful probe it is a transient, parameter-
+			// dependent rejection (e.g. the path MTU shrank below the
+			// segment size) and the latched state stays gsoYes. Either
+			// way the caller replays the unsent tail through sendmmsg
+			// rather than failing the burst.
 			if m.gso != gsoYes && m.n == 0 {
-				m.gso = gsoNo // kernel predates UDP_SEGMENT
-				return true
+				m.gso = gsoNo
 			}
-			m.err = errno
+			m.gsoFallback = true
 			return true
 		default:
 			m.err = errno

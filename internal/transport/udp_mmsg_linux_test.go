@@ -1,0 +1,197 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// rawFD adapts a plain file descriptor to syscall.RawConn for driving
+// the mmsg callbacks directly in tests. Blocking sockets never return
+// EAGAIN, so the retry loops cannot spin.
+type rawFD uintptr
+
+func (r rawFD) Control(f func(fd uintptr)) error { f(uintptr(r)); return nil }
+
+func (r rawFD) Read(f func(fd uintptr) bool) error {
+	for !f(uintptr(r)) {
+	}
+	return nil
+}
+
+func (r rawFD) Write(f func(fd uintptr) bool) error {
+	for !f(uintptr(r)) {
+	}
+	return nil
+}
+
+func mkUniform(n, size int) []*wire.Buf {
+	bs := make([]*wire.Buf, n)
+	for i := range bs {
+		bs[i] = wire.NewBuf(0, size)
+		p := bs[i].Bytes()
+		for j := range p {
+			p[j] = byte(i)
+		}
+	}
+	return bs
+}
+
+// TestGSOEligibleSegmentCap pins the MTU guard: uniform bursts above
+// gsoMaxSeg must not take the GSO path, because the kernel rejects a
+// gso_size exceeding the path MTU with EINVAL where sendmmsg would have
+// delivered via IP fragmentation.
+func TestGSOEligibleSegmentCap(t *testing.T) {
+	cases := []struct {
+		n, size int
+		ok      bool
+	}{
+		{2, gsoMaxSeg, true},
+		{2, gsoMaxSeg + 1, false},
+		{8, 128, true},
+		{1, 128, false}, // single message: nothing to coalesce
+		{2, 0, false},
+	}
+	for _, tc := range cases {
+		bs := mkUniform(tc.n, tc.size)
+		seg, ok := gsoEligible(bs)
+		if ok != tc.ok {
+			t.Errorf("gsoEligible(%d x %d bytes) = %v, want %v", tc.n, tc.size, ok, tc.ok)
+		}
+		if ok && seg != tc.size {
+			t.Errorf("gsoEligible(%d x %d bytes) seg = %d, want %d", tc.n, tc.size, seg, tc.size)
+		}
+		core.ReleaseAll(bs)
+	}
+}
+
+// rejectingConn builds a socketConn over a datagram socketpair whose
+// GSO sendmsg path is forced to fail with errno (the injection seam —
+// loopback's 64k MTU cannot produce the path-MTU EINVAL organically).
+// The restore function must be deferred; reads come from the returned
+// peer fd. sendmmsg/recvmmsg remain real syscalls.
+func rejectingConn(t *testing.T, errno syscall.Errno) (s *socketConn, peer int, restore func()) {
+	t.Helper()
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_DGRAM, 0)
+	if err != nil {
+		t.Fatalf("socketpair: %v", err)
+	}
+	t.Cleanup(func() { syscall.Close(fds[0]); syscall.Close(fds[1]) })
+
+	s = &socketConn{tel: countersFor("udp")}
+	m := &s.sendmm
+	m.tried = true // skip initRaw: drive the callbacks over the raw fd
+	m.raw = rawFD(fds[0])
+	m.fn = m.sendChunks
+	m.gsoFn = m.sendGSO
+
+	prev := sendmsg
+	sendmsg = func(fd, msg uintptr) syscall.Errno { return errno }
+	return s, fds[1], func() { sendmsg = prev }
+}
+
+// TestGSOMidBurstRejectFallsBack reproduces an EINVAL-class UDP_SEGMENT
+// rejection after the probe has latched gsoYes (in production: a path
+// MTU smaller than the segment size). The burst must fall back to
+// sendmmsg and deliver everything, not fail, and the latched state must
+// survive — a transient rejection is not a capability verdict.
+func TestGSOMidBurstRejectFallsBack(t *testing.T) {
+	s, peer, restore := rejectingConn(t, syscall.EINVAL)
+	defer restore()
+	s.sendmm.gso = gsoYes // as if an earlier burst's probe succeeded
+
+	const n, size = 4, 256
+	bs := mkUniform(n, size) // uniform and small: GSO-eligible
+	sent, err := s.writeBurst(bs)
+	if err != nil {
+		t.Fatalf("writeBurst after UDP_SEGMENT rejection = %v, want sendmmsg fallback", err)
+	}
+	if sent != n {
+		t.Fatalf("sent = %d, want %d", sent, n)
+	}
+	if s.sendmm.gso != gsoYes {
+		t.Errorf("gso state = %d after transient rejection, want gsoYes (%d)", s.sendmm.gso, gsoYes)
+	}
+	core.ReleaseAll(bs)
+
+	buf := make([]byte, size+1)
+	for i := 0; i < n; i++ {
+		k, err := syscall.Read(peer, buf)
+		if err != nil {
+			t.Fatalf("read datagram %d: %v", i, err)
+		}
+		if k != size || buf[0] != byte(i) {
+			t.Fatalf("datagram %d: %d bytes first=%#x, want %d bytes first=%#x", i, k, buf[0], size, byte(i))
+		}
+	}
+}
+
+// TestGSOProbeFailureReplaysBurst drives the unprobed path into the
+// same rejection: the first eligible burst latches gsoNo and the whole
+// burst still goes out via sendmmsg.
+func TestGSOProbeFailureReplaysBurst(t *testing.T) {
+	s, peer, restore := rejectingConn(t, syscall.EOPNOTSUPP)
+	defer restore()
+
+	const n, size = 3, 64
+	bs := mkUniform(n, size)
+	sent, err := s.writeBurst(bs)
+	if err != nil {
+		t.Fatalf("writeBurst on non-GSO socket = %v, want sendmmsg replay", err)
+	}
+	if sent != n {
+		t.Fatalf("sent = %d, want %d", sent, n)
+	}
+	if s.sendmm.gso != gsoNo {
+		t.Errorf("gso state = %d after probe failure, want gsoNo (%d)", s.sendmm.gso, gsoNo)
+	}
+	core.ReleaseAll(bs)
+
+	buf := make([]byte, size+1)
+	for i := 0; i < n; i++ {
+		if _, err := syscall.Read(peer, buf); err != nil {
+			t.Fatalf("read datagram %d: %v", i, err)
+		}
+	}
+}
+
+// TestUnixgramBurstSkipsGSO checks the transport guard: unixgram
+// sockets never attempt the UDP-only UDP_SEGMENT probe — the state is
+// latched gsoNo at init and eligible bursts ride plain sendmmsg.
+func TestUnixgramBurstSkipsGSO(t *testing.T) {
+	ctx := ctxT(t)
+	path := filepath.Join(t.TempDir(), "srv.sock")
+	l, err := ListenUnix("h", path)
+	if err != nil {
+		t.Fatalf("listen unix: %v", err)
+	}
+	defer l.Close()
+	cli, err := DialUnix("h", path)
+	if err != nil {
+		t.Fatalf("dial unix: %v", err)
+	}
+	defer cli.Close()
+
+	const n, size = 4, 64
+	if err := core.SendBufs(ctx, cli, mkUniform(n, size)); err != nil {
+		t.Fatalf("SendBufs: %v", err)
+	}
+	srv, err := l.Accept(ctx)
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	for _, g := range recvN(ctx, t, srv, n) {
+		if g.Len() != size {
+			t.Errorf("received %d bytes, want %d", g.Len(), size)
+		}
+		g.Release()
+	}
+	if gso := cli.(*unixConn).sendmm.gso; gso != gsoNo {
+		t.Errorf("unixgram gso state = %d, want gsoNo (%d)", gso, gsoNo)
+	}
+}
