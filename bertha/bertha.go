@@ -25,6 +25,7 @@
 package bertha
 
 import (
+	"context"
 	"time"
 
 	"github.com/bertha-net/bertha/internal/chunnels/compress"
@@ -71,6 +72,8 @@ type (
 	Side = core.Side
 	// DiscoveryClient is the runtime's view of the discovery service.
 	DiscoveryClient = core.DiscoveryClient
+	// CoalesceConfig parameterizes send-side coalescing (WithCoalescing).
+	CoalesceConfig = core.CoalesceConfig
 
 	// Stack is a Chunnel DAG (Table 1 "Chunnel DAG").
 	Stack = spec.Stack
@@ -137,7 +140,20 @@ var (
 	// traces into an explicit telemetry registry instead of the
 	// process-wide default (telemetry.Default()).
 	WithTelemetry = core.WithTelemetry
+	// WithCoalescing wraps the endpoint's connections in a send-side
+	// coalescer: per-message sends under sustained load are gathered
+	// into bursts that ride the vectored datapath, idle connections
+	// keep the direct path. The zero CoalesceConfig selects the
+	// defaults (50µs flush budget, 64-message bursts).
+	WithCoalescing = core.WithCoalescing
 )
+
+// Flush pushes a coalescing connection's pending sends to the wire
+// (WithCoalescing); on any other connection it is a no-op. Callers with
+// a latency-critical message send it and then Flush.
+func Flush(ctx context.Context, conn Conn) error {
+	return core.Flush(ctx, conn)
+}
 
 // Policies, re-exported.
 var (

@@ -46,7 +46,7 @@ func main() {
 	telem := flag.Bool("telemetry", false, "instrument every stack layer and print the per-chunnel latency attribution (stack experiment)")
 	showVersion := flag.Bool("version", false, "print version (module + vet-suite revision) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] [-telemetry] {fig2|fig3|fig4|fig5|opt|consensus|stack|batch|all}...\n")
+		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] [-telemetry] {fig2|fig3|fig4|fig5|opt|consensus|stack|batch|coalesce|all}...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -68,6 +68,7 @@ func main() {
 	cons := bench.ConsensusConfig{}
 	stack := bench.StackConfig{JSON: *jsonOut, Telemetry: *telem}
 	batch := bench.BatchConfig{JSON: *jsonOut}
+	coalesce := bench.CoalesceConfig{JSON: *jsonOut}
 	if *full {
 		fig3.Connections = 10000
 		fig5.Requests = 300000
@@ -76,6 +77,7 @@ func main() {
 		cons.Ops = 2000
 		stack.Messages = 50000
 		batch.Messages = 65536
+		coalesce.Messages = 65536
 	} else {
 		fig4.Duration = 4 * time.Second
 		fig4.LocalStartAt = 2 * time.Second
@@ -101,8 +103,10 @@ func main() {
 			return bench.Stack(os.Stdout, stack)
 		case "batch":
 			return bench.Batch(os.Stdout, batch)
+		case "coalesce":
+			return bench.Coalesce(os.Stdout, coalesce)
 		case "all":
-			for _, n := range []string{"fig2", "fig3", "fig4", "fig5", "opt", "consensus", "stack", "batch"} {
+			for _, n := range []string{"fig2", "fig3", "fig4", "fig5", "opt", "consensus", "stack", "batch", "coalesce"} {
 				if err := run(n); err != nil {
 					return fmt.Errorf("%s: %w", n, err)
 				}

@@ -268,17 +268,23 @@ func ConnCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
 //	//bertha:daemon why  (stmt line) the goroutine launched here is an
 //	                                 intentional process-lifetime daemon
 //	                                 with no shutdown edge
+//	//bertha:queue why   (struct field) the []*wire.Buf field is a send
+//	                                 queue: stores into and appends onto
+//	                                 it are sanctioned ownership
+//	                                 transfers, with release deferred to
+//	                                 the draining code
 type Annotations struct {
 	fset *token.FileSet
-	// transfers, overheads, and daemons are keyed by "file:line".
+	// transfers, overheads, daemons, and queues are keyed by "file:line".
 	transfers map[string]bool
 	overheads map[string]int
 	daemons   map[string]bool
+	queues    map[string]bool
 }
 
 // CollectAnnotations indexes every //bertha: comment in the files.
 func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
-	a := &Annotations{fset: fset, transfers: map[string]bool{}, overheads: map[string]int{}, daemons: map[string]bool{}}
+	a := &Annotations{fset: fset, transfers: map[string]bool{}, overheads: map[string]int{}, daemons: map[string]bool{}, queues: map[string]bool{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -305,6 +311,10 @@ func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 				case "daemon":
 					for _, key := range keys {
 						a.daemons[key] = true
+					}
+				case "queue":
+					for _, key := range keys {
+						a.queues[key] = true
 					}
 				case "overhead":
 					if len(fields) > 1 {
@@ -339,6 +349,10 @@ func (a *Annotations) OverheadAt(pos token.Pos) (int, bool) {
 // DaemonAt reports whether a //bertha:daemon directive covers the line
 // containing pos.
 func (a *Annotations) DaemonAt(pos token.Pos) bool { return a.daemons[a.key(pos)] }
+
+// QueueAt reports whether a //bertha:queue directive covers the line
+// containing pos (a struct-field declaration).
+func (a *Annotations) QueueAt(pos token.Pos) bool { return a.queues[a.key(pos)] }
 
 // FuncDirective scans a function's doc comment for a //bertha:<verb>
 // directive naming ident (e.g. verb "borrows", ident "b").

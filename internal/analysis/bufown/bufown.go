@@ -22,6 +22,13 @@
 // callee, and a RecvBufs-style method storing into an element of a
 // []*wire.Buf parameter hands that Buf to the caller — the store is the
 // sanctioned transfer and needs no annotation.
+//
+// Send queues (the coalescer pattern) are declared at the field: a
+// []*wire.Buf struct field annotated //bertha:queue <why> is a queue
+// whose drain path owns the release, so stores into its elements and
+// appends onto it are sanctioned ownership transfers — per-statement
+// //bertha:transfers annotations are not required at each enqueue site.
+// Stores into unannotated fields remain transfer diagnostics.
 package bufown
 
 import (
@@ -170,6 +177,26 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
+	// Index the //bertha:queue-annotated []*wire.Buf struct fields:
+	// enqueue stores into them are sanctioned transfers.
+	queues := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok &&
+						analysis.IsBufSlice(v.Type()) && ann.QueueAt(name.Pos()) {
+						queues[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
 	// Publish each function's borrowed Buf parameters so callers in
 	// other packages keep ownership instead of assuming a transfer.
 	for fn, fd := range decls {
@@ -198,7 +225,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			fa := &funcAnalysis{pass: pass, ann: ann, decls: decls}
+			fa := &funcAnalysis{pass: pass, ann: ann, decls: decls, queues: queues}
 			fa.runFunc(fd.Type, fd.Doc, fd.Body)
 		}
 	}
@@ -215,6 +242,10 @@ type funcAnalysis struct {
 	// to the caller through the slice — so it consumes the Buf without
 	// needing a //bertha:transfers annotation.
 	intoParams map[*types.Var]bool
+	// queues holds the package's //bertha:queue struct fields: stores
+	// into and appends onto a queue are likewise sanctioned transfers
+	// (the drain path owns the release).
+	queues map[*types.Var]bool
 }
 
 func (fa *funcAnalysis) info() *types.Info { return fa.pass.TypesInfo }
@@ -272,6 +303,26 @@ func (fa *funcAnalysis) isIntoStore(lhs ast.Expr) bool {
 	}
 	v := fa.identVar(id)
 	return v != nil && fa.intoParams[v]
+}
+
+// queueField returns the //bertha:queue-annotated field x resolves to,
+// or nil.
+func (fa *funcAnalysis) queueField(x ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if v, ok := fa.info().Uses[sel.Sel].(*types.Var); ok && fa.queues[v] {
+		return v
+	}
+	return nil
+}
+
+// isQueueStore reports whether lhs indexes a //bertha:queue field — the
+// coalescer enqueue, where the queue's drain path owns the release.
+func (fa *funcAnalysis) isQueueStore(lhs ast.Expr) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	return ok && fa.queueField(ix.X) != nil
 }
 
 // exitCheck reports owned cells still live when a path leaves the
@@ -610,9 +661,11 @@ func (fa *funcAnalysis) assign(s *ast.AssignStmt, e *env) {
 		}
 		// Store target: m[k] = b, x.f = b, *p = b.
 		if c := fa.trackedIdent(rhs, e); c != nil {
-			if fa.isIntoStore(lhs) {
-				// into[i] = b inside a RecvBufs-shaped method: the slice
-				// belongs to the caller, so the store IS the transfer.
+			if fa.isIntoStore(lhs) || fa.isQueueStore(lhs) {
+				// into[i] = b inside a RecvBufs-shaped method (the slice
+				// belongs to the caller) or q[i] = b onto a declared
+				// //bertha:queue field (the drain path releases): the
+				// store IS the transfer.
 				fa.useCheck(rhs.Pos(), c, e)
 				e.st[c] = stEscaped
 			} else {
@@ -840,9 +893,18 @@ func (fa *funcAnalysis) call(x *ast.CallExpr, e *env) {
 		if id, ok := x.Fun.(*ast.Ident); ok {
 			if _, isBuiltin := fa.info().Uses[id].(*types.Builtin); isBuiltin {
 				if id.Name == "append" {
+					queueAppend := len(x.Args) > 0 && fa.queueField(x.Args[0]) != nil
 					for i, arg := range x.Args {
 						if c := fa.trackedIdent(arg, e); c != nil && i > 0 {
-							fa.consumeStore(arg.Pos(), c, e, "append")
+							if queueAppend {
+								// Appending onto a //bertha:queue field is
+								// the enqueue form of the sanctioned
+								// transfer.
+								fa.useCheck(arg.Pos(), c, e)
+								e.st[c] = stEscaped
+							} else {
+								fa.consumeStore(arg.Pos(), c, e, "append")
+							}
 							continue
 						}
 						fa.expr(arg, e)
@@ -946,7 +1008,7 @@ func (fa *funcAnalysis) funcLit(fl *ast.FuncLit, e *env) {
 		}
 		return true
 	})
-	sub := &funcAnalysis{pass: fa.pass, ann: fa.ann, decls: fa.decls}
+	sub := &funcAnalysis{pass: fa.pass, ann: fa.ann, decls: fa.decls, queues: fa.queues}
 	sub.runFunc(fl.Type, nil, fl.Body)
 }
 

@@ -177,3 +177,60 @@ func nilRefinedLoop(ctx context.Context, c core.BufConn) (*wire.Buf, error) {
 		}
 	}
 }
+
+// coalesceQueue is the send-coalescer shape: the annotated field is a
+// declared send queue, so enqueue stores and appends transfer ownership
+// to the drain path without per-statement annotations.
+type coalesceQueue struct {
+	pending []*wire.Buf //bertha:queue drained by flush, which releases
+	n       int
+}
+
+// enqueueStore stores into the declared queue: sanctioned, no
+// annotation needed at the statement.
+func (q *coalesceQueue) enqueueStore(ctx context.Context, c core.BufConn) error {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return err
+	}
+	q.pending[q.n] = b // fine: //bertha:queue field, drain releases
+	q.n++
+	return nil
+}
+
+// enqueueAppend appends onto the declared queue: the enqueue form of
+// the same sanctioned transfer.
+func (q *coalesceQueue) enqueueAppend(ctx context.Context, c core.BufConn) error {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return err
+	}
+	q.pending = append(q.pending, b) // fine: //bertha:queue field
+	return nil
+}
+
+// plainQueue has no //bertha:queue annotation: stores into and appends
+// onto its slice field remain unsanctioned transfers.
+type plainQueue struct {
+	pending []*wire.Buf
+	n       int
+}
+
+func (q *plainQueue) storeUnsanctioned(ctx context.Context, c core.BufConn) error {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return err
+	}
+	q.pending[q.n] = b // want `transfer`
+	q.n++
+	return nil
+}
+
+func (q *plainQueue) appendUnsanctioned(ctx context.Context, c core.BufConn) error {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return err
+	}
+	q.pending = append(q.pending, b) // want `transfer`
+	return nil
+}

@@ -68,13 +68,9 @@ func Batch(w io.Writer, cfg BatchConfig) error {
 		if msgs == 0 {
 			msgs = burst
 		}
-		batchRate, err := runBatch(cfg, burst, msgs, true)
+		batchRate, loopRate, err := runBatch(cfg, burst, msgs)
 		if err != nil {
-			return fmt.Errorf("batch burst=%d vectored: %w", burst, err)
-		}
-		loopRate, err := runBatch(cfg, burst, msgs, false)
-		if err != nil {
-			return fmt.Errorf("batch burst=%d loop: %w", burst, err)
+			return fmt.Errorf("batch burst=%d: %w", burst, err)
 		}
 		speedup := 0.0
 		if loopRate > 0 {
@@ -108,17 +104,70 @@ func Batch(w io.Writer, cfg BatchConfig) error {
 	return nil
 }
 
-// runBatch moves msgs messages in bursts of burst over a fresh stack
-// pair and returns the sustained message rate. vectored selects the
-// batch path end to end (client and echo server); otherwise both sides
-// loop per message with the same burst in flight.
-func runBatch(cfg BatchConfig, burst, msgs int, vectored bool) (float64, error) {
+// runBatch moves msgs messages in bursts of burst through two live
+// stack pairs — one driven end to end by the vectored path, one by the
+// per-message loop — and returns both sustained rates. The rounds
+// interleave (vectored, loop, vectored, loop, …) with per-round timing
+// recorded separately, so scheduler drift and allocator phase hit both
+// modes equally and the reported speedup stays a same-conditions ratio;
+// back-to-back contiguous runs were noisy enough to swamp the
+// few-percent deltas the burst-1 floor gates on. The rates come from
+// the median round rather than the total, which keeps asymmetric
+// outliers (a GC pause or preemption landing inside one mode's rounds)
+// from skewing the ratio.
+func runBatch(cfg BatchConfig, burst, msgs int) (batchRate, loopRate float64, err error) {
+	vRound, vClose, err := batchRounder(cfg, burst, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer vClose()
+	lRound, lClose, err := batchRounder(cfg, burst, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer lClose()
+
+	rounds := msgs / burst
+	warm := rounds / 10
+	if warm < 4 {
+		warm = 4
+	}
+	for i := 0; i < warm; i++ {
+		if err := vRound(); err != nil {
+			return 0, 0, err
+		}
+		if err := lRound(); err != nil {
+			return 0, 0, err
+		}
+	}
+	vRec := stats.NewRecorder(rounds)
+	lRec := stats.NewRecorder(rounds)
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		if err := vRound(); err != nil {
+			return 0, 0, err
+		}
+		vRec.Record(time.Since(t0))
+		t0 = time.Now()
+		if err := lRound(); err != nil {
+			return 0, 0, err
+		}
+		lRec.Record(time.Since(t0))
+	}
+	perBurst := float64(burst) * 1e6 // Percentile reports µs
+	return perBurst / vRec.Percentile(50), perBurst / lRec.Percentile(50), nil
+}
+
+// batchRounder builds one scenario: a fresh stack pair with an echo
+// server matching the mode, and a round func that sends a full burst
+// then collects the echoed burst. Rounds run under a deadline so a
+// dropped datagram (possible on a loaded machine, UDP being UDP) fails
+// the round rather than hanging.
+func batchRounder(cfg BatchConfig, burst int, vectored bool) (round func() error, closeFn func(), err error) {
 	cli, srv, err := stackPair()
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
-	defer cli.Close()
-	defer srv.Close()
 	ctx := context.Background()
 	go batchEcho(ctx, srv, burst, vectored)
 
@@ -127,10 +176,11 @@ func runBatch(cfg BatchConfig, burst, msgs int, vectored bool) (float64, error) 
 	out := make([]*wire.Buf, burst)
 	in := make([]*wire.Buf, burst)
 
-	// One round: send a full burst, then collect the echoed burst. Runs
-	// under a deadline so a dropped datagram (possible on a loaded
-	// machine, UDP being UDP) fails the round rather than hanging.
-	round := func() error {
+	closeFn = func() {
+		cli.Close()
+		srv.Close()
+	}
+	round = func() error {
 		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 		defer cancel()
 		if vectored {
@@ -165,25 +215,7 @@ func runBatch(cfg BatchConfig, burst, msgs int, vectored bool) (float64, error) 
 		}
 		return nil
 	}
-
-	rounds := msgs / burst
-	warm := rounds / 10
-	if warm < 4 {
-		warm = 4
-	}
-	for i := 0; i < warm; i++ {
-		if err := round(); err != nil {
-			return 0, err
-		}
-	}
-	t0 := time.Now()
-	for i := 0; i < rounds; i++ {
-		if err := round(); err != nil {
-			return 0, err
-		}
-	}
-	elapsed := time.Since(t0)
-	return float64(rounds*burst) / elapsed.Seconds(), nil
+	return round, closeFn, nil
 }
 
 // batchEcho bounces everything it receives back to the sender, using

@@ -1,0 +1,369 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/stats"
+	"github.com/bertha-net/bertha/internal/telemetry"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// CoalesceConfig parameterizes the send-side-coalescing experiment.
+type CoalesceConfig struct {
+	// Messages is the number of messages moved per sustained-load
+	// scenario.
+	Messages int
+	// Size is the payload size in bytes.
+	Size int
+	// JSON selects machine-readable output.
+	JSON bool
+}
+
+func (c *CoalesceConfig) fill() {
+	if c.Messages <= 0 {
+		c.Messages = 8192
+	}
+	if c.Size <= 0 {
+		c.Size = 64
+	}
+}
+
+// CoalesceIdle is the idle-latency comparison: paced single-message
+// round trips (gap well above the coalescer's Idle window) on the
+// direct path versus through a coalescer whose bypass should make the
+// two indistinguishable.
+type CoalesceIdle struct {
+	GapUsec          float64 `json:"gap_usec"`
+	DirectP50Usec    float64 `json:"direct_p50_usec"`
+	CoalescedP50Usec float64 `json:"coalesced_p50_usec"`
+	// Ratio is coalesced/direct; the idle bypass targets ≤ 1.05.
+	Ratio float64 `json:"ratio"`
+}
+
+// CoalesceSustained is the throughput comparison under a send firehose:
+// a per-message SendBuf loop on the bare stack versus the same loop
+// through the coalescer (which turns it into SendBufs bursts riding
+// sendmmsg/GSO). The caller's code is identical in both runs — the
+// speedup is what coalescing buys applications that never batch.
+type CoalesceSustained struct {
+	Messages            int     `json:"messages"`
+	DirectMsgsPerSec    float64 `json:"direct_msgs_per_sec"`
+	CoalescedMsgsPerSec float64 `json:"coalesced_msgs_per_sec"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// CoalesceSweepPoint is one offered-load point of the latency-vs-
+// throughput sweep: messages paced at a fixed gap through the
+// coalescer, with the flush-reason split and the queue dwell time p95
+// from an isolated telemetry registry.
+type CoalesceSweepPoint struct {
+	GapUsec       float64 `json:"gap_usec"`
+	MsgsPerSec    float64 `json:"msgs_per_sec"`
+	DelayP95Usec  float64 `json:"delay_p95_usec"`
+	Enqueued      uint64  `json:"enqueued"`
+	IdleBypass    uint64  `json:"idle_bypass"`
+	FlushSize     uint64  `json:"flush_size"`
+	FlushTimer    uint64  `json:"flush_timer"`
+	FlushExplicit uint64  `json:"flush_explicit"`
+}
+
+// idleGap keeps the paced round trips far outside the default Idle
+// window so every send should take the bypass.
+const idleGap = 200 * time.Microsecond
+
+// coalesceSweepGaps are the offered-load points: from clearly idle
+// through the adaptation region down to an unpaced firehose.
+var coalesceSweepGaps = []time.Duration{100 * time.Microsecond, 20 * time.Microsecond, 5 * time.Microsecond, 0}
+
+// Coalesce measures the adaptive send-side coalescer over the same
+// serialize→framing→udp stack the batch experiment uses: idle latency
+// (bypass overhead), sustained per-message throughput against the bare
+// stack, and a pacing sweep showing the flush-reason mix shift from
+// idle-bypass to size-capped bursts as offered load rises.
+func Coalesce(w io.Writer, cfg CoalesceConfig) error {
+	cfg.fill()
+
+	idle, err := runCoalesceIdle(cfg)
+	if err != nil {
+		return fmt.Errorf("coalesce idle: %w", err)
+	}
+	sustained, err := runCoalesceSustained(cfg)
+	if err != nil {
+		return fmt.Errorf("coalesce sustained: %w", err)
+	}
+	sweep := make([]CoalesceSweepPoint, 0, len(coalesceSweepGaps))
+	for _, gap := range coalesceSweepGaps {
+		pt, err := runCoalesceSweepPoint(cfg, gap)
+		if err != nil {
+			return fmt.Errorf("coalesce sweep gap=%v: %w", gap, err)
+		}
+		sweep = append(sweep, pt)
+	}
+
+	if cfg.JSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"experiment": "coalesce",
+			"idle":       idle,
+			"sustained":  sustained,
+			"sweep":      sweep,
+		})
+	}
+	fmt.Fprintf(w, "coalesce: idle round trip (%.0fµs gap): direct p50 %.1fµs, coalesced p50 %.1fµs (%.2fx)\n",
+		idle.GapUsec, idle.DirectP50Usec, idle.CoalescedP50Usec, idle.Ratio)
+	fmt.Fprintf(w, "coalesce: sustained %d msgs: direct %.0f msg/s, coalesced %.0f msg/s (%.2fx)\n",
+		sustained.Messages, sustained.DirectMsgsPerSec, sustained.CoalescedMsgsPerSec, sustained.Speedup)
+	table := stats.NewTable(
+		fmt.Sprintf("coalesce: pacing sweep, %d-byte messages", cfg.Size),
+		"gap µs", "msg/s", "delay p95 µs", "enq", "bypass", "size", "timer", "explicit")
+	for _, pt := range sweep {
+		table.AddRow(pt.GapUsec, fmt.Sprintf("%.0f", pt.MsgsPerSec),
+			fmt.Sprintf("%.1f", pt.DelayP95Usec),
+			pt.Enqueued, pt.IdleBypass, pt.FlushSize, pt.FlushTimer, pt.FlushExplicit)
+	}
+	table.Render(w)
+	return nil
+}
+
+// coalescedStackPair builds a stack pair with the client side wrapped
+// in a coalescer recording into its own registry.
+func coalescedStackPair(cfg core.CoalesceConfig) (col *core.Coalescer, srv core.Conn, tel *telemetry.Registry, err error) {
+	cli, srv, err := stackPair()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tel = telemetry.New()
+	return core.NewCoalescer(cli, cfg, tel), srv, tel, nil
+}
+
+// runCoalesceIdle measures paced single-message round-trip latency
+// with and without the coalescer in the path. The two clients are
+// interleaved round for round, so both sample identical machine
+// conditions and the ratio isolates the bypass overhead rather than
+// run-to-run scheduling drift.
+func runCoalesceIdle(cfg CoalesceConfig) (CoalesceIdle, error) {
+	rounds := cfg.Messages / 8
+	if rounds < 512 {
+		rounds = 512
+	}
+	direct, srvA, err := stackPair()
+	if err != nil {
+		return CoalesceIdle{}, err
+	}
+	defer direct.Close()
+	defer srvA.Close()
+	col, srvB, _, err := coalescedStackPair(core.CoalesceConfig{})
+	if err != nil {
+		return CoalesceIdle{}, err
+	}
+	defer col.Close()
+	defer srvB.Close()
+	ctx := context.Background()
+	go batchEcho(ctx, srvA, 1, false)
+	go batchEcho(ctx, srvB, 1, false)
+
+	payload := make([]byte, cfg.Size)
+	round := func(cli core.Conn) (time.Duration, error) {
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		t0 := time.Now()
+		if err := core.SendBuf(rctx, cli, wire.NewBufFrom(core.HeadroomOf(cli), payload)); err != nil {
+			return 0, err
+		}
+		b, err := core.RecvBuf(rctx, cli)
+		if err != nil {
+			return 0, err
+		}
+		d := time.Since(t0)
+		b.Release()
+		return d, nil
+	}
+	latD := make([]time.Duration, 0, rounds)
+	latC := make([]time.Duration, 0, rounds)
+	measure := func(record bool) error {
+		d, err := round(direct)
+		if err != nil {
+			return err
+		}
+		time.Sleep(idleGap)
+		c, err := round(col)
+		if err != nil {
+			return err
+		}
+		time.Sleep(idleGap)
+		if record {
+			latD = append(latD, d)
+			latC = append(latC, c)
+		}
+		return nil
+	}
+	for i := 0; i < rounds/8+16; i++ { // warmup
+		if err := measure(false); err != nil {
+			return CoalesceIdle{}, err
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		if err := measure(true); err != nil {
+			return CoalesceIdle{}, err
+		}
+	}
+	p50 := func(lat []time.Duration) float64 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return float64(lat[len(lat)/2]) / 1e3
+	}
+	dp, cp := p50(latD), p50(latC)
+	ratio := 0.0
+	if dp > 0 {
+		ratio = cp / dp
+	}
+	return CoalesceIdle{
+		GapUsec:          float64(idleGap) / 1e3,
+		DirectP50Usec:    dp,
+		CoalescedP50Usec: cp,
+		Ratio:            ratio,
+	}, nil
+}
+
+// runCoalesceSustained measures the send-side rate of an unpaced
+// per-message SendBuf loop, bare versus coalesced. Fire-and-forget: the
+// server drains (UDP may shed load on a busy machine, and send-side
+// rate is the quantity the coalescer changes), and the clock stops
+// after a final Flush so queued messages are not counted early.
+func runCoalesceSustained(cfg CoalesceConfig) (CoalesceSustained, error) {
+	direct, err := firehose(cfg, false)
+	if err != nil {
+		return CoalesceSustained{}, err
+	}
+	coalesced, err := firehose(cfg, true)
+	if err != nil {
+		return CoalesceSustained{}, err
+	}
+	speedup := 0.0
+	if direct > 0 {
+		speedup = coalesced / direct
+	}
+	return CoalesceSustained{
+		Messages:            cfg.Messages,
+		DirectMsgsPerSec:    direct,
+		CoalescedMsgsPerSec: coalesced,
+		Speedup:             speedup,
+	}, nil
+}
+
+// drainConn discards everything the connection delivers until it
+// closes.
+func drainConn(ctx context.Context, conn core.Conn) {
+	in := make([]*wire.Buf, 64)
+	for {
+		n, err := core.RecvBufs(ctx, conn, in)
+		if err != nil {
+			return
+		}
+		core.ReleaseAll(in[:n])
+	}
+}
+
+func firehose(cfg CoalesceConfig, coalesced bool) (float64, error) {
+	var cli core.Conn
+	srvConn, err := func() (core.Conn, error) {
+		if coalesced {
+			col, srv, _, err := coalescedStackPair(core.CoalesceConfig{})
+			cli = col
+			return srv, err
+		}
+		c, srv, err := stackPair()
+		cli = c
+		return srv, err
+	}()
+	if err != nil {
+		return 0, err
+	}
+	defer cli.Close()
+	defer srvConn.Close()
+	ctx := context.Background()
+	go drainConn(ctx, srvConn)
+
+	payload := make([]byte, cfg.Size)
+	headroom := core.HeadroomOf(cli)
+	send := func(n int) error {
+		sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		for i := 0; i < n; i++ {
+			if err := core.SendBuf(sctx, cli, wire.NewBufFrom(headroom, payload)); err != nil {
+				return err
+			}
+		}
+		return core.Flush(sctx, cli)
+	}
+	warm := cfg.Messages / 10
+	if warm < 64 {
+		warm = 64
+	}
+	if err := send(warm); err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	if err := send(cfg.Messages); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(t0)
+	return float64(cfg.Messages) / elapsed.Seconds(), nil
+}
+
+// runCoalesceSweepPoint paces sends at the given gap through a
+// coalescer with an isolated registry and reports the achieved rate
+// alongside the flush-reason mix and queue dwell p95.
+func runCoalesceSweepPoint(cfg CoalesceConfig, gap time.Duration) (CoalesceSweepPoint, error) {
+	col, srvConn, tel, err := coalescedStackPair(core.CoalesceConfig{})
+	if err != nil {
+		return CoalesceSweepPoint{}, err
+	}
+	defer col.Close()
+	defer srvConn.Close()
+	ctx := context.Background()
+	go drainConn(ctx, srvConn)
+
+	msgs := cfg.Messages / 4
+	if msgs < 512 {
+		msgs = 512
+	}
+	payload := make([]byte, cfg.Size)
+	headroom := core.HeadroomOf(col)
+	sctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	t0 := time.Now()
+	for i := 0; i < msgs; i++ {
+		if err := col.SendBuf(sctx, wire.NewBufFrom(headroom, payload)); err != nil {
+			return CoalesceSweepPoint{}, err
+		}
+		if gap > 0 {
+			time.Sleep(gap)
+		}
+	}
+	if err := col.Flush(sctx); err != nil {
+		return CoalesceSweepPoint{}, err
+	}
+	elapsed := time.Since(t0)
+
+	delayP95 := 0.0 // a fully-bypassed point has no dwell samples
+	if h := tel.Histogram("coalesce/delay"); h.Count() > 0 {
+		delayP95 = h.Snapshot().Quantile(0.95)
+	}
+	return CoalesceSweepPoint{
+		GapUsec:       float64(gap) / 1e3,
+		MsgsPerSec:    float64(msgs) / elapsed.Seconds(),
+		DelayP95Usec:  delayP95,
+		Enqueued:      tel.Counter("coalesce/enqueued").Value(),
+		IdleBypass:    tel.Counter("coalesce/idle_bypass").Value(),
+		FlushSize:     tel.Counter("coalesce/flush_size").Value(),
+		FlushTimer:    tel.Counter("coalesce/flush_timer").Value(),
+		FlushExplicit: tel.Counter("coalesce/flush_explicit").Value(),
+	}, nil
+}

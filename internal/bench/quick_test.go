@@ -43,3 +43,12 @@ func TestStackQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCoalesceQuick(t *testing.T) {
+	if err := Coalesce(os.Stderr, CoalesceConfig{Messages: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Coalesce(os.Stderr, CoalesceConfig{Messages: 1024, JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -78,6 +78,8 @@ func SendBufs(ctx context.Context, conn Conn, bs []*wire.Buf) error {
 	}
 	for i, b := range bs {
 		if err := SendBuf(ctx, conn, b); err != nil {
+			// bs[i] was consumed by SendBuf (released on its failure
+			// paths), so only the strictly-unsent tail remains ours.
 			ReleaseAll(bs[i+1:])
 			return &BatchError{Sent: i, Err: err}
 		}

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/telemetry"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// TestEndpointCoalescing drives WithCoalescing through the full
+// negotiated path: assemble wraps the stack in a Coalescer, the managed
+// connection forwards Flush, and rapid per-message sends reach the peer
+// batched but in order.
+func TestEndpointCoalescing(t *testing.T) {
+	tel := telemetry.New()
+	srv, err := core.NewEndpoint("srv", spec.Seq(), core.WithRegistry(core.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := core.NewEndpoint("cli", spec.Seq(),
+		core.WithRegistry(core.NewRegistry()),
+		core.WithTelemetry(tel),
+		core.WithCoalescing(core.CoalesceConfig{Delay: time.Millisecond, Idle: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cconn, sconn := dialAndServe(t, cli, srv)
+	ctx := ctxT(t)
+
+	const total = 10
+	for i := 0; i < total; i++ {
+		b := wire.NewBufFrom(core.HeadroomOf(cconn), []byte{byte('a' + i)})
+		if err := core.SendBuf(ctx, cconn, b); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// The managed connection forwards Flush to the coalescer.
+	if err := core.Flush(ctx, cconn); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for i := 0; i < total; i++ {
+		got, err := sconn.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(got) != 1 || got[0] != byte('a'+i) {
+			t.Fatalf("recv %d = %q, want %q", i, got, []byte{byte('a' + i)})
+		}
+	}
+	// With a huge Idle window the third and later sends of the rapid run
+	// must have gone through the queue.
+	if got := tel.Counter("coalesce/enqueued").Value(); got != total-2 {
+		t.Errorf("coalesce/enqueued = %d, want %d", got, total-2)
+	}
+}

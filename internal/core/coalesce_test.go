@@ -1,0 +1,532 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/telemetry"
+	"github.com/bertha-net/bertha/internal/testutil"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// sinkConn is a batch-aware send sink recording every message and the
+// burst sizes it was handed, with an injectable failure. Safe for
+// concurrent use.
+type sinkConn struct {
+	mu     sync.Mutex
+	msgs   [][]byte
+	bursts []int
+	fail   error // when set, sends fail with this error
+	closed bool
+}
+
+func (s *sinkConn) Send(ctx context.Context, p []byte) error {
+	return s.SendBuf(ctx, wire.NewBufFrom(0, p))
+}
+
+func (s *sinkConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail != nil {
+		b.Release()
+		return s.fail
+	}
+	s.msgs = append(s.msgs, append([]byte(nil), b.Bytes()...))
+	b.Release()
+	return nil
+}
+
+func (s *sinkConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail != nil {
+		ReleaseAll(bs)
+		return &BatchError{Sent: 0, Err: s.fail}
+	}
+	s.bursts = append(s.bursts, len(bs))
+	for _, b := range bs {
+		s.msgs = append(s.msgs, append([]byte(nil), b.Bytes()...))
+		b.Release()
+	}
+	return nil
+}
+
+func (s *sinkConn) Recv(ctx context.Context) ([]byte, error)       { return nil, ErrClosed }
+func (s *sinkConn) RecvBuf(ctx context.Context) (*wire.Buf, error) { return nil, ErrClosed }
+func (s *sinkConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	return 0, ErrClosed
+}
+func (s *sinkConn) Headroom() int    { return 0 }
+func (s *sinkConn) LocalAddr() Addr  { return Addr{Net: "sink", Addr: "local"} }
+func (s *sinkConn) RemoteAddr() Addr { return Addr{Net: "sink", Addr: "remote"} }
+func (s *sinkConn) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func (s *sinkConn) setFail(err error) {
+	s.mu.Lock()
+	s.fail = err
+	s.mu.Unlock()
+}
+
+func (s *sinkConn) snapshot() (msgs [][]byte, bursts []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.msgs...), append([]int(nil), s.bursts...)
+}
+
+// hotCoalescer returns a coalescer whose load detector always reads
+// "under load" (Idle is enormous) with the first two warm-up sends
+// already made, so the next SendBuf enqueues deterministically.
+func hotCoalescer(t *testing.T, inner Conn, cfg CoalesceConfig, tel *telemetry.Registry) *Coalescer {
+	t.Helper()
+	if cfg.Idle == 0 {
+		cfg.Idle = time.Hour
+	}
+	c := NewCoalescer(inner, cfg, tel)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte("warmup"))); err != nil {
+			t.Fatalf("warm-up send %d: %v", i, err)
+		}
+	}
+	return c
+}
+
+// releasedBuf reports whether b was released (access panics after
+// Release/Detach; Release itself stays a no-op).
+func releasedBuf(b *wire.Buf) (released bool) {
+	defer func() {
+		if recover() != nil {
+			released = true
+		}
+	}()
+	b.Len()
+	return false
+}
+
+func TestCoalesceSizeFlush(t *testing.T) {
+	sink := &sinkConn{}
+	tel := telemetry.New()
+	c := hotCoalescer(t, sink, CoalesceConfig{Delay: time.Hour, MaxBurst: 8, Idle: time.Hour}, tel)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte{byte(i)})); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	msgs, bursts := sink.snapshot()
+	if len(msgs) != 2+8 { // 2 warm-up directs + the burst
+		t.Fatalf("sink saw %d messages, want 10", len(msgs))
+	}
+	if len(bursts) != 1 || bursts[0] != 8 {
+		t.Fatalf("sink bursts = %v, want [8]", bursts)
+	}
+	if got := tel.Counter("coalesce/flush_size").Value(); got != 1 {
+		t.Fatalf("flush_size = %d, want 1", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestCoalesceTimerFlush(t *testing.T) {
+	sink := &sinkConn{}
+	tel := telemetry.New()
+	c := hotCoalescer(t, sink, CoalesceConfig{Delay: time.Millisecond, MaxBurst: 64, Idle: time.Hour}, tel)
+	defer c.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte{byte(i)})); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, bursts := sink.snapshot()
+		if len(bursts) == 1 && bursts[0] == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timer flush never delivered the burst; bursts = %v", bursts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := tel.Counter("coalesce/flush_timer").Value(); got != 1 {
+		t.Fatalf("flush_timer = %d, want 1", got)
+	}
+	if tel.Histogram("coalesce/delay").Count() == 0 {
+		t.Fatal("coalesce/delay histogram recorded nothing")
+	}
+}
+
+func TestCoalesceIdleBypass(t *testing.T) {
+	sink := &sinkConn{}
+	tel := telemetry.New()
+	// A 1ns window with real sleeps between sends: every send finds the
+	// connection idle and takes the direct path.
+	c := NewCoalescer(sink, CoalesceConfig{Delay: time.Hour, Idle: time.Nanosecond}, tel)
+	defer c.Close()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		time.Sleep(100 * time.Microsecond)
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte{byte(i)})); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	msgs, bursts := sink.snapshot()
+	if len(msgs) != 5 || len(bursts) != 0 {
+		t.Fatalf("sink saw %d messages, %v bursts; want 5 direct sends", len(msgs), bursts)
+	}
+	if got := tel.Counter("coalesce/idle_bypass").Value(); got != 5 {
+		t.Fatalf("idle_bypass = %d, want 5", got)
+	}
+	if got := tel.Counter("coalesce/enqueued").Value(); got != 0 {
+		t.Fatalf("enqueued = %d, want 0", got)
+	}
+}
+
+func TestCoalesceExplicitFlush(t *testing.T) {
+	sink := &sinkConn{}
+	tel := telemetry.New()
+	c := hotCoalescer(t, sink, CoalesceConfig{Delay: time.Hour, Idle: time.Hour}, tel)
+	defer c.Close()
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte{byte(i)})); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	_, bursts := sink.snapshot()
+	if len(bursts) != 1 || bursts[0] != 4 {
+		t.Fatalf("bursts = %v, want [4]", bursts)
+	}
+	if got := tel.Counter("coalesce/flush_explicit").Value(); got != 1 {
+		t.Fatalf("flush_explicit = %d, want 1", got)
+	}
+	// A second Flush with nothing pending is a successful no-op and does
+	// not count as a flush.
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("empty flush: %v", err)
+	}
+	if got := tel.Counter("coalesce/flush_explicit").Value(); got != 1 {
+		t.Fatalf("flush_explicit after empty flush = %d, want 1", got)
+	}
+}
+
+func TestCoalesceFIFOOrder(t *testing.T) {
+	sink := &sinkConn{}
+	c := NewCoalescer(sink, CoalesceConfig{Delay: time.Hour, MaxBurst: 4, Idle: time.Hour}, telemetry.New())
+	ctx := context.Background()
+	// Sequential sends from one caller must reach the sink in order even
+	// as the path shifts from direct (cold, warming) to coalesced (hot).
+	const total = 23
+	for i := 0; i < total; i++ {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte{byte(i)})); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := c.Close(); err != nil { // flushes the partial tail
+		t.Fatalf("close: %v", err)
+	}
+	msgs, _ := sink.snapshot()
+	if len(msgs) != total {
+		t.Fatalf("sink saw %d messages, want %d", len(msgs), total)
+	}
+	for i, m := range msgs {
+		if len(m) != 1 || m[0] != byte(i) {
+			t.Fatalf("message %d out of order: got %v", i, m)
+		}
+	}
+}
+
+func TestCoalesceFlushErrorInline(t *testing.T) {
+	sink := &sinkConn{}
+	boom := errors.New("boom")
+	c := hotCoalescer(t, sink, CoalesceConfig{Delay: time.Hour, MaxBurst: 4, Idle: time.Hour}, telemetry.New())
+	defer c.Close()
+	ctx := context.Background()
+	sink.setFail(boom)
+	var err error
+	for i := 0; i < 4; i++ {
+		err = c.SendBuf(ctx, wire.NewBufFrom(0, []byte{byte(i)}))
+		if err != nil {
+			break
+		}
+	}
+	// The size-cap flush runs on the fourth enqueuer's stack; that caller
+	// gets the BatchError.
+	if !errors.Is(err, boom) {
+		t.Fatalf("size-cap flush error = %v, want %v", err, boom)
+	}
+	if BatchSent(err) != 0 {
+		t.Fatalf("BatchSent = %d, want 0", BatchSent(err))
+	}
+	// The queue drained (buffers were consumed by the failed flush), so
+	// the error is not redelivered.
+	sink.setFail(nil)
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("flush after failure: %v", err)
+	}
+}
+
+func TestCoalesceFlushErrorDeferredToNextSender(t *testing.T) {
+	sink := &sinkConn{}
+	boom := errors.New("boom")
+	tel := telemetry.New()
+	c := hotCoalescer(t, sink, CoalesceConfig{Delay: time.Millisecond, MaxBurst: 64, Idle: time.Hour}, tel)
+	defer c.Close()
+	ctx := context.Background()
+	sink.setFail(boom)
+	if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte("doomed"))); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	// Wait for the timer flush to fail in the background.
+	deadline := time.Now().Add(5 * time.Second)
+	for tel.Counter("coalesce/flush_errors").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timer flush never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sink.setFail(nil)
+	// The deferred error reaches the next sender exactly once, and that
+	// sender's buffer is released unsent.
+	b := wire.NewBufFrom(0, []byte("next"))
+	err := c.SendBuf(ctx, b)
+	if !errors.Is(err, boom) {
+		t.Fatalf("deferred error = %v, want %v", err, boom)
+	}
+	if !releasedBuf(b) {
+		t.Fatal("buffer handed to the failing send was not released")
+	}
+	if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte("after"))); err != nil {
+		t.Fatalf("send after deferred delivery: %v", err)
+	}
+}
+
+func TestCoalesceCtxCancelMidQueue(t *testing.T) {
+	sink := &sinkConn{}
+	c := hotCoalescer(t, sink, CoalesceConfig{Delay: time.Hour, MaxBurst: 64, Idle: time.Hour}, telemetry.New())
+	defer c.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte{byte(i)})); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	b := wire.NewBufFrom(0, []byte("canceled"))
+	if err := c.SendBuf(canceled, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("send with canceled ctx = %v, want context.Canceled", err)
+	}
+	if !releasedBuf(b) {
+		t.Fatal("buffer of the canceled send was not released")
+	}
+	// The messages queued before cancellation still flush.
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	_, bursts := sink.snapshot()
+	if len(bursts) != 1 || bursts[0] != 3 {
+		t.Fatalf("bursts = %v, want [3]", bursts)
+	}
+}
+
+func TestCoalesceCloseFlushesAndRejects(t *testing.T) {
+	sink := &sinkConn{}
+	c := hotCoalescer(t, sink, CoalesceConfig{Delay: time.Hour, MaxBurst: 64, Idle: time.Hour}, telemetry.New())
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte{byte(i)})); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, bursts := sink.snapshot()
+	if len(bursts) != 1 || bursts[0] != 5 {
+		t.Fatalf("bursts after close = %v, want [5]", bursts)
+	}
+	b := wire.NewBufFrom(0, []byte("late"))
+	if err := c.SendBuf(ctx, b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	if !releasedBuf(b) {
+		t.Fatal("buffer sent after close was not released")
+	}
+}
+
+func TestCoalesceSendBufsFlushesBacklog(t *testing.T) {
+	sink := &sinkConn{}
+	c := hotCoalescer(t, sink, CoalesceConfig{Delay: time.Hour, MaxBurst: 64, Idle: time.Hour}, telemetry.New())
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte{0})); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	batch := make([]*wire.Buf, 3)
+	for i := range batch {
+		batch[i] = wire.NewBufFrom(0, []byte{byte(1 + i)})
+	}
+	if err := c.SendBufs(ctx, batch); err != nil {
+		t.Fatalf("SendBufs: %v", err)
+	}
+	msgs, bursts := sink.snapshot()
+	// Backlog burst [0] first, then the caller's burst [1 2 3].
+	if len(bursts) != 2 || bursts[0] != 1 || bursts[1] != 3 {
+		t.Fatalf("bursts = %v, want [1 3]", bursts)
+	}
+	for i, m := range msgs[len(msgs)-4:] {
+		if len(m) != 1 || m[0] != byte(i) {
+			t.Fatalf("message %d out of order: %v", i, m)
+		}
+	}
+}
+
+func TestCoalesceConcurrentSenders(t *testing.T) {
+	sink := &sinkConn{}
+	c := NewCoalescer(sink, CoalesceConfig{Delay: 50 * time.Microsecond, MaxBurst: 16, Idle: time.Hour}, telemetry.New())
+	ctx := context.Background()
+	const senders, perSender = 8, 200
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				payload := []byte(fmt.Sprintf("%d/%d", s, i))
+				if err := c.SendBuf(ctx, wire.NewBufFrom(0, payload)); err != nil {
+					failed.Add(1)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d senders failed", n)
+	}
+	msgs, _ := sink.snapshot()
+	if len(msgs) != senders*perSender {
+		t.Fatalf("sink saw %d messages, want %d", len(msgs), senders*perSender)
+	}
+	seen := make(map[string]bool, len(msgs))
+	for _, m := range msgs {
+		if seen[string(m)] {
+			t.Fatalf("message %q delivered twice", m)
+		}
+		seen[string(m)] = true
+	}
+}
+
+func TestCoalesceTimerVsExplicitFlushRace(t *testing.T) {
+	sink := &sinkConn{}
+	c := NewCoalescer(sink, CoalesceConfig{Delay: 20 * time.Microsecond, MaxBurst: 8, Idle: time.Hour}, telemetry.New())
+	ctx := context.Background()
+	done := make(chan struct{})
+	var flushErr atomic.Value
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			if err := c.Flush(ctx); err != nil {
+				flushErr.Store(err)
+				return
+			}
+		}
+	}()
+	const total = 2000
+	sent := 0
+	for i := 0; i < total; i++ {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, []byte{byte(i), byte(i >> 8)})); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		sent++
+	}
+	<-done
+	if err, _ := flushErr.Load().(error); err != nil {
+		t.Fatalf("explicit flush: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	msgs, _ := sink.snapshot()
+	if len(msgs) != sent {
+		t.Fatalf("sink saw %d messages, want %d", len(msgs), sent)
+	}
+}
+
+// nullBatchConn is an allocation-free sink for the alloc gate: it counts
+// and releases.
+type nullBatchConn struct {
+	sent atomic.Int64
+}
+
+func (n *nullBatchConn) Send(ctx context.Context, p []byte) error { n.sent.Add(1); return nil }
+func (n *nullBatchConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	b.Release()
+	n.sent.Add(1)
+	return nil
+}
+func (n *nullBatchConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	for _, b := range bs {
+		b.Release()
+	}
+	n.sent.Add(int64(len(bs)))
+	return nil
+}
+func (n *nullBatchConn) Recv(ctx context.Context) ([]byte, error)       { return nil, ErrClosed }
+func (n *nullBatchConn) RecvBuf(ctx context.Context) (*wire.Buf, error) { return nil, ErrClosed }
+func (n *nullBatchConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	return 0, ErrClosed
+}
+func (n *nullBatchConn) Headroom() int    { return 0 }
+func (n *nullBatchConn) LocalAddr() Addr  { return Addr{} }
+func (n *nullBatchConn) RemoteAddr() Addr { return Addr{} }
+func (n *nullBatchConn) Close() error     { return nil }
+
+// TestCoalesceAllocs is the CI allocation gate for the coalesced send
+// path: enqueue and flush must not allocate per message (the pending
+// burst arrays are preallocated, buffers are pooled, and the telemetry
+// counters are atomics).
+func TestCoalesceAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	sink := &nullBatchConn{}
+	c := NewCoalescer(sink, CoalesceConfig{Delay: time.Hour, MaxBurst: 32, Idle: time.Hour}, telemetry.New())
+	defer c.Close()
+	ctx := context.Background()
+	payload := []byte("0123456789abcdef")
+	// Warm the detector and the buffer pool.
+	for i := 0; i < 64; i++ {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, payload)); err != nil {
+			t.Fatalf("warm-up: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := c.SendBuf(ctx, wire.NewBufFrom(0, payload)); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("coalesced SendBuf allocates %.1f/op, want 0", allocs)
+	}
+}

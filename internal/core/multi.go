@@ -169,6 +169,9 @@ func (e *Endpoint) assembleMulti(ctx context.Context, tagged []*taggedConn, hell
 	} else {
 		out = newFanConn(conns)
 	}
+	if e.coalesce != nil {
+		out = NewCoalescer(out, *e.coalesce, e.tel)
+	}
 	return &managedConn{Conn: out, ep: e, side: SideClient, active: active}, nil
 }
 

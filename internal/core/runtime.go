@@ -42,6 +42,7 @@ type Endpoint struct {
 	env       *Env
 	optimizer *Optimizer
 	tel       *telemetry.Registry
+	coalesce  *CoalesceConfig
 }
 
 // Option configures an Endpoint.
@@ -79,6 +80,17 @@ func WithOptimizer(o *Optimizer) Option {
 // Tests and benchmarks use it to read an isolated registry.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(e *Endpoint) { e.tel = reg }
+}
+
+// WithCoalescing wraps every connection this endpoint establishes in a
+// send-side Coalescer (see that type for semantics): per-message SendBuf
+// callers under sustained load are gathered into bursts that ride the
+// vectored datapath, while idle connections keep the direct path. The
+// zero CoalesceConfig selects the defaults (50µs budget, 64-message
+// bursts).
+func WithCoalescing(cfg CoalesceConfig) Option {
+	cfg.fill()
+	return func(e *Endpoint) { e.coalesce = &cfg }
 }
 
 // NewEndpoint creates a connection endpoint with the given debugging name
@@ -489,6 +501,9 @@ func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []Resolve
 	e.trace(side, telemetry.TraceBatchPath, telemetry.TraceEvent{
 		Detail: fmt.Sprintf("vectored %d/%d layers from the top", vectored, len(aware)),
 	})
+	if e.coalesce != nil {
+		conn = NewCoalescer(conn, *e.coalesce, e.tel)
+	}
 	return &managedConn{Conn: conn, ep: e, side: side, active: active}, nil
 }
 
@@ -537,6 +552,12 @@ func (m *managedConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
 
 func (m *managedConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
 	return RecvBufs(ctx, m.Conn, into)
+}
+
+// Flush forwards to the coalescer when the endpoint coalesces sends
+// (WithCoalescing); otherwise it is a no-op.
+func (m *managedConn) Flush(ctx context.Context) error {
+	return Flush(ctx, m.Conn)
 }
 
 func (m *managedConn) Headroom() int { return HeadroomOf(m.Conn) }

@@ -1,0 +1,101 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/core"
+	wbuf "github.com/bertha-net/bertha/internal/wire"
+)
+
+// perMsgConn hides the simulated connection's buffer and batch fast
+// paths (interface embedding exposes only core.Conn), forcing
+// core.SendBufs through its per-message fallback loop, and fails every
+// send after the first failAfter successes.
+type perMsgConn struct {
+	core.Conn
+	sent      int
+	failAfter int
+	err       error
+}
+
+func (f *perMsgConn) Send(ctx context.Context, p []byte) error {
+	if f.sent >= f.failAfter {
+		return f.err
+	}
+	if err := f.Conn.Send(ctx, p); err != nil {
+		return err
+	}
+	f.sent++
+	return nil
+}
+
+// bufReleased reports whether b was released (any access after
+// Release/Detach panics).
+func bufReleased(b *wbuf.Buf) (released bool) {
+	defer func() {
+		if recover() != nil {
+			released = true
+		}
+	}()
+	b.Len()
+	return false
+}
+
+// TestSendBufsFallbackReleasesUnsentTail mirrors the transport-package
+// regression test over a simulated-fabric connection: the core.SendBufs
+// fallback loop must release the unsent tail and report an accurate
+// Sent count when a mid-burst send fails.
+func TestSendBufsFallbackReleasesUnsentTail(t *testing.T) {
+	ctx := ctxT(t)
+	_, _, hs := star(t, 0, "a", "b")
+	l, err := hs["b"].Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := hs["a"].Dial(ctx, hs["b"].Addr("svc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	boom := errors.New("boom")
+	f := &perMsgConn{Conn: cli, failAfter: 3, err: boom}
+
+	// WrapBuf adopts unpooled backings, so a released probe buffer can
+	// never be resurrected by the connection's own pool traffic.
+	bs := make([]*wbuf.Buf, 6)
+	for i := range bs {
+		bs[i] = wbuf.WrapBuf([]byte{byte(i)})
+	}
+	sendErr := core.SendBufs(ctx, f, bs)
+
+	var be *core.BatchError
+	if !errors.As(sendErr, &be) {
+		t.Fatalf("SendBufs error = %v, want *core.BatchError", sendErr)
+	}
+	if be.Sent != 3 {
+		t.Fatalf("BatchError.Sent = %d, want 3", be.Sent)
+	}
+	if !errors.Is(sendErr, boom) {
+		t.Fatalf("BatchError does not unwrap to the send error: %v", sendErr)
+	}
+	for i, b := range bs {
+		if !bufReleased(b) {
+			t.Fatalf("bs[%d] was not released", i)
+		}
+	}
+	srv, err := l.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m, err := srv.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(m) != 1 || m[0] != byte(i) {
+			t.Fatalf("recv %d = %v, want [%d]", i, m, i)
+		}
+	}
+}

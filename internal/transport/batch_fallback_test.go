@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// perMsgConn hides the wrapped connection's buffer and batch fast paths
+// (interface embedding exposes only core.Conn), forcing core.SendBufs
+// through its per-message fallback loop, and fails every send after the
+// first failAfter successes.
+type perMsgConn struct {
+	core.Conn
+	sent      int
+	failAfter int
+	err       error
+}
+
+func (f *perMsgConn) Send(ctx context.Context, p []byte) error {
+	if f.sent >= f.failAfter {
+		return f.err
+	}
+	if err := f.Conn.Send(ctx, p); err != nil {
+		return err
+	}
+	f.sent++
+	return nil
+}
+
+// bufReleased reports whether b was released (any access after
+// Release/Detach panics).
+func bufReleased(b *wire.Buf) (released bool) {
+	defer func() {
+		if recover() != nil {
+			released = true
+		}
+	}()
+	b.Len()
+	return false
+}
+
+// TestSendBufsFallbackReleasesUnsentTail is the regression test for the
+// core.SendBufs per-message fallback loop's BatchError contract: on a
+// mid-burst error the callee must have consumed every buffer — the sent
+// head and the failed message via SendBuf, the unsent tail via
+// ReleaseAll — and Sent must count exactly the messages that went out.
+func TestSendBufsFallbackReleasesUnsentTail(t *testing.T) {
+	cli, srv := Pipe(core.Addr{Net: "pipe", Addr: "a"}, core.Addr{Net: "pipe", Addr: "b"}, 16)
+	defer cli.Close()
+	defer srv.Close()
+	boom := errors.New("boom")
+	f := &perMsgConn{Conn: cli, failAfter: 2, err: boom}
+
+	// WrapBuf adopts unpooled backings, so a released probe buffer can
+	// never be resurrected by the pipe's own pool traffic.
+	bs := make([]*wire.Buf, 5)
+	for i := range bs {
+		bs[i] = wire.WrapBuf([]byte{byte(i)})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := core.SendBufs(ctx, f, bs)
+
+	var be *core.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("SendBufs error = %v, want *core.BatchError", err)
+	}
+	if be.Sent != 2 {
+		t.Fatalf("BatchError.Sent = %d, want 2", be.Sent)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("BatchError does not unwrap to the send error: %v", err)
+	}
+	for i, b := range bs {
+		if !bufReleased(b) {
+			t.Fatalf("bs[%d] was not released", i)
+		}
+	}
+	// The head of the burst really went out before the failure.
+	for i := 0; i < 2; i++ {
+		m, err := srv.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(m) != 1 || m[0] != byte(i) {
+			t.Fatalf("recv %d = %v, want [%d]", i, m, i)
+		}
+	}
+}

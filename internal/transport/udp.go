@@ -142,6 +142,16 @@ func (s *socketConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
 	if len(bs) == 0 {
 		return nil
 	}
+	if len(bs) == 1 {
+		// A burst of one gains nothing from the mmsghdr machinery and
+		// pays its setup cost; degrade to the plain single-datagram
+		// write so SendBufs is safe to call unconditionally (the
+		// coalescer hands it every flush, including size-1 flushes).
+		if err := s.SendBuf(ctx, bs[0]); err != nil {
+			return &core.BatchError{Sent: 0, Err: err}
+		}
+		return nil
+	}
 	s.wmu.Lock()
 	d, hasDeadline := ctx.Deadline()
 	if hasDeadline {
@@ -194,7 +204,9 @@ func (s *socketConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error
 	if len(into) == 0 {
 		return 0, nil
 	}
-	if !batchRecvSupported {
+	if !batchRecvSupported || len(into) == 1 {
+		// recvmmsg for a single message costs more than the plain read
+		// path; a one-slot burst degrades to RecvBuf.
 		b, err := s.RecvBuf(ctx)
 		if err != nil {
 			return 0, err
