@@ -273,18 +273,26 @@ func ConnCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
 //	                                 it are sanctioned ownership
 //	                                 transfers, with release deferred to
 //	                                 the draining code
+//	//bertha:racy why    (stmt line or struct field) the mixed
+//	                                 atomic/plain access here (or to this
+//	                                 field) is intentional — e.g. a field
+//	                                 written plainly before the struct is
+//	                                 published, or a stats snapshot that
+//	                                 tolerates tearing
 type Annotations struct {
 	fset *token.FileSet
-	// transfers, overheads, daemons, and queues are keyed by "file:line".
+	// transfers, overheads, daemons, queues, and racys are keyed by
+	// "file:line".
 	transfers map[string]bool
 	overheads map[string]int
 	daemons   map[string]bool
 	queues    map[string]bool
+	racys     map[string]bool
 }
 
 // CollectAnnotations indexes every //bertha: comment in the files.
 func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
-	a := &Annotations{fset: fset, transfers: map[string]bool{}, overheads: map[string]int{}, daemons: map[string]bool{}, queues: map[string]bool{}}
+	a := &Annotations{fset: fset, transfers: map[string]bool{}, overheads: map[string]int{}, daemons: map[string]bool{}, queues: map[string]bool{}, racys: map[string]bool{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -315,6 +323,10 @@ func CollectAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 				case "queue":
 					for _, key := range keys {
 						a.queues[key] = true
+					}
+				case "racy":
+					for _, key := range keys {
+						a.racys[key] = true
 					}
 				case "overhead":
 					if len(fields) > 1 {
@@ -353,6 +365,10 @@ func (a *Annotations) DaemonAt(pos token.Pos) bool { return a.daemons[a.key(pos)
 // QueueAt reports whether a //bertha:queue directive covers the line
 // containing pos (a struct-field declaration).
 func (a *Annotations) QueueAt(pos token.Pos) bool { return a.queues[a.key(pos)] }
+
+// RacyAt reports whether a //bertha:racy directive covers the line
+// containing pos — either an access site or a struct-field declaration.
+func (a *Annotations) RacyAt(pos token.Pos) bool { return a.racys[a.key(pos)] }
 
 // FuncDirective scans a function's doc comment for a //bertha:<verb>
 // directive naming ident (e.g. verb "borrows", ident "b").

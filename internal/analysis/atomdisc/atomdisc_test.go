@@ -1,0 +1,16 @@
+package atomdisc_test
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/analysistest"
+	"github.com/bertha-net/bertha/internal/analysis/atomdisc"
+)
+
+func TestAtomdisc(t *testing.T) {
+	analysistest.Run(t, "atomdisc_a", atomdisc.Analyzer)
+}
+
+func TestAtomdiscCrossPackage(t *testing.T) {
+	analysistest.Run(t, "atomdisc_cross", atomdisc.Analyzer, "atomdisc_dep")
+}

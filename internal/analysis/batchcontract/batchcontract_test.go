@@ -1,0 +1,12 @@
+package batchcontract_test
+
+import (
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/analysistest"
+	"github.com/bertha-net/bertha/internal/analysis/batchcontract"
+)
+
+func TestBatchcontract(t *testing.T) {
+	analysistest.Run(t, "batchcontract_a", batchcontract.Analyzer)
+}

@@ -29,6 +29,20 @@
 // appends onto it are sanctioned ownership transfers — per-statement
 // //bertha:transfers annotations are not required at each enqueue site.
 // Stores into unannotated fields remain transfer diagnostics.
+//
+// The analysis is path-sensitive: each function body is lowered to a
+// control-flow graph (internal/analysis/cfg) and the ownership lattice
+// is driven to a fixpoint over it, with `err != nil` / `b != nil`
+// branch conditions refining the state along each edge. Buf cells are
+// keyed by acquisition site; when a loop re-acquires at a site whose
+// previous Buf is still held by a loop-carried alias (the
+// release-the-previous-iteration pattern), the old value moves to a
+// per-site shadow cell so both generations track independently —
+// which is exactly the case the pre-CFG walker flagged as a spurious
+// per-iteration leak. Per-iteration leaks are detected on the loop
+// back edge: a Buf acquired inside the loop, still owned, and
+// referenced only by variables local to the loop cannot survive the
+// next iteration's re-acquisition.
 package bufown
 
 import (
@@ -37,6 +51,7 @@ import (
 	"go/types"
 
 	"github.com/bertha-net/bertha/internal/analysis"
+	"github.com/bertha-net/bertha/internal/analysis/cfg"
 )
 
 // BorrowsFact marks a function's //bertha:borrows parameters for
@@ -70,10 +85,13 @@ const (
 )
 
 // A cell is one tracked Buf value; aliased variables share a cell.
+// Cells are keyed by acquisition site so the fixpoint has a finite
+// abstraction; shadow marks the previous-generation cell of a site
+// whose value survived a loop-carried re-acquisition.
 type cell struct {
-	name  string
-	pos   token.Pos
-	depth int // loop nesting level at creation
+	name   string
+	pos    token.Pos
+	shadow bool
 }
 
 // env maps variables to cells and cells to states along one path.
@@ -85,14 +103,18 @@ type env struct {
 	// call (b, err := RecvBuf(...)): on the err != nil branch the Buf is
 	// nil by convention and ownership evaporates.
 	pair map[*types.Var]*cell
+	// pairDead tombstones error variables whose pairings conflicted at a
+	// join, so the merge stays monotone across fixpoint iterations.
+	pairDead map[*types.Var]bool
 }
 
 func newEnv() *env {
 	return &env{
-		vars: map[*types.Var]*cell{},
-		st:   map[*cell]st{},
-		def:  map[*cell]bool{},
-		pair: map[*types.Var]*cell{},
+		vars:     map[*types.Var]*cell{},
+		st:       map[*cell]st{},
+		def:      map[*cell]bool{},
+		pair:     map[*types.Var]*cell{},
+		pairDead: map[*types.Var]bool{},
 	}
 }
 
@@ -110,6 +132,9 @@ func (e *env) clone() *env {
 	for k, v := range e.pair {
 		c.pair[k] = v
 	}
+	for k, v := range e.pairDead {
+		c.pairDead[k] = v
+	}
 	return c
 }
 
@@ -120,31 +145,59 @@ func (e *env) state(c *cell) st {
 	return stUntracked
 }
 
-// merge folds b into a at a control-flow join.
-func (e *env) merge(b *env) {
+// mergeFrom folds b into e at a control-flow join and reports whether e
+// changed — the fixpoint's revisit signal. It is monotone: vars, def,
+// and pairDead only grow, and per-cell states climb the merge lattice.
+func (e *env) mergeFrom(b *env) bool {
+	changed := false
 	for v, c := range b.vars {
 		if _, ok := e.vars[v]; !ok {
 			e.vars[v] = c
+			changed = true
 		}
 	}
-	seen := map[*cell]bool{}
-	for _, c := range e.vars {
-		if seen[c] {
-			continue
+	cells := map[*cell]bool{}
+	for c := range e.st {
+		cells[c] = true
+	}
+	for c := range b.st {
+		cells[c] = true
+	}
+	for c := range cells {
+		if m := mergeState(e.state(c), b.state(c)); m != e.state(c) {
+			e.st[c] = m
+			changed = true
 		}
-		seen[c] = true
-		e.st[c] = mergeState(e.state(c), b.state(c))
 	}
 	for c := range b.def {
-		e.def[c] = true
-	}
-	for v, c := range b.pair {
-		if prev, ok := e.pair[v]; ok && prev != c {
-			delete(e.pair, v)
-		} else {
-			e.pair[v] = c
+		if !e.def[c] {
+			e.def[c] = true
+			changed = true
 		}
 	}
+	for v := range b.pairDead {
+		if !e.pairDead[v] {
+			e.pairDead[v] = true
+			delete(e.pair, v)
+			changed = true
+		}
+	}
+	for v, c := range b.pair {
+		if e.pairDead[v] {
+			continue
+		}
+		if prev, ok := e.pair[v]; ok {
+			if prev != c {
+				delete(e.pair, v)
+				e.pairDead[v] = true
+				changed = true
+			}
+		} else {
+			e.pair[v] = c
+			changed = true
+		}
+	}
+	return changed
 }
 
 func mergeState(a, b st) st {
@@ -236,7 +289,6 @@ type funcAnalysis struct {
 	pass  *analysis.Pass
 	ann   *analysis.Annotations
 	decls map[*types.Func]*ast.FuncDecl
-	depth int // current loop nesting
 	// intoParams holds the function's []*wire.Buf parameters. A store
 	// into an element of one is the RecvBufs contract — ownership moves
 	// to the caller through the slice — so it consumes the Buf without
@@ -246,16 +298,107 @@ type funcAnalysis struct {
 	// into and appends onto a queue are likewise sanctioned transfers
 	// (the drain path owns the release).
 	queues map[*types.Var]bool
+	// cells and shadows key Buf cells by acquisition site so every
+	// fixpoint iteration rebinds the same abstract value.
+	cells   map[token.Pos]*cell
+	shadows map[token.Pos]*cell
+	// report gates diagnostics: the fixpoint runs silent, then one
+	// reporting pass replays the converged states.
+	report bool
+	// loopReported records cells already flagged as per-iteration leaks
+	// so function-exit checks do not re-report them.
+	loopReported map[*cell]bool
 }
 
 func (fa *funcAnalysis) info() *types.Info { return fa.pass.TypesInfo }
 
+// cellAt returns the (stable) cell for an acquisition site.
+func (fa *funcAnalysis) cellAt(name string, pos token.Pos) *cell {
+	if fa.cells == nil {
+		fa.cells = map[token.Pos]*cell{}
+	}
+	if c, ok := fa.cells[pos]; ok {
+		return c
+	}
+	c := &cell{name: name, pos: pos}
+	fa.cells[pos] = c
+	return c
+}
+
+// shadowAt returns the previous-generation cell for a site.
+func (fa *funcAnalysis) shadowAt(c *cell) *cell {
+	if fa.shadows == nil {
+		fa.shadows = map[token.Pos]*cell{}
+	}
+	if s, ok := fa.shadows[c.pos]; ok {
+		return s
+	}
+	s := &cell{name: c.name, pos: c.pos, shadow: true}
+	fa.shadows[c.pos] = s
+	return s
+}
+
 // runFunc analyzes one function or function literal body.
 func (fa *funcAnalysis) runFunc(ft *ast.FuncType, doc *ast.CommentGroup, body *ast.BlockStmt) {
-	e := newEnv()
-	fa.bindParams(ft, doc, e)
-	if !fa.stmtList(body.List, e) {
-		fa.exitCheck(e, body.Rbrace)
+	e0 := newEnv()
+	fa.bindParams(ft, doc, e0)
+	g := cfg.New(body)
+	flow := &cfg.Flow[*env]{
+		Entry:    func() *env { return e0.clone() },
+		Clone:    func(e *env) *env { return e.clone() },
+		Merge:    func(dst, src *env) bool { return dst.mergeFrom(src) },
+		Transfer: func(n ast.Node, e *env) { fa.transfer(n, e) },
+		Refine:   func(cond ast.Expr, branch bool, e *env) { fa.refine(cond, branch, e) },
+	}
+	in, ok := flow.Forward(g)
+	if !ok {
+		return // fixpoint budget exhausted: stay silent rather than guess
+	}
+	fa.report = true
+	fa.loopReported = map[*cell]bool{}
+	// Pass 1: loop back edges — per-iteration leaks must be known before
+	// the main pass so later return/exit checks skip those cells.
+	for _, b := range g.Blocks {
+		s, live := in[b]
+		if !live {
+			continue
+		}
+		hasBack := false
+		for _, ed := range b.Succs {
+			if ed.Back {
+				hasBack = true
+			}
+		}
+		if !hasBack {
+			continue
+		}
+		fa.report = false
+		out := s.clone()
+		for _, n := range b.Nodes {
+			fa.transfer(n, out)
+		}
+		fa.report = true
+		for _, ed := range b.Succs {
+			if ed.Back {
+				fa.loopBackCheck(out, ed.Loop)
+			}
+		}
+	}
+	// Pass 2: replay every reachable block with reporting on. Return
+	// statements run their own exit checks inside transfer.
+	for _, b := range g.Blocks {
+		s, live := in[b]
+		if !live {
+			continue
+		}
+		s = s.clone()
+		for _, n := range b.Nodes {
+			fa.transfer(n, s)
+		}
+	}
+	// The implicit return: falling off the end of the body.
+	if s, ok := in[g.Exit]; ok {
+		fa.exitCheck(s, body.Rbrace)
 	}
 }
 
@@ -282,9 +425,105 @@ func (fa *funcAnalysis) bindParams(ft *ast.FuncType, doc *ast.CommentGroup, e *e
 			if analysis.FuncDirective(doc, "borrows", name.Name) {
 				continue
 			}
-			c := &cell{name: name.Name, pos: name.Pos(), depth: fa.depth}
+			c := fa.cellAt(name.Name, name.Pos())
 			e.vars[v] = c
 			e.st[c] = stOwned
+		}
+	}
+}
+
+// transfer advances the ownership state across one CFG node.
+func (fa *funcAnalysis) transfer(n ast.Node, e *env) {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		fa.expr(n.X, e)
+	case *ast.AssignStmt:
+		fa.assign(n, e)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					fa.bindIdent(name, rhs, e)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if c := fa.trackedIdent(r, e); c != nil {
+				fa.useCheck(r.Pos(), c, e)
+				e.st[c] = stEscaped
+				continue
+			}
+			fa.expr(r, e)
+		}
+		if fa.report {
+			fa.exitCheck(e, n.Pos())
+		}
+	case *ast.DeferStmt:
+		fa.deferStmt(n, e)
+	case *ast.GoStmt:
+		fa.expr(n.Call, e)
+	case *ast.SendStmt:
+		fa.expr(n.Chan, e)
+		if c := fa.trackedIdent(n.Value, e); c != nil {
+			fa.consumeStore(n.Value.Pos(), c, e, "channel send")
+		} else {
+			fa.expr(n.Value, e)
+		}
+	case *ast.IncDecStmt:
+		fa.expr(n.X, e)
+	case *ast.RangeStmt:
+		// Loop-head marker: the iteration variables come from a container
+		// the loop does not own — bind untracked so Release in the body
+		// is accepted. (The range expression is its own node.)
+		for _, lv := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := lv.(*ast.Ident); ok {
+				if v, ok := fa.info().Defs[id].(*types.Var); ok && analysis.IsBufPtr(v.Type()) {
+					delete(e.vars, v)
+				}
+			}
+		}
+	case ast.Expr:
+		// Branch conditions, switch tags, case expressions.
+		fa.expr(n, e)
+	}
+}
+
+// refine specializes the state along a conditional edge — the
+// path-sensitivity the CFG engine buys.
+func (fa *funcAnalysis) refine(cond ast.Expr, branch bool, e *env) {
+	// if err != nil: the paired Buf is nil on the error branch, so
+	// ownership applies only on the success branch (and vice versa for
+	// err == nil).
+	if errVar, isNeq, ok := errNilCond(fa.info(), cond); ok {
+		if c, paired := e.pair[errVar]; paired {
+			if branch == isNeq { // the error branch
+				if e.state(c) == stOwned {
+					e.st[c] = stUntracked
+				}
+			}
+			delete(e.pair, errVar)
+		}
+	}
+	// if b != nil: on the nil branch the Buf carries no ownership
+	// (Release is nil-safe and there is nothing to leak), so a helper
+	// returning (msg, nil, nil) for "parked" — the batch decode shape —
+	// doesn't flag the fallthrough path.
+	if bufVar, isNeq, ok := bufNilCond(fa.info(), cond); ok {
+		if c := e.vars[bufVar]; c != nil {
+			if branch != isNeq { // the nil branch
+				if s := e.state(c); s == stOwned || s == stMaybe {
+					e.st[c] = stUntracked
+				}
+			}
 		}
 	}
 }
@@ -328,9 +567,12 @@ func (fa *funcAnalysis) isQueueStore(lhs ast.Expr) bool {
 // exitCheck reports owned cells still live when a path leaves the
 // function.
 func (fa *funcAnalysis) exitCheck(e *env, at token.Pos) {
+	if !fa.report {
+		return
+	}
 	seen := map[*cell]bool{}
 	for _, c := range e.vars {
-		if seen[c] || e.def[c] {
+		if seen[c] || e.def[c] || fa.loopReported[c] {
 			continue
 		}
 		seen[c] = true
@@ -347,266 +589,46 @@ func (fa *funcAnalysis) exitCheck(e *env, at token.Pos) {
 	}
 }
 
-// loopExitCheck reports Bufs created inside the current loop body that
-// are still owned when the iteration ends.
-func (fa *funcAnalysis) loopExitCheck(e *env, at token.Pos) {
+// loopBackCheck runs at a loop back edge: a Buf acquired inside the
+// loop, still owned, and referenced only by variables declared inside
+// the loop is overwritten by the next iteration — a per-iteration leak.
+// A loop-carried alias declared outside the loop (the release-previous
+// pattern) keeps the value reachable, so it is exempt: whether IT leaks
+// is decided at function exit.
+func (fa *funcAnalysis) loopBackCheck(e *env, loop ast.Stmt) {
+	var rbrace token.Pos
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		rbrace = l.Body.Rbrace
+	case *ast.RangeStmt:
+		rbrace = l.Body.Rbrace
+	default:
+		return
+	}
+	inLoop := func(p token.Pos) bool { return p >= loop.Pos() && p < loop.End() }
 	seen := map[*cell]bool{}
 	for _, c := range e.vars {
-		if seen[c] || e.def[c] || c.depth < fa.depth {
+		if seen[c] || fa.loopReported[c] || e.def[c] {
 			continue
 		}
 		seen[c] = true
-		if e.state(c) == stOwned {
-			fa.pass.Reportf(at, "leak",
-				"pooled Buf %q (acquired at line %d) leaks at the end of each loop iteration",
-				c.name, fa.pass.Fset.Position(c.pos).Line)
+		if e.state(c) != stOwned || !inLoop(c.pos) {
+			continue
 		}
+		escapes := false
+		for v, vc := range e.vars {
+			if vc == c && !inLoop(v.Pos()) {
+				escapes = true
+			}
+		}
+		if escapes {
+			continue
+		}
+		fa.loopReported[c] = true
+		fa.pass.Reportf(rbrace, "leak",
+			"pooled Buf %q (acquired at line %d) leaks at the end of each loop iteration",
+			c.name, fa.pass.Fset.Position(c.pos).Line)
 	}
-}
-
-// scrubDeeper drops bindings for cells created inside a loop body that
-// just went out of scope.
-func (fa *funcAnalysis) scrubDeeper(e *env) {
-	for v, c := range e.vars {
-		if c.depth > fa.depth {
-			delete(e.vars, v)
-		}
-	}
-}
-
-func (fa *funcAnalysis) stmtList(list []ast.Stmt, e *env) bool {
-	for _, s := range list {
-		if fa.stmt(s, e) {
-			return true
-		}
-	}
-	return false
-}
-
-// stmt analyzes one statement; the result reports whether the path
-// terminates (return, panic, break/continue, infinite loop).
-func (fa *funcAnalysis) stmt(s ast.Stmt, e *env) bool {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		fa.expr(s.X, e)
-		return isTerminalCall(s.X)
-	case *ast.AssignStmt:
-		fa.assign(s, e)
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for i, name := range vs.Names {
-					var rhs ast.Expr
-					if i < len(vs.Values) {
-						rhs = vs.Values[i]
-					}
-					fa.bindIdent(name, rhs, e)
-				}
-			}
-		}
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			if c := fa.trackedIdent(r, e); c != nil {
-				fa.useCheck(r.Pos(), c, e)
-				e.st[c] = stEscaped
-				continue
-			}
-			fa.expr(r, e)
-		}
-		fa.exitCheck(e, s.Pos())
-		return true
-	case *ast.BlockStmt:
-		return fa.stmtList(s.List, e)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			fa.stmt(s.Init, e)
-		}
-		fa.expr(s.Cond, e)
-		eThen := e.clone()
-		eElse := e.clone()
-		// if err != nil: the paired Buf is nil on the error branch, so
-		// ownership applies only on the success branch (and vice versa
-		// for err == nil).
-		if errVar, isNeq, ok := errNilCond(fa.info(), s.Cond); ok {
-			if c, paired := e.pair[errVar]; paired {
-				errEnv, okEnv := eThen, eElse
-				if !isNeq {
-					errEnv, okEnv = eElse, eThen
-				}
-				if errEnv.state(c) == stOwned {
-					errEnv.st[c] = stUntracked
-				}
-				delete(errEnv.pair, errVar)
-				delete(okEnv.pair, errVar)
-			}
-		}
-		// if b != nil: on the nil branch the Buf carries no ownership
-		// (Release is nil-safe and there is nothing to leak), so a
-		// helper returning (msg, nil, nil) for "parked" — the batch
-		// decode shape — doesn't flag the fallthrough path.
-		if bufVar, isNeq, ok := bufNilCond(fa.info(), s.Cond); ok {
-			if c := e.vars[bufVar]; c != nil {
-				nilEnv := eElse
-				if !isNeq {
-					nilEnv = eThen
-				}
-				if s := nilEnv.state(c); s == stOwned || s == stMaybe {
-					nilEnv.st[c] = stUntracked
-				}
-			}
-		}
-		tTerm := fa.stmtList(s.Body.List, eThen)
-		eTerm := false
-		if s.Else != nil {
-			eTerm = fa.stmt(s.Else, eElse)
-		}
-		switch {
-		case tTerm && eTerm:
-			return true
-		case tTerm:
-			*e = *eElse
-		case eTerm:
-			*e = *eThen
-		default:
-			eThen.merge(eElse)
-			*e = *eThen
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			fa.stmt(s.Init, e)
-		}
-		if s.Cond != nil {
-			fa.expr(s.Cond, e)
-		}
-		fa.depth++
-		eBody := e.clone()
-		term := fa.stmtList(s.Body.List, eBody)
-		if !term {
-			fa.loopExitCheck(eBody, s.Body.Rbrace)
-		}
-		if s.Post != nil {
-			fa.stmt(s.Post, eBody)
-		}
-		fa.depth--
-		infinite := s.Cond == nil && !hasLoopExit(s.Body)
-		if !term {
-			fa.scrubDeeper(eBody)
-			e.merge(eBody)
-		}
-		return infinite
-	case *ast.RangeStmt:
-		fa.expr(s.X, e)
-		// Loop variables of Buf type come from a container the loop does
-		// not own: bind untracked so Release in the body is accepted.
-		for _, lv := range []ast.Expr{s.Key, s.Value} {
-			if id, ok := lv.(*ast.Ident); ok && lv != nil {
-				if v, ok := fa.info().Defs[id].(*types.Var); ok && analysis.IsBufPtr(v.Type()) {
-					delete(e.vars, v)
-				}
-			}
-		}
-		fa.depth++
-		eBody := e.clone()
-		term := fa.stmtList(s.Body.List, eBody)
-		if !term {
-			fa.loopExitCheck(eBody, s.Body.Rbrace)
-		}
-		fa.depth--
-		if !term {
-			fa.scrubDeeper(eBody)
-			e.merge(eBody)
-		}
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			fa.stmt(s.Init, e)
-		}
-		if s.Tag != nil {
-			fa.expr(s.Tag, e)
-		}
-		return fa.caseClauses(s.Body, e, false)
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			fa.stmt(s.Init, e)
-		}
-		fa.stmt(s.Assign, e)
-		return fa.caseClauses(s.Body, e, false)
-	case *ast.SelectStmt:
-		return fa.caseClauses(s.Body, e, true)
-	case *ast.DeferStmt:
-		fa.deferStmt(s, e)
-	case *ast.GoStmt:
-		fa.expr(s.Call, e)
-	case *ast.SendStmt:
-		fa.expr(s.Chan, e)
-		if c := fa.trackedIdent(s.Value, e); c != nil {
-			fa.consumeStore(s.Value.Pos(), c, e, "channel send")
-		} else {
-			fa.expr(s.Value, e)
-		}
-	case *ast.BranchStmt:
-		if s.Tok == token.BREAK || s.Tok == token.CONTINUE {
-			if fa.depth > 0 {
-				fa.loopExitCheck(e, s.Pos())
-			}
-			return true
-		}
-		return s.Tok == token.GOTO
-	case *ast.LabeledStmt:
-		return fa.stmt(s.Stmt, e)
-	case *ast.IncDecStmt:
-		fa.expr(s.X, e)
-	}
-	return false
-}
-
-// caseClauses handles switch/type-switch/select bodies: each clause is
-// analyzed from the pre-state and the surviving states are merged.
-func (fa *funcAnalysis) caseClauses(body *ast.BlockStmt, e *env, isSelect bool) bool {
-	var outs []*env
-	hasDefault := false
-	for _, cs := range body.List {
-		ec := e.clone()
-		var stmts []ast.Stmt
-		switch cs := cs.(type) {
-		case *ast.CaseClause:
-			if cs.List == nil {
-				hasDefault = true
-			}
-			for _, x := range cs.List {
-				fa.expr(x, ec)
-			}
-			stmts = cs.Body
-		case *ast.CommClause:
-			if cs.Comm == nil {
-				hasDefault = true
-			} else {
-				fa.stmt(cs.Comm, ec)
-			}
-			stmts = cs.Body
-		}
-		if !fa.stmtList(stmts, ec) {
-			outs = append(outs, ec)
-		}
-	}
-	// A select blocks until some case runs; a switch without a default
-	// can fall through unchanged.
-	exhaustive := isSelect || hasDefault
-	if len(outs) == 0 {
-		return exhaustive && len(body.List) > 0
-	}
-	merged := outs[0]
-	for _, o := range outs[1:] {
-		merged.merge(o)
-	}
-	if !exhaustive {
-		merged.merge(e)
-	}
-	*e = *merged
-	return false
 }
 
 func (fa *funcAnalysis) deferStmt(s *ast.DeferStmt, e *env) {
@@ -645,7 +667,7 @@ func (fa *funcAnalysis) assign(s *ast.AssignStmt, e *env) {
 				errVar = v
 			}
 		}
-		if bufCell != nil && errVar != nil {
+		if bufCell != nil && errVar != nil && !e.pairDead[errVar] {
 			e.pair[errVar] = bufCell
 		}
 		return
@@ -737,7 +759,46 @@ func (fa *funcAnalysis) bindVarAt(v *types.Var, id *ast.Ident, fromCall bool, e 
 		delete(e.vars, v)
 		return nil
 	}
-	c := &cell{name: id.Name, pos: id.Pos(), depth: fa.depth}
+	c := fa.cellAt(id.Name, id.Pos())
+	// Generation split: re-acquiring at a site whose previous value is
+	// still held by another variable (the loop-carried release-previous
+	// pattern). Move the old value to the site's shadow cell so both
+	// generations track independently.
+	aliased := false
+	for ov, oc := range e.vars {
+		if oc == c && ov != v {
+			aliased = true
+		}
+	}
+	if aliased {
+		sh := fa.shadowAt(c)
+		shLive := false
+		for ov, oc := range e.vars {
+			if oc == sh && ov != v {
+				shLive = true
+			}
+		}
+		if shLive {
+			// A third generation is live: merge rather than clobber.
+			e.st[sh] = mergeState(e.state(sh), e.state(c))
+		} else {
+			e.st[sh] = e.state(c)
+		}
+		if e.def[c] {
+			e.def[sh] = true
+		}
+		for ov, oc := range e.vars {
+			if oc == c && ov != v {
+				e.vars[ov] = sh
+			}
+		}
+		for pv, pc := range e.pair {
+			if pc == c {
+				e.pair[pv] = sh
+			}
+		}
+	}
+	delete(e.def, c) // a fresh Buf has no deferred release yet
 	e.vars[v] = c
 	e.st[c] = stOwned
 	return c
@@ -780,8 +841,10 @@ func (fa *funcAnalysis) trackedIdentVar(id *ast.Ident, e *env) *cell {
 // useCheck reports use of a definitely-released Buf.
 func (fa *funcAnalysis) useCheck(pos token.Pos, c *cell, e *env) {
 	if e.state(c) == stReleased {
-		fa.pass.Reportf(pos, "use-after-release",
-			"use of Buf %q after it was released or detached", c.name)
+		if fa.report {
+			fa.pass.Reportf(pos, "use-after-release",
+				"use of Buf %q after it was released or detached", c.name)
+		}
 		e.st[c] = stUntracked // silence cascading reports
 	}
 }
@@ -791,7 +854,7 @@ func (fa *funcAnalysis) useCheck(pos token.Pos, c *cell, e *env) {
 func (fa *funcAnalysis) consumeStore(pos token.Pos, c *cell, e *env, kind string) {
 	fa.useCheck(pos, c, e)
 	if s := e.state(c); s == stOwned || s == stMaybe {
-		if !fa.ann.TransfersAt(pos) {
+		if fa.report && !fa.ann.TransfersAt(pos) {
 			fa.pass.Reportf(pos, "transfer",
 				"ownership of Buf %q leaves this function via %s; annotate the statement with //bertha:transfers or release a copy", c.name, kind)
 		}
@@ -857,12 +920,14 @@ func (fa *funcAnalysis) call(x *ast.CallExpr, e *env) {
 		if c := fa.trackedIdent(sel.X, e); c != nil {
 			switch sel.Sel.Name {
 			case "Release":
-				if e.state(c) == stReleased {
-					fa.pass.Reportf(x.Pos(), "double-release",
-						"Buf %q is released twice on this path", c.name)
-				} else if e.def[c] {
-					fa.pass.Reportf(x.Pos(), "double-release",
-						"Buf %q has a deferred release; this explicit Release runs first and double-releases", c.name)
+				if fa.report {
+					if e.state(c) == stReleased {
+						fa.pass.Reportf(x.Pos(), "double-release",
+							"Buf %q is released twice on this path", c.name)
+					} else if e.def[c] {
+						fa.pass.Reportf(x.Pos(), "double-release",
+							"Buf %q has a deferred release; this explicit Release runs first and double-releases", c.name)
+					}
 				}
 				e.st[c] = stReleased
 				fa.evalArgs(x, e)
@@ -874,7 +939,7 @@ func (fa *funcAnalysis) call(x *ast.CallExpr, e *env) {
 				return
 			case "Detach":
 				fa.useCheck(x.Pos(), c, e)
-				if !fa.ann.TransfersAt(x.Pos()) {
+				if fa.report && !fa.ann.TransfersAt(x.Pos()) {
 					fa.pass.Reportf(x.Pos(), "transfer",
 						"Detach removes Buf %q from pooling; annotate the statement with //bertha:transfers", c.name)
 				}
@@ -990,7 +1055,8 @@ func (fa *funcAnalysis) calleeBorrows(fn *types.Func, i int) bool {
 }
 
 // funcLit marks captured owned Bufs as escaped (the closure owns them
-// now) and analyzes the literal's body as its own function.
+// now) and analyzes the literal's body as its own function — once, in
+// the reporting pass.
 func (fa *funcAnalysis) funcLit(fl *ast.FuncLit, e *env) {
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -1008,8 +1074,10 @@ func (fa *funcAnalysis) funcLit(fl *ast.FuncLit, e *env) {
 		}
 		return true
 	})
-	sub := &funcAnalysis{pass: fa.pass, ann: fa.ann, decls: fa.decls, queues: fa.queues}
-	sub.runFunc(fl.Type, nil, fl.Body)
+	if fa.report {
+		sub := &funcAnalysis{pass: fa.pass, ann: fa.ann, decls: fa.decls, queues: fa.queues}
+		sub.runFunc(fl.Type, nil, fl.Body)
+	}
 }
 
 // errNilCond matches conditions of the form `err != nil` / `err == nil`
@@ -1065,69 +1133,4 @@ func bufNilCond(info *types.Info, cond ast.Expr) (*types.Var, bool, bool) {
 func isNilIdent(x ast.Expr) bool {
 	id, ok := x.(*ast.Ident)
 	return ok && id.Name == "nil"
-}
-
-// isTerminalCall recognizes statements that end the path: panic and the
-// conventional process-exit helpers.
-func isTerminalCall(x ast.Expr) bool {
-	call, ok := x.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		return fun.Name == "panic"
-	case *ast.SelectorExpr:
-		switch fun.Sel.Name {
-		case "Fatal", "Fatalf", "Fatalln", "Exit", "Goexit":
-			if pkg, ok := fun.X.(*ast.Ident); ok {
-				return pkg.Name == "os" || pkg.Name == "log" || pkg.Name == "runtime"
-			}
-		}
-	}
-	return false
-}
-
-// hasLoopExit reports whether a loop body contains an unlabeled break
-// or a goto that can leave a `for {}` loop.
-func hasLoopExit(body *ast.BlockStmt) bool {
-	found := false
-	var walk func(n ast.Node, inNested bool)
-	walk = func(n ast.Node, inNested bool) {
-		if n == nil || found {
-			return
-		}
-		switch n := n.(type) {
-		case *ast.BranchStmt:
-			if n.Tok == token.GOTO {
-				found = true
-			}
-			if n.Tok == token.BREAK && (!inNested || n.Label != nil) {
-				found = true
-			}
-		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-			// Unlabeled break inside these targets them, not our loop.
-			ast.Inspect(n, func(m ast.Node) bool {
-				if b, ok := m.(*ast.BranchStmt); ok && b.Label != nil && b.Tok == token.BREAK {
-					found = true
-				}
-				return !found
-			})
-			return
-		case *ast.FuncLit:
-			return
-		}
-		// Generic recursion over children.
-		ast.Inspect(n, func(m ast.Node) bool {
-			if m == n {
-				return true
-			}
-			walk(m, inNested)
-			return false
-		})
-	}
-	for _, s := range body.List {
-		walk(s, false)
-	}
-	return found
 }

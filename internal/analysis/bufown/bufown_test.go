@@ -14,3 +14,10 @@ func TestBufown(t *testing.T) {
 func TestBufownCrossPackage(t *testing.T) {
 	analysistest.Run(t, "bufown_cross", bufown.Analyzer, "bufown_dep")
 }
+
+// TestBufownCFGPrecision pins the path-sensitivity of the CFG port:
+// loop-carried release patterns that the pre-CFG walker flagged as
+// leaks must be clean, while the seeded positive controls still fire.
+func TestBufownCFGPrecision(t *testing.T) {
+	analysistest.Run(t, "bufown_cfg", bufown.Analyzer)
+}

@@ -1,0 +1,546 @@
+// Package cfg builds per-function control-flow graphs from go/ast and
+// drives forward dataflow analyses over them — the shape of
+// golang.org/x/tools/go/cfg plus a generic worklist fixpoint, but
+// dependency-free like the rest of the berthavet suite.
+//
+// A Graph is a set of basic Blocks. Each block holds a straight-line
+// run of ast nodes: ordinary statements plus the condition and
+// range/switch-tag expressions of the control statement the block
+// feeds. Control statements themselves (if/for/range/switch/select)
+// never appear as block nodes except for two marker cases clients must
+// handle without recursing into sub-statements:
+//
+//   - *ast.RangeStmt appears in its loop-head block so clients can bind
+//     the iteration variables once per iteration (the body is in
+//     successor blocks).
+//   - the Assign statement of a type switch and the Comm statement of a
+//     select clause appear as nodes (they execute, and clients need
+//     their bindings), again with bodies elsewhere.
+//
+// Edges carry the branch condition they refine (Cond + Branch) so
+// path-sensitive analyses can specialize state along the true and false
+// arms — the `if err != nil` refinement that makes release-on-error
+// paths precise. Back edges are marked with the loop statement they
+// re-enter, which is what per-iteration leak checks key on.
+//
+// Terminal statements — return, panic, os.Exit and the conventional
+// fatal helpers — end their block with no successors, except that
+// return blocks are additionally recorded in Graph.Returns. The Exit
+// block is reachable only by falling off the end of the function body,
+// so Exit.Live distinguishes "can return implicitly" from "every path
+// returns or diverges".
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks holds every block, entry first, in construction order
+	// (roughly source order). Unreachable blocks are kept (their nodes
+	// still exist syntactically) with Live == false.
+	Blocks []*Block
+	// Entry is the function entry block.
+	Entry *Block
+	// Exit is the implicit-return block: reachable iff control can fall
+	// off the end of the body. It holds no nodes.
+	Exit *Block
+	// Returns lists every block ending in an *ast.ReturnStmt.
+	Returns []*Block
+}
+
+// A Block is one straight-line run of nodes.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Kind describes the block's role ("entry", "if.then", "for.head",
+	// "select.comm", "unreachable", ...), for debugging and tests.
+	Kind string
+	// Nodes are the statements and control-condition expressions that
+	// execute in this block, in order.
+	Nodes []ast.Node
+	// Succs and Preds are the outgoing and incoming edges.
+	Succs []*Edge
+	Preds []*Edge
+	// Live reports reachability from Entry.
+	Live bool
+}
+
+// An Edge connects two blocks.
+type Edge struct {
+	From, To *Block
+	// Cond is the branch condition this edge refines (nil for
+	// unconditional edges); Branch is the condition's outcome along it.
+	Cond   ast.Expr
+	Branch bool
+	// Back marks a loop back edge; Loop is the for/range statement the
+	// edge re-enters.
+	Back bool
+	Loop ast.Stmt
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	b.labels = map[string]*labelInfo{}
+	b.stmtList(body.List)
+	// Falling off the end of the body is the implicit return.
+	b.jump(b.g.Exit, nil, false)
+	b.g.computeLive()
+	return b.g
+}
+
+// computeLive marks every block reachable from Entry.
+func (g *Graph) computeLive() {
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if b.Live {
+			return
+		}
+		b.Live = true
+		for _, e := range b.Succs {
+			visit(e.To)
+		}
+	}
+	visit(g.Entry)
+}
+
+// UnreachableSpans returns the source spans of the nodes of every dead
+// block — the filter reachability-aware clients apply to syntactic
+// findings.
+func (g *Graph) UnreachableSpans() []Span {
+	var spans []Span
+	for _, b := range g.Blocks {
+		if b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if n.Pos().IsValid() && n.End().IsValid() {
+				spans = append(spans, Span{n.Pos(), n.End()})
+			}
+		}
+	}
+	return spans
+}
+
+// A Span is one [Pos, End) source range.
+type Span struct{ Pos, End token.Pos }
+
+// Contains reports whether p falls within the span.
+func (s Span) Contains(p token.Pos) bool { return p >= s.Pos && p < s.End }
+
+// ---- builder ----
+
+// branchTarget is one enclosing break/continue destination.
+type branchTarget struct {
+	label string // enclosing statement's label, "" if none
+	block *Block
+}
+
+// labelInfo resolves goto and labeled break/continue.
+type labelInfo struct {
+	block *Block // the labeled statement's entry block
+}
+
+type builder struct {
+	g *Graph
+	// cur is the block under construction; nil after a terminal
+	// statement until new code starts an explicitly-unreachable block.
+	cur       *Block
+	breaks    []branchTarget
+	continues []branchTarget
+	labels    map[string]*labelInfo
+	// pendingLabel is the label of the LabeledStmt being entered, so
+	// the next loop/switch/select registers labeled targets.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// block returns the current block, restarting construction in a fresh
+// unreachable block when a terminal statement ended the previous one.
+func (b *builder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// edge links from → to.
+func (b *builder) edge(from, to *Block, cond ast.Expr, branch bool) *Edge {
+	e := &Edge{From: from, To: to, Cond: cond, Branch: branch}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+	return e
+}
+
+// jump ends the current block with an edge to to (no-op when the path
+// already terminated).
+func (b *builder) jump(to *Block, cond ast.Expr, branch bool) {
+	if b.cur == nil {
+		return
+	}
+	b.edge(b.cur, to, cond, branch)
+	b.cur = nil
+}
+
+// backJump ends the current block with a back edge into a loop head.
+func (b *builder) backJump(head *Block, loop ast.Stmt) {
+	if b.cur == nil {
+		return
+	}
+	e := b.edge(b.cur, head, nil, false)
+	e.Back, e.Loop = true, loop
+	b.cur = nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for i, s := range list {
+		// A fallthrough statement is handled by the enclosing switch
+		// clause builder; skip it here.
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			continue
+		}
+		_ = i
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		blk := b.cur
+		b.g.Returns = append(b.g.Returns, blk)
+		b.cur = nil
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.cur = nil
+		}
+	case nil:
+		// skip
+	default:
+		// Assign, Decl, Defer, Go, Send, IncDec, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.block()
+	b.cur = nil
+	then := b.newBlock("if.then")
+	b.edge(head, then, s.Cond, true)
+	done := b.newBlock("if.done")
+
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.jump(done, nil, false)
+
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(head, els, s.Cond, false)
+		b.cur = els
+		b.stmt(s.Else)
+		b.jump(done, nil, false)
+	} else {
+		b.edge(head, done, s.Cond, false)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.jump(head, nil, false)
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.edge(head, body, s.Cond, true)
+		b.edge(head, done, s.Cond, false)
+	} else {
+		b.edge(head, body, nil, false)
+	}
+	// continue runs Post (when present) and re-enters the head.
+	contTarget := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		contTarget = post
+	}
+	b.pushLoop(label, done, contTarget)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	if post != nil {
+		b.jump(post, nil, false)
+		b.cur = post
+		b.stmt(s.Post)
+		b.backJump(head, s)
+	} else {
+		b.backJump(head, s)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The range expression is evaluated once, before the loop.
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	b.jump(head, nil, false)
+	// The RangeStmt marker re-binds the iteration variables each trip.
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(head, body, nil, false)
+	b.edge(head, done, nil, false)
+	b.pushLoop(label, done, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	b.backJump(head, s)
+	b.cur = done
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.block()
+	b.cur = nil
+	done := b.newBlock("switch.done")
+	b.caseClauses(s.Body, head, done, label, false)
+	b.cur = done
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	// The assign (x := y.(type) or plain y.(type)) executes once.
+	b.add(s.Assign)
+	head := b.block()
+	b.cur = nil
+	done := b.newBlock("typeswitch.done")
+	b.caseClauses(s.Body, head, done, label, false)
+	b.cur = done
+}
+
+// caseClauses wires a switch/type-switch body: one block per clause,
+// all fed from head; a missing default adds the fallthrough edge
+// head → done. isTypeSwitchComm is unused for switches (see selectStmt
+// for select wiring).
+func (b *builder) caseClauses(body *ast.BlockStmt, head, done *Block, label string, _ bool) {
+	hasDefault := false
+	// Build clause entry blocks first so fallthrough can target the
+	// next clause.
+	entries := make([]*Block, len(body.List))
+	for i, cs := range body.List {
+		entries[i] = b.newBlock("case")
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			if cc.List == nil {
+				hasDefault = true
+			}
+			// Case expressions evaluate before the clause is chosen;
+			// attach them to the clause entry (they only run when the
+			// dispatch reaches this clause).
+			for _, x := range cc.List {
+				entries[i].Nodes = append(entries[i].Nodes, x)
+			}
+		}
+		b.edge(head, entries[i], nil, false)
+	}
+	if !hasDefault {
+		b.edge(head, done, nil, false)
+	}
+	b.pushBreak(label, done)
+	for i, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = entries[i]
+		b.stmtList(cc.Body)
+		// An explicit fallthrough transfers to the next clause body.
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(entries) {
+				b.jump(entries[i+1], nil, false)
+				continue
+			}
+		}
+		b.jump(done, nil, false)
+	}
+	b.popBreak()
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.block()
+	b.cur = nil
+	done := b.newBlock("select.done")
+	if len(s.Body.List) == 0 {
+		// select{} blocks forever: no successors.
+		return
+	}
+	b.pushBreak(label, done)
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		entry := b.newBlock("select.comm")
+		b.edge(head, entry, nil, false)
+		b.cur = entry
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done, nil, false)
+	}
+	b.popBreak()
+	// A select with no default blocks until one case proceeds: there is
+	// no head → done fallthrough edge in either case (a default arm is
+	// just another clause).
+	b.cur = done
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	if li.block == nil {
+		li.block = b.newBlock("label." + name)
+	}
+	b.jump(li.block, nil, false)
+	b.cur = li.block
+	b.pendingLabel = name
+	b.stmt(s.Stmt)
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breaks, label); t != nil {
+			b.jump(t, nil, false)
+		} else {
+			b.cur = nil
+		}
+	case token.CONTINUE:
+		if t := findTarget(b.continues, label); t != nil {
+			b.jump(t, nil, false)
+		} else {
+			b.cur = nil
+		}
+	case token.GOTO:
+		li := b.labels[label]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[label] = li
+		}
+		if li.block == nil {
+			li.block = b.newBlock("label." + label)
+		}
+		b.jump(li.block, nil, false)
+	case token.FALLTHROUGH:
+		// Handled by caseClauses; a stray fallthrough ends the path.
+		b.cur = nil
+	}
+}
+
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	b.continues = append(b.continues, branchTarget{label: label, block: cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) pushBreak(label string, brk *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	// A switch/select does not introduce a continue target, but an
+	// unlabeled continue inside it must still reach the enclosing loop,
+	// so the continue stack is left untouched.
+}
+
+func (b *builder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+// isTerminalCall recognizes call statements that end the path: panic
+// and the conventional process-exit helpers.
+func isTerminalCall(x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Fatal", "Fatalf", "Fatalln", "Exit", "Goexit":
+			if pkg, ok := fun.X.(*ast.Ident); ok {
+				return pkg.Name == "os" || pkg.Name == "log" || pkg.Name == "runtime"
+			}
+		}
+	}
+	return false
+}

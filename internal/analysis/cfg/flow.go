@@ -1,0 +1,84 @@
+package cfg
+
+import "go/ast"
+
+// Flow is a forward dataflow problem over a Graph. The state type S is
+// client-defined; the engine only needs to create, copy, merge and
+// advance states. Merge must be monotone for termination — the visit
+// budget is the backstop when it is not.
+type Flow[S any] struct {
+	// Entry produces the state on function entry.
+	Entry func() S
+	// Clone deep-copies a state so per-edge refinement cannot alias.
+	Clone func(S) S
+	// Merge joins src into dst in place and reports whether dst
+	// changed (the block must be revisited).
+	Merge func(dst, src S) bool
+	// Transfer advances the state across one block node.
+	Transfer func(n ast.Node, s S)
+	// Refine (optional) specializes the state along a conditional edge:
+	// cond is the branch condition, branch its outcome on this edge.
+	Refine func(cond ast.Expr, branch bool, s S)
+	// MaxVisits bounds how many times one block may be processed
+	// (default 64). Exhausting it abandons the fixpoint.
+	MaxVisits int
+}
+
+// Forward runs the worklist fixpoint and returns the state at entry to
+// every reached block. ok is false when the visit budget ran out before
+// convergence — callers should then skip reporting for the function
+// rather than report from a half-converged state.
+func (f *Flow[S]) Forward(g *Graph) (in map[*Block]S, ok bool) {
+	budget := f.MaxVisits
+	if budget <= 0 {
+		budget = 64
+	}
+	in = make(map[*Block]S, len(g.Blocks))
+	visits := make([]int, len(g.Blocks))
+	in[g.Entry] = f.Entry()
+
+	work := []*Block{g.Entry}
+	queued := make([]bool, len(g.Blocks))
+	queued[g.Entry.Index] = true
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		visits[b.Index]++
+		if visits[b.Index] > budget {
+			return in, false
+		}
+
+		s := f.Clone(in[b])
+		for _, n := range b.Nodes {
+			f.Transfer(n, s)
+		}
+		for _, e := range b.Succs {
+			out := f.Clone(s)
+			if e.Cond != nil && f.Refine != nil {
+				f.Refine(e.Cond, e.Branch, out)
+			}
+			prev, seen := in[e.To]
+			changed := false
+			if !seen {
+				in[e.To] = out
+				changed = true
+			} else {
+				changed = f.Merge(prev, out)
+			}
+			if changed && !queued[e.To.Index] {
+				queued[e.To.Index] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in, true
+}
+
+// ReachedExit reports whether the fixpoint reached the implicit-return
+// block (the function can fall off the end of its body).
+func ReachedExit[S any](g *Graph, in map[*Block]S) bool {
+	_, ok := in[g.Exit]
+	return ok
+}

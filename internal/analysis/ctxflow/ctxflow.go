@@ -21,6 +21,13 @@
 // context — same-package callees by direct analysis, cross-package
 // callees through the exported BlocksFact, so the check crosses package
 // boundaries transitively.
+//
+// Detection is reachability-aware: each function body is lowered to a
+// control-flow graph (internal/analysis/cfg) and blocking operations or
+// timer creations in unreachable blocks — code after a return or panic,
+// after an exit-less `for {}`, or after a `select {}` — are ignored.
+// The pre-CFG walker counted those dead sites and flagged functions
+// that can never actually block.
 package ctxflow
 
 import (
@@ -29,6 +36,7 @@ import (
 	"go/types"
 
 	"github.com/bertha-net/bertha/internal/analysis"
+	"github.com/bertha-net/bertha/internal/analysis/cfg"
 )
 
 // BlocksFact marks a function that performs a blocking operation
@@ -64,6 +72,19 @@ type funcInfo struct {
 	// calls lists same-package callees invoked outside nested function
 	// literals, for the transitive fixpoint.
 	calls []*types.Func
+	// dead holds the source spans of CFG-unreachable code; blocking
+	// operations inside them never execute and are not counted.
+	dead []cfg.Span
+}
+
+// reachable reports whether pos lies outside every dead span.
+func (fi *funcInfo) reachable(pos token.Pos) bool {
+	for _, sp := range fi.dead {
+		if sp.Contains(pos) {
+			return false
+		}
+	}
+	return true
 }
 
 // blockSite is one blocking operation.
@@ -173,6 +194,9 @@ func factBlockSite(pass *analysis.Pass, fi *funcInfo) *blockSite {
 		if !ok {
 			return true
 		}
+		if !fi.reachable(call.Pos()) {
+			return true
+		}
 		fn := calleeFunc(pass.TypesInfo, call)
 		if fn == nil || fn.Pkg() == pass.Pkg {
 			return true
@@ -191,7 +215,7 @@ func factBlockSite(pass *analysis.Pass, fi *funcInfo) *blockSite {
 // first blocking operation, and same-package callees. Timer leaks are
 // reported as a side effect.
 func analyzeFunc(pass *analysis.Pass, fd *ast.FuncDecl) *funcInfo {
-	fi := &funcInfo{decl: fd}
+	fi := &funcInfo{decl: fd, dead: cfg.New(fd.Body).UnreachableSpans()}
 	if fd.Type.Params != nil {
 		for _, field := range fd.Type.Params.List {
 			for _, name := range field.Names {
@@ -202,7 +226,7 @@ func analyzeFunc(pass *analysis.Pass, fd *ast.FuncDecl) *funcInfo {
 			}
 		}
 	}
-	checkTimerLeaks(pass, fd.Body)
+	checkTimerLeaks(pass, fd.Body, fi)
 	walkBody(pass, fd.Body, fi, false)
 	return fi
 }
@@ -279,9 +303,10 @@ func walkBody(pass *analysis.Pass, body *ast.BlockStmt, fi *funcInfo, inGuardedS
 	}
 }
 
-// noteBlock records the first blocking operation.
+// noteBlock records the first blocking operation. Sites in
+// CFG-unreachable code never execute and are ignored.
 func (fi *funcInfo) noteBlock(pos token.Pos, op string) {
-	if fi.block == nil {
+	if fi.block == nil && fi.reachable(pos) {
 		fi.block = &blockSite{pos: pos, op: op}
 	}
 }
@@ -363,12 +388,16 @@ func checkBackground(pass *analysis.Pass, f *ast.File) {
 }
 
 // checkTimerLeaks reports time.NewTimer/NewTicker results that are
-// neither stopped nor escape the function.
-func checkTimerLeaks(pass *analysis.Pass, body *ast.BlockStmt) {
+// neither stopped nor escape the function. Creations in unreachable
+// code never run, so they cannot leak.
+func checkTimerLeaks(pass *analysis.Pass, body *ast.BlockStmt, fi *funcInfo) {
 	created := map[*types.Var]*timerSite{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if !fi.reachable(as.Pos()) {
 			return true
 		}
 		id, ok := as.Lhs[0].(*ast.Ident)

@@ -1,6 +1,7 @@
 // Package driver is the berthavet multichecker: it runs the bufown,
-// overhead, lockdisc, ctxflow, golife, and speccheck analyzers over
-// packages either standalone (`berthavet ./...`) or as a
+// overhead, lockdisc, ctxflow, golife, speccheck, atomdisc, and
+// batchcontract analyzers over packages either standalone
+// (`berthavet ./...`) or as a
 // `go vet -vettool` backend speaking the go command's unitchecker
 // protocol (-flags/-V=full handshakes plus a JSON .cfg file per
 // package).
@@ -23,6 +24,8 @@ import (
 	"strings"
 
 	"github.com/bertha-net/bertha/internal/analysis"
+	"github.com/bertha-net/bertha/internal/analysis/atomdisc"
+	"github.com/bertha-net/bertha/internal/analysis/batchcontract"
 	"github.com/bertha-net/bertha/internal/analysis/bufown"
 	"github.com/bertha-net/bertha/internal/analysis/ctxflow"
 	"github.com/bertha-net/bertha/internal/analysis/golife"
@@ -41,6 +44,8 @@ var Analyzers = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	golife.Analyzer,
 	speccheck.Analyzer,
+	atomdisc.Analyzer,
+	batchcontract.Analyzer,
 }
 
 func init() {
@@ -56,6 +61,7 @@ func Version() string { return vetversion.String() }
 func Main(args []string, stdout, stderr io.Writer) int {
 	var patterns []string
 	jsonOut := false
+	sarifOut := false
 	for _, a := range args {
 		switch {
 		case a == "-flags" || a == "--flags":
@@ -73,6 +79,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			return 0
 		case a == "-json" || a == "--json":
 			jsonOut = true
+		case a == "-sarif" || a == "--sarif":
+			sarifOut = true
 		case a == "-h" || a == "-help" || a == "--help":
 			usage(stdout)
 			return 0
@@ -90,21 +98,27 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	return standalone(patterns, jsonOut, stdout, stderr)
+	if jsonOut && sarifOut {
+		fmt.Fprintln(stderr, "berthavet: -json and -sarif are mutually exclusive")
+		return 1
+	}
+	return standalone(patterns, jsonOut, sarifOut, stdout, stderr)
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, `usage: berthavet [-json] [packages]
+	fmt.Fprintf(w, `usage: berthavet [-json|-sarif] [packages]
 
 Runs the bertha static-analysis suite (%s) over the packages:
 `, analysis.SuiteRevision)
 	for _, a := range Analyzers {
-		fmt.Fprintf(w, "  %-9s %s\n", a.Name, a.Doc)
+		fmt.Fprintf(w, "  %-13s %s\n", a.Name, a.Doc)
 	}
 	fmt.Fprint(w, `
 Flags:
   -json     one finding per line as JSON {file, line, col, analyzer,
             category, message} (standalone mode only)
+  -sarif    all findings as one SARIF 2.1.0 document on stdout, ready
+            for code-scanning upload (standalone mode only)
   -version  print the tool and rule-set revision
 
 Also usable as a vettool: go vet -vettool=$(which berthavet) ./...
@@ -124,7 +138,7 @@ type jsonDiag struct {
 
 // standalone loads patterns itself and runs every analyzer over the
 // packages in dependency order, sharing one fact store.
-func standalone(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+func standalone(patterns []string, jsonOut, sarifOut bool, stdout, stderr io.Writer) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(stderr, "berthavet: %v\n", err)
@@ -142,6 +156,7 @@ func standalone(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 	}
 	facts := analysis.NewFactStore()
 	found := 0
+	var findings []sarifFinding
 	enc := json.NewEncoder(stdout)
 	for _, pkg := range SortDeps(pkgs) {
 		diags, err := RunPackageFacts(pkg, facts)
@@ -151,16 +166,28 @@ func standalone(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
-			if jsonOut {
+			switch {
+			case sarifOut:
+				findings = append(findings, sarifFinding{Pos: pos, Diag: d})
+			case jsonOut:
 				enc.Encode(jsonDiag{
 					File: pos.Filename, Line: pos.Line, Col: pos.Column,
 					Analyzer: d.Analyzer, Category: d.Category, Message: d.Message,
 				})
-			} else {
+			default:
 				fmt.Fprintf(stdout, "%s: [%s/%s] %s\n",
 					pos, d.Analyzer, d.Category, d.Message)
 			}
 			found++
+		}
+	}
+	if sarifOut {
+		// The document is emitted even when clean: code-scanning uploads
+		// expect a well-formed run either way, and an empty results array
+		// is how resolved findings get closed.
+		if err := writeSARIF(stdout, modRoot, findings); err != nil {
+			fmt.Fprintf(stderr, "berthavet: %v\n", err)
+			return 1
 		}
 	}
 	if found > 0 {

@@ -28,7 +28,7 @@ func TestRepositoryClean(t *testing.T) {
 // dropping an analyzer from the suite must not silently weaken the
 // merge gate.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"bufown", "overhead", "lockdisc", "ctxflow", "golife", "speccheck"}
+	want := []string{"bufown", "overhead", "lockdisc", "ctxflow", "golife", "speccheck", "atomdisc", "batchcontract"}
 	have := map[string]bool{}
 	for _, a := range driver.Analyzers {
 		have[a.Name] = true
@@ -108,6 +108,78 @@ func TestSeededOrphanFailsTheGate(t *testing.T) {
 	}
 	if !orphan {
 		t.Errorf("expected a golife/orphan diagnostic, got: %+v", diags)
+	}
+}
+
+// TestSeededMixedAtomicFailsTheGate proves the gate catches a mixed
+// atomic/plain field access: the seeded_mixedatomic corpus increments
+// a counter atomically on the datapath but snapshots it with a plain
+// load — atomdisc must reject it.
+func TestSeededMixedAtomicFailsTheGate(t *testing.T) {
+	modRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := load.ExportMap(modRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", "seeded_mixedatomic")
+	pkg, err := load.Dir(dir, "testdata/seeded_mixedatomic", exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.RunPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := false
+	for _, d := range diags {
+		if d.Analyzer == "atomdisc" && d.Category == "mixed-access" {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Errorf("expected an atomdisc/mixed-access diagnostic, got: %+v", diags)
+	}
+}
+
+// TestSeededTailLeakFailsTheGate proves the gate catches both batch
+// contract clauses: the seeded_tailleak corpus abandons the unsent
+// tail on a mid-burst failure and miscounts Sent against the released
+// suffix — batchcontract must reject both.
+func TestSeededTailLeakFailsTheGate(t *testing.T) {
+	modRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := load.ExportMap(modRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", "seeded_tailleak")
+	pkg, err := load.Dir(dir, "testdata/seeded_tailleak", exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.RunPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leak, miscount bool
+	for _, d := range diags {
+		if d.Analyzer == "batchcontract" && d.Category == "tail-leak" {
+			leak = true
+		}
+		if d.Analyzer == "batchcontract" && d.Category == "sent-miscount" {
+			miscount = true
+		}
+	}
+	if !leak {
+		t.Errorf("expected a batchcontract/tail-leak diagnostic, got: %+v", diags)
+	}
+	if !miscount {
+		t.Errorf("expected a batchcontract/sent-miscount diagnostic, got: %+v", diags)
 	}
 }
 

@@ -1,0 +1,164 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"github.com/bertha-net/bertha/internal/analysis"
+)
+
+// SARIF 2.1.0 output for the -sarif flag: the minimal subset GitHub
+// code scanning consumes via codeql-action/upload-sarif. One run, one
+// rule per analyzer/category pair actually hit, artifact URIs relative
+// to the module root so the upload anchors annotations to the checkout.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifFinding pairs a diagnostic with its resolved file position.
+type sarifFinding struct {
+	Pos  token.Position
+	Diag analysis.Diagnostic
+}
+
+// analyzerDocs maps analyzer name to the first sentence of its Doc,
+// used as the SARIF rule description.
+func analyzerDocs() map[string]string {
+	docs := make(map[string]string, len(Analyzers))
+	for _, a := range Analyzers {
+		doc := a.Doc
+		if i := strings.IndexAny(doc, ".\n"); i >= 0 {
+			doc = doc[:i]
+		}
+		docs[a.Name] = doc
+	}
+	return docs
+}
+
+// writeSARIF renders the findings as one SARIF 2.1.0 document. Paths
+// are made relative to root (the module root) where possible; the suite
+// treats every finding as an error because the merge gate does.
+func writeSARIF(w io.Writer, root string, findings []sarifFinding) error {
+	docs := analyzerDocs()
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		id := f.Diag.Analyzer + "/" + f.Diag.Category
+		idx, ok := ruleIndex[id]
+		if !ok {
+			idx = len(rules)
+			ruleIndex[id] = idx
+			desc := docs[f.Diag.Analyzer]
+			if desc == "" {
+				desc = id
+			}
+			rules = append(rules, sarifRule{
+				ID:               id,
+				ShortDescription: sarifMessage{Text: desc},
+			})
+		}
+		uri := f.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+		results = append(results, sarifResult{
+			RuleID:    id,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Diag.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       filepath.ToSlash(uri),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Pos.Line,
+						StartColumn: f.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	if rules == nil {
+		rules = []sarifRule{}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:    "berthavet",
+				Version: Version(),
+				Rules:   rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&log); err != nil {
+		return fmt.Errorf("encoding SARIF: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis"
+)
+
+// TestWriteSARIF pins the document shape the upload-sarif CI step
+// consumes: schema/version headers, one rule per analyzer/category
+// pair, root-relative forward-slash URIs, and error-level results.
+func TestWriteSARIF(t *testing.T) {
+	findings := []sarifFinding{
+		{
+			Pos: token.Position{Filename: "/mod/internal/core/batch.go", Line: 42, Column: 7},
+			Diag: analysis.Diagnostic{
+				Analyzer: "batchcontract", Category: "tail-leak",
+				Message: "error path abandons the unsent tail",
+			},
+		},
+		{
+			Pos: token.Position{Filename: "/mod/internal/core/stats.go", Line: 9, Column: 2},
+			Diag: analysis.Diagnostic{
+				Analyzer: "atomdisc", Category: "mixed-access",
+				Message: "plain read of atomically accessed field",
+			},
+		},
+		{
+			Pos: token.Position{Filename: "/mod/internal/core/batch.go", Line: 50, Column: 3},
+			Diag: analysis.Diagnostic{
+				Analyzer: "batchcontract", Category: "tail-leak",
+				Message: "second tail leak, same rule",
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, "/mod", findings); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "berthavet" {
+		t.Errorf("tool name = %q", run.Tool.Driver.Name)
+	}
+	if got := len(run.Tool.Driver.Rules); got != 2 {
+		t.Fatalf("got %d rules, want 2 (duplicate ruleId must not duplicate the rule)", got)
+	}
+	if run.Tool.Driver.Rules[0].ID != "batchcontract/tail-leak" {
+		t.Errorf("rules[0].ID = %q", run.Tool.Driver.Rules[0].ID)
+	}
+	if got := len(run.Results); got != 3 {
+		t.Fatalf("got %d results, want 3", got)
+	}
+	r := run.Results[0]
+	if r.RuleID != "batchcontract/tail-leak" || r.RuleIndex != 0 || r.Level != "error" {
+		t.Errorf("results[0] = %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/batch.go" {
+		t.Errorf("uri = %q, want module-relative path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+	if run.Results[1].RuleIndex != 1 {
+		t.Errorf("results[1].RuleIndex = %d, want 1", run.Results[1].RuleIndex)
+	}
+}
+
+// TestSARIFCleanRun pins that a clean tree still yields a well-formed
+// document with an empty results array — that is how code scanning
+// closes previously reported findings.
+func TestSARIFCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks a package")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-sarif", "./internal/wire/"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-sarif exit %d: %s", code, stderr.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean run should have one run with an empty results array: %s", stdout.String())
+	}
+}
+
+// TestSARIFExclusiveWithJSON pins that the two machine formats cannot
+// be interleaved on one stdout stream.
+func TestSARIFExclusiveWithJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-json", "-sarif", "./..."}, &stdout, &stderr); code != 1 {
+		t.Errorf("-json -sarif exit %d, want 1", code)
+	}
+}

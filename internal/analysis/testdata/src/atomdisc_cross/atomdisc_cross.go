@@ -1,0 +1,34 @@
+// Package atomdisc_cross consumes dep's AtomicFieldsFact: plain
+// access to a field the dependency maintains atomically is flagged
+// here, in the importing package.
+package atomdisc_cross
+
+import (
+	"sync/atomic"
+
+	dep "testdata/atomdisc_dep"
+)
+
+func readRaw(c *dep.Counter) int64 {
+	return c.Hits // want `mixed-access`
+}
+
+func writeRaw(c *dep.Counter) {
+	c.Hits = 0 // want `mixed-access`
+}
+
+func readAtomic(c *dep.Counter) int64 {
+	return atomic.LoadInt64(&c.Hits)
+}
+
+// readApprox is clean: dep declared the field //bertha:racy, so it
+// never entered the fact.
+func readApprox(c *dep.Counter) int64 {
+	return c.Approx
+}
+
+// readLocal documents its own reason at the use site.
+func readLocal(c *dep.Counter) int64 {
+	//bertha:racy snapshot for the expvar dump, staleness is fine
+	return c.Hits
+}

@@ -1,0 +1,25 @@
+// Package dep is the dependency side of the atomdisc cross-package
+// corpus: it updates exported fields with sync/atomic, which publishes
+// them in an AtomicFieldsFact for importers to respect.
+package dep
+
+import "sync/atomic"
+
+// Counter exposes two stat fields updated atomically.
+type Counter struct {
+	Hits int64
+	//bertha:racy best-effort stat, importers may read it torn
+	Approx int64
+
+	internal int64
+}
+
+// Inc bumps the strict counter.
+func (c *Counter) Inc() { atomic.AddInt64(&c.Hits, 1) }
+
+// Bump bumps the best-effort counter.
+func (c *Counter) Bump() { atomic.AddInt64(&c.Approx, 1) }
+
+// touch keeps the unexported field atomically maintained; unexported
+// fields never enter the fact (importers cannot reach them).
+func (c *Counter) touch() { atomic.AddInt64(&c.internal, 1) }

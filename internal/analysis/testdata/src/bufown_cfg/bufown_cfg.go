@@ -1,0 +1,102 @@
+// Package bufown_cfg pins the precision the CFG dataflow engine added
+// to bufown. Every "clean" function here was a false positive under the
+// pre-CFG recursive walker; the `want` cases are positive controls
+// proving the same rules still fire when the bug is real.
+package bufown_cfg
+
+import (
+	"context"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// releasePrevious is the loop-carried ownership pattern: each iteration
+// releases the previous iteration's Buf, and the tail is released after
+// the loop. The pre-CFG walker's per-iteration check saw an owned Buf
+// at the loop end and flagged a spurious leak; the CFG engine tracks
+// the loop-carried alias (`prev`, declared outside the loop) as a
+// separate generation and proves every Buf is released exactly once.
+func releasePrevious(ctx context.Context, c core.BufConn, n int) error {
+	var prev *wire.Buf
+	for i := 0; i < n; i++ {
+		b, err := c.RecvBuf(ctx)
+		if err != nil {
+			if prev != nil {
+				prev.Release()
+			}
+			return err
+		}
+		if prev != nil {
+			prev.Release()
+		}
+		prev = b
+	}
+	if prev != nil {
+		prev.Release()
+	}
+	return nil
+}
+
+// perIterationLeak is the positive control for the same loop shape: no
+// loop-carried alias, so the Buf acquired each iteration really is
+// overwritten while owned.
+func perIterationLeak(ctx context.Context, c core.BufConn, n int) {
+	for i := 0; i < n; i++ {
+		b, err := c.RecvBuf(ctx)
+		if err != nil {
+			return
+		}
+		_ = b.Len()
+	} // want `leak`
+}
+
+// releaseAfterDeadCode keeps a Release that only looks unreachable to a
+// purely syntactic reader: the `continue` path re-acquires, and the Buf
+// held across the back edge is consumed on every live path.
+func releaseAfterDeadCode(ctx context.Context, c core.BufConn, n int) error {
+	for i := 0; i < n; i++ {
+		b, err := c.RecvBuf(ctx)
+		if err != nil {
+			return err
+		}
+		if b.Len() == 0 {
+			b.Release()
+			continue
+		}
+		if err := c.SendBuf(ctx, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// branchConsumedSwap releases on one arm and sends on the other, with
+// the arms swapped relative to declaration order — pure path tracking,
+// no single linear order consumes the Buf.
+func branchConsumedSwap(ctx context.Context, c core.BufConn, fast bool, b *wire.Buf) error {
+	if !fast {
+		b.Release()
+		return nil
+	}
+	return c.SendBuf(ctx, b)
+}
+
+// leakOnOneArm is the positive control: the slow arm forgets the Buf.
+func leakOnOneArm(ctx context.Context, c core.BufConn, fast bool, b *wire.Buf) error {
+	if !fast {
+		return nil // want `leak`
+	}
+	return c.SendBuf(ctx, b)
+}
+
+// unreachableUse puts the only use-after-release in code the CFG proves
+// dead: the reporting pass walks live blocks only, so a statement after
+// the return never fires a diagnostic.
+func unreachableUse(b *wire.Buf) int {
+	n := b.Len()
+	b.Release()
+	return n
+	_ = b.Len() // unreachable: never executes, so no use-after-release
+	panic("unreachable")
+}

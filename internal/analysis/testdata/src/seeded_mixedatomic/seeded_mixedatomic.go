@@ -1,0 +1,24 @@
+// Package seeded_mixedatomic is a deliberately racy counter used by
+// the driver tests to prove the CI gate trips on a mixed atomic/plain
+// field access: the hot path increments with sync/atomic while a
+// stats accessor reads the same word with a plain load. On weak
+// memory models that read can observe a torn or stale value; atomdisc
+// must reject it.
+package seeded_mixedatomic
+
+import "sync/atomic"
+
+type meter struct {
+	sent int64
+}
+
+// Record is the datapath side: lock-free atomic increment.
+func (m *meter) Record(n int64) {
+	atomic.AddInt64(&m.sent, n)
+}
+
+// Snapshot is the seeded bug: a plain read of an atomically written
+// field, bypassing the happens-before edge the datapath relies on.
+func (m *meter) Snapshot() int64 {
+	return m.sent // plain read of an atomic field
+}

@@ -1,0 +1,42 @@
+// Package seeded_tailleak is a deliberately broken batch send path
+// used by the driver tests to prove the CI gate trips on both batch
+// contract clauses: a mid-burst failure that abandons the unsent tail,
+// and a BatchError whose Sent count disagrees with the released
+// suffix. If a chunnel like this ever lands in a real package,
+// batchcontract (and the berthavet CI job) fails the build.
+package seeded_tailleak
+
+import (
+	"context"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+type leakyBatch struct{ inner core.Conn }
+
+// SendBufs abandons bs[i+1:] when element i fails: the error return
+// neither releases nor transfers the unsent tail.
+func (c *leakyBatch) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	for _, b := range bs {
+		if err := core.SendBuf(ctx, c.inner, b); err != nil {
+			return err // tail leaked here
+		}
+	}
+	return nil
+}
+
+type liarBatch struct{ inner core.Conn }
+
+// SendBufs releases from i (so element i was NOT consumed by the send)
+// but reports Sent: i+1 — the caller would double-count the failed
+// message when it resumes the burst.
+func (c *liarBatch) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	for i := range bs {
+		if err := core.SendBuf(ctx, c.inner, bs[i]); err != nil {
+			core.ReleaseAll(bs[i:])
+			return &core.BatchError{Sent: i + 1, Err: err}
+		}
+	}
+	return nil
+}

@@ -63,14 +63,19 @@ type CoalesceSustained struct {
 // coalescer, with the flush-reason split and the queue dwell time p95
 // from an isolated telemetry registry.
 type CoalesceSweepPoint struct {
-	GapUsec       float64 `json:"gap_usec"`
-	MsgsPerSec    float64 `json:"msgs_per_sec"`
-	DelayP95Usec  float64 `json:"delay_p95_usec"`
-	Enqueued      uint64  `json:"enqueued"`
-	IdleBypass    uint64  `json:"idle_bypass"`
-	FlushSize     uint64  `json:"flush_size"`
-	FlushTimer    uint64  `json:"flush_timer"`
-	FlushExplicit uint64  `json:"flush_explicit"`
+	GapUsec      float64 `json:"gap_usec"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	DelayP95Usec float64 `json:"delay_p95_usec"`
+	// AdaptiveDelayUsec is the timer budget the gap estimator had
+	// armed at the end of the run (the coalesce/adaptive_delay gauge):
+	// near the configured Delay when paced slowly, pinned to the floor
+	// under a firehose.
+	AdaptiveDelayUsec float64 `json:"adaptive_delay_usec"`
+	Enqueued          uint64  `json:"enqueued"`
+	IdleBypass        uint64  `json:"idle_bypass"`
+	FlushSize         uint64  `json:"flush_size"`
+	FlushTimer        uint64  `json:"flush_timer"`
+	FlushExplicit     uint64  `json:"flush_explicit"`
 }
 
 // idleGap keeps the paced round trips far outside the default Idle
@@ -122,10 +127,11 @@ func Coalesce(w io.Writer, cfg CoalesceConfig) error {
 		sustained.Messages, sustained.DirectMsgsPerSec, sustained.CoalescedMsgsPerSec, sustained.Speedup)
 	table := stats.NewTable(
 		fmt.Sprintf("coalesce: pacing sweep, %d-byte messages", cfg.Size),
-		"gap µs", "msg/s", "delay p95 µs", "enq", "bypass", "size", "timer", "explicit")
+		"gap µs", "msg/s", "delay p95 µs", "adapt µs", "enq", "bypass", "size", "timer", "explicit")
 	for _, pt := range sweep {
 		table.AddRow(pt.GapUsec, fmt.Sprintf("%.0f", pt.MsgsPerSec),
 			fmt.Sprintf("%.1f", pt.DelayP95Usec),
+			fmt.Sprintf("%.1f", pt.AdaptiveDelayUsec),
 			pt.Enqueued, pt.IdleBypass, pt.FlushSize, pt.FlushTimer, pt.FlushExplicit)
 	}
 	table.Render(w)
@@ -357,13 +363,14 @@ func runCoalesceSweepPoint(cfg CoalesceConfig, gap time.Duration) (CoalesceSweep
 		delayP95 = h.Snapshot().Quantile(0.95)
 	}
 	return CoalesceSweepPoint{
-		GapUsec:       float64(gap) / 1e3,
-		MsgsPerSec:    float64(msgs) / elapsed.Seconds(),
-		DelayP95Usec:  delayP95,
-		Enqueued:      tel.Counter("coalesce/enqueued").Value(),
-		IdleBypass:    tel.Counter("coalesce/idle_bypass").Value(),
-		FlushSize:     tel.Counter("coalesce/flush_size").Value(),
-		FlushTimer:    tel.Counter("coalesce/flush_timer").Value(),
-		FlushExplicit: tel.Counter("coalesce/flush_explicit").Value(),
+		GapUsec:           float64(gap) / 1e3,
+		MsgsPerSec:        float64(msgs) / elapsed.Seconds(),
+		DelayP95Usec:      delayP95,
+		AdaptiveDelayUsec: float64(tel.Gauge("coalesce/adaptive_delay").Value()) / 1e3,
+		Enqueued:          tel.Counter("coalesce/enqueued").Value(),
+		IdleBypass:        tel.Counter("coalesce/idle_bypass").Value(),
+		FlushSize:         tel.Counter("coalesce/flush_size").Value(),
+		FlushTimer:        tel.Counter("coalesce/flush_timer").Value(),
+		FlushExplicit:     tel.Counter("coalesce/flush_explicit").Value(),
 	}, nil
 }

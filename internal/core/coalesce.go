@@ -30,8 +30,11 @@ const (
 
 // CoalesceConfig parameterizes send-side coalescing (WithCoalescing).
 type CoalesceConfig struct {
-	// Delay is the flush-timer budget: the longest a queued message
-	// waits before the pending burst is flushed. Default 50µs.
+	// Delay is the flush-timer budget ceiling: the longest a queued
+	// message waits before the pending burst is flushed. The effective
+	// timer adapts per connection — four EWMA inter-send gaps, clamped
+	// to [Delay/16, Delay] — so sustained fast senders flush well
+	// inside the ceiling. Default 50µs.
 	Delay time.Duration
 	// MaxBurst is the burst-size cap: reaching it flushes immediately.
 	// Default 64 (the UDP GSO segment cap).
@@ -80,9 +83,9 @@ const (
 
 // Coalescer is a per-connection send queue at the top of the stack:
 // SendBuf under load enqueues into a pending burst flushed by whichever
-// comes first — the flush timer (Delay), the burst cap (MaxBurst), or an
-// explicit Flush — and the burst rides the inner connection's
-// SendBufs/sendmmsg/GSO machinery. The load detector is adaptive and
+// comes first — the flush timer (adaptive, bounded by Delay), the burst
+// cap (MaxBurst), or an explicit Flush — and the burst rides the inner
+// connection's SendBufs/sendmmsg/GSO machinery. The load detector is adaptive and
 // allocation-free: a send arriving more than Idle after the previous one
 // finds an idle connection and takes the direct path (a couple of atomic
 // operations of overhead); the queue engages only from the third send of
@@ -103,9 +106,10 @@ type Coalescer struct {
 	max      int
 	headroom int
 
-	last   atomic.Int64 // UnixNano of the most recent send
-	hot    atomic.Bool  // a recent send already followed another
-	queued atomic.Int64 // messages queued or in a flush in flight
+	last    atomic.Int64 // UnixNano of the most recent send
+	hot     atomic.Bool  // a recent send already followed another
+	queued  atomic.Int64 // messages queued or in a flush in flight
+	ewmaGap atomic.Int64 // EWMA of inter-send gaps, nanoseconds (α = 1/8)
 
 	mu sync.Mutex
 	// pending is the open burst. A store transfers ownership to the
@@ -128,6 +132,7 @@ type Coalescer struct {
 	flushErrs  *telemetry.Counter
 	reasons    [flushReasonCount]*telemetry.Counter
 	delayHist  *telemetry.Histogram
+	adaptGauge *telemetry.Gauge
 }
 
 var (
@@ -140,8 +145,10 @@ var (
 // NewCoalescer wraps inner in a send-side coalescer. Telemetry lands in
 // tel (the process default when nil): flush-reason counters
 // coalesce/flush_{size,timer,explicit}, coalesce/idle_bypass,
-// coalesce/enqueued, coalesce/flush_errors, and the coalesce/delay
-// histogram of enqueue→flush dwell times.
+// coalesce/enqueued, coalesce/flush_errors, the coalesce/delay
+// histogram of enqueue→flush dwell times, and the
+// coalesce/adaptive_delay gauge of the timer budget (nanoseconds) most
+// recently armed by the gap estimator.
 func NewCoalescer(inner Conn, cfg CoalesceConfig, tel *telemetry.Registry) *Coalescer {
 	cfg.fill()
 	if tel == nil {
@@ -161,7 +168,12 @@ func NewCoalescer(inner Conn, cfg CoalesceConfig, tel *telemetry.Registry) *Coal
 		idleBypass: tel.Counter("coalesce/idle_bypass"),
 		flushErrs:  tel.Counter("coalesce/flush_errors"),
 		delayHist:  tel.Histogram("coalesce/delay"),
+		adaptGauge: tel.Gauge("coalesce/adaptive_delay"),
 	}
+	// Until the gap estimator warms up, the timer budget is the
+	// configured maximum: a fresh connection behaves exactly like the
+	// fixed-delay coalescer and only tightens as real gaps arrive.
+	c.ewmaGap.Store(cfg.Delay.Nanoseconds())
 	c.reasons[flushReasonSize] = tel.Counter("coalesce/flush_size")
 	c.reasons[flushReasonTimer] = tel.Counter("coalesce/flush_timer")
 	c.reasons[flushReasonExplicit] = tel.Counter("coalesce/flush_explicit")
@@ -181,6 +193,9 @@ func NewCoalescer(inner Conn, cfg CoalesceConfig, tel *telemetry.Registry) *Coal
 func (c *Coalescer) SendBuf(ctx context.Context, b *wire.Buf) error {
 	now := time.Now().UnixNano()
 	prev := c.last.Swap(now)
+	if prev != 0 {
+		c.observeGap(now - prev)
+	}
 	recent := now-prev < c.idle
 	if c.queued.Load() > 0 {
 		return c.enqueue(ctx, b, now)
@@ -238,7 +253,9 @@ func (c *Coalescer) enqueue(ctx context.Context, b *wire.Buf, now int64) error {
 	c.enqueued.Inc()
 	if c.n == 1 {
 		c.firstAt = now
-		c.timer.Reset(c.delay)
+		d := c.adaptiveDelay()
+		c.adaptGauge.Set(int64(d))
+		c.timer.Reset(d)
 	}
 	full := c.n >= c.max
 	c.mu.Unlock()
@@ -246,6 +263,39 @@ func (c *Coalescer) enqueue(ctx context.Context, b *wire.Buf, now int64) error {
 		return c.flush(ctx, flushReasonSize)
 	}
 	return nil
+}
+
+// observeGap feeds one inter-send gap into the EWMA the flush timer
+// adapts to. Samples are clamped to the configured Delay so an idle
+// stretch cannot poison the estimate, and the update races benignly:
+// a lost sample just makes the estimator converge one send slower.
+func (c *Coalescer) observeGap(gap int64) {
+	if max := c.delay.Nanoseconds(); gap > max {
+		gap = max
+	}
+	e := c.ewmaGap.Load()
+	c.ewmaGap.Store(e + (gap-e)>>3)
+}
+
+// adaptiveDelay is the flush-timer budget for the burst being opened:
+// four estimated inter-send gaps, so a steady sender accumulates a few
+// messages per burst, clamped between Delay/16 (never below 2µs — the
+// timer's useful resolution) and the configured Delay. A fast sender
+// therefore flushes well inside the fixed budget, cutting queue dwell,
+// while a sender pacing near the budget keeps the full window.
+func (c *Coalescer) adaptiveDelay() time.Duration {
+	d := time.Duration(4 * c.ewmaGap.Load())
+	min := c.delay / 16
+	if min < 2*time.Microsecond {
+		min = 2 * time.Microsecond
+	}
+	if d < min {
+		d = min
+	}
+	if d > c.delay {
+		d = c.delay
+	}
+	return d
 }
 
 // takeDeferredErr returns and clears the deferred timer-flush error.

@@ -502,6 +502,65 @@ func (n *nullBatchConn) LocalAddr() Addr  { return Addr{} }
 func (n *nullBatchConn) RemoteAddr() Addr { return Addr{} }
 func (n *nullBatchConn) Close() error     { return nil }
 
+// TestCoalesceAdaptiveDelay pins the gap estimator's clamp behaviour:
+// fresh connections keep the full configured budget, a sustained fast
+// sender converges to the Delay/16 floor, and a slow sender (whose
+// samples clamp at Delay) recovers the full budget.
+func TestCoalesceAdaptiveDelay(t *testing.T) {
+	const delay = 800 * time.Microsecond
+	sink := &sinkConn{}
+	c := NewCoalescer(sink, CoalesceConfig{Delay: delay, MaxBurst: 64, Idle: time.Hour}, telemetry.New())
+	defer c.Close()
+
+	if got := c.adaptiveDelay(); got != delay {
+		t.Fatalf("fresh adaptiveDelay = %v, want the configured %v", got, delay)
+	}
+	for i := 0; i < 100; i++ {
+		c.observeGap(int64(time.Microsecond))
+	}
+	if got, want := c.adaptiveDelay(), delay/16; got != want {
+		t.Fatalf("fast-sender adaptiveDelay = %v, want the %v floor", got, want)
+	}
+	for i := 0; i < 100; i++ {
+		c.observeGap(int64(time.Hour)) // clamps to delay
+	}
+	if got := c.adaptiveDelay(); got != delay {
+		t.Fatalf("slow-sender adaptiveDelay = %v, want the %v ceiling", got, delay)
+	}
+}
+
+// TestCoalesceAdaptiveDelayFloor pins the absolute 2µs floor for tiny
+// configured budgets, where Delay/16 would undershoot the timer's
+// useful resolution.
+func TestCoalesceAdaptiveDelayFloor(t *testing.T) {
+	sink := &sinkConn{}
+	c := NewCoalescer(sink, CoalesceConfig{Delay: 10 * time.Microsecond, MaxBurst: 64, Idle: time.Hour}, telemetry.New())
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		c.observeGap(1)
+	}
+	if got, want := c.adaptiveDelay(), 2*time.Microsecond; got != want {
+		t.Fatalf("adaptiveDelay = %v, want the absolute %v floor", got, want)
+	}
+}
+
+// TestCoalesceAdaptiveDelayGauge pins that arming the flush timer
+// publishes the chosen budget, so /debug/bertha shows what the
+// estimator is actually doing per connection.
+func TestCoalesceAdaptiveDelayGauge(t *testing.T) {
+	sink := &sinkConn{}
+	tel := telemetry.New()
+	c := hotCoalescer(t, sink, CoalesceConfig{Delay: time.Hour, MaxBurst: 64, Idle: time.Hour}, tel)
+	defer c.Close()
+	if err := c.SendBuf(context.Background(), wire.NewBufFrom(0, []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	got := tel.Gauge("coalesce/adaptive_delay").Value()
+	if got <= 0 || got > int64(time.Hour) {
+		t.Fatalf("coalesce/adaptive_delay = %d, want a positive budget ≤ the configured Delay", got)
+	}
+}
+
 // TestCoalesceAllocs is the CI allocation gate for the coalesced send
 // path: enqueue and flush must not allocate per message (the pending
 // burst arrays are preallocated, buffers are pooled, and the telemetry
