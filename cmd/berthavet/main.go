@@ -1,18 +1,26 @@
-// Command berthavet runs the bertha static-analysis suite: bufown
-// (linear wire.Buf ownership), overhead (Prepend totals vs declared
-// SendOverhead), lockdisc (mutexes across blocking conn calls and lock
-// ordering), ctxflow (context propagation and timer lifetimes), golife
-// (goroutine shutdown edges and WaitGroup pairing), and speccheck
-// (spec stacks evaluated against the chunnel registry).
+// Command berthavet runs the bertha static-analysis suite: callgraph
+// (per-package call graph with bounded devirtualization, feeding the
+// others), bufown (linear wire.Buf ownership with inferred
+// borrow/transfer summaries), overhead (Prepend totals vs declared
+// SendOverhead), lockdisc (mutexes across blocking conn calls, lock
+// ordering, and module-global deadlock cycles), ctxflow (context
+// propagation and timer lifetimes), golife (goroutine shutdown edges,
+// WaitGroup pairing, and spawns through helper wrappers), speccheck
+// (spec stacks evaluated against the chunnel registry), atomdisc
+// (sync/atomic access discipline), and batchcontract (the
+// SendBufs/RecvBufs batch contract).
 //
 // Analyzers exchange cross-package facts: standalone mode propagates
-// them in dependency order within one process, vettool mode serializes
-// them through the .vetx files the go command threads between units.
+// them in dependency order within one process (independent packages in
+// parallel waves), vettool mode serializes them through the .vetx
+// files the go command threads between units.
 //
 // Standalone:
 //
 //	go run ./cmd/berthavet ./...
-//	go run ./cmd/berthavet -json ./...   # machine-readable findings
+//	go run ./cmd/berthavet -json ./...        # machine-readable findings
+//	go run ./cmd/berthavet -sarif ./...       # SARIF 2.1.0 for code scanning
+//	go run ./cmd/berthavet -diff HEAD~1 ./... # only findings on changed lines
 //
 // As a vettool:
 //

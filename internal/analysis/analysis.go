@@ -50,6 +50,11 @@ type Analyzer struct {
 type Diagnostic struct {
 	// Pos is where the finding anchors.
 	Pos token.Pos
+	// End is the exclusive end of the source range the finding covers
+	// (token.NoPos when the analyzer reported a point, not a range).
+	// SARIF output turns a valid End into endLine/endColumn so code
+	// scanning underlines the whole expression.
+	End token.Pos
 	// Analyzer is the reporting analyzer's name.
 	Analyzer string
 	// Category names the specific rule, e.g. "use-after-release".
@@ -79,12 +84,27 @@ type Pass struct {
 // Reportf records a diagnostic unless a //berthavet:ignore directive
 // suppresses it on that line.
 func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	p.ReportRangef(pos, token.NoPos, category, format, args...)
+}
+
+// ReportNodef records a diagnostic anchored to a node's full source
+// range, so SARIF consumers can underline the offending expression
+// rather than a single column.
+func (p *Pass) ReportNodef(n ast.Node, category, format string, args ...any) {
+	p.ReportRangef(n.Pos(), n.End(), category, format, args...)
+}
+
+// ReportRangef records a diagnostic covering [pos, end) unless a
+// //berthavet:ignore directive suppresses it on pos's line. end may be
+// token.NoPos for point diagnostics.
+func (p *Pass) ReportRangef(pos, end token.Pos, category, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.suppressed(position.Filename, position.Line) {
 		return
 	}
 	p.diags = append(p.diags, Diagnostic{
 		Pos:      pos,
+		End:      end,
 		Analyzer: p.Analyzer.Name,
 		Category: category,
 		Message:  fmt.Sprintf(format, args...),

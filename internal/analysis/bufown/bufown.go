@@ -17,6 +17,17 @@
 // parameter the caller retains. The internal/wire package itself is
 // exempt: its methods implement the discipline rather than obey it.
 //
+// Interprocedural summaries are inferred rather than declared wherever
+// the code already proves them (see infer.go and sinks.go): a helper
+// that never consumes a Buf parameter on any exit path is learned as
+// borrowing it — bottom-up over the SCCs of the package call graph
+// (internal/analysis/callgraph), so borrows chain through helper
+// layers — and a struct field the package demonstrably drains (channel
+// receive, map read, range) is a learned sink whose stores are
+// sanctioned transfers, replacing most per-statement
+// //bertha:transfers annotations. Both summaries export as facts
+// (BorrowsFact, SinksFact) so cross-package callers see them too.
+//
 // The batch path follows the same discipline element-wise: a
 // []*wire.Buf argument to SendBufs transfers every element to the
 // callee, and a RecvBufs-style method storing into an element of a
@@ -49,6 +60,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"github.com/bertha-net/bertha/internal/analysis"
 	"github.com/bertha-net/bertha/internal/analysis/cfg"
@@ -70,7 +82,7 @@ var Analyzer = &analysis.Analyzer{
 	Name:      "bufown",
 	Doc:       "check linear ownership of wire.Buf values (release/transfer exactly once per path)",
 	Run:       run,
-	FactTypes: []analysis.Fact{(*BorrowsFact)(nil)},
+	FactTypes: []analysis.Fact{(*BorrowsFact)(nil), (*SinksFact)(nil)},
 }
 
 // st is the abstract ownership state of one Buf cell.
@@ -250,25 +262,42 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	// Publish each function's borrowed Buf parameters so callers in
-	// other packages keep ownership instead of assuming a transfer.
+	// Learn the package's summaries before judging anyone: sink fields
+	// from drain witnesses, borrowed parameters from the silent
+	// bottom-up dataflow over the call graph.
+	sinks, sinkFact := collectSinks(pass)
+	inferred := inferBorrows(pass, ann, decls, queues, sinks)
+	if sinkFact != nil {
+		pass.ExportPackageFact(sinkFact)
+	}
+	// Publish each function's borrowed Buf parameters — declared and
+	// inferred alike — so callers in other packages keep ownership
+	// instead of assuming a transfer.
 	for fn, fd := range decls {
 		if fd.Type.Params == nil {
 			continue
 		}
-		var borrowed []int
+		borrowedSet := map[int]bool{}
 		idx := 0
 		for _, field := range fd.Type.Params.List {
 			for _, name := range field.Names {
 				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok &&
 					analysis.IsBufPtr(v.Type()) &&
 					analysis.FuncDirective(fd.Doc, "borrows", name.Name) {
-					borrowed = append(borrowed, idx)
+					borrowedSet[idx] = true
 				}
 				idx++
 			}
 		}
-		if len(borrowed) > 0 {
+		for i := range inferred[fn] {
+			borrowedSet[i] = true
+		}
+		if len(borrowedSet) > 0 {
+			borrowed := make([]int, 0, len(borrowedSet))
+			for i := range borrowedSet {
+				borrowed = append(borrowed, i)
+			}
+			sort.Ints(borrowed)
 			pass.ExportObjectFact(fn, &BorrowsFact{Params: borrowed})
 		}
 	}
@@ -278,7 +307,9 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			fa := &funcAnalysis{pass: pass, ann: ann, decls: decls, queues: queues}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			fa := &funcAnalysis{pass: pass, ann: ann, decls: decls, queues: queues,
+				sinks: sinks, inferred: inferred, fn: fn}
 			fa.runFunc(fd.Type, fd.Doc, fd.Body)
 		}
 	}
@@ -289,6 +320,19 @@ type funcAnalysis struct {
 	pass  *analysis.Pass
 	ann   *analysis.Annotations
 	decls map[*types.Func]*ast.FuncDecl
+	// fn is the declared function under analysis (nil for function
+	// literals and summary runs); its own inferred borrows key off it.
+	fn *types.Func
+	// sinks holds the package's inferred sink fields: stores into them
+	// are sanctioned transfers like //bertha:queue stores.
+	sinks *sinkSet
+	// inferred holds the package's learned borrow summaries, consulted
+	// by calleeBorrows alongside declared directives and facts.
+	inferred map[*types.Func]map[int]bool
+	// summarize, when set, runs in place of exit diagnostics: the
+	// inference pass records per-parameter consumption instead of
+	// reporting leaks.
+	summarize func(*env)
 	// intoParams holds the function's []*wire.Buf parameters. A store
 	// into an element of one is the RecvBufs contract — ownership moves
 	// to the caller through the slice — so it consumes the Buf without
@@ -406,8 +450,11 @@ func (fa *funcAnalysis) bindParams(ft *ast.FuncType, doc *ast.CommentGroup, e *e
 	if ft.Params == nil {
 		return
 	}
+	idx := 0
 	for _, field := range ft.Params.List {
 		for _, name := range field.Names {
+			i := idx
+			idx++
 			v, ok := fa.info().Defs[name].(*types.Var)
 			if !ok {
 				continue
@@ -423,6 +470,11 @@ func (fa *funcAnalysis) bindParams(ft *ast.FuncType, doc *ast.CommentGroup, e *e
 				continue
 			}
 			if analysis.FuncDirective(doc, "borrows", name.Name) {
+				continue
+			}
+			if m, ok := fa.inferred[fa.fn]; ok && m[i] {
+				// Learned borrow: the caller keeps ownership, so this
+				// function has no obligation to track.
 				continue
 			}
 			c := fa.cellAt(name.Name, name.Pos())
@@ -464,7 +516,7 @@ func (fa *funcAnalysis) transfer(n ast.Node, e *env) {
 			}
 			fa.expr(r, e)
 		}
-		if fa.report {
+		if fa.report || fa.summarize != nil {
 			fa.exitCheck(e, n.Pos())
 		}
 	case *ast.DeferStmt:
@@ -474,7 +526,14 @@ func (fa *funcAnalysis) transfer(n ast.Node, e *env) {
 	case *ast.SendStmt:
 		fa.expr(n.Chan, e)
 		if c := fa.trackedIdent(n.Value, e); c != nil {
-			fa.consumeStore(n.Value.Pos(), c, e, "channel send")
+			if fa.sinks.isSinkSel(n.Chan) {
+				// Send into an inferred sink channel: the receive side
+				// we witnessed draining it owns the release.
+				fa.useCheck(n.Value.Pos(), c, e)
+				e.st[c] = stEscaped
+			} else {
+				fa.consumeStore(n.Value.Pos(), c, e, "channel send")
+			}
 		} else {
 			fa.expr(n.Value, e)
 		}
@@ -564,9 +623,50 @@ func (fa *funcAnalysis) isQueueStore(lhs ast.Expr) bool {
 	return ok && fa.queueField(ix.X) != nil
 }
 
+// isSinkStore reports whether lhs indexes an inferred sink field — a
+// reassembly or pending map whose drain path the package demonstrates.
+func (fa *funcAnalysis) isSinkStore(lhs ast.Expr) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	return ok && fa.sinks.isSinkSel(ix.X)
+}
+
+// sanctionedAppend handles `slot = append(src, b, ...)` where slot is a
+// sanctioned container (a caller's slice param element, a queue, or an
+// inferred sink): the appended Bufs transfer to the container's drain
+// path. It reports whether it handled the statement.
+func (fa *funcAnalysis) sanctionedAppend(lhs, rhs ast.Expr, e *env) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := fa.info().Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if !(fa.isIntoStore(lhs) || fa.isQueueStore(lhs) || fa.isSinkStore(lhs) || fa.sinks.isSinkSel(lhs)) {
+		return false
+	}
+	for i, arg := range call.Args {
+		if c := fa.trackedIdent(arg, e); c != nil && i > 0 {
+			fa.useCheck(arg.Pos(), c, e)
+			e.st[c] = stEscaped
+			continue
+		}
+		fa.expr(arg, e)
+	}
+	return true
+}
+
 // exitCheck reports owned cells still live when a path leaves the
 // function.
 func (fa *funcAnalysis) exitCheck(e *env, at token.Pos) {
+	if fa.summarize != nil {
+		fa.summarize(e)
+		return
+	}
 	if !fa.report {
 		return
 	}
@@ -683,18 +783,20 @@ func (fa *funcAnalysis) assign(s *ast.AssignStmt, e *env) {
 		}
 		// Store target: m[k] = b, x.f = b, *p = b.
 		if c := fa.trackedIdent(rhs, e); c != nil {
-			if fa.isIntoStore(lhs) || fa.isQueueStore(lhs) {
+			if fa.isIntoStore(lhs) || fa.isQueueStore(lhs) || fa.isSinkStore(lhs) {
 				// into[i] = b inside a RecvBufs-shaped method (the slice
-				// belongs to the caller) or q[i] = b onto a declared
-				// //bertha:queue field (the drain path releases): the
-				// store IS the transfer.
+				// belongs to the caller), q[i] = b onto a declared
+				// //bertha:queue field, or m[k] = b into an inferred sink
+				// (the drain path releases): the store IS the transfer.
 				fa.useCheck(rhs.Pos(), c, e)
 				e.st[c] = stEscaped
 			} else {
 				fa.consumeStore(rhs.Pos(), c, e, "store")
 			}
 		} else if rhs != nil {
-			fa.expr(rhs, e)
+			if !fa.sanctionedAppend(lhs, rhs, e) {
+				fa.expr(rhs, e)
+			}
 		}
 		fa.storeNonIdentLHS(lhs, e)
 	}
@@ -845,7 +947,11 @@ func (fa *funcAnalysis) useCheck(pos token.Pos, c *cell, e *env) {
 			fa.pass.Reportf(pos, "use-after-release",
 				"use of Buf %q after it was released or detached", c.name)
 		}
-		e.st[c] = stUntracked // silence cascading reports
+		if fa.summarize == nil {
+			e.st[c] = stUntracked // silence cascading reports
+		}
+		// In summary mode the released state must survive uses: it is
+		// the evidence the parameter was consumed.
 	}
 }
 
@@ -958,7 +1064,8 @@ func (fa *funcAnalysis) call(x *ast.CallExpr, e *env) {
 		if id, ok := x.Fun.(*ast.Ident); ok {
 			if _, isBuiltin := fa.info().Uses[id].(*types.Builtin); isBuiltin {
 				if id.Name == "append" {
-					queueAppend := len(x.Args) > 0 && fa.queueField(x.Args[0]) != nil
+					queueAppend := len(x.Args) > 0 &&
+						(fa.queueField(x.Args[0]) != nil || fa.sinks.isSinkSel(x.Args[0]))
 					for i, arg := range x.Args {
 						if c := fa.trackedIdent(arg, e); c != nil && i > 0 {
 							if queueAppend {
@@ -1028,6 +1135,9 @@ func (fa *funcAnalysis) calleeBorrows(fn *types.Func, i int) bool {
 	if fn == nil {
 		return false
 	}
+	if m, ok := fa.inferred[fn]; ok && m[i] {
+		return true
+	}
 	if fd, ok := fa.decls[fn]; ok {
 		if fd.Type.Params == nil {
 			return false
@@ -1075,7 +1185,8 @@ func (fa *funcAnalysis) funcLit(fl *ast.FuncLit, e *env) {
 		return true
 	})
 	if fa.report {
-		sub := &funcAnalysis{pass: fa.pass, ann: fa.ann, decls: fa.decls, queues: fa.queues}
+		sub := &funcAnalysis{pass: fa.pass, ann: fa.ann, decls: fa.decls, queues: fa.queues,
+			sinks: fa.sinks, inferred: fa.inferred}
 		sub.runFunc(fl.Type, nil, fl.Body)
 	}
 }

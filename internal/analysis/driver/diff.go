@@ -1,0 +1,119 @@
+package driver
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Changed-line filtering for `berthavet -diff <git-ref>`: findings are
+// restricted to lines the diff against <git-ref> touches, so a large
+// pre-existing backlog doesn't drown the findings a change introduces.
+// The filter is presentation-only — every package is still fully
+// analyzed (facts must flow regardless), only the report is cut down.
+
+// ChangedLines maps slash-separated file paths (as git prints them,
+// relative to the repository root) to the set of changed line numbers
+// in the new version of each file.
+type ChangedLines map[string]map[int]bool
+
+// ParseUnifiedDiff extracts the changed new-file lines from a unified
+// diff produced with zero context (`git diff -U0`). Deleted files and
+// pure-deletion hunks contribute nothing: there is no new line to
+// anchor a finding to.
+func ParseUnifiedDiff(r io.Reader) (ChangedLines, error) {
+	changed := ChangedLines{}
+	var cur string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "+++ "):
+			name := strings.TrimPrefix(line, "+++ ")
+			if i := strings.IndexByte(name, '\t'); i >= 0 {
+				name = name[:i]
+			}
+			if name == "/dev/null" {
+				cur = ""
+				continue
+			}
+			cur = strings.TrimPrefix(name, "b/")
+		case strings.HasPrefix(line, "@@ "):
+			if cur == "" {
+				continue
+			}
+			start, count, err := parseHunkNewRange(line)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < count; i++ {
+				if changed[cur] == nil {
+					changed[cur] = map[int]bool{}
+				}
+				changed[cur][start+i] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading diff: %w", err)
+	}
+	return changed, nil
+}
+
+// parseHunkNewRange pulls the new-file range out of a hunk header like
+// "@@ -12,0 +13,4 @@ func foo" — start 13, count 4. An omitted count
+// means 1; count 0 is a pure deletion.
+func parseHunkNewRange(header string) (start, count int, err error) {
+	fields := strings.Fields(header)
+	for _, f := range fields[1:] {
+		if !strings.HasPrefix(f, "+") {
+			continue
+		}
+		spec := strings.TrimPrefix(f, "+")
+		count = 1
+		if i := strings.IndexByte(spec, ','); i >= 0 {
+			if count, err = strconv.Atoi(spec[i+1:]); err != nil {
+				return 0, 0, fmt.Errorf("bad hunk header %q: %w", header, err)
+			}
+			spec = spec[:i]
+		}
+		if start, err = strconv.Atoi(spec); err != nil {
+			return 0, 0, fmt.Errorf("bad hunk header %q: %w", header, err)
+		}
+		return start, count, nil
+	}
+	return 0, 0, fmt.Errorf("hunk header %q has no new-file range", header)
+}
+
+// Contains reports whether the position (with Filename relative to
+// root, any separator) landed on a changed line.
+func (c ChangedLines) Contains(root string, pos token.Position) bool {
+	rel := pos.Filename
+	if filepath.IsAbs(rel) {
+		r, err := filepath.Rel(root, rel)
+		if err != nil {
+			return false
+		}
+		rel = r
+	}
+	return c[filepath.ToSlash(rel)][pos.Line]
+}
+
+// gitChangedLines shells out to git for the -U0 diff against ref.
+func gitChangedLines(root, ref string) (ChangedLines, error) {
+	cmd := exec.Command("git", "-C", root, "diff", "-U0", ref, "--")
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff %s: %s", ref, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git diff %s: %w", ref, err)
+	}
+	return ParseUnifiedDiff(strings.NewReader(string(out)))
+}

@@ -1,0 +1,80 @@
+package driver_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis/driver"
+)
+
+const syntheticDiff = `diff --git a/internal/transport/udp.go b/internal/transport/udp.go
+index 1111111..2222222 100644
+--- a/internal/transport/udp.go
++++ b/internal/transport/udp.go
+@@ -40,0 +41,3 @@ func (c *Conn) SendBuf(ctx context.Context, b *wire.Buf) error {
++	if b.Len() > maxDatagram {
++		return errTooBig
++	}
+@@ -88 +91 @@ func (c *Conn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
++	b := wire.NewBuf(headroom, maxDatagram)
+diff --git a/internal/chunnels/gone.go b/internal/chunnels/gone.go
+deleted file mode 100644
+index 3333333..0000000
+--- a/internal/chunnels/gone.go
++++ /dev/null
+@@ -1,10 +0,0 @@
+-package chunnels
+diff --git a/README.md b/README.md
+index 4444444..5555555 100644
+--- a/README.md
++++ b/README.md
+@@ -12,2 +12,0 @@ Title
+`
+
+// TestParseUnifiedDiff pins the -U0 hunk arithmetic: added ranges map
+// to exact new-file lines, omitted counts mean one line, deleted files
+// and pure-deletion hunks contribute nothing.
+func TestParseUnifiedDiff(t *testing.T) {
+	changed, err := driver.ParseUnifiedDiff(strings.NewReader(syntheticDiff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp := changed["internal/transport/udp.go"]
+	for _, line := range []int{41, 42, 43, 91} {
+		if !udp[line] {
+			t.Errorf("udp.go line %d missing from changed set %v", line, udp)
+		}
+	}
+	if len(udp) != 4 {
+		t.Errorf("udp.go changed set has %d lines, want 4: %v", len(udp), udp)
+	}
+	if _, ok := changed["internal/chunnels/gone.go"]; ok {
+		t.Error("deleted file must not appear in the changed set")
+	}
+	if _, ok := changed["README.md"]; ok {
+		t.Error("pure-deletion hunk must not produce changed lines")
+	}
+}
+
+// TestChangedLinesContains pins the position matching used by -diff:
+// absolute filenames resolve against the module root, line must match.
+func TestChangedLinesContains(t *testing.T) {
+	changed, err := driver.ParseUnifiedDiff(strings.NewReader(syntheticDiff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := "/work/bertha"
+	hit := token.Position{Filename: "/work/bertha/internal/transport/udp.go", Line: 42}
+	if !changed.Contains(root, hit) {
+		t.Errorf("position %v should be in the changed set", hit)
+	}
+	missLine := token.Position{Filename: "/work/bertha/internal/transport/udp.go", Line: 44}
+	if changed.Contains(root, missLine) {
+		t.Errorf("line 44 was not changed; filter must drop it")
+	}
+	missFile := token.Position{Filename: "/work/bertha/internal/transport/pipe.go", Line: 42}
+	if changed.Contains(root, missFile) {
+		t.Errorf("untouched file matched the changed set")
+	}
+}

@@ -1,32 +1,40 @@
-// Package driver is the berthavet multichecker: it runs the bufown,
-// overhead, lockdisc, ctxflow, golife, speccheck, atomdisc, and
-// batchcontract analyzers over packages either standalone
+// Package driver is the berthavet multichecker: it runs the callgraph,
+// bufown, overhead, lockdisc, ctxflow, golife, speccheck, atomdisc,
+// and batchcontract analyzers over packages either standalone
 // (`berthavet ./...`) or as a
 // `go vet -vettool` backend speaking the go command's unitchecker
 // protocol (-flags/-V=full handshakes plus a JSON .cfg file per
 // package).
 //
 // Both modes thread cross-package facts. Standalone, the driver orders
-// the loaded packages topologically by import dependency and shares one
-// in-memory analysis.FactStore, so a pass over a package sees every
-// fact its dependencies exported. Under go vet, facts are gob-encoded
-// into each package's .vetx file (VetxOutput) and read back from the
-// .vetx files of its dependencies (PackageVetx); each .vetx carries the
-// dependencies' facts too, so facts flow transitively.
+// the loaded packages topologically by import dependency and runs each
+// wave of mutually independent packages in parallel (DepWaves), sharing
+// one in-memory analysis.FactStore, so a pass over a package sees every
+// fact its dependencies exported. After the per-package passes it
+// assembles the lockdisc LockOrderFacts into one module-global
+// lock-order graph and reports deadlock cycles no single pass could
+// see whole. Under go vet, facts are gob-encoded into each package's
+// .vetx file (VetxOutput) and read back from the .vetx files of its
+// dependencies (PackageVetx); each .vetx carries the dependencies'
+// facts too, so facts flow transitively.
 package driver
 
 import (
 	"encoding/json"
 	"fmt"
+	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/bertha-net/bertha/internal/analysis"
 	"github.com/bertha-net/bertha/internal/analysis/atomdisc"
 	"github.com/bertha-net/bertha/internal/analysis/batchcontract"
 	"github.com/bertha-net/bertha/internal/analysis/bufown"
+	"github.com/bertha-net/bertha/internal/analysis/callgraph"
 	"github.com/bertha-net/bertha/internal/analysis/ctxflow"
 	"github.com/bertha-net/bertha/internal/analysis/golife"
 	"github.com/bertha-net/bertha/internal/analysis/load"
@@ -36,8 +44,11 @@ import (
 	"github.com/bertha-net/bertha/internal/analysis/vetversion"
 )
 
-// Analyzers is the berthavet suite, in execution order.
+// Analyzers is the berthavet suite, in execution order. callgraph runs
+// first so its CallGraphFact for the package under analysis is already
+// in the store when the interprocedural analyzers run over it.
 var Analyzers = []*analysis.Analyzer{
+	callgraph.Analyzer,
 	bufown.Analyzer,
 	overhead.Analyzer,
 	lockdisc.Analyzer,
@@ -62,8 +73,21 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	var patterns []string
 	jsonOut := false
 	sarifOut := false
-	for _, a := range args {
+	diffRef := ""
+	for i := 0; i < len(args); i++ {
+		a := args[i]
 		switch {
+		case a == "-diff" || a == "--diff":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "berthavet: -diff requires a git ref")
+				return 1
+			}
+			i++
+			diffRef = args[i]
+		case strings.HasPrefix(a, "-diff="):
+			diffRef = strings.TrimPrefix(a, "-diff=")
+		case strings.HasPrefix(a, "--diff="):
+			diffRef = strings.TrimPrefix(a, "--diff=")
 		case a == "-flags" || a == "--flags":
 			// go vet interrogates the tool's flags; we add none beyond
 			// the standard handshake set.
@@ -102,7 +126,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "berthavet: -json and -sarif are mutually exclusive")
 		return 1
 	}
-	return standalone(patterns, jsonOut, sarifOut, stdout, stderr)
+	return standalone(patterns, jsonOut, sarifOut, diffRef, stdout, stderr)
 }
 
 func usage(w io.Writer) {
@@ -115,11 +139,13 @@ Runs the bertha static-analysis suite (%s) over the packages:
 	}
 	fmt.Fprint(w, `
 Flags:
-  -json     one finding per line as JSON {file, line, col, analyzer,
-            category, message} (standalone mode only)
-  -sarif    all findings as one SARIF 2.1.0 document on stdout, ready
-            for code-scanning upload (standalone mode only)
-  -version  print the tool and rule-set revision
+  -json       one finding per line as JSON {file, line, col, analyzer,
+              category, message} (standalone mode only)
+  -sarif      all findings as one SARIF 2.1.0 document on stdout, ready
+              for code-scanning upload (standalone mode only)
+  -diff REF   report only findings on lines changed versus the git ref
+              (git diff -U0 REF); analysis still covers every package
+  -version    print the tool and rule-set revision
 
 Also usable as a vettool: go vet -vettool=$(which berthavet) ./...
 Suppress a diagnostic with //berthavet:ignore <analyzer> on its line.
@@ -138,7 +164,7 @@ type jsonDiag struct {
 
 // standalone loads patterns itself and runs every analyzer over the
 // packages in dependency order, sharing one fact store.
-func standalone(patterns []string, jsonOut, sarifOut bool, stdout, stderr io.Writer) int {
+func standalone(patterns []string, jsonOut, sarifOut bool, diffRef string, stdout, stderr io.Writer) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(stderr, "berthavet: %v\n", err)
@@ -154,21 +180,40 @@ func standalone(patterns []string, jsonOut, sarifOut bool, stdout, stderr io.Wri
 		fmt.Fprintf(stderr, "berthavet: %v\n", err)
 		return 1
 	}
-	facts := analysis.NewFactStore()
-	found := 0
-	var findings []sarifFinding
-	enc := json.NewEncoder(stdout)
-	for _, pkg := range SortDeps(pkgs) {
-		diags, err := RunPackageFacts(pkg, facts)
+	// -diff: restrict the report to lines changed against the ref. The
+	// analysis itself still covers everything — facts must flow — only
+	// the output is filtered.
+	var changed ChangedLines
+	if diffRef != "" {
+		changed, err = gitChangedLines(modRoot, diffRef)
 		if err != nil {
 			fmt.Fprintf(stderr, "berthavet: %v\n", err)
 			return 1
 		}
-		for _, d := range diags {
+	}
+	facts := analysis.NewFactStore()
+	found := 0
+	var findings []sarifFinding
+	enc := json.NewEncoder(stdout)
+	results, err := Analyze(pkgs, facts)
+	if err != nil {
+		fmt.Fprintf(stderr, "berthavet: %v\n", err)
+		return 1
+	}
+	for _, r := range results {
+		pkg := r.Pkg
+		for _, d := range r.Diags {
 			pos := pkg.Fset.Position(d.Pos)
+			if changed != nil && !changed.Contains(modRoot, pos) {
+				continue
+			}
 			switch {
 			case sarifOut:
-				findings = append(findings, sarifFinding{Pos: pos, Diag: d})
+				f := sarifFinding{Pos: pos, Diag: d}
+				if d.End.IsValid() {
+					f.End = pkg.Fset.Position(d.End)
+				}
+				findings = append(findings, f)
 			case jsonOut:
 				enc.Encode(jsonDiag{
 					File: pos.Filename, Line: pos.Line, Col: pos.Column,
@@ -180,6 +225,29 @@ func standalone(patterns []string, jsonOut, sarifOut bool, stdout, stderr io.Wri
 			}
 			found++
 		}
+	}
+	// Module-global deadlock check: lock-order cycles split between
+	// sibling packages reach the shared fact store but no single pass's
+	// view; assemble and report them here (see lockdisc/module.go).
+	sees := factVisibility(pkgs)
+	for _, f := range lockdisc.ModuleDeadlocks(facts.ModulePackageFacts("lockdisc"), sees) {
+		pos := parseFileLine(f.Pos)
+		if changed != nil && !changed.Contains(modRoot, pos) {
+			continue
+		}
+		d := analysis.Diagnostic{Analyzer: "lockdisc", Category: "deadlock", Message: f.Message}
+		switch {
+		case sarifOut:
+			findings = append(findings, sarifFinding{Pos: pos, Diag: d})
+		case jsonOut:
+			enc.Encode(jsonDiag{
+				File: pos.Filename, Line: pos.Line,
+				Analyzer: d.Analyzer, Category: d.Category, Message: d.Message,
+			})
+		default:
+			fmt.Fprintf(stdout, "%s: [%s/%s] %s\n", f.Pos, d.Analyzer, d.Category, d.Message)
+		}
+		found++
 	}
 	if sarifOut {
 		// The document is emitted even when clean: code-scanning uploads
@@ -195,6 +263,125 @@ func standalone(patterns []string, jsonOut, sarifOut bool, stdout, stderr io.Wri
 		return 2
 	}
 	return 0
+}
+
+// PkgDiags pairs one analyzed package with its findings.
+type PkgDiags struct {
+	Pkg   *load.Package
+	Diags []analysis.Diagnostic
+}
+
+// Analyze runs the whole suite over the packages with inter-package
+// parallelism: SortDeps order is partitioned into dependency waves
+// (every package's in-set dependencies land in strictly earlier waves),
+// the members of a wave are analyzed on separate goroutines sharing the
+// fact store, and results come back in deterministic SortDeps order.
+func Analyze(pkgs []*load.Package, facts *analysis.FactStore) ([]PkgDiags, error) {
+	sorted := SortDeps(pkgs)
+	byPath := make(map[string]PkgDiags, len(sorted))
+	for _, wave := range DepWaves(sorted) {
+		var wg sync.WaitGroup
+		results := make([]PkgDiags, len(wave))
+		errs := make([]error, len(wave))
+		for i, pkg := range wave {
+			wg.Add(1)
+			go func(i int, pkg *load.Package) {
+				defer wg.Done()
+				diags, err := RunPackageFacts(pkg, facts)
+				results[i] = PkgDiags{Pkg: pkg, Diags: diags}
+				errs[i] = err
+			}(i, pkg)
+		}
+		wg.Wait()
+		for i, r := range results {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			byPath[r.Pkg.ImportPath] = r
+		}
+	}
+	out := make([]PkgDiags, 0, len(sorted))
+	for _, pkg := range sorted {
+		out = append(out, byPath[pkg.ImportPath])
+	}
+	return out, nil
+}
+
+// DepWaves partitions topologically-sorted packages into waves: a
+// package's wave index is one past the deepest wave of any of its
+// in-set dependencies, so the members of one wave are mutually
+// independent and safe to analyze in parallel.
+func DepWaves(sorted []*load.Package) [][]*load.Package {
+	level := make(map[string]int, len(sorted))
+	var waves [][]*load.Package
+	for _, p := range sorted {
+		// Walk the transitive import closure: an in-set dependency may
+		// be reachable only through packages outside the set, and it
+		// still must finish (facts exported) before p starts.
+		lvl := 0
+		seen := map[string]bool{}
+		var walk func(t *types.Package)
+		walk = func(t *types.Package) {
+			for _, imp := range t.Imports() {
+				if seen[imp.Path()] {
+					continue
+				}
+				seen[imp.Path()] = true
+				if l, ok := level[imp.Path()]; ok && l+1 > lvl {
+					lvl = l + 1
+				}
+				walk(imp)
+			}
+		}
+		walk(p.Types)
+		level[p.ImportPath] = lvl
+		for len(waves) <= lvl {
+			waves = append(waves, nil)
+		}
+		waves[lvl] = append(waves[lvl], p)
+	}
+	return waves
+}
+
+// factVisibility returns sees(a, b): whether package a's analysis saw
+// package b's exported facts, i.e. b is a or in a's transitive import
+// closure. ModuleDeadlocks uses it to skip cycles a per-package pass
+// already reported.
+func factVisibility(pkgs []*load.Package) func(a, b string) bool {
+	closure := make(map[string]map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		set := map[string]bool{p.ImportPath: true}
+		var walk func(t *types.Package)
+		walk = func(t *types.Package) {
+			for _, imp := range t.Imports() {
+				if !set[imp.Path()] {
+					set[imp.Path()] = true
+					walk(imp)
+				}
+			}
+		}
+		walk(p.Types)
+		closure[p.ImportPath] = set
+	}
+	return func(a, b string) bool {
+		if set, ok := closure[a]; ok {
+			return set[b]
+		}
+		return a == b
+	}
+}
+
+// parseFileLine splits a "file:line" witness string back into a
+// position for the structured output formats.
+func parseFileLine(s string) token.Position {
+	var pos token.Position
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		pos.Filename = s[:i]
+		fmt.Sscanf(s[i+1:], "%d", &pos.Line)
+	} else {
+		pos.Filename = s
+	}
+	return pos
 }
 
 // SortDeps orders loaded packages topologically: every package after

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/bertha-net/bertha/internal/analysis"
 	"github.com/bertha-net/bertha/internal/analysis/driver"
 	"github.com/bertha-net/bertha/internal/analysis/load"
 )
@@ -28,7 +29,7 @@ func TestRepositoryClean(t *testing.T) {
 // dropping an analyzer from the suite must not silently weaken the
 // merge gate.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"bufown", "overhead", "lockdisc", "ctxflow", "golife", "speccheck", "atomdisc", "batchcontract"}
+	want := []string{"callgraph", "bufown", "overhead", "lockdisc", "ctxflow", "golife", "speccheck", "atomdisc", "batchcontract"}
 	have := map[string]bool{}
 	for _, a := range driver.Analyzers {
 		have[a.Name] = true
@@ -180,6 +181,85 @@ func TestSeededTailLeakFailsTheGate(t *testing.T) {
 	}
 	if !miscount {
 		t.Errorf("expected a batchcontract/sent-miscount diagnostic, got: %+v", diags)
+	}
+}
+
+// TestSeededHelperLeakFailsTheGate proves summary inference has teeth:
+// the seeded_helperleak corpus drops an owned Buf after handing it to
+// an unannotated read-only helper. Only the inferred borrow summary
+// keeps ownership with the caller, so only with inference does bufown
+// see the leak.
+func TestSeededHelperLeakFailsTheGate(t *testing.T) {
+	modRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := load.ExportMap(modRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", "seeded_helperleak")
+	pkg, err := load.Dir(dir, "testdata/seeded_helperleak", exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.RunPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak := false
+	for _, d := range diags {
+		if d.Analyzer == "bufown" && d.Category == "leak" {
+			leak = true
+		}
+	}
+	if !leak {
+		t.Errorf("expected a bufown/leak diagnostic through the unannotated helper, got: %+v", diags)
+	}
+}
+
+// TestSeededDeadlockFailsTheGate proves the gate catches a lock-order
+// cycle that exists only across two packages: the dependency holds its
+// lock across an interface call it cannot resolve, and the importer
+// both implements that interface (locking its own mutex) and calls back
+// into the dependency with its mutex held. Each package is clean in
+// isolation; the composition deadlocks.
+func TestSeededDeadlockFailsTheGate(t *testing.T) {
+	modRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := load.ExportMap(modRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.NewLoader(exports)
+	facts := analysis.NewFactStore()
+	var all []analysis.Diagnostic
+	for _, name := range []string{"seeded_deadlock_dep", "seeded_deadlock"} {
+		dir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", name)
+		pkg, err := loader.Dir(dir, "testdata/"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loader.Add(pkg.ImportPath, pkg.Types)
+		diags, err := driver.RunPackageFacts(pkg, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, diags...)
+	}
+	deadlock := false
+	for _, d := range all {
+		if d.Analyzer == "lockdisc" && d.Category == "deadlock" {
+			deadlock = true
+			if !strings.Contains(d.Message, "Table.mu") || !strings.Contains(d.Message, "Registry.mu") {
+				t.Errorf("deadlock witness names the wrong locks: %s", d.Message)
+			}
+		}
+	}
+	if !deadlock {
+		t.Errorf("expected a lockdisc/deadlock diagnostic for the cross-package cycle, got: %+v", all)
 	}
 }
 

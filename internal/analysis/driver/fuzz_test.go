@@ -1,0 +1,66 @@
+package driver_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis"
+	"github.com/bertha-net/bertha/internal/analysis/driver"
+	"github.com/bertha-net/bertha/internal/analysis/load"
+)
+
+// FuzzFactRoundTrip hammers the .vetx fact frames: whatever bytes go
+// vet hands us (truncated files, foreign tools' output, corrupted
+// cache entries), DecodeVetx must either load cleanly or return an
+// error — never panic — and anything it accepts must re-encode.
+//
+// The seeds are real encoded stores: analyzing corpus packages exports
+// at least one instance of every registered AFact type (CallGraphFact,
+// BorrowsFact, SinksFact, LockOrderFact, LoopsForeverFact, SpawnsFact,
+// ...), so the fuzzer mutates genuine frames rather than guessing the
+// gob format from scratch.
+func FuzzFactRoundTrip(f *testing.F) {
+	modRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		f.Fatal(err)
+	}
+	exports, err := load.ExportMap(modRoot, "./...")
+	if err != nil {
+		f.Fatal(err)
+	}
+	loader := load.NewLoader(exports)
+	facts := analysis.NewFactStore()
+	for _, name := range []string{"golife_dep", "seeded_deadlock_dep", "bufown_dep"} {
+		dir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", name)
+		pkg, err := loader.Dir(dir, "testdata/"+name)
+		if err != nil {
+			continue // corpus may not exist in a trimmed checkout
+		}
+		loader.Add(pkg.ImportPath, pkg.Types)
+		if _, err := driver.RunPackageFacts(pkg, facts); err != nil {
+			f.Fatal(err)
+		}
+		enc, err := facts.EncodeVetx()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		if len(enc) > 4 {
+			f.Add(enc[:len(enc)/2]) // truncated frame
+		}
+	}
+	f.Add([]byte("berthavet-facts\n"))            // magic, no frames
+	f.Add([]byte("berthavet-facts\nnot-gob-at")) // magic, garbage body
+	f.Add([]byte("berthavet"))                    // pre-fact placeholder
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := analysis.NewFactStore()
+		if err := store.DecodeVetx(data); err != nil {
+			return // malformed input must error, never panic
+		}
+		if _, err := store.EncodeVetx(); err != nil {
+			t.Fatalf("store decoded from %d bytes failed to re-encode: %v", len(data), err)
+		}
+	})
+}

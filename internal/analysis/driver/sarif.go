@@ -72,12 +72,56 @@ type sarifArtifactLocation struct {
 type sarifRegion struct {
 	StartLine   int `json:"startLine"`
 	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
 }
 
 // sarifFinding pairs a diagnostic with its resolved file position.
+// End is the resolved range end when the diagnostic carries one
+// (Diagnostic.End); a zero End means point location only.
 type sarifFinding struct {
 	Pos  token.Position
+	End  token.Position
 	Diag analysis.Diagnostic
+}
+
+// suiteRules enumerates every diagnostic rule the suite can emit, in
+// stable order, so the SARIF rule table always describes the whole
+// suite — including fact-backed interprocedural rules like
+// lockdisc/deadlock (LockOrderFact over the CallGraphFact graph) —
+// rather than only the rules a particular run happened to hit.
+var suiteRules = []string{
+	"bufown/leak",
+	"bufown/double-release",
+	"bufown/use-after-release",
+	"bufown/transfer",
+	"overhead/exceeds",
+	"overhead/nonconst",
+	"overhead/unbounded",
+	"lockdisc/across-send",
+	"lockdisc/chan-send",
+	"lockdisc/order",
+	"lockdisc/double-lock",
+	"lockdisc/deadlock",
+	"ctxflow/background",
+	"ctxflow/dropped-ctx",
+	"ctxflow/timer-leak",
+	"golife/orphan",
+	"golife/waitgroup",
+	"golife/spawn-in-loop",
+	"speccheck/dup-type",
+	"speccheck/empty-branch",
+	"speccheck/empty-type",
+	"speccheck/scope",
+	"speccheck/too-deep",
+	"speccheck/unknown-type",
+	"atomdisc/mixed-access",
+	"atomdisc/atomic-align",
+	"atomdisc/atomic-copy",
+	"batchcontract/tail-leak",
+	"batchcontract/sent-miscount",
+	"batchcontract/recv-partial",
+	"batchcontract/use-after-send",
 }
 
 // analyzerDocs maps analyzer name to the first sentence of its Doc,
@@ -94,6 +138,20 @@ func analyzerDocs() map[string]string {
 	return docs
 }
 
+// region renders a finding's location: always the start line/column,
+// plus the end of the diagnostic's source range when one was reported,
+// so code-scanning annotations underline the construct rather than a
+// single character. A same-position end is dropped as noise.
+func region(f sarifFinding) sarifRegion {
+	r := sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column}
+	if f.End.Line > 0 && f.End.Filename == f.Pos.Filename &&
+		(f.End.Line > f.Pos.Line || (f.End.Line == f.Pos.Line && f.End.Column > f.Pos.Column)) {
+		r.EndLine = f.End.Line
+		r.EndColumn = f.End.Column
+	}
+	return r
+}
+
 // writeSARIF renders the findings as one SARIF 2.1.0 document. Paths
 // are made relative to root (the module root) where possible; the suite
 // treats every finding as an error because the merge gate does.
@@ -101,21 +159,28 @@ func writeSARIF(w io.Writer, root string, findings []sarifFinding) error {
 	docs := analyzerDocs()
 	ruleIndex := map[string]int{}
 	var rules []sarifRule
+	addRule := func(id, analyzer string) int {
+		idx := len(rules)
+		ruleIndex[id] = idx
+		desc := docs[analyzer]
+		if desc == "" {
+			desc = id
+		}
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: desc},
+		})
+		return idx
+	}
+	for _, id := range suiteRules {
+		addRule(id, id[:strings.IndexByte(id, '/')])
+	}
 	results := make([]sarifResult, 0, len(findings))
 	for _, f := range findings {
 		id := f.Diag.Analyzer + "/" + f.Diag.Category
 		idx, ok := ruleIndex[id]
 		if !ok {
-			idx = len(rules)
-			ruleIndex[id] = idx
-			desc := docs[f.Diag.Analyzer]
-			if desc == "" {
-				desc = id
-			}
-			rules = append(rules, sarifRule{
-				ID:               id,
-				ShortDescription: sarifMessage{Text: desc},
-			})
+			idx = addRule(id, f.Diag.Analyzer)
 		}
 		uri := f.Pos.Filename
 		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
@@ -132,10 +197,7 @@ func writeSARIF(w io.Writer, root string, findings []sarifFinding) error {
 						URI:       filepath.ToSlash(uri),
 						URIBaseID: "%SRCROOT%",
 					},
-					Region: sarifRegion{
-						StartLine:   f.Pos.Line,
-						StartColumn: f.Pos.Column,
-					},
+					Region: region(f),
 				},
 			}},
 		})

@@ -4,18 +4,21 @@ import (
 	"bytes"
 	"encoding/json"
 	"go/token"
+	"strings"
 	"testing"
 
 	"github.com/bertha-net/bertha/internal/analysis"
 )
 
 // TestWriteSARIF pins the document shape the upload-sarif CI step
-// consumes: schema/version headers, one rule per analyzer/category
-// pair, root-relative forward-slash URIs, and error-level results.
+// consumes: schema/version headers, the full suite rule table (every
+// rule the suite can emit, hit or not), root-relative forward-slash
+// URIs, error-level results, and range-accurate regions.
 func TestWriteSARIF(t *testing.T) {
 	findings := []sarifFinding{
 		{
 			Pos: token.Position{Filename: "/mod/internal/core/batch.go", Line: 42, Column: 7},
+			End: token.Position{Filename: "/mod/internal/core/batch.go", Line: 42, Column: 23},
 			Diag: analysis.Diagnostic{
 				Analyzer: "batchcontract", Category: "tail-leak",
 				Message: "error path abandons the unsent tail",
@@ -29,10 +32,10 @@ func TestWriteSARIF(t *testing.T) {
 			},
 		},
 		{
-			Pos: token.Position{Filename: "/mod/internal/core/batch.go", Line: 50, Column: 3},
+			Pos: token.Position{Filename: "/mod/internal/transport/udp.go", Line: 80, Column: 2},
 			Diag: analysis.Diagnostic{
-				Analyzer: "batchcontract", Category: "tail-leak",
-				Message: "second tail leak, same rule",
+				Analyzer: "lockdisc", Category: "deadlock",
+				Message: "lock-order cycle A -> B -> A",
 			},
 		},
 	}
@@ -54,28 +57,60 @@ func TestWriteSARIF(t *testing.T) {
 	if run.Tool.Driver.Name != "berthavet" {
 		t.Errorf("tool name = %q", run.Tool.Driver.Name)
 	}
-	if got := len(run.Tool.Driver.Rules); got != 2 {
-		t.Fatalf("got %d rules, want 2 (duplicate ruleId must not duplicate the rule)", got)
+	if got := len(run.Tool.Driver.Rules); got != len(suiteRules) {
+		t.Fatalf("got %d rules, want the full suite table of %d", got, len(suiteRules))
 	}
-	if run.Tool.Driver.Rules[0].ID != "batchcontract/tail-leak" {
-		t.Errorf("rules[0].ID = %q", run.Tool.Driver.Rules[0].ID)
+	haveRule := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		haveRule[r.ID] = true
+	}
+	for _, id := range []string{"lockdisc/deadlock", "bufown/leak", "golife/spawn-in-loop"} {
+		if !haveRule[id] {
+			t.Errorf("rule table is missing %q", id)
+		}
 	}
 	if got := len(run.Results); got != 3 {
 		t.Fatalf("got %d results, want 3", got)
 	}
-	r := run.Results[0]
-	if r.RuleID != "batchcontract/tail-leak" || r.RuleIndex != 0 || r.Level != "error" {
-		t.Errorf("results[0] = %+v", r)
+	for _, r := range run.Results {
+		if run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result %q has ruleIndex %d pointing at %q",
+				r.RuleID, r.RuleIndex, run.Tool.Driver.Rules[r.RuleIndex].ID)
+		}
+		if r.Level != "error" {
+			t.Errorf("result %q level = %q, want error", r.RuleID, r.Level)
+		}
 	}
-	loc := r.Locations[0].PhysicalLocation
+	loc := run.Results[0].Locations[0].PhysicalLocation
 	if loc.ArtifactLocation.URI != "internal/core/batch.go" {
 		t.Errorf("uri = %q, want module-relative path", loc.ArtifactLocation.URI)
 	}
 	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
 		t.Errorf("region = %+v", loc.Region)
 	}
-	if run.Results[1].RuleIndex != 1 {
-		t.Errorf("results[1].RuleIndex = %d, want 1", run.Results[1].RuleIndex)
+	if loc.Region.EndLine != 42 || loc.Region.EndColumn != 23 {
+		t.Errorf("region end = %d:%d, want 42:23 from the diagnostic range", loc.Region.EndLine, loc.Region.EndColumn)
+	}
+	pointLoc := run.Results[1].Locations[0].PhysicalLocation
+	if pointLoc.Region.EndLine != 0 || pointLoc.Region.EndColumn != 0 {
+		t.Errorf("point diagnostic grew an end: %+v", pointLoc.Region)
+	}
+}
+
+// TestSuiteRulesCoverAnalyzers pins that every analyzer that can emit
+// diagnostics owns at least one entry in the static SARIF rule table.
+func TestSuiteRulesCoverAnalyzers(t *testing.T) {
+	covered := map[string]bool{}
+	for _, id := range suiteRules {
+		covered[id[:strings.IndexByte(id, '/')]] = true
+	}
+	for _, a := range Analyzers {
+		if a.Name == "callgraph" {
+			continue // fact-only: feeds the others, reports nothing itself
+		}
+		if !covered[a.Name] {
+			t.Errorf("analyzer %q has no rule in suiteRules", a.Name)
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"os"
 	"reflect"
 	"sort"
+	"sync"
 )
 
 // A Fact is a serializable property of an object or package, produced
@@ -83,10 +84,13 @@ type factKey struct {
 }
 
 // A FactStore holds every fact known to one driver invocation. It is
-// shared across analyzers and packages within a run; access is
-// single-goroutine (the driver runs passes sequentially).
+// shared across analyzers and packages within a run and is safe for
+// concurrent use: the parallel standalone driver analyzes independent
+// packages of one dependency wave on separate goroutines, each reading
+// its dependencies' facts and writing its own.
 type FactStore struct {
-	m map[factKey]Fact
+	mu sync.RWMutex
+	m  map[factKey]Fact
 }
 
 // NewFactStore returns an empty store.
@@ -94,12 +98,18 @@ func NewFactStore() *FactStore {
 	return &FactStore{m: map[factKey]Fact{}}
 }
 
-func (s *FactStore) put(k factKey, f Fact) { s.m[k] = f }
+func (s *FactStore) put(k factKey, f Fact) {
+	s.mu.Lock()
+	s.m[k] = f
+	s.mu.Unlock()
+}
 
 // get copies the stored fact for k into dst when one of the same
 // concrete type exists.
 func (s *FactStore) get(k factKey, dst Fact) bool {
+	s.mu.RLock()
 	f, ok := s.m[k]
+	s.mu.RUnlock()
 	if !ok {
 		return false
 	}
@@ -122,9 +132,29 @@ type PackageFact struct {
 // named analyzer for any package in paths, sorted by path for
 // deterministic diagnostics.
 func (s *FactStore) allPackageFacts(analyzer string, paths map[string]bool) []PackageFact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []PackageFact
 	for k, f := range s.m {
 		if k.Analyzer == analyzer && k.Obj == "" && paths[k.Pkg] {
+			out = append(out, PackageFact{Path: k.Pkg, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ModulePackageFacts returns every package-level fact the named
+// analyzer exported for any package in the store, regardless of import
+// relationships. This is the standalone driver's module-global view,
+// used for whole-module checks (like sibling-package lock-order cycles)
+// that no single per-package pass can see.
+func (s *FactStore) ModulePackageFacts(analyzer string) []PackageFact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []PackageFact
+	for k, f := range s.m {
+		if k.Analyzer == analyzer && k.Obj == "" {
 			out = append(out, PackageFact{Path: k.Pkg, Fact: f})
 		}
 	}
@@ -148,10 +178,12 @@ const vetxMagic = "berthavet-facts\n"
 func (s *FactStore) EncodeVetx() ([]byte, error) {
 	var buf bytes.Buffer
 	buf.WriteString(vetxMagic)
+	s.mu.RLock()
 	frames := make([]wireFact, 0, len(s.m))
 	for k, f := range s.m {
 		frames = append(frames, wireFact{Analyzer: k.Analyzer, Pkg: k.Pkg, Obj: k.Obj, Fact: f})
 	}
+	s.mu.RUnlock()
 	sort.Slice(frames, func(i, j int) bool {
 		a, b := frames[i], frames[j]
 		if a.Pkg != b.Pkg {

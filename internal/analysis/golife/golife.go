@@ -24,6 +24,13 @@
 // (mcast.New, reliable.New, discovery.Serve, ...): how many goroutines
 // a call launches and whether any is a daemon, which powers the
 // spawn-in-loop check across package boundaries.
+//
+// Both facts see through helper wrappers via the module call graph
+// (internal/analysis/callgraph): a function that synchronously calls a
+// forever-looping function is itself forever (so `go runLoop()` is
+// caught even when runLoop merely delegates to the loop), and a
+// constructor's SpawnsFact counts the goroutines launched by the
+// helpers it calls, not just its own `go` statements.
 package golife
 
 import (
@@ -32,6 +39,7 @@ import (
 	"go/types"
 
 	"github.com/bertha-net/bertha/internal/analysis"
+	"github.com/bertha-net/bertha/internal/analysis/callgraph"
 )
 
 // LoopsForeverFact marks a function whose body contains an unbounded
@@ -76,27 +84,112 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
+	g := callgraph.Build(pass)
 	// Export LoopsForeverFact for every declared function with an
-	// exit-less unbounded loop (callers may `go` them from anywhere).
+	// exit-less unbounded loop (callers may `go` them from anywhere) —
+	// and, via the call graph, for every wrapper that synchronously
+	// calls one: the wrapper never returns either.
 	foreverHere := map[*types.Func]bool{}
 	for fn, fd := range decls {
 		if fd.Body != nil && hasForeverLoop(fd.Body) {
 			foreverHere[fn] = true
-			pass.ExportObjectFact(fn, &LoopsForeverFact{})
 		}
+	}
+	foreverFact := map[*types.Func]bool{}
+	calleeForever := func(fn *types.Func) bool {
+		if foreverHere[fn] {
+			return true
+		}
+		if cached, ok := foreverFact[fn]; ok {
+			return cached
+		}
+		var lf LoopsForeverFact
+		got := fn.Pkg() != pass.Pkg && pass.ImportObjectFact(fn, &lf)
+		foreverFact[fn] = got
+		return got
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if foreverHere[n.Fn] {
+				continue
+			}
+			for _, s := range n.Sites {
+				if s.Go || s.Iface {
+					continue
+				}
+				if calleeForever(s.Callee) {
+					foreverHere[n.Fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for fn := range foreverHere {
+		pass.ExportObjectFact(fn, &LoopsForeverFact{})
 	}
 
 	w := &walker{pass: pass, ann: ann, decls: decls, forever: foreverHere}
+	direct := map[*types.Func]spawnInfo{}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			w.checkFunc(fd)
+			spawns, daemon := w.checkFunc(fd)
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				direct[fn] = spawnInfo{count: spawns, daemon: daemon}
+			}
+		}
+	}
+	// Propagate spawn behavior bottom-up over the call graph so a
+	// constructor that delegates launching to helpers still exports an
+	// honest SpawnsFact. An SCC is treated as one unit (recursive
+	// helpers share a combined summary).
+	trans := map[*types.Func]spawnInfo{}
+	for _, scc := range g.SCCs() {
+		var total spawnInfo
+		for _, n := range scc {
+			d := direct[n.Fn]
+			total.count += d.count
+			total.daemon = total.daemon || d.daemon
+			for _, s := range n.Sites {
+				if s.Go || s.Iface {
+					continue
+				}
+				if t, ok := trans[s.Callee]; ok {
+					total.count += t.count
+					total.daemon = total.daemon || t.daemon
+				} else if s.Callee.Pkg() != pass.Pkg {
+					var sf SpawnsFact
+					if pass.ImportObjectFact(s.Callee, &sf) {
+						total.count += sf.Count
+						total.daemon = total.daemon || sf.Daemon
+					}
+				}
+			}
+		}
+		if total.count > 1000 {
+			total.count = 1000 // saturate: recursion multiplies sites
+		}
+		for _, n := range scc {
+			trans[n.Fn] = total
+		}
+	}
+	for fn, t := range trans {
+		if t.count > 0 {
+			pass.ExportObjectFact(fn, &SpawnsFact{Count: t.count, Daemon: t.daemon})
 		}
 	}
 	return nil
+}
+
+// spawnInfo is a function's spawn summary during propagation.
+type spawnInfo struct {
+	count  int
+	daemon bool
 }
 
 type walker struct {
@@ -109,8 +202,8 @@ type walker struct {
 }
 
 // checkFunc checks every `go` statement in one declared function and
-// exports its SpawnsFact.
-func (w *walker) checkFunc(fd *ast.FuncDecl) {
+// returns its direct spawn count and whether any launch is a daemon.
+func (w *walker) checkFunc(fd *ast.FuncDecl) (int, bool) {
 	spawns := 0
 	daemon := false
 	// WaitGroup bookkeeping: local wg variables with an Add before the
@@ -146,16 +239,11 @@ func (w *walker) checkFunc(fd *ast.FuncDecl) {
 	for _, s := range fd.Body.List {
 		scan(s)
 	}
-	if spawns > 0 {
-		if fn, ok := w.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-			w.pass.ExportObjectFact(fn, &SpawnsFact{Count: spawns, Daemon: daemon})
-		}
-	}
-
 	// spawn-in-loop: inside an unbounded exit-less loop, a call to a
 	// function whose SpawnsFact (or local analysis) says every call
 	// launches a daemon goroutine.
 	w.checkSpawnInLoop(fd)
+	return spawns, daemon
 }
 
 // checkGo checks one `go` statement; it reports whether the launch is a
@@ -170,10 +258,12 @@ func (w *walker) checkGo(g *ast.GoStmt, added map[*types.Var]bool) bool {
 		isLit = true
 	default:
 		if fn := calleeFunc(w.pass.TypesInfo, g.Call); fn != nil {
-			if fd, ok := w.decls[fn]; ok && fd.Body != nil {
-				body = fd.Body
-			} else if w.forever[fn] {
+			// The forever closure already sees through local wrapper
+			// chains; check it before falling back to the decl body.
+			if w.forever[fn] {
 				daemon = true
+			} else if fd, ok := w.decls[fn]; ok && fd.Body != nil {
+				body = fd.Body
 			} else {
 				var lf LoopsForeverFact
 				if w.pass.ImportObjectFact(fn, &lf) {

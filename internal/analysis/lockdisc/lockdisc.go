@@ -13,14 +13,20 @@
 //	             somewhere in the package
 //	double-lock  a mutex is acquired while already held on the same path
 //
-// The analysis is intra-procedural and path-insensitive at joins (a
-// mutex counts as held after a branch only if every arm holds it).
-// `defer mu.Unlock()` keeps the mutex held for the rest of the
-// function, which is the point: the data-plane calls it covers execute
-// under the lock.
+//	deadlock     a lock-order cycle closes through calls — possibly
+//	             across functions and packages (see interproc.go)
+//
+// The per-function analysis is path-insensitive at joins (a mutex
+// counts as held after a branch only if every arm holds it). `defer
+// mu.Unlock()` keeps the mutex held for the rest of the function, which
+// is the point: the data-plane calls it covers execute under the lock.
+// On top of it, interproc.go chains held-lock sets through calls using
+// the module call graph and each package's exported LockOrderFact,
+// turning the order check whole-module.
 package lockdisc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -31,9 +37,10 @@ import (
 
 // Analyzer is the lockdisc pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "lockdisc",
-	Doc:  "flag mutexes held across blocking conn calls and inconsistent lock ordering",
-	Run:  run,
+	Name:      "lockdisc",
+	Doc:       "flag mutexes held across blocking conn calls, inconsistent lock ordering, and cross-package lock-order cycles",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*LockOrderFact)(nil)},
 }
 
 // held maps a lock's source expression (e.g. "c.mu") to where it was
@@ -72,16 +79,21 @@ func (h held) keys() []string {
 type orderEdge struct{ first, second string }
 
 func run(pass *analysis.Pass) error {
-	w := &walker{pass: pass, orders: map[orderEdge]token.Pos{}, globalOf: map[string]string{}}
+	w := &walker{pass: pass, orders: map[orderEdge]token.Pos{},
+		globalOf: map[string]string{}, moduleOf: map[string]string{}}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			w.cur = &funcRec{fn: fn, acquires: map[string]token.Pos{}}
+			w.recs = append(w.recs, w.cur)
 			w.stmtList(fd.Body.List, held{})
 		}
 	}
+	w.cur = nil
 	// Inconsistent acquisition order: both (A,B) and (B,A) observed.
 	reported := map[orderEdge]bool{}
 	var edges []orderEdge
@@ -103,6 +115,11 @@ func run(pass *analysis.Pass) error {
 				e.first, e.second, pass.Fset.Position(invPos))
 		}
 	}
+	// Interprocedural pass: transitive acquire sets, cross-package
+	// cycle detection, and the LockOrderFact export.
+	if fact := w.interproc(); fact != nil {
+		pass.ExportPackageFact(fact)
+	}
 	return nil
 }
 
@@ -110,6 +127,37 @@ type walker struct {
 	pass     *analysis.Pass
 	orders   map[orderEdge]token.Pos
 	globalOf map[string]string // local lock key -> global identity
+	moduleOf map[string]string // local lock key -> module-global lock ID
+	// cur is the record of the function (or literal) being walked;
+	// recs accumulates every record for the interprocedural pass.
+	cur  *funcRec
+	recs []*funcRec
+	// moduleEdges are the direct (inline) acquisition-order edges seen
+	// by this pass, keyed by module-global lock IDs.
+	moduleEdges []modEdge
+	// deferring marks walking of a deferred call: its calls record an
+	// empty held set (the locks held at the defer statement are not
+	// necessarily held when the deferred call finally runs).
+	deferring bool
+}
+
+// nested walks a function literal or deferred call under its own
+// record, so its acquisitions never count toward the enclosing
+// function's synchronous transitive set.
+func (w *walker) nested(fn func()) {
+	prev := w.cur
+	w.cur = &funcRec{acquires: map[string]token.Pos{}}
+	w.recs = append(w.recs, w.cur)
+	fn()
+	w.cur = prev
+}
+
+// curName names the current function for witness text.
+func (w *walker) curName() string {
+	if w.cur != nil && w.cur.fn != nil {
+		return w.cur.fn.Name()
+	}
+	return "func literal"
 }
 
 func (w *walker) stmtList(list []ast.Stmt, h held) held {
@@ -184,11 +232,16 @@ func (w *walker) stmt(s ast.Stmt, h held) held {
 			_ = key
 			return h
 		}
-		return w.expr(s.Call, h)
+		w.nested(func() {
+			w.deferring = true
+			w.expr(s.Call, h)
+			w.deferring = false
+		})
+		return h
 	case *ast.GoStmt:
 		// The goroutine body runs later, without our locks.
 		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			w.stmtList(fl.Body.List, held{})
+			w.nested(func() { w.stmtList(fl.Body.List, held{}) })
 		}
 		for _, a := range s.Call.Args {
 			h = w.expr(a, h)
@@ -276,7 +329,7 @@ func (w *walker) expr(x ast.Expr, h held) held {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			// Runs later (or inline, but with its own lock tracking).
-			w.stmtList(n.Body.List, held{})
+			w.nested(func() { w.stmtList(n.Body.List, held{}) })
 			return false
 		case *ast.CallExpr:
 			if lk, op, ok := w.lockOp(n); ok {
@@ -295,8 +348,25 @@ func (w *walker) expr(x ast.Expr, h held) held {
 							}
 						}
 					}
+					// Module-graph bookkeeping: the acquisition itself
+					// (seed of the transitive set) and direct order
+					// edges keyed by module-global identity.
+					if w.cur != nil {
+						if _, ok := w.cur.acquires[lk.module]; !ok {
+							w.cur.acquires[lk.module] = n.Pos()
+						}
+						for otherLocal := range h {
+							if om := w.moduleOf[otherLocal]; om != "" && om != lk.module && otherLocal != lk.local {
+								w.moduleEdges = append(w.moduleEdges, modEdge{
+									first: om, second: lk.module, pos: n.Pos(), direct: true,
+									why: fmt.Sprintf("%s acquires %s then %s", w.curName(), om, lk.module),
+								})
+							}
+						}
+					}
 					h[lk.local] = n.Pos()
 					w.globalOf[lk.local] = lk.global
+					w.moduleOf[lk.local] = lk.module
 				case "Unlock", "RUnlock":
 					delete(h, lk.local)
 				}
@@ -307,19 +377,42 @@ func (w *walker) expr(x ast.Expr, h held) held {
 					"%s called while holding %v; blocking conn calls must not run under a mutex",
 					name, h.keys())
 			}
+			// Record the call for the interprocedural pass: the callee
+			// may acquire locks of its own, which makes every lock held
+			// here order-before them.
+			if w.cur != nil {
+				if callee, iface := calleeOf(w.pass.TypesInfo, n); callee != nil {
+					var heldIDs []string
+					if !w.deferring {
+						for local := range h {
+							if m := w.moduleOf[local]; m != "" {
+								heldIDs = append(heldIDs, m)
+							}
+						}
+						sort.Strings(heldIDs)
+					}
+					w.cur.calls = append(w.cur.calls, callRec{
+						callee: callee, iface: iface, held: heldIDs, pos: n.Pos(),
+					})
+				}
+			}
 		}
 		return true
 	})
 	return h
 }
 
-// lockKey identifies a lock two ways: local is the source expression
+// lockKey identifies a lock three ways: local is the source expression
 // (path-sensitive within one function), global is a package-wide
 // identity (Type.field for struct mutexes) used for order checking so
-// c.sendMu in one method and a.sendMu in another compare equal.
+// c.sendMu in one method and a.sendMu in another compare equal, and
+// module is the package-qualified form of global used by the
+// interprocedural graph so the same field compares equal across
+// packages.
 type lockKey struct {
 	local  string
 	global string
+	module string
 }
 
 // globals annotates each held local key with its global identity.
@@ -353,9 +446,10 @@ func (w *walker) lockOp(call *ast.CallExpr) (lockKey, string, bool) {
 		return lockKey{}, "", false
 	}
 	lk := lockKey{local: types.ExprString(sel.X), global: types.ExprString(sel.X)}
+	lk.module = w.pass.Pkg.Path() + "." + lk.global
 	// For x.field mutexes, key the order graph by the owner's type name
 	// so the same struct field matches across methods with different
-	// receiver names.
+	// receiver names (and, module-qualified, across packages).
 	if owner, ok := sel.X.(*ast.SelectorExpr); ok {
 		if tv, ok := w.pass.TypesInfo.Types[owner.X]; ok {
 			t := tv.Type
@@ -364,8 +458,34 @@ func (w *walker) lockOp(call *ast.CallExpr) (lockKey, string, bool) {
 			}
 			if named, ok := t.(*types.Named); ok {
 				lk.global = named.Obj().Name() + "." + owner.Sel.Name
+				if named.Obj().Pkg() != nil {
+					lk.module = named.Obj().Pkg().Path() + "." + lk.global
+				}
 			}
 		}
 	}
 	return lk, name, true
+}
+
+// calleeOf resolves a call expression to its static or interface-method
+// callee, mirroring the callgraph classifier.
+func calleeOf(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn, false
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil, false
+		}
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+				return fn, true
+			}
+		}
+		return fn, false
+	}
+	return nil, false
 }

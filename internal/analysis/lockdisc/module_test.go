@@ -1,0 +1,68 @@
+package lockdisc
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bertha-net/bertha/internal/analysis"
+)
+
+// siblingFacts models the unreportable split: pkg a orders X before Y,
+// pkg b orders Y before X, and neither imports the other.
+func siblingFacts() []analysis.PackageFact {
+	return []analysis.PackageFact{
+		{Path: "m/a", Fact: &LockOrderFact{Edges: []LockEdge{
+			{First: "m/core.X.mu", Second: "m/core.Y.mu", Pos: "a.go:10",
+				Why: "A holds m/core.X.mu and calls F, which acquires m/core.Y.mu"},
+		}}},
+		{Path: "m/b", Fact: &LockOrderFact{Edges: []LockEdge{
+			{First: "m/core.Y.mu", Second: "m/core.X.mu", Pos: "b.go:20",
+				Why: "B holds m/core.Y.mu and calls G, which acquires m/core.X.mu"},
+		}}},
+	}
+}
+
+// TestModuleDeadlocksSiblingCycle: with no import relation between the
+// edge owners, the driver-level assembly must report the cycle exactly
+// once, naming both locks in the witness.
+func TestModuleDeadlocksSiblingCycle(t *testing.T) {
+	sees := func(a, b string) bool { return a == b }
+	findings := ModuleDeadlocks(siblingFacts(), sees)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	msg := findings[0].Message
+	if !strings.Contains(msg, "m/core.X.mu") || !strings.Contains(msg, "m/core.Y.mu") {
+		t.Errorf("witness does not name both locks: %s", msg)
+	}
+	if findings[0].Pos == "" {
+		t.Errorf("finding carries no witness position")
+	}
+}
+
+// TestModuleDeadlocksSeenCycleSkipped: when some package's analysis saw
+// every edge owner (b imports a), the per-package pass already reported
+// the cycle and the driver must stay silent.
+func TestModuleDeadlocksSeenCycleSkipped(t *testing.T) {
+	sees := func(a, b string) bool { return a == b || (a == "m/b" && b == "m/a") }
+	if findings := ModuleDeadlocks(siblingFacts(), sees); len(findings) != 0 {
+		t.Errorf("cycle visible to m/b reported again at module level: %+v", findings)
+	}
+}
+
+// TestModuleDeadlocksNoCycle: a consistent module-wide order produces
+// nothing.
+func TestModuleDeadlocksNoCycle(t *testing.T) {
+	facts := []analysis.PackageFact{
+		{Path: "m/a", Fact: &LockOrderFact{Edges: []LockEdge{
+			{First: "m/core.X.mu", Second: "m/core.Y.mu", Pos: "a.go:10", Why: "w1"},
+		}}},
+		{Path: "m/b", Fact: &LockOrderFact{Edges: []LockEdge{
+			{First: "m/core.Y.mu", Second: "m/core.Z.mu", Pos: "b.go:20", Why: "w2"},
+		}}},
+	}
+	sees := func(a, b string) bool { return a == b }
+	if findings := ModuleDeadlocks(facts, sees); len(findings) != 0 {
+		t.Errorf("acyclic order graph reported: %+v", findings)
+	}
+}

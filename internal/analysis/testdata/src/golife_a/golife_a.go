@@ -39,6 +39,23 @@ func OrphanFact(ch chan int) {
 	go dep.Forever(ch) // want `orphan`
 }
 
+// runLoop delegates to forever: launching runLoop launches the loop.
+func runLoop(ch chan int) {
+	forever(ch)
+}
+
+// OrphanWrapped launches a same-package wrapper around a forever loop;
+// the call-graph closure sees through the delegation.
+func OrphanWrapped(ch chan int) {
+	go runLoop(ch) // want `orphan`
+}
+
+// OrphanWrappedFact launches a cross-package wrapper whose
+// LoopsForeverFact came from the dependency's call-graph closure.
+func OrphanWrappedFact(ch chan int) {
+	go dep.ForeverWrapper(ch) // want `orphan`
+}
+
 // OkQuitCase has a shutdown edge: the quit arm returns.
 func OkQuitCase(ch chan int, quit chan struct{}) {
 	go func() {
@@ -134,6 +151,15 @@ func OkWg(n int) {
 func SpawnLoop(ch chan int) {
 	for {
 		dep.StartDaemon(ch) // want `spawn-in-loop`
+		<-ch
+	}
+}
+
+// SpawnLoopWrapped calls a constructor that spawns its daemon through
+// an unexported helper: the transitive SpawnsFact still flags it.
+func SpawnLoopWrapped(ch chan int) {
+	for {
+		dep.StartViaHelper(ch) // want `spawn-in-loop`
 		<-ch
 	}
 }

@@ -19,6 +19,25 @@ func StartDaemon(ch chan int) {
 	go Forever(ch)
 }
 
+// launch is the unexported helper that does the actual spawn for
+// StartViaHelper.
+func launch(ch chan int) {
+	//bertha:daemon golden-test fixture: a pump started via a helper
+	go Forever(ch)
+}
+
+// StartViaHelper delegates the launch to a helper; the call-graph
+// propagation still exports a SpawnsFact with Daemon=true for it.
+func StartViaHelper(ch chan int) {
+	launch(ch)
+}
+
+// ForeverWrapper never returns — it delegates to Forever. The
+// call-graph closure exports LoopsForeverFact for the wrapper too.
+func ForeverWrapper(ch chan int) {
+	Forever(ch)
+}
+
 // Drain exits when the channel closes: not a daemon.
 func Drain(ch chan int) {
 	for range ch {

@@ -1,0 +1,37 @@
+// Package seeded_deadlock closes the lock-order cycle the dependency
+// package opens: Get holds Table.mu and acquires Registry.mu through
+// Registry.Find, while the registry's fallback path holds Registry.mu
+// and acquires Table.mu through Table.Resolve. Neither package's code
+// is wrong in isolation — the deadlock exists only in the composition,
+// which is exactly what the interprocedural lockdisc pass must catch.
+package seeded_deadlock
+
+import (
+	"sync"
+
+	dep "testdata/seeded_deadlock_dep"
+)
+
+// Table is a local name cache backed by the shared registry.
+type Table struct {
+	mu    sync.Mutex
+	local map[string]int
+	reg   *dep.Registry
+}
+
+// Resolve implements dep.Resolver: it answers fallback lookups under
+// the table's own lock.
+func (t *Table) Resolve(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.local[name]
+}
+
+// Get consults the registry while holding the table lock. Two
+// goroutines — one here, one in Registry.Find taking the fallback
+// path — acquire {Table.mu, Registry.mu} in opposite orders.
+func (t *Table) Get(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reg.Find(name)
+}

@@ -1,0 +1,38 @@
+// Package seeded_deadlock_dep is half of a deliberately deadlockable
+// pair used by the driver tests: it acquires its own lock and then
+// calls out through an interface nothing in this package implements,
+// so the hazard is invisible to any single-package analysis. The
+// importing half (seeded_deadlock) closes the lock-order cycle.
+package seeded_deadlock_dep
+
+import "sync"
+
+// Resolver is the fallback lookup the registry consults on a miss.
+type Resolver interface {
+	Resolve(name string) int
+}
+
+// Registry maps names to ids under mu, deferring misses to a fallback.
+type Registry struct {
+	mu       sync.Mutex
+	names    map[string]int
+	fallback Resolver
+}
+
+// New builds a registry with the given fallback.
+func New(fallback Resolver) *Registry {
+	return &Registry{names: map[string]int{}, fallback: fallback}
+}
+
+// Find returns the id for name, consulting the fallback on a miss —
+// while still holding mu. The interface call with the lock held is
+// exported as an unresolved LockCall; only an importer that implements
+// Resolver can see where it lands.
+func (r *Registry) Find(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.names[name]; ok {
+		return id
+	}
+	return r.fallback.Resolve(name)
+}

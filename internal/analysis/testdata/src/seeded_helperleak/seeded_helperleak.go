@@ -1,0 +1,27 @@
+// Package seeded_helperleak leaks a pooled buffer through an
+// unannotated helper. Before summary inference, the helper call was
+// conservatively read as an ownership transfer and the caller's missing
+// Release went unnoticed; the inferred borrow summary keeps ownership
+// with the caller, so the gate trips on the leak.
+package seeded_helperleak
+
+import "github.com/bertha-net/bertha/internal/wire"
+
+// checksum inspects the buffer without consuming it. It carries no
+// //bertha:borrows annotation: bufown's summary inference learns the
+// parameter is borrowed from the dataflow alone.
+func checksum(b *wire.Buf) byte {
+	var sum byte
+	for _, c := range b.Bytes() {
+		sum ^= c
+	}
+	return sum
+}
+
+// Fingerprint wraps the input in a pooled buffer, hands it to the
+// unannotated helper, and returns without releasing it — the buffer is
+// still owned here when the function ends.
+func Fingerprint(p []byte) byte {
+	b := wire.NewBufFrom(0, p)
+	return checksum(b)
+} // leaked: b was borrowed back, never released

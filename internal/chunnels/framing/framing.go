@@ -300,7 +300,7 @@ func (c *frameConn) processFrame(fb *wire.Buf) (*wire.Buf, error) {
 		return nil, nil
 	}
 	if flags&flagEndStream == 0 {
-		c.partial[stream] = append(frags, fb) //bertha:transfers reassembly buffer owns the fragment
+		c.partial[stream] = append(frags, fb)
 		c.mu.Unlock()
 		return nil, nil
 	}

@@ -244,7 +244,7 @@ func (c *orderConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 			return msg, nil
 		default:
 			if len(c.pendMap) < c.buffer {
-				c.pendMap[seq] = msg //bertha:transfers reorder buffer owns it until delivery
+				c.pendMap[seq] = msg
 			} else {
 				msg.Release()
 			}

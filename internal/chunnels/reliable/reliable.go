@@ -341,7 +341,7 @@ func (a *arqConn) handleData(seq uint64, b *wire.Buf) {
 		}
 	default:
 		if _, dup := a.oob[seq]; !dup && seq < a.expect+uint64(4*a.cfg.Window) { // bound the buffer
-			a.oob[seq] = b //bertha:transfers out-of-order buffer owns it until delivery
+			a.oob[seq] = b
 		} else {
 			b.Release()
 		}
@@ -366,7 +366,7 @@ func (a *arqConn) handleData(seq uint64, b *wire.Buf) {
 
 func (a *arqConn) deliverLocked(b *wire.Buf) {
 	select {
-	case a.out <- b: //bertha:transfers delivery queue owns it
+	case a.out <- b:
 	case <-a.ctx.Done():
 		b.Release()
 	}

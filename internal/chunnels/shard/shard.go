@@ -188,7 +188,7 @@ func (p *pushConn) fanIn(c core.Conn) {
 			return
 		}
 		select {
-		case p.in <- m: //bertha:transfers worker queue owns it
+		case p.in <- m:
 		case <-p.ctx.Done():
 			m.Release()
 			return

@@ -241,7 +241,7 @@ type hostConn struct {
 func (c *hostConn) push(p []byte) {
 	b := wbuf.NewBufFrom(wbuf.DefaultHeadroom, p)
 	select {
-	case c.recv <- b: //bertha:transfers receive queue owns it
+	case c.recv <- b:
 	default:
 		b.Release() // receiver overrun: drop
 	}

@@ -79,7 +79,7 @@ func (p *pipeHalf) SendBuf(ctx context.Context, b *wire.Buf) error {
 	case <-ctx.Done():
 		b.Release()
 		return ctx.Err()
-	case p.send <- b: //bertha:transfers receiving half owns it
+	case p.send <- b:
 		p.tel.sent.Inc()
 		return nil
 	}
@@ -113,7 +113,7 @@ func (p *pipeHalf) SendBufs(ctx context.Context, bs []*wire.Buf) error {
 			p.tel.sent.Add(uint64(i))
 			core.ReleaseAll(bs[i:])
 			return &core.BatchError{Sent: i, Err: ctx.Err()}
-		case p.send <- b: //bertha:transfers receiving half owns it
+		case p.send <- b:
 		}
 	}
 	p.tel.sent.Add(uint64(len(bs)))

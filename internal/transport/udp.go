@@ -450,7 +450,7 @@ func (l *demuxListener) readLoop() {
 		l.mu.Unlock()
 
 		select {
-		case peer.recv <- b: //bertha:transfers per-peer demux queue owns it
+		case peer.recv <- b:
 		default:
 			b.Release() // per-peer queue full: drop (datagram semantics)
 			l.tel.dropped.Inc()
