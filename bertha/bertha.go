@@ -38,6 +38,7 @@ import (
 	"github.com/bertha-net/bertha/internal/chunnels/reliable"
 	"github.com/bertha-net/bertha/internal/chunnels/serialize"
 	"github.com/bertha-net/bertha/internal/chunnels/shard"
+	"github.com/bertha-net/bertha/internal/chunnels/traced"
 	"github.com/bertha-net/bertha/internal/core"
 	"github.com/bertha-net/bertha/internal/spec"
 	"github.com/bertha-net/bertha/internal/xdp"
@@ -74,6 +75,10 @@ type (
 	DiscoveryClient = core.DiscoveryClient
 	// CoalesceConfig parameterizes send-side coalescing (WithCoalescing).
 	CoalesceConfig = core.CoalesceConfig
+	// TraceConfig parameterizes in-band message tracing (WithTracing).
+	TraceConfig = core.TraceConfig
+	// HopStat is one layer's exclusive-latency rollup (ConnHopStats).
+	HopStat = core.HopStat
 
 	// Stack is a Chunnel DAG (Table 1 "Chunnel DAG").
 	Stack = spec.Stack
@@ -146,7 +151,23 @@ var (
 	// keep the direct path. The zero CoalesceConfig selects the
 	// defaults (50µs flush budget, 64-message bursts).
 	WithCoalescing = core.WithCoalescing
+	// WithTracing enables in-band message tracing on connections this
+	// endpoint negotiates: sampled messages carry a 16-byte trace
+	// context across the wire, every stack layer records spans into the
+	// telemetry registry's flight-recorder ring, and the full journey is
+	// queryable via the telemetry endpoint's ?spans= view. Both peers
+	// must register the trace chunnel (RegisterStandard does); a peer
+	// without it silently degrades to untraced connections. The zero
+	// TraceConfig samples 1 in 128 messages into a 4096-span ring.
+	WithTracing = core.WithTracing
 )
+
+// ConnHopStats reports a negotiated connection's per-layer exclusive
+// send-latency rollup (outermost first), the attribution that tells an
+// operator — or a renegotiation policy — which layer owns the latency.
+// It needs tracing enabled (WithTracing) to have data to fold; without
+// it, or on non-negotiated conns, it returns nil.
+func ConnHopStats(conn Conn) []HopStat { return core.ConnHopStats(conn) }
 
 // Flush pushes a coalescing connection's pending sends to the wire
 // (WithCoalescing); on any other connection it is a no-op. Callers with
@@ -207,7 +228,9 @@ func RegisterChunnel(impl Impl) error {
 // chunnel shipped with this repository into reg (the default registry
 // when reg is nil): serialization, reliability, ordering, compression,
 // encryption, framing, the local fast-path, sharding (server fallback),
-// load balancing (both sides), and ordered multicast (host sequencer).
+// load balancing (both sides), ordered multicast (host sequencer), and
+// the trace pseudo-chunnel (inert until an endpoint opts in with
+// WithTracing).
 func RegisterStandard(reg *Registry) {
 	if reg == nil {
 		reg = core.DefaultRegistry()
@@ -223,6 +246,7 @@ func RegisterStandard(reg *Registry) {
 	lb.RegisterClient(reg)
 	lb.RegisterServer(reg)
 	mcast.RegisterHost(reg)
+	traced.Register(reg)
 }
 
 // Chunnel DAG node constructors, one per shipped chunnel type.

@@ -27,7 +27,11 @@
 // output, reporting allocations/op and bytes/op alongside the latency
 // percentiles. The -telemetry flag adds an instrumented stack scenario
 // and prints the per-chunnel latency attribution (which layer owns what
-// share of the send-path p95).
+// share of the send-path p95). The -trace flag adds a traced scenario:
+// sampled requests carry an in-band trace context, every layer records
+// spans, and the output reassembles them into per-message trees whose
+// per-hop exclusive latencies telescope to the measured end-to-end
+// latency (printed as a waterfall plus attribution table).
 package main
 
 import (
@@ -44,9 +48,10 @@ func main() {
 	full := flag.Bool("full", false, "run paper-scale parameters (slower)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (stack experiment)")
 	telem := flag.Bool("telemetry", false, "instrument every stack layer and print the per-chunnel latency attribution (stack experiment)")
+	trace := flag.Bool("trace", false, "run the stack experiment with in-band message tracing and print the reassembled per-hop waterfall and exclusive-latency attribution")
 	showVersion := flag.Bool("version", false, "print version (module + vet-suite revision) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] [-telemetry] {fig2|fig3|fig4|fig5|opt|consensus|stack|batch|coalesce|all}...\n")
+		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] [-telemetry] [-trace] {fig2|fig3|fig4|fig5|opt|consensus|stack|batch|coalesce|all}...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,7 +71,7 @@ func main() {
 	fig4 := bench.Fig4Config{}
 	fig5 := bench.Fig5Config{}
 	cons := bench.ConsensusConfig{}
-	stack := bench.StackConfig{JSON: *jsonOut, Telemetry: *telem}
+	stack := bench.StackConfig{JSON: *jsonOut, Telemetry: *telem, Tracing: *trace}
 	batch := bench.BatchConfig{JSON: *jsonOut}
 	coalesce := bench.CoalesceConfig{JSON: *jsonOut}
 	if *full {

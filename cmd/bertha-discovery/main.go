@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	bertha-discovery [-listen 127.0.0.1:7777]
+//	bertha-discovery [-listen 127.0.0.1:7777] [-telemetry 127.0.0.1:7778]
+//
+// The telemetry endpoint serves the registry snapshot as JSON by
+// default, Prometheus text exposition at ?format=prom, and — when a
+// co-resident Bertha endpoint has tracing enabled — reassembled span
+// trees at ?spans=<traceID|all>. Process-health gauges (goroutines,
+// heap in use, outstanding pooled buffers, open connections) refresh on
+// every scrape.
 package main
 
 import (
@@ -34,7 +41,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bertha-discovery: telemetry endpoint: %v\n", err)
 			os.Exit(1)
 		case <-time.After(100 * time.Millisecond):
-			fmt.Printf("bertha-discovery: telemetry at http://%s%s\n", *telemAddr, telemetry.Endpoint)
+			fmt.Printf("bertha-discovery: telemetry at http://%s%s (JSON; ?format=prom for Prometheus)\n",
+				*telemAddr, telemetry.Endpoint)
 		}
 	}
 

@@ -14,6 +14,12 @@
 //	bertha-kv -connect 127.0.0.1:9000 put mykey myvalue
 //	bertha-kv -connect 127.0.0.1:9000 -push get mykey
 //	bertha-kv -connect 127.0.0.1:9000 -ycsb 10000
+//
+// With -trace on both sides, negotiation inserts the trace chunnel and
+// sampled requests carry an in-band trace context; each hop's spans
+// land in that process's flight-recorder ring, queryable on the server
+// at the telemetry endpoint's ?spans= view (and the metrics at
+// ?format=prom). -trace-rate overrides the default 1/128 sampling.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"github.com/bertha-net/bertha/bertha"
 	"github.com/bertha-net/bertha/bertha/transport"
 	"github.com/bertha-net/bertha/internal/chunnels/shard"
+	"github.com/bertha-net/bertha/internal/chunnels/traced"
 	"github.com/bertha-net/bertha/internal/kv"
 	"github.com/bertha-net/bertha/internal/stats"
 	"github.com/bertha-net/bertha/internal/telemetry"
@@ -45,8 +52,15 @@ func main() {
 		ycsbN     = flag.Int("ycsb", 0, "run N YCSB-A operations instead of a single command")
 		records   = flag.Int("records", 1000, "YCSB keyspace size")
 		telemAddr = flag.String("telemetry", "", "HTTP address serving "+telemetry.Endpoint+" (server; empty disables)")
+		traceOn   = flag.Bool("trace", false, "enable in-band message tracing on this endpoint's connections")
+		traceRate = flag.Float64("trace-rate", 0, "tracing sample rate in (0,1] (0 selects the default 1/128)")
 	)
 	flag.Parse()
+
+	var traceOpts []bertha.Option
+	if *traceOn {
+		traceOpts = append(traceOpts, bertha.WithTracing(bertha.TraceConfig{SampleRate: *traceRate}))
+	}
 
 	switch {
 	case *serve:
@@ -60,11 +74,11 @@ func main() {
 				fmt.Printf("bertha-kv: telemetry at http://%s%s\n", *telemAddr, telemetry.Endpoint)
 			}
 		}
-		if err := runServer(*listen, *shards); err != nil {
+		if err := runServer(*listen, *shards, traceOpts); err != nil {
 			fail(err)
 		}
 	case *connect != "":
-		if err := runClient(*connect, *push, *ycsbN, *records, flag.Args()); err != nil {
+		if err := runClient(*connect, *push, *ycsbN, *records, traceOpts, flag.Args()); err != nil {
 			fail(err)
 		}
 	default:
@@ -78,7 +92,7 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runServer(listen string, nshards int) error {
+func runServer(listen string, nshards int, traceOpts []bertha.Option) error {
 	ctx := context.Background()
 	srv, err := kv.NewServer(nshards)
 	if err != nil {
@@ -101,13 +115,14 @@ func runServer(listen string, nshards int) error {
 	reg := bertha.NewRegistry()
 	shard.RegisterServer(reg)
 	x := shard.RegisterXDP(reg)
+	traced.Register(reg)
 	env := bertha.NewEnv(host)
 	env.SetDialer(&transport.MultiDialer{HostID: host})
 	env.Provide(shard.EnvQueues, srv.Queues())
 
 	ep, err := bertha.New("my-kv-srv",
 		bertha.Wrap(bertha.Shard(shardAddrs, kv.ShardFunc(nshards))),
-		bertha.WithRegistry(reg), bertha.WithEnv(env))
+		append([]bertha.Option{bertha.WithRegistry(reg), bertha.WithEnv(env)}, traceOpts...)...)
 	if err != nil {
 		return err
 	}
@@ -136,7 +151,7 @@ func runServer(listen string, nshards int) error {
 	return nil
 }
 
-func runClient(addr string, push bool, ycsbN, records int, args []string) error {
+func runClient(addr string, push bool, ycsbN, records int, traceOpts []bertha.Option, args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
@@ -145,10 +160,14 @@ func runClient(addr string, push bool, ycsbN, records int, args []string) error 
 	if push {
 		shard.RegisterClient(reg)
 	}
+	// Always offer the trace chunnel so a tracing server can negotiate
+	// it in; without -trace this side still forwards contexts but never
+	// originates them.
+	traced.Register(reg)
 	env := bertha.NewEnv(host + "-client")
 	env.SetDialer(&transport.MultiDialer{HostID: env.Host})
 	ep, err := bertha.New("client_conn", bertha.Wrap(),
-		bertha.WithRegistry(reg), bertha.WithEnv(env))
+		append([]bertha.Option{bertha.WithRegistry(reg), bertha.WithEnv(env)}, traceOpts...)...)
 	if err != nil {
 		return err
 	}

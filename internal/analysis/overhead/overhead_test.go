@@ -14,3 +14,11 @@ func TestOverhead(t *testing.T) {
 func TestOverheadCrossPackage(t *testing.T) {
 	analysistest.Run(t, "overhead_cross", overhead.Analyzer, "overhead_dep")
 }
+
+// TestOverheadTrace pins the trace chunnel's wire format: a context
+// stamper declaring less SendOverhead than its sampled worst case (16
+// bytes) must be flagged, so the real implementation's declaration
+// cannot silently drift below the format it writes.
+func TestOverheadTrace(t *testing.T) {
+	analysistest.Run(t, "overhead_trace", overhead.Analyzer)
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/bertha-net/bertha/internal/core"
 	"github.com/bertha-net/bertha/internal/stats"
 	"github.com/bertha-net/bertha/internal/telemetry"
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
 	"github.com/bertha-net/bertha/internal/transport"
 	"github.com/bertha-net/bertha/internal/wire"
 )
@@ -33,6 +34,14 @@ type StackConfig struct {
 	// chunnel's inclusive p50/p95 and its exclusive share of the send
 	// path, the runtime's answer to "where does the time go".
 	Telemetry bool
+	// Tracing adds a traced scenario: the trace chunnel in the stack's
+	// innermost slot, one request in traceSampleInterval stamped with an
+	// in-band context, every layer recording spans into a shared ring.
+	// The output reassembles the spans into per-message trees and prints
+	// the waterfall plus a per-hop exclusive-latency attribution that
+	// telescopes to the measured end-to-end latency — replacing the
+	// quantile-subtraction heuristic of the Telemetry scenario.
+	Tracing bool
 }
 
 func (c *StackConfig) fill() {
@@ -97,6 +106,17 @@ func Stack(w io.Writer, cfg StackConfig) error {
 			},
 		})
 	}
+	var traceOut *stackTrace
+	if cfg.Tracing {
+		scenarios = append(scenarios, scenario{
+			name: "traced-zero-copy",
+			run: func(cfg StackConfig) (StackResult, error) {
+				res, out, err := runStackTraced(cfg, telemetry.New(), tracing.NewSpanRing(traceRingSize))
+				traceOut = out
+				return res, err
+			},
+		})
+	}
 
 	results := make([]StackResult, 0, len(scenarios))
 	for _, sc := range scenarios {
@@ -115,6 +135,9 @@ func Stack(w io.Writer, cfg StackConfig) error {
 		if instrumented != nil {
 			doc["telemetry"] = instrumented.Snapshot()
 		}
+		if traceOut != nil {
+			doc["trace"] = traceOut
+		}
 		return enc.Encode(doc)
 	}
 	table := stats.NewTable(
@@ -127,6 +150,11 @@ func Stack(w io.Writer, cfg StackConfig) error {
 	if instrumented != nil {
 		io.WriteString(w, "\n")
 		writeAttribution(w, instrumented)
+	}
+	if traceOut != nil {
+		io.WriteString(w, "\n")
+		writeTracedAttribution(w, traceOut)
+		writeTracedWaterfall(w, traceOut)
 	}
 	return nil
 }

@@ -1,0 +1,167 @@
+// Package traced implements the trace pseudo-chunnel: the layer that
+// carries a distributed-tracing context across the wire. It is never
+// declared in an application spec — negotiation appends it as the
+// innermost chunnel when the server endpoint enables tracing
+// (core.WithTracing) and both peers register it — so its header lands
+// directly after the mux tag byte, where simnet switches peek at it.
+//
+// On the send path it serializes the wire.Buf's trace context (stamped
+// by the endpoint's sampler at the top of the stack) into 16 bytes of
+// headroom; unsampled messages pay a single marker byte. On the receive
+// path it parses the context back onto the Buf before any layer above
+// runs, and self-records the innermost receive span — including on the
+// plain []byte Recv path, where the Buf (and its context fields) do not
+// survive the copy out.
+package traced
+
+import (
+	"context"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/chunnels/base"
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/spec"
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// Type is the chunnel type name ("trace").
+const Type = core.TraceChunnelType
+
+// Node builds the DAG node. Applications normally never use it — the
+// chunnel rides negotiation — but manual stacks (benchmarks) can.
+func Node() spec.Node { return spec.New(Type) }
+
+// Register installs the in-band context-stamping implementation.
+func Register(reg *core.Registry) {
+	reg.MustRegister(&base.Impl{
+		ImplInfo: core.ImplInfo{
+			Name:         core.TraceImplName,
+			Type:         Type,
+			Endpoint:     spec.EndpointBoth,
+			Location:     core.LocUserspace,
+			SendOverhead: tracing.ContextSize, // sampled sends; unsampled pay 1 marker byte
+		},
+		WrapFn: func(ctx context.Context, conn core.Conn, args, params []wire.Value, side core.Side, env *core.Env) (core.Conn, error) {
+			var ring *tracing.SpanRing
+			if v, ok := env.Lookup(core.EnvTraceRing); ok {
+				ring, _ = v.(*tracing.SpanRing)
+			}
+			// A missing ring (peer-driven tracing with local telemetry
+			// off) still stamps and parses the wire format so the two
+			// sides stay interoperable; it just records nothing here.
+			return New(conn, ring), nil
+		},
+	})
+}
+
+// New wraps conn with trace-context stamping, recording receive spans
+// into ring (nil: wire format only, no recording). Exported for manual
+// stacks; negotiated stacks get it via Register.
+func New(conn core.Conn, ring *tracing.SpanRing) core.Conn {
+	return &tracedConn{Conn: conn, recv: ring.Handle(Type, core.TraceImplName)}
+}
+
+type tracedConn struct {
+	core.Conn
+	recv tracing.Handle
+}
+
+// stamp serializes b's trace context into headroom: the full 16-byte
+// context when sampled, the 1-byte marker otherwise.
+func stamp(b *wire.Buf) {
+	if id, span, hop, ok := b.Trace(); ok {
+		tracing.EncodeContext(b.Prepend(16), id, span, hop)
+	} else {
+		b.Prepend(1)[0] = tracing.FlagUnsampled
+	}
+}
+
+// parse consumes b's leading context, restoring the trace fields onto
+// the Buf for the layers above. Returns the sampled context for span
+// recording (ok only when sampled).
+func parse(b *wire.Buf) (id uint64, hop uint8, ok bool) {
+	n, id, span, hop, sampled, valid := tracing.ParseContext(b.Bytes())
+	if !valid {
+		// The peer did not run the trace chunnel (or the message is
+		// corrupt); leave the payload untouched for the layers above.
+		return 0, 0, false
+	}
+	b.TrimFront(n)
+	if sampled {
+		b.SetTrace(id, span, hop)
+		return id, hop, true
+	}
+	return 0, 0, false
+}
+
+func (c *tracedConn) Send(ctx context.Context, p []byte) error {
+	// Plain []byte sends carry no Buf to hold a context; they ride the
+	// unsampled marker path.
+	return c.SendBuf(ctx, wire.NewBufFrom(c.Headroom(), p))
+}
+
+func (c *tracedConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	stamp(b)
+	return core.SendBuf(ctx, c.Conn, b)
+}
+
+// SendBufs stamps every element in place — each datagram needs its own
+// context or marker on the wire — then hands the burst down whole so
+// the vectored path is preserved.
+func (c *tracedConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	for _, b := range bs {
+		stamp(b)
+	}
+	return core.SendBufs(ctx, c.Conn, bs)
+}
+
+func (c *tracedConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// CopyOut drops the Buf (and the context fields with it); the span
+	// was already recorded by RecvBuf, so only per-layer attribution
+	// above this point is lost on the plain path.
+	return b.CopyOut(), nil
+}
+
+func (c *tracedConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	t0 := time.Now()
+	b, err := core.RecvBuf(ctx, c.Conn)
+	if err != nil {
+		return nil, err
+	}
+	if id, hop, ok := parse(b); ok && c.recv.Active() {
+		c.recv.Record(tracing.KindRecv, id, t0, time.Since(t0), b.Len(), 1, hop, false)
+	}
+	return b, nil
+}
+
+func (c *tracedConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	t0 := time.Now()
+	n, err := core.RecvBufs(ctx, c.Conn, into)
+	var tid uint64
+	var thop uint8
+	traced := false
+	bytes := 0
+	for _, b := range into[:n] {
+		id, hop, ok := parse(b)
+		bytes += b.Len()
+		if ok && !traced {
+			tid, thop, traced = id, hop, true
+		}
+	}
+	if traced && c.recv.Active() {
+		c.recv.Record(tracing.KindRecv, tid, t0, time.Since(t0), bytes, n, thop, false)
+	}
+	return n, err
+}
+
+// Headroom adds the sampled context size — the worst case — so callers
+// allocating against the stack's headroom never force a reallocating
+// Prepend.
+func (c *tracedConn) Headroom() int {
+	return tracing.ContextSize + core.HeadroomOf(c.Conn)
+}

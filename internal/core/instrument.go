@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/bertha-net/bertha/internal/telemetry"
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
 	"github.com/bertha-net/bertha/internal/wire"
 )
 
@@ -14,19 +15,33 @@ import (
 // preallocated at assembly time. All recording is atomic adds on
 // preexisting memory — the zero-copy path through it stays at 0
 // allocs/op (see TestStackRoundTripAllocs, which runs instrumented).
+//
+// When the stack is traced, the same wrapper doubles as the span
+// recorder: a Buf carrying a trace context (stamped by the sampler on
+// the way down, parsed from the wire by the trace chunnel on the way
+// up) gets one span per layer crossing recorded through the span
+// handle. Untraced Bufs cost one branch.
 type instrumentedConn struct {
 	Conn
-	m *telemetry.ConnMetrics
+	m    *telemetry.ConnMetrics
+	span tracing.Handle
 }
 
 // Instrument wraps conn so every send and receive is recorded into m.
 // The wrapper preserves the zero-copy BufConn path and headroom
 // reporting of the connection below it. A nil m returns conn unwrapped.
 func Instrument(conn Conn, m *telemetry.ConnMetrics) Conn {
+	return InstrumentTraced(conn, m, tracing.Handle{})
+}
+
+// InstrumentTraced is Instrument plus distributed-tracing span
+// recording: sampled messages crossing this layer record spans through
+// h. An inactive h degrades to plain Instrument.
+func InstrumentTraced(conn Conn, m *telemetry.ConnMetrics, h tracing.Handle) Conn {
 	if m == nil {
 		return conn
 	}
-	return &instrumentedConn{Conn: conn, m: m}
+	return &instrumentedConn{Conn: conn, m: m, span: h}
 }
 
 func (c *instrumentedConn) Send(ctx context.Context, p []byte) error {
@@ -37,13 +52,18 @@ func (c *instrumentedConn) Send(ctx context.Context, p []byte) error {
 	return err
 }
 
-// SendBuf forwards the zero-copy path; b's length is read before
-// ownership transfers down the stack.
+// SendBuf forwards the zero-copy path; b's length and trace context are
+// read before ownership transfers down the stack.
 func (c *instrumentedConn) SendBuf(ctx context.Context, b *wire.Buf) error {
 	n := b.Len()
+	id, _, hop, traced := b.Trace()
 	t0 := time.Now()
 	err := SendBuf(ctx, c.Conn, b)
-	c.m.RecordSend(n, time.Since(t0), err)
+	d := time.Since(t0)
+	c.m.RecordSend(n, d, err)
+	if traced && c.span.Active() {
+		c.span.Record(tracing.KindSend, id, t0, d, n, 1, hop, err != nil)
+	}
 	return err
 }
 
@@ -55,15 +75,23 @@ func (c *instrumentedConn) Recv(ctx context.Context) ([]byte, error) {
 }
 
 // RecvBuf forwards the zero-copy path; the returned buffer's ownership
-// passes untouched to the caller.
+// passes untouched to the caller. A buffer whose trace context was
+// parsed by a layer below records this layer's receive span; recv span
+// durations include time blocked waiting for the message.
 func (c *instrumentedConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 	t0 := time.Now()
 	b, err := RecvBuf(ctx, c.Conn)
+	d := time.Since(t0)
 	n := 0
 	if err == nil {
 		n = b.Len()
 	}
-	c.m.RecordRecv(n, time.Since(t0), err)
+	c.m.RecordRecv(n, d, err)
+	if err == nil && c.span.Active() {
+		if id, _, hop, ok := b.Trace(); ok {
+			c.span.Record(tracing.KindRecv, id, t0, d, n, 1, hop, false)
+		}
+	}
 	return b, err
 }
 
@@ -73,16 +101,30 @@ func (c *instrumentedConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
 // callee aborted after sending a prefix) records the transmitted count.
 func (c *instrumentedConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
 	bytes := 0
+	var tid uint64
+	var thop uint8
+	traced := false
 	for _, b := range bs {
 		bytes += b.Len()
+		if !traced {
+			if id, _, hop, ok := b.Trace(); ok {
+				tid, thop, traced = id, hop, true
+			}
+		}
 	}
 	t0 := time.Now()
 	err := SendBufs(ctx, c.Conn, bs)
+	d := time.Since(t0)
 	sent := len(bs)
 	if err != nil {
 		sent = BatchSent(err)
 	}
-	c.m.RecordSendBatch(sent, bytes, time.Since(t0), err)
+	c.m.RecordSendBatch(sent, bytes, d, err)
+	// A sampled burst records one span carrying the element count —
+	// attribution treats the vectored call as a unit.
+	if traced && c.span.Active() {
+		c.span.Record(tracing.KindSend, tid, t0, d, bytes, len(bs), thop, err != nil)
+	}
 	return err
 }
 
@@ -91,11 +133,23 @@ func (c *instrumentedConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
 func (c *instrumentedConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
 	t0 := time.Now()
 	n, err := RecvBufs(ctx, c.Conn, into)
+	d := time.Since(t0)
 	bytes := 0
+	var tid uint64
+	var thop uint8
+	traced := false
 	for _, b := range into[:n] {
 		bytes += b.Len()
+		if !traced {
+			if id, _, hop, ok := b.Trace(); ok {
+				tid, thop, traced = id, hop, true
+			}
+		}
 	}
-	c.m.RecordRecvBatch(n, bytes, time.Since(t0), err)
+	c.m.RecordRecvBatch(n, bytes, d, err)
+	if traced && c.span.Active() {
+		c.span.Record(tracing.KindRecv, tid, t0, d, bytes, n, thop, false)
+	}
 	return n, err
 }
 

@@ -386,6 +386,21 @@ func decide(ctx context.Context, ch *ClientHello, srv *negotiator) ([]ResolvedNo
 		}
 		resolved = append(resolved, rn)
 	}
+
+	// Distributed tracing rides negotiation rather than the application
+	// spec: when the server endpoint enables it and both peers register
+	// the trace chunnel, append it as the innermost layer (appended last
+	// → wrapped first in assemble), so its 16-byte context lands
+	// directly after the mux tag byte where forwarding elements peek.
+	// A peer without the implementation silently gets an untraced stack —
+	// tracing is an observability opt-in, never a negotiation failure.
+	if srv.tracing && clientSet[TraceImplName] && serverSet[TraceImplName] {
+		resolved = append(resolved, ResolvedNode{
+			Type:     TraceChunnelType,
+			ImplName: TraceImplName,
+			Endpoint: spec.EndpointBoth,
+		})
+	}
 	return resolved, nil
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"github.com/bertha-net/bertha/internal/spec"
 	"github.com/bertha-net/bertha/internal/telemetry"
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
 	"github.com/bertha-net/bertha/internal/wire"
 )
 
@@ -43,6 +44,7 @@ type Endpoint struct {
 	optimizer *Optimizer
 	tel       *telemetry.Registry
 	coalesce  *CoalesceConfig
+	tracing   *TraceConfig
 }
 
 // Option configures an Endpoint.
@@ -147,6 +149,9 @@ type negotiator struct {
 	env       *Env
 	optimizer *Optimizer
 	tel       *telemetry.Registry
+	// tracing authorizes decide() to append the trace pseudo-chunnel to
+	// resolved stacks (both peers must also register it).
+	tracing bool
 }
 
 // paramProvider finds the negotiation parameter source for a binding: the
@@ -198,6 +203,7 @@ func (e *Endpoint) negotiator(localHost string) *negotiator {
 		env:       e.env,
 		optimizer: e.optimizer,
 		tel:       e.tel,
+		tracing:   e.tracing != nil,
 	}
 }
 
@@ -448,11 +454,32 @@ func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []Resolve
 	}
 	e.env.SetStackHeadroom(headroom)
 
+	// When negotiation put the trace chunnel into the stack, enable the
+	// per-registry span ring and publish it through the Env so the trace
+	// chunnel (and any transport that wants to self-record) finds it.
+	// Handles minted from a nil ring are inert, so the untraced path
+	// needs no branches below.
+	var spanRing *tracing.SpanRing
+	if stackHasTrace(stack) {
+		ringSize := tracing.DefaultRingSize
+		if e.tracing != nil {
+			ringSize = e.tracing.RingSize
+		}
+		spanRing = e.tel.EnableSpans(ringSize)
+		e.env.Provide(EnvTraceRing, spanRing)
+	}
+
 	// The base of the instrumented stack: the mux data channel, recorded
 	// under the pseudo-chunnel type "transport" so readouts attribute
 	// wire time separately from every chunnel above it.
 	data := tc.dataConn()
-	var conn Conn = Instrument(data, e.tel.Conn("transport", tc.raw.LocalAddr().Net))
+	baseMetrics := e.tel.Conn("transport", tc.raw.LocalAddr().Net)
+	var conn Conn = InstrumentTraced(data, baseMetrics,
+		spanRing.Handle("transport", tc.raw.LocalAddr().Net))
+	// layerMetrics collects each instrumented layer innermost-first; the
+	// managedConn derives per-hop exclusive latency (HopStats) from
+	// adjacent layers' inclusive histograms.
+	layerMetrics := []*telemetry.ConnMetrics{baseMetrics}
 	var active []activeImpl
 	// Batch-awareness bookkeeping: a SendBufs burst entering the top of
 	// the stack stays vectored only while every layer on the way down
@@ -488,7 +515,9 @@ func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []Resolve
 		// Each resolved node gets an instrumented wrapper above it,
 		// preallocated per (type, impl) pair: sends/recvs/bytes/errors
 		// and inclusive latency, at zero allocations per message.
-		conn = Instrument(wrapped, e.tel.Conn(rn.Type, rn.ImplName))
+		layerM := e.tel.Conn(rn.Type, rn.ImplName)
+		conn = InstrumentTraced(wrapped, layerM, spanRing.Handle(rn.Type, rn.ImplName))
+		layerMetrics = append(layerMetrics, layerM)
 		active = append(active, activeImpl{impl: impl, claim: rn.ClaimID})
 	}
 	// The vectored segment is the contiguous batch-aware run from the
@@ -504,7 +533,18 @@ func (e *Endpoint) assemble(ctx context.Context, tc *taggedConn, stack []Resolve
 	if e.coalesce != nil {
 		conn = NewCoalescer(conn, *e.coalesce, e.tel)
 	}
-	return &managedConn{Conn: conn, ep: e, side: side, active: active}, nil
+	// The sampling decision lives at the very top of the stack (above
+	// the coalescer) so every instrumented wrapper underneath sees the
+	// trace context on the way down.
+	if e.tracing != nil && spanRing != nil {
+		conn = &samplerConn{Conn: conn, sampler: tracing.NewSampler(e.tracing.SampleRate)}
+	}
+	openConns := e.tel.Gauge("core/open_conns")
+	openConns.Add(1)
+	return &managedConn{
+		Conn: conn, ep: e, side: side, active: active,
+		layers: layerMetrics, openConns: openConns,
+	}, nil
 }
 
 type activeImpl struct {
@@ -533,7 +573,51 @@ type managedConn struct {
 	ep     *Endpoint
 	side   Side
 	active []activeImpl
-	once   sync.Once
+	// layers holds each instrumented layer's metrics innermost-first
+	// (base transport at index 0) — the input to HopStats.
+	layers    []*telemetry.ConnMetrics
+	openConns *telemetry.Gauge
+	once      sync.Once
+}
+
+// HopStats derives each layer's exclusive send latency (p50/p95, µs)
+// from the inclusive latency histograms of adjacent layers, folds the
+// result into each layer's EWMA rollup, and returns it outermost layer
+// first. A layer's inclusive latency contains every layer below it, so
+// the difference against its inner neighbour isolates the layer's own
+// cost; the base transport keeps its full inclusive time.
+func (m *managedConn) HopStats() []HopStat {
+	out := make([]HopStat, 0, len(m.layers))
+	prevP50, prevP95 := 0.0, 0.0
+	prevOK := false
+	stats := make([]HopStat, len(m.layers))
+	for i, lm := range m.layers {
+		snap := lm.SendLatency.Snapshot()
+		if snap.Count == 0 {
+			stats[i] = HopStat{Chunnel: lm.Chunnel, Impl: lm.Impl}
+			prevOK = false
+			continue
+		}
+		p50, p95 := snap.Quantile(0.50), snap.Quantile(0.95)
+		e50, e95 := p50, p95
+		if prevOK {
+			e50, e95 = p50-prevP50, p95-prevP95
+			if e50 < 0 {
+				e50 = 0
+			}
+			if e95 < 0 {
+				e95 = 0
+			}
+		}
+		lm.FoldHopExcl(e50, e95)
+		r50, r95, _ := lm.HopExcl()
+		stats[i] = HopStat{Chunnel: lm.Chunnel, Impl: lm.Impl, ExclP50: r50, ExclP95: r95}
+		prevP50, prevP95, prevOK = p50, p95, true
+	}
+	for i := len(stats) - 1; i >= 0; i-- {
+		out = append(out, stats[i])
+	}
+	return out
 }
 
 // SendBuf, RecvBuf, and Headroom forward the zero-copy path through the
@@ -565,6 +649,9 @@ func (m *managedConn) Headroom() int { return HeadroomOf(m.Conn) }
 func (m *managedConn) Close() error {
 	err := m.Conn.Close()
 	m.once.Do(func() {
+		if m.openConns != nil {
+			m.openConns.Add(-1)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), teardownTimeout)
 		defer cancel()
 		teardownAll(ctx, m.active, m.ep)

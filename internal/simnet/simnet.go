@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
 )
 
 // Packet is one in-flight datagram.
@@ -41,6 +42,10 @@ type Network struct {
 	hosts    map[string]*Host
 	switches map[string]*Switch
 	closed   bool
+
+	// spans, when set via EnableTracing, receives per-switch forwarding
+	// spans for sampled traced frames.
+	spans *tracing.SpanRing
 }
 
 // New returns an empty network.
@@ -92,6 +97,9 @@ func (n *Network) AddSwitch(name string, tableCapacity int) (*Switch, error) {
 		done:     make(chan struct{}),
 	}
 	n.switches[name] = s
+	if n.spans != nil {
+		s.setTraceRing(n.spans)
+	}
 	go s.forwardLoop()
 	return s, nil
 }

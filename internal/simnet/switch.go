@@ -2,10 +2,13 @@ package simnet
 
 import (
 	"fmt"
-	"github.com/bertha-net/bertha/internal/core"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
 )
 
 // Entry is one match-action table entry. Actions may rewrite the packet,
@@ -39,6 +42,10 @@ type Switch struct {
 	groups  map[string][]core.Addr
 
 	seq atomic.Uint64
+
+	// fwd, when the network has tracing enabled, records one forwarding
+	// span per sampled traced frame the switch processes.
+	fwd atomic.Pointer[tracing.Handle]
 
 	inbox chan Packet
 	done  chan struct{}
@@ -169,8 +176,26 @@ func (s *Switch) forwardLoop() {
 	}
 }
 
-// process runs the match-action pipeline and forwards the results.
+// process runs the match-action pipeline and forwards the results. A
+// sampled traced frame additionally records a forwarding span covering
+// the whole pipeline and gets its in-band hop count bumped before any
+// action runs, so rewrites and multicast replication all carry it.
 func (s *Switch) process(pkt Packet) {
+	var (
+		traceH     *tracing.Handle
+		traceID    uint64
+		traceHop   uint8
+		traceStart time.Time
+		traced     bool
+	)
+	if h := s.fwd.Load(); h != nil && h.Active() {
+		if id, _, ok := peekTrace(pkt.Payload); ok {
+			traceStart = time.Now()
+			traceH, traceID, traced = h, id, true
+			traceHop = bumpHop(pkt.Payload)
+		}
+	}
+
 	s.mu.Lock()
 	var matched *Entry
 	for _, e := range s.entries {
@@ -187,6 +212,10 @@ func (s *Switch) process(pkt Packet) {
 	}
 	for _, out := range outs {
 		s.emit(out)
+	}
+	if traced {
+		traceH.Record(tracing.KindFwd, traceID, traceStart,
+			time.Since(traceStart), len(pkt.Payload), len(outs), traceHop, false)
 	}
 }
 

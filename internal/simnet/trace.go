@@ -1,0 +1,55 @@
+package simnet
+
+import (
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
+)
+
+// dataTag mirrors the core mux data-frame tag byte. The switch peeks at
+// frames the way real in-network hardware would — by fixed offset, not
+// by running the endpoint stack — so the constant is duplicated here
+// rather than exported from core.
+const dataTag byte = 0x01
+
+// EnableTracing makes every switch in the fabric record a forwarding
+// span into ring for each sampled data frame it forwards, incrementing
+// the in-band hop count so endpoints can tell how many fabric elements
+// a message crossed. Switches added later inherit the ring.
+func (n *Network) EnableTracing(ring *tracing.SpanRing) {
+	n.mu.Lock()
+	n.spans = ring
+	switches := make([]*Switch, 0, len(n.switches))
+	for _, s := range n.switches {
+		switches = append(switches, s)
+	}
+	n.mu.Unlock()
+	for _, s := range switches {
+		s.setTraceRing(ring)
+	}
+}
+
+func (s *Switch) setTraceRing(ring *tracing.SpanRing) {
+	h := ring.Handle("switch", s.name)
+	s.fwd.Store(&h)
+}
+
+// peekTrace inspects a data frame for a sampled in-band trace context:
+// the mux tag byte followed by the trace chunnel's header, which
+// negotiation pins to the innermost slot precisely so it lands at a
+// fixed wire offset the fabric can parse.
+func peekTrace(p []byte) (id uint64, hop uint8, ok bool) {
+	if len(p) < 1+tracing.ContextSize || p[0] != dataTag {
+		return 0, 0, false
+	}
+	_, id, _, hop, sampled, valid := tracing.ParseContext(p[1:])
+	if !valid || !sampled {
+		return 0, 0, false
+	}
+	return id, hop, true
+}
+
+// bumpHop increments the context's hop count in place. The switch owns
+// the packet's payload (hosts copy on send), so the rewrite is safe.
+func bumpHop(p []byte) uint8 {
+	p[1+tracing.HopOffset]++
+	return p[1+tracing.HopOffset]
+}

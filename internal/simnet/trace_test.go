@@ -1,0 +1,102 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
+)
+
+// TestSwitchForwardingSpans: a sampled data frame crossing a switch with
+// tracing enabled records a fwd span and gets its in-band hop count
+// incremented; unsampled and untagged frames pass through untouched.
+func TestSwitchForwardingSpans(t *testing.T) {
+	ctx := ctxT(t)
+	n, _, hs := star(t, 0, "a", "b")
+	ring := tracing.NewSpanRing(64)
+	n.EnableTracing(ring)
+
+	l, err := hs["b"].Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := hs["a"].Dial(ctx, hs["b"].Addr("svc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A sampled data frame: mux tag, trace context (hop 0), payload.
+	const traceID = 0xBEEFCAFE
+	frame := make([]byte, 1+tracing.ContextSize+4)
+	frame[0] = dataTag
+	tracing.EncodeContext(frame[1:], traceID, 7, 0)
+	copy(frame[1+tracing.ContextSize:], "data")
+	if err := cli.Send(ctx, frame); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := l.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, id, span, hop, sampled, ok := tracing.ParseContext(got[1:])
+	if !ok || !sampled || id != traceID || span != 7 {
+		t.Fatalf("context mangled in transit: id=%x span=%d sampled=%v ok=%v", id, span, sampled, ok)
+	}
+	if hop != 1 {
+		t.Fatalf("switch did not bump hop count: got %d, want 1", hop)
+	}
+	if string(got[1+tracing.ContextSize:]) != "data" {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+
+	// An unsampled marker frame and an untagged frame record nothing and
+	// arrive byte-identical.
+	if err := cli.Send(ctx, []byte{dataTag, tracing.FlagUnsampled, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send(ctx, []byte("no tag here")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := srv.Recv(ctx); err != nil || string(m[1:]) != string([]byte{tracing.FlagUnsampled, 'x'}) {
+		t.Fatalf("marker frame: %q %v", m, err)
+	}
+	if m, err := srv.Recv(ctx); err != nil || string(m) != "no tag here" {
+		t.Fatalf("untagged frame: %q %v", m, err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for ring.Total() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	spans := ring.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want exactly 1 (sampled frame only): %+v", len(spans), spans)
+	}
+	s := spans[0]
+	if s.Kind != tracing.KindFwd || s.TraceID != traceID || s.Layer != "switch" || s.Impl != "tor" {
+		t.Fatalf("fwd span wrong: %+v", s)
+	}
+	if s.Hop != 1 || s.Count != 1 {
+		t.Fatalf("fwd span hop/count: %+v", s)
+	}
+}
+
+// TestSwitchTracingLateSwitch: switches added after EnableTracing
+// inherit the ring.
+func TestSwitchTracingLateSwitch(t *testing.T) {
+	n := New()
+	t.Cleanup(n.Close)
+	ring := tracing.NewSpanRing(16)
+	n.EnableTracing(ring)
+	sw, err := n.AddSwitch("late", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := sw.fwd.Load(); h == nil || !h.Active() {
+		t.Fatal("late-added switch did not inherit the trace ring")
+	}
+}

@@ -3,6 +3,9 @@ package telemetry
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
+
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
 )
 
 // Endpoint is the conventional introspection path daemons mount the
@@ -13,13 +16,25 @@ const Endpoint = "/debug/bertha"
 // indented JSON document: per-chunnel-type, per-implementation counters
 // and latency quantiles, named counters and probes, and the retained
 // negotiation trace events. With ?format=text it renders the fixed-width
-// table dump instead.
+// table dump, with ?format=prom the Prometheus text exposition. With
+// ?spans=<hex trace ID> (or ?spans= / ?spans=all for every retained
+// trace) it instead serves the reassembled message-trace trees from the
+// tracing span ring.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if spansQ, ok := req.URL.Query()["spans"]; ok {
+			serveSpans(w, r, spansQ)
+			return
+		}
 		snap := r.Snapshot()
-		if req.URL.Query().Get("format") == "text" {
+		switch req.URL.Query().Get("format") {
+		case "text":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			snap.WriteText(w)
+			return
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			snap.WriteProm(w)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -30,6 +45,47 @@ func Handler(r *Registry) http.Handler {
 			return
 		}
 	})
+}
+
+// spansDoc is the ?spans= response document.
+type spansDoc struct {
+	// Enabled is false when the registry has no span ring (tracing off).
+	Enabled bool `json:"enabled"`
+	// SpanTotal is the number of spans ever recorded.
+	SpanTotal uint64 `json:"span_total"`
+	// Traces are the reassembled trees, most recent first.
+	Traces []tracing.Tree `json:"traces"`
+}
+
+func serveSpans(w http.ResponseWriter, r *Registry, q []string) {
+	doc := spansDoc{Traces: []tracing.Tree{}}
+	if ring := r.Spans(); ring != nil {
+		doc.Enabled = true
+		doc.SpanTotal = ring.Total()
+		trees := tracing.BuildTrees(ring.Snapshot())
+		filter := ""
+		if len(q) > 0 {
+			filter = q[0]
+		}
+		if filter != "" && filter != "all" {
+			if id, err := strconv.ParseUint(filter, 16, 64); err == nil {
+				for _, t := range trees {
+					if t.TraceID == id {
+						doc.Traces = append(doc.Traces, t)
+					}
+				}
+			} else {
+				http.Error(w, "spans: want a hex trace ID or \"all\"", http.StatusBadRequest)
+				return
+			}
+		} else {
+			doc.Traces = trees
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
 }
 
 // Serve mounts the registry's handler on Endpoint and serves HTTP on

@@ -25,6 +25,10 @@ type Snapshot struct {
 	// TraceTotal is the number of events ever recorded (events beyond
 	// len(Trace) have been overwritten).
 	TraceTotal uint64 `json:"trace_total"`
+	// SpanTotal is the number of message spans ever recorded into the
+	// tracing ring; absent when tracing is not enabled. The spans
+	// themselves are served by /debug/bertha?spans=.
+	SpanTotal uint64 `json:"span_total,omitempty"`
 }
 
 // HistogramStats is a histogram readout in microseconds.
@@ -34,6 +38,11 @@ type HistogramStats struct {
 	P50   float64 `json:"p50_us"`
 	P95   float64 `json:"p95_us"`
 	P99   float64 `json:"p99_us"`
+
+	// raw keeps the full bucket array for renderings that need more than
+	// the quantile digest (the Prometheus exposition's cumulative
+	// _bucket series). Unexported so the JSON document stays small.
+	raw HistogramSnapshot
 }
 
 // BatchStats is a burst-size readout in messages per vectored call,
@@ -63,6 +72,10 @@ type ConnStats struct {
 	// nil when no vectored traffic was recorded.
 	SendBatch *BatchStats `json:"send_batch,omitempty"`
 	RecvBatch *BatchStats `json:"recv_batch,omitempty"`
+	// HopExclP50/P95 are the exclusive-latency EWMA rollup (µs) folded
+	// from traced messages; absent until tracing observes this layer.
+	HopExclP50 float64 `json:"hop_excl_p50_us,omitempty"`
+	HopExclP95 float64 `json:"hop_excl_p95_us,omitempty"`
 }
 
 // histStats converts a snapshot, mapping NaN (empty histogram) to 0 so
@@ -80,6 +93,7 @@ func histStats(s HistogramSnapshot) HistogramStats {
 		P50:   z(s.Quantile(0.50)),
 		P95:   z(s.Quantile(0.95)),
 		P99:   z(s.Quantile(0.99)),
+		raw:   s,
 	}
 }
 
@@ -107,6 +121,8 @@ func batchStats(s HistogramSnapshot) *BatchStats {
 // Snapshot copies the registry's current state. Probes run under the
 // registry lock; they must be plain atomic loads.
 func (r *Registry) Snapshot() Snapshot {
+	// Refresh health gauges first: Gauge takes the registry lock itself.
+	r.refreshHealth()
 	r.mu.Lock()
 	s := Snapshot{
 		Counters:   make(map[string]uint64, len(r.counters)+len(r.probes)),
@@ -127,7 +143,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = histStats(h.Snapshot())
 	}
 	for _, m := range r.conns {
-		s.Conns = append(s.Conns, ConnStats{
+		cs := ConnStats{
 			Chunnel:     m.Chunnel,
 			Impl:        m.Impl,
 			Sends:       m.Sends.Value(),
@@ -140,10 +156,18 @@ func (r *Registry) Snapshot() Snapshot {
 			RecvLatency: histStats(m.RecvLatency.Snapshot()),
 			SendBatch:   batchStats(m.SendBatch.Snapshot()),
 			RecvBatch:   batchStats(m.RecvBatch.Snapshot()),
-		})
+		}
+		if p50, p95, ok := m.HopExcl(); ok {
+			cs.HopExclP50, cs.HopExclP95 = p50, p95
+		}
+		s.Conns = append(s.Conns, cs)
 	}
 	trace := r.trace
+	spans := r.spans
 	r.mu.Unlock()
+	if spans != nil {
+		s.SpanTotal = spans.Total()
+	}
 
 	sort.Slice(s.Conns, func(i, j int) bool {
 		if s.Conns[i].Chunnel != s.Conns[j].Chunnel {

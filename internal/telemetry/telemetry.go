@@ -24,12 +24,15 @@ package telemetry
 import (
 	"math"
 	"math/bits"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/bertha-net/bertha/internal/stats"
+	"github.com/bertha-net/bertha/internal/telemetry/tracing"
+	"github.com/bertha-net/bertha/internal/wire"
 )
 
 // Counter is a monotonically increasing event count. The zero value is
@@ -238,6 +241,51 @@ type ConnMetrics struct {
 	// the number of vectored calls, not messages.
 	SendBatch Histogram
 	RecvBatch Histogram
+
+	// hopExclP50/hopExclP95 are EWMAs of this layer's *exclusive*
+	// send-path latency in microseconds (its inclusive latency minus the
+	// next-inner layer's), folded in by managedConn.HopStats. Stored as
+	// math.Float64bits; zero means never folded. This is the per-hop
+	// signal a renegotiation policy consumes: a rising exclusive p95 on
+	// one layer fingers that layer, where the inclusive histograms blame
+	// everything beneath it too.
+	hopExclP50 atomic.Uint64
+	hopExclP95 atomic.Uint64
+}
+
+// hopEWMAAlpha weights new hop-exclusive observations: small enough to
+// smooth scheduling noise, large enough that a sustained regression
+// moves the rollup within tens of folds.
+const hopEWMAAlpha = 0.2
+
+// FoldHopExcl folds one exclusive-latency observation pair (µs) into
+// the EWMA rollup. Racing folds may drop an update; the rollup is a
+// monitoring signal, not an accounting ledger.
+func (m *ConnMetrics) FoldHopExcl(p50, p95 float64) {
+	if math.IsNaN(p50) || math.IsNaN(p95) || p50 < 0 || p95 < 0 {
+		return
+	}
+	fold := func(a *atomic.Uint64, v float64) {
+		old := a.Load()
+		if old == 0 {
+			a.Store(math.Float64bits(v))
+			return
+		}
+		prev := math.Float64frombits(old)
+		a.Store(math.Float64bits(prev + hopEWMAAlpha*(v-prev)))
+	}
+	fold(&m.hopExclP50, p50)
+	fold(&m.hopExclP95, p95)
+}
+
+// HopExcl returns the exclusive-latency EWMA rollup in microseconds;
+// ok is false before the first fold.
+func (m *ConnMetrics) HopExcl() (p50, p95 float64, ok bool) {
+	b50, b95 := m.hopExclP50.Load(), m.hopExclP95.Load()
+	if b50 == 0 && b95 == 0 {
+		return 0, 0, false
+	}
+	return math.Float64frombits(b50), math.Float64frombits(b95), true
 }
 
 // RecordSend records one send outcome of n bytes taking d.
@@ -312,12 +360,18 @@ type Registry struct {
 	probes   map[string]func() uint64
 	conns    map[connKey]*ConnMetrics
 	trace    *Trace
+	spans    *tracing.SpanRing
+
+	// healthOn enables the process-health gauges (goroutines, heap,
+	// outstanding pooled buffers, open connections) refreshed on every
+	// Snapshot. On by default; tests that count gauges can turn it off.
+	healthOn atomic.Bool
 }
 
 // New returns an empty registry with a trace ring of DefaultTraceLen
 // events.
 func New() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
@@ -325,6 +379,8 @@ func New() *Registry {
 		conns:    make(map[connKey]*ConnMetrics),
 		trace:    NewTrace(DefaultTraceLen),
 	}
+	r.healthOn.Store(true)
+	return r
 }
 
 // defaultRegistry is the process-wide registry used by endpoints unless
@@ -400,6 +456,42 @@ func (r *Registry) Conn(chunnelType, implName string) *ConnMetrics {
 
 // Trace returns the registry's negotiation trace ring.
 func (r *Registry) Trace() *Trace { return r.trace }
+
+// EnableSpans creates (or returns) the registry's message-span ring of
+// capacity n — the per-host flight recorder distributed tracing records
+// into. Idempotent: the first caller's capacity wins.
+func (r *Registry) EnableSpans(n int) *tracing.SpanRing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spans == nil {
+		r.spans = tracing.NewSpanRing(n)
+	}
+	return r.spans
+}
+
+// Spans returns the message-span ring, nil when tracing was never
+// enabled on this registry.
+func (r *Registry) Spans() *tracing.SpanRing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans
+}
+
+// SetHealthGauges toggles the snapshot-time process-health gauges.
+func (r *Registry) SetHealthGauges(on bool) { r.healthOn.Store(on) }
+
+// refreshHealth updates the process-health gauges. Called by Snapshot
+// before it takes the registry lock (Gauge locks internally).
+func (r *Registry) refreshHealth() {
+	if !r.healthOn.Load() {
+		return
+	}
+	r.Gauge("process/goroutines").Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("process/heap_inuse_bytes").Set(int64(ms.HeapInuse))
+	r.Gauge("wire/bufs_outstanding").Set(wire.BufsOutstanding())
+}
 
 // sortedKeys returns map keys in sorted order.
 func sortedKeys[V any](m map[string]V) []string {

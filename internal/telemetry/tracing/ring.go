@@ -1,0 +1,245 @@
+package tracing
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+// Span kinds.
+const (
+	// KindSend is a send-path span: the layer's inclusive time from the
+	// moment a sampled message entered it until the layer below returned.
+	KindSend Kind = iota
+	// KindRecv is a receive-path span: the layer's inclusive time,
+	// including blocking for the message to arrive.
+	KindRecv
+	// KindFwd is an in-network forwarding span (a simnet switch hop).
+	KindFwd
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindFwd:
+		return "fwd"
+	default:
+		return "unknown"
+	}
+}
+
+// Span is one recorded event: a sampled message passing one layer (or
+// one switch) in one direction.
+type Span struct {
+	// TraceID groups the spans of one message's journey.
+	TraceID uint64 `json:"trace_id"`
+	// Kind is the span direction: send, recv, or fwd.
+	Kind Kind `json:"-"`
+	// KindName is Kind's name, for the JSON document.
+	KindName string `json:"kind"`
+	// Layer and Impl identify the recording stack layer, in the same
+	// vocabulary as telemetry.ConnMetrics ("transport"/"udp",
+	// "serialize"/"serialize/bincode", "switch"/<switch name>).
+	Layer string `json:"layer"`
+	Impl  string `json:"impl"`
+	// Start is the span start in nanoseconds since the Unix epoch.
+	Start int64 `json:"start_ns"`
+	// Dur is the span's inclusive duration in nanoseconds.
+	Dur int64 `json:"dur_ns"`
+	// Bytes is the payload size (summed over a burst).
+	Bytes int `json:"bytes"`
+	// Count is the number of messages the span covers: 1 for per-message
+	// sends, the burst element count for one vectored call.
+	Count int `json:"count"`
+	// Hop is the wire context's hop count when the span was recorded.
+	Hop int `json:"hop"`
+	// Err marks a failed operation.
+	Err bool `json:"err,omitempty"`
+}
+
+// End returns the span's end time in nanoseconds since the epoch.
+func (s Span) End() int64 { return s.Start + s.Dur }
+
+// slot is one ring entry, written under a per-slot seqlock: seq is
+// bumped to odd before the payload stores and to even after, so a reader
+// that observes an unchanged even seq saw a consistent span. All fields
+// are word-sized atomics — recording never takes a lock and never
+// allocates.
+type slot struct {
+	seq   atomic.Uint64
+	id    atomic.Uint64
+	start atomic.Uint64 // unix nanoseconds
+	dur   atomic.Uint64 // nanoseconds
+	meta  atomic.Uint64 // packed kind/hop/err/label/count
+	bytes atomic.Uint64
+}
+
+// meta packing: count in bits 0..23, label index 24..39, hop 40..47,
+// kind 48..49, err 50.
+func packMeta(kind Kind, hop uint8, errFlag bool, label uint16, count int) uint64 {
+	if count < 0 {
+		count = 0
+	}
+	if count > 1<<24-1 {
+		count = 1<<24 - 1
+	}
+	m := uint64(count) | uint64(label)<<24 | uint64(hop)<<40 | uint64(kind&3)<<48
+	if errFlag {
+		m |= 1 << 50
+	}
+	return m
+}
+
+func unpackMeta(m uint64) (kind Kind, hop uint8, errFlag bool, label uint16, count int) {
+	return Kind(m >> 48 & 3), uint8(m >> 40), m&(1<<50) != 0, uint16(m >> 24), int(m & (1<<24 - 1))
+}
+
+// SpanRing is a bounded per-host flight recorder: the last N spans are
+// kept, older ones overwritten. Writers are lock-free; labels (layer,
+// impl string pairs) are interned once at stack-assembly time so the
+// record path stores only a small integer.
+type SpanRing struct {
+	slots []slot
+	next  atomic.Uint64 // total spans ever recorded
+
+	mu       sync.Mutex
+	labels   []label
+	labelIdx map[label]uint16
+}
+
+type label struct{ layer, impl string }
+
+// NewSpanRing returns a ring holding the last n spans (minimum 16).
+func NewSpanRing(n int) *SpanRing {
+	if n < 16 {
+		n = 16
+	}
+	return &SpanRing{
+		slots:    make([]slot, n),
+		labelIdx: make(map[label]uint16),
+	}
+}
+
+// Cap returns the ring capacity in spans.
+func (r *SpanRing) Cap() int { return len(r.slots) }
+
+// Total returns how many spans have ever been recorded.
+func (r *SpanRing) Total() uint64 { return r.next.Load() }
+
+// Handle interns a (layer, impl) label and returns a recording handle
+// bound to it. Call at stack-assembly time, never per message; Record on
+// the returned handle is the zero-allocation hot path. The zero Handle
+// is inert: Record on it is a no-op.
+func (r *SpanRing) Handle(layer, impl string) Handle {
+	if r == nil {
+		return Handle{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := label{layer, impl}
+	idx, ok := r.labelIdx[k]
+	if !ok {
+		if len(r.labels) >= 1<<16 {
+			return Handle{} // label table full: drop rather than misattribute
+		}
+		idx = uint16(len(r.labels))
+		r.labels = append(r.labels, k)
+		r.labelIdx[k] = idx
+	}
+	return Handle{ring: r, label: idx}
+}
+
+// labelAt resolves an interned label index.
+func (r *SpanRing) labelAt(i uint16) (layer, impl string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(i) >= len(r.labels) {
+		return "?", "?"
+	}
+	l := r.labels[i]
+	return l.layer, l.impl
+}
+
+// Handle is a preallocated recording endpoint: the ring plus an interned
+// label. Handles are values; copy freely.
+type Handle struct {
+	ring  *SpanRing
+	label uint16
+}
+
+// Active reports whether the handle records anywhere.
+func (h Handle) Active() bool { return h.ring != nil }
+
+// Record appends one span. It is lock-free and allocation-free: one slot
+// claim plus six word-sized atomic stores under a per-slot seqlock.
+// Concurrent writers that lap the ring onto the same slot can tear each
+// other's span; the seqlock makes readers detect and skip such slots.
+func (h Handle) Record(kind Kind, id uint64, start time.Time, dur time.Duration, bytes, count int, hop uint8, errFlag bool) {
+	r := h.ring
+	if r == nil {
+		return
+	}
+	i := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	s := &r.slots[i]
+	s.seq.Add(1) // odd: write in progress
+	s.id.Store(id)
+	s.start.Store(uint64(start.UnixNano()))
+	s.dur.Store(uint64(dur.Nanoseconds()))
+	s.meta.Store(packMeta(kind, hop, errFlag, h.label, count))
+	s.bytes.Store(uint64(bytes))
+	s.seq.Add(1) // even: published
+}
+
+// Snapshot copies the retained spans, oldest first by start time. It
+// allocates (the snapshot slice and label strings are materialized
+// here) — this is the only allocating operation in the package and runs
+// off the data path.
+func (r *SpanRing) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		for attempt := 0; attempt < 3; attempt++ {
+			seq := s.seq.Load()
+			if seq == 0 || seq&1 == 1 {
+				break // never written, or write in progress
+			}
+			id := s.id.Load()
+			start := s.start.Load()
+			dur := s.dur.Load()
+			meta := s.meta.Load()
+			bytes := s.bytes.Load()
+			if s.seq.Load() != seq {
+				continue // torn by a concurrent writer: retry
+			}
+			kind, hop, errFlag, labelIdx, count := unpackMeta(meta)
+			layer, impl := r.labelAt(labelIdx)
+			out = append(out, Span{
+				TraceID:  id,
+				Kind:     kind,
+				KindName: kind.String(),
+				Layer:    layer,
+				Impl:     impl,
+				Start:    int64(start),
+				Dur:      int64(dur),
+				Bytes:    int(bytes),
+				Count:    count,
+				Hop:      int(hop),
+				Err:      errFlag,
+			})
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,169 @@
+// Package tracing is the distributed half of the telemetry story: where
+// package telemetry aggregates per-layer counters on one host, tracing
+// follows individual sampled messages down the sender's chunnel stack,
+// across the wire (or a simnet switch), and up the receiver's stack.
+//
+// The pieces:
+//
+//   - A 16-byte wire context (trace ID, parent span, sampled bit, hop
+//     count) that the trace chunnel serializes into wire.Buf headroom on
+//     sampled sends and parses back on the receive side. Unsampled
+//     messages pay a single marker byte so the receiver can always tell
+//     whether a context is present.
+//   - A lock-free per-host SpanRing modeled on telemetry's negotiation
+//     Trace ring: fixed slots written under a per-slot seqlock, labels
+//     interned at stack-assembly time, so recording a span is a handful
+//     of atomic stores — zero allocations on the data path.
+//   - Tree reassembly (tree.go): spans from any number of rings, grouped
+//     by trace ID and ordered by time, become one waterfall per message
+//     with per-hop exclusive latency that sums (telescopes) to the
+//     end-to-end latency.
+//
+// The package is dependency-free (stdlib only) so transports, simnet,
+// and core can all record spans without import cycles.
+package tracing
+
+import (
+	"encoding/binary"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Wire context layout, stamped into headroom below every chunnel header
+// (immediately after the mux tag byte, where a switch can peek at it):
+//
+//	byte  0     flags: 0xB1 sampled (full context), 0xB0 unsampled marker
+//	bytes 1-8   trace ID, little endian
+//	bytes 9-12  parent span ID, little endian
+//	byte  13    hop count, incremented by in-network forwarders
+//	bytes 14-15 reserved (zero)
+//
+// The 0xB_ magic nibble lets forwarding elements distinguish traced
+// traffic from arbitrary payload bytes cheaply; switch-side mutation is
+// additionally gated on explicit opt-in (simnet Network.EnableTracing)
+// so a false positive can never corrupt an untraced workload.
+const (
+	// ContextSize is the serialized size of a sampled trace context.
+	ContextSize = 16
+	// MarkerSize is the serialized size of the unsampled marker.
+	MarkerSize = 1
+	// FlagSampled is the flags byte of a full 16-byte context.
+	FlagSampled = 0xB1
+	// FlagUnsampled is the one-byte marker on unsampled messages.
+	FlagUnsampled = 0xB0
+	// IDOffset is the byte offset of the trace ID within the context.
+	IDOffset = 1
+	// HopOffset is the byte offset of the hop count within the context.
+	HopOffset = 13
+)
+
+// EncodeContext writes a sampled 16-byte context into dst (len ≥
+// ContextSize).
+func EncodeContext(dst []byte, id uint64, span uint32, hop uint8) {
+	dst[0] = FlagSampled
+	binary.LittleEndian.PutUint64(dst[IDOffset:], id)
+	binary.LittleEndian.PutUint32(dst[9:], span)
+	dst[HopOffset] = hop
+	dst[14] = 0
+	dst[15] = 0
+}
+
+// ParseContext inspects p's leading trace context. n is the number of
+// bytes the context occupies (to TrimFront); ok is false when p carries
+// neither a context nor a marker — the peer does not run the trace
+// chunnel, and p must be left untouched.
+func ParseContext(p []byte) (n int, id uint64, span uint32, hop uint8, sampled, ok bool) {
+	if len(p) >= MarkerSize && p[0] == FlagUnsampled {
+		return MarkerSize, 0, 0, 0, false, true
+	}
+	if len(p) >= ContextSize && p[0] == FlagSampled {
+		return ContextSize, binary.LittleEndian.Uint64(p[IDOffset:]),
+			binary.LittleEndian.Uint32(p[9:]), p[HopOffset], true, true
+	}
+	return 0, 0, 0, 0, false, false
+}
+
+// idCounter seeds trace-ID generation; splitmix64 whitens the sequence
+// so IDs from different processes started at different times do not
+// collide in the low bits.
+var idCounter atomic.Uint64
+
+func init() {
+	idCounter.Store(uint64(time.Now().UnixNano()))
+}
+
+// NewTraceID returns a new process-unique trace ID. It is a single
+// atomic add plus arithmetic — safe on the send hot path.
+func NewTraceID() uint64 {
+	x := idCounter.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // 0 means "no trace"
+	}
+	return x
+}
+
+// Defaults for Config.
+const (
+	// DefaultSampleRate samples roughly one message in 128.
+	DefaultSampleRate = 1.0 / 128
+	// DefaultRingSize retains the last 4096 spans per host.
+	DefaultRingSize = 4096
+)
+
+// Config parameterizes tracing on one endpoint.
+type Config struct {
+	// SampleRate is the fraction of application sends stamped with a
+	// trace context, realized as deterministic every-Nth sampling.
+	// Values ≥ 1 trace every send; ≤ 0 selects DefaultSampleRate.
+	SampleRate float64
+	// RingSize is the span-ring capacity in spans; ≤ 0 selects
+	// DefaultRingSize.
+	RingSize int
+}
+
+// Fill replaces zero fields with the defaults.
+func (c *Config) Fill() {
+	if c.SampleRate <= 0 {
+		c.SampleRate = DefaultSampleRate
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = DefaultRingSize
+	}
+}
+
+// Sampler makes the per-send head decision: deterministic every-Nth
+// sampling via one atomic add, so the unsampled path costs a single
+// uncontended RMW and never allocates.
+type Sampler struct {
+	interval uint64
+	n        atomic.Uint64
+}
+
+// NewSampler returns a sampler realizing rate as every-round(1/rate)th.
+func NewSampler(rate float64) *Sampler {
+	if rate <= 0 {
+		rate = DefaultSampleRate
+	}
+	interval := uint64(1)
+	if rate < 1 {
+		interval = uint64(math.Round(1 / rate))
+		if interval < 1 {
+			interval = 1
+		}
+	}
+	return &Sampler{interval: interval}
+}
+
+// Sample reports whether the next send should carry a trace context.
+func (s *Sampler) Sample() bool {
+	if s.interval == 1 {
+		return true
+	}
+	return s.n.Add(1)%s.interval == 0
+}

@@ -1,0 +1,224 @@
+package tracing
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestContextRoundTrip(t *testing.T) {
+	var buf [ContextSize]byte
+	EncodeContext(buf[:], 0xDEADBEEFCAFE, 42, 3)
+	n, id, span, hop, sampled, ok := ParseContext(buf[:])
+	if !ok || !sampled {
+		t.Fatalf("ParseContext: ok=%v sampled=%v", ok, sampled)
+	}
+	if n != ContextSize || id != 0xDEADBEEFCAFE || span != 42 || hop != 3 {
+		t.Fatalf("round trip mismatch: n=%d id=%x span=%d hop=%d", n, id, span, hop)
+	}
+}
+
+func TestContextUnsampledMarker(t *testing.T) {
+	p := []byte{FlagUnsampled, 0xFF, 0xFF}
+	n, _, _, _, sampled, ok := ParseContext(p)
+	if !ok || sampled || n != MarkerSize {
+		t.Fatalf("marker parse: n=%d sampled=%v ok=%v", n, sampled, ok)
+	}
+}
+
+func TestContextForeignBytes(t *testing.T) {
+	// Payloads not starting with the magic nibble must be left alone.
+	for _, p := range [][]byte{nil, {0x00}, {0x7F, 1, 2}, {0xB2}, {0xB1, 1, 2}} {
+		if n, _, _, _, _, ok := ParseContext(p); ok || n != 0 {
+			t.Fatalf("ParseContext(%x) = n=%d ok=%v, want rejection", p, n, ok)
+		}
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	s := NewSampler(1.0 / 8)
+	hits := 0
+	for i := 0; i < 800; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("1/8 sampler hit %d of 800, want exactly 100 (deterministic every-Nth)", hits)
+	}
+	always := NewSampler(1)
+	for i := 0; i < 10; i++ {
+		if !always.Sample() {
+			t.Fatal("rate-1 sampler skipped a send")
+		}
+	}
+}
+
+func TestRingRecordSnapshot(t *testing.T) {
+	r := NewSpanRing(64)
+	h := r.Handle("transport", "udp")
+	start := time.Unix(100, 0)
+	h.Record(KindSend, 7, start, 5*time.Microsecond, 128, 1, 0, false)
+	h.Record(KindRecv, 7, start.Add(10*time.Microsecond), 3*time.Microsecond, 128, 1, 1, true)
+	if r.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", r.Total())
+	}
+	spans := r.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(spans))
+	}
+	s := spans[0]
+	if s.TraceID != 7 || s.Kind != KindSend || s.Layer != "transport" || s.Impl != "udp" ||
+		s.Dur != 5000 || s.Bytes != 128 || s.Count != 1 || s.Err {
+		t.Fatalf("send span mismatch: %+v", s)
+	}
+	if !spans[1].Err || spans[1].Hop != 1 || spans[1].Kind != KindRecv {
+		t.Fatalf("recv span mismatch: %+v", spans[1])
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewSpanRing(16)
+	h := r.Handle("l", "i")
+	for i := 0; i < 40; i++ {
+		h.Record(KindSend, uint64(i+1), time.Unix(int64(i), 0), time.Microsecond, 1, 1, 0, false)
+	}
+	if r.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", r.Total())
+	}
+	spans := r.Snapshot()
+	if len(spans) != 16 {
+		t.Fatalf("Snapshot retained %d, want ring size 16", len(spans))
+	}
+	// The retained window is the most recent 16 records.
+	for _, s := range spans {
+		if s.TraceID < 25 {
+			t.Fatalf("span %d survived a wrap that should have evicted it", s.TraceID)
+		}
+	}
+}
+
+func TestRingLabelInterning(t *testing.T) {
+	r := NewSpanRing(16)
+	h1 := r.Handle("a", "b")
+	h2 := r.Handle("a", "b")
+	if h1 != h2 {
+		t.Fatal("same label interned twice")
+	}
+	var zero Handle
+	if zero.Active() {
+		t.Fatal("zero handle claims active")
+	}
+	zero.Record(KindSend, 1, time.Now(), 0, 0, 1, 0, false) // must not panic
+}
+
+func TestRecordAllocs(t *testing.T) {
+	r := NewSpanRing(256)
+	h := r.Handle("transport", "udp")
+	start := time.Unix(1, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(KindSend, 99, start, time.Microsecond, 64, 1, 0, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestBuildTreesTelescoping(t *testing.T) {
+	// Client stack: serialize(40µs) ⊃ framing(30µs) ⊃ transport(10µs),
+	// switch forward 5µs, server stack completes transport→framing→
+	// serialize at 70, 80, 100µs.
+	us := func(n int64) int64 { return n * 1000 }
+	spans := []Span{
+		{TraceID: 1, Kind: KindSend, Layer: "serialize", Impl: "bincode", Start: us(0), Dur: us(40), Bytes: 100, Count: 1},
+		{TraceID: 1, Kind: KindSend, Layer: "http2", Impl: "framing", Start: us(5), Dur: us(30), Bytes: 110, Count: 1},
+		{TraceID: 1, Kind: KindSend, Layer: "transport", Impl: "udp", Start: us(10), Dur: us(10), Bytes: 120, Count: 1},
+		{TraceID: 1, Kind: KindFwd, Layer: "switch", Impl: "sw0", Start: us(45), Dur: us(5), Bytes: 120, Count: 1, Hop: 1},
+		{TraceID: 1, Kind: KindRecv, Layer: "trace", Impl: "trace/inline", Start: us(55), Dur: us(15), Bytes: 120, Count: 1},
+		{TraceID: 1, Kind: KindRecv, Layer: "http2", Impl: "framing", Start: us(55), Dur: us(25), Bytes: 110, Count: 1},
+		{TraceID: 1, Kind: KindRecv, Layer: "serialize", Impl: "bincode", Start: us(55), Dur: us(45), Bytes: 100, Count: 1},
+	}
+	trees := BuildTrees(spans)
+	if len(trees) != 1 {
+		t.Fatalf("BuildTrees produced %d trees, want 1", len(trees))
+	}
+	tr := trees[0]
+	if !tr.Complete {
+		t.Fatal("tree with both sides marked incomplete")
+	}
+	// End-to-end: recv serialize ends at 100µs, send serialize starts at 0.
+	if tr.EndToEnd != us(100) {
+		t.Fatalf("EndToEnd = %dns, want 100µs", tr.EndToEnd)
+	}
+	// Telescoping: Σ excl must equal end-to-end exactly.
+	if tr.ExclSum != tr.EndToEnd {
+		t.Fatalf("ExclSum %dns != EndToEnd %dns — telescoping broken", tr.ExclSum, tr.EndToEnd)
+	}
+	// Spot-check attribution: serialize send excl = 40-30 = 10µs;
+	// transport send keeps its full 10µs; first recv (ends 70µs) gets
+	// 70 - 40(send end) - 5(switch) = 25µs.
+	want := map[string]int64{"serialize/send": us(10), "http2/send": us(20), "transport/send": us(10), "switch/fwd": us(5)}
+	for _, h := range tr.Hops {
+		k := h.Layer + "/" + h.KindName
+		if w, ok := want[k]; ok && h.Excl != w {
+			t.Fatalf("hop %s excl = %dns, want %dns", k, h.Excl, w)
+		}
+		if h.Layer == "trace" && h.Kind == KindRecv && h.Excl != us(25) {
+			t.Fatalf("first recv excl = %dns, want 25µs", h.Excl)
+		}
+	}
+}
+
+func TestBuildTreesPartial(t *testing.T) {
+	spans := []Span{
+		{TraceID: 2, Kind: KindSend, Layer: "transport", Impl: "udp", Start: 0, Dur: 1000, Count: 1},
+	}
+	trees := BuildTrees(spans)
+	if len(trees) != 1 || trees[0].Complete {
+		t.Fatalf("send-only trace should build one partial tree, got %+v", trees)
+	}
+	if trees[0].EndToEnd != 0 {
+		t.Fatal("partial tree must not claim an end-to-end latency")
+	}
+}
+
+func TestWaterfallRender(t *testing.T) {
+	spans := []Span{
+		{TraceID: 3, Kind: KindSend, Layer: "transport", Impl: "udp", Start: 0, Dur: 1000, Bytes: 64, Count: 1},
+		{TraceID: 3, Kind: KindRecv, Layer: "transport", Impl: "udp", Start: 2000, Dur: 500, Bytes: 64, Count: 1},
+	}
+	trees := BuildTrees(spans)
+	out := trees[0].String()
+	for _, frag := range []string{"trace 0000000000000003", "complete", "send", "recv", "udp"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("waterfall missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestConfigFill(t *testing.T) {
+	var c Config
+	c.Fill()
+	if c.SampleRate != DefaultSampleRate || c.RingSize != DefaultRingSize {
+		t.Fatalf("Fill gave %+v", c)
+	}
+	c2 := Config{SampleRate: 0.5, RingSize: 128}
+	c2.Fill()
+	if c2.SampleRate != 0.5 || c2.RingSize != 128 {
+		t.Fatalf("Fill clobbered explicit values: %+v", c2)
+	}
+}

@@ -1,0 +1,233 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Hop is one layer crossing within a reassembled trace, annotated with
+// its exclusive latency share.
+type Hop struct {
+	Kind     Kind   `json:"-"`
+	KindName string `json:"kind"`
+	Layer    string `json:"layer"`
+	Impl     string `json:"impl"`
+	// Start/Dur are the span's inclusive window (unix nanoseconds).
+	Start int64 `json:"start_ns"`
+	Dur   int64 `json:"dur_ns"`
+	// Excl is the time attributed to this hop alone: inclusive duration
+	// minus the inclusive duration of the next layer down (sends), or the
+	// gap since the previous layer finished (recvs). The first recv hop's
+	// exclusive time includes network propagation.
+	Excl  int64 `json:"excl_ns"`
+	Bytes int   `json:"bytes"`
+	Count int   `json:"count"`
+	HopNo int   `json:"hop"`
+	Err   bool  `json:"err,omitempty"`
+}
+
+// Tree is all spans of one trace ID, ordered send-path outermost-first,
+// then switch forwards, then recv-path innermost-first — the message's
+// journey in time order.
+type Tree struct {
+	TraceID uint64 `json:"trace_id"`
+	Hops    []Hop  `json:"hops"`
+	// Complete reports that both a send-side and a recv-side span are
+	// present, so EndToEnd and the exclusive breakdown are meaningful.
+	Complete bool `json:"complete"`
+	// EndToEnd is outermost-send start to outermost-recv end, in
+	// nanoseconds. By construction the hops' exclusive latencies
+	// telescope: they sum exactly to EndToEnd on a complete tree.
+	EndToEnd int64 `json:"end_to_end_ns"`
+	// ExclSum is the sum of per-hop exclusive latencies — equals EndToEnd
+	// up to clamping of clock-skewed negative gaps.
+	ExclSum int64 `json:"excl_sum_ns"`
+}
+
+// BuildTrees reassembles spans (from any number of rings — merge the
+// snapshots first) into one tree per trace ID, most recent first.
+//
+// Attribution is by telescoping: send spans nest (each layer's inclusive
+// time contains the layer below), so a send hop's exclusive time is its
+// duration minus the next-inner duration and the innermost send keeps
+// its full duration; switch forwards count whole; recv spans are ordered
+// by completion time and each hop's exclusive time is the gap since the
+// previous one completed, with the first recv hop absorbing network
+// propagation. The sum of exclusive times therefore equals the outermost
+// send start → outermost recv end span exactly (negative gaps from clock
+// skew are clamped to zero and show up as ExclSum < EndToEnd).
+func BuildTrees(spans []Span) []Tree {
+	byID := make(map[uint64][]Span)
+	for _, s := range spans {
+		if s.TraceID == 0 {
+			continue
+		}
+		byID[s.TraceID] = append(byID[s.TraceID], s)
+	}
+	trees := make([]Tree, 0, len(byID))
+	for id, ss := range byID {
+		trees = append(trees, buildTree(id, ss))
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		si, sj := int64(0), int64(0)
+		if len(trees[i].Hops) > 0 {
+			si = trees[i].Hops[0].Start
+		}
+		if len(trees[j].Hops) > 0 {
+			sj = trees[j].Hops[0].Start
+		}
+		if si != sj {
+			return si > sj
+		}
+		return trees[i].TraceID < trees[j].TraceID
+	})
+	return trees
+}
+
+func buildTree(id uint64, ss []Span) Tree {
+	var sends, fwds, recvs []Span
+	for _, s := range ss {
+		switch s.Kind {
+		case KindSend:
+			sends = append(sends, s)
+		case KindFwd:
+			fwds = append(fwds, s)
+		case KindRecv:
+			recvs = append(recvs, s)
+		}
+	}
+	// Send spans nest: outermost starts first. Recv spans complete
+	// innermost-first, and start times include blocking, so order recvs
+	// by end.
+	sort.Slice(sends, func(i, j int) bool { return sends[i].Start < sends[j].Start })
+	sort.Slice(fwds, func(i, j int) bool { return fwds[i].Start < fwds[j].Start })
+	sort.Slice(recvs, func(i, j int) bool { return recvs[i].End() < recvs[j].End() })
+
+	t := Tree{TraceID: id, Complete: len(sends) > 0 && len(recvs) > 0}
+	hops := make([]Hop, 0, len(ss))
+
+	var fwdTotal int64
+	for _, f := range fwds {
+		fwdTotal += f.Dur
+	}
+
+	for i, s := range sends {
+		excl := s.Dur
+		if i+1 < len(sends) {
+			excl = clampNS(s.Dur - sends[i+1].Dur)
+		}
+		hops = append(hops, hopOf(s, excl))
+	}
+	for _, f := range fwds {
+		hops = append(hops, hopOf(f, f.Dur))
+	}
+	for i, s := range recvs {
+		var excl int64
+		if i == 0 {
+			if len(sends) > 0 {
+				// First recv completion minus send completion minus
+				// switch time: transport + network propagation + the
+				// innermost recv layer's own work.
+				excl = clampNS(s.End() - sends[0].End() - fwdTotal)
+			} else {
+				excl = s.Dur
+			}
+		} else {
+			excl = clampNS(s.End() - recvs[i-1].End())
+		}
+		hops = append(hops, hopOf(s, excl))
+	}
+	t.Hops = hops
+	for _, h := range hops {
+		t.ExclSum += h.Excl
+	}
+	if t.Complete {
+		t.EndToEnd = clampNS(recvs[len(recvs)-1].End() - sends[0].Start)
+	}
+	return t
+}
+
+func hopOf(s Span, excl int64) Hop {
+	return Hop{
+		Kind:     s.Kind,
+		KindName: s.Kind.String(),
+		Layer:    s.Layer,
+		Impl:     s.Impl,
+		Start:    s.Start,
+		Dur:      s.Dur,
+		Excl:     excl,
+		Bytes:    s.Bytes,
+		Count:    s.Count,
+		HopNo:    s.Hop,
+		Err:      s.Err,
+	}
+}
+
+func clampNS(ns int64) int64 {
+	if ns < 0 {
+		return 0
+	}
+	return ns
+}
+
+// WriteWaterfall renders the tree as a text timeline: one row per hop
+// with a bar positioned by start offset and scaled by inclusive
+// duration, plus the exclusive share.
+func (t Tree) WriteWaterfall(w io.Writer) {
+	if len(t.Hops) == 0 {
+		fmt.Fprintf(w, "trace %016x: no spans\n", t.TraceID)
+		return
+	}
+	origin := t.Hops[0].Start
+	var end int64
+	for _, h := range t.Hops {
+		if h.Start < origin {
+			origin = h.Start
+		}
+		if e := h.Start + h.Dur; e > end {
+			end = e
+		}
+	}
+	total := end - origin
+	if total <= 0 {
+		total = 1
+	}
+	status := "complete"
+	if !t.Complete {
+		status = "partial"
+	}
+	fmt.Fprintf(w, "trace %016x  (%s, end-to-end %.1fµs, Σexcl %.1fµs)\n",
+		t.TraceID, status, float64(t.EndToEnd)/1e3, float64(t.ExclSum)/1e3)
+	const cols = 40
+	for _, h := range t.Hops {
+		off := int(float64(h.Start-origin) / float64(total) * cols)
+		width := int(float64(h.Dur) / float64(total) * cols)
+		if width < 1 {
+			width = 1
+		}
+		if off > cols-1 {
+			off = cols - 1
+		}
+		if off+width > cols {
+			width = cols - off
+		}
+		bar := strings.Repeat(" ", off) + strings.Repeat("█", width) +
+			strings.Repeat(" ", cols-off-width)
+		mark := ""
+		if h.Err {
+			mark = " !err"
+		}
+		fmt.Fprintf(w, "  %-4s %-9s %-18s |%s| %8.1fµs excl %7.1fµs  %dB×%d%s\n",
+			h.KindName, h.Layer, h.Impl, bar,
+			float64(h.Dur)/1e3, float64(h.Excl)/1e3, h.Bytes, h.Count, mark)
+	}
+}
+
+// String renders the waterfall to a string.
+func (t Tree) String() string {
+	var b strings.Builder
+	t.WriteWaterfall(&b)
+	return b.String()
+}

@@ -18,7 +18,10 @@
 // messages; the released flag catches the common cases by panicking.
 package wire
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // DefaultHeadroom is the headroom reserved when the caller cannot see
 // the negotiated stack's exact header requirement. It comfortably covers
@@ -38,7 +41,54 @@ type Buf struct {
 	off, end int
 	class    int8 // index into bufClasses, or -1 when not pooled
 	released bool
+
+	// Trace context riding alongside the payload (never part of the
+	// stored bytes): the tracing layer stamps sampled sends here at the
+	// top of the stack, the trace chunnel serializes the context into
+	// wire headroom at the bottom, and the receive side parses it back
+	// before the stack runs. The fields survive Prepend/Extend backing
+	// swaps (those exchange store/class only) and are cleared when a
+	// pooled buffer is reused.
+	traceID   uint64
+	traceSpan uint32
+	traceHop  uint8
+	traced    bool
 }
+
+// SetTrace marks the message as sampled, attaching the trace context the
+// downstream trace chunnel serializes into wire headroom.
+func (b *Buf) SetTrace(id uint64, span uint32, hop uint8) {
+	b.traceID = id
+	b.traceSpan = span
+	b.traceHop = hop
+	b.traced = true
+}
+
+// ClearTrace removes the trace context (e.g. before echoing a received
+// buffer back, so the reply is not attributed to the request's trace).
+func (b *Buf) ClearTrace() {
+	b.traceID = 0
+	b.traceSpan = 0
+	b.traceHop = 0
+	b.traced = false
+}
+
+// Traced reports whether the message carries a sampled trace context.
+func (b *Buf) Traced() bool { return b.traced }
+
+// Trace returns the trace context; ok is false for unsampled messages.
+func (b *Buf) Trace() (id uint64, span uint32, hop uint8, ok bool) {
+	return b.traceID, b.traceSpan, b.traceHop, b.traced
+}
+
+// bufsOutstanding counts pooled buffers currently checked out: created
+// or fetched from a pool and not yet released or detached. It is a
+// process-health signal (a steady climb is a leak), published as a
+// telemetry gauge at snapshot time.
+var bufsOutstanding atomic.Int64
+
+// BufsOutstanding returns the number of pooled buffers currently live.
+func BufsOutstanding() int64 { return bufsOutstanding.Load() }
 
 func classFor(n int) int {
 	for i, c := range bufClasses {
@@ -54,9 +104,13 @@ func getBuf(total int) *Buf {
 	if ci < 0 {
 		return &Buf{store: make([]byte, total), class: -1}
 	}
+	bufsOutstanding.Add(1)
 	if v := bufPools[ci].Get(); v != nil {
 		b := v.(*Buf)
 		b.released = false
+		// A recycled buffer must not inherit its previous life's trace
+		// context.
+		b.ClearTrace()
 		return b
 	}
 	return &Buf{store: make([]byte, bufClasses[ci]), class: int8(ci)}
@@ -204,6 +258,7 @@ func (b *Buf) Release() {
 		b.store = nil
 		return
 	}
+	bufsOutstanding.Add(-1)
 	b.off, b.end = 0, 0
 	bufPools[b.class].Put(b)
 }
@@ -226,6 +281,9 @@ func (b *Buf) CopyOut() []byte {
 func (b *Buf) Detach() []byte {
 	b.check()
 	p := b.store[b.off:b.end:b.end]
+	if b.class >= 0 {
+		bufsOutstanding.Add(-1)
+	}
 	b.store = nil
 	b.class = -1
 	b.released = true
