@@ -79,6 +79,12 @@ type (
 	TraceConfig = core.TraceConfig
 	// HopStat is one layer's exclusive-latency rollup (ConnHopStats).
 	HopStat = core.HopStat
+	// ReactorConfig parameterizes the sharded reactor runtime
+	// (WithReactor): the listener-side event-loop datapath.
+	ReactorConfig = core.ReactorConfig
+	// ReactorStats is a reactor listener's accounting snapshot
+	// (connections, goroutines, ring occupancy, memory).
+	ReactorStats = core.ReactorStats
 
 	// Stack is a Chunnel DAG (Table 1 "Chunnel DAG").
 	Stack = spec.Stack
@@ -160,6 +166,13 @@ var (
 	// without it silently degrades to untraced connections. The zero
 	// TraceConfig samples 1 in 128 messages into a 4096-span ring.
 	WithTracing = core.WithTracing
+	// WithReactor shapes the sharded reactor runtime of demultiplexing
+	// datagram listeners this endpoint wraps: the number of reactor
+	// goroutines draining the shared socket and the per-connection
+	// receive-ring depth. The zero ReactorConfig selects the defaults
+	// (GOMAXPROCS shards, 1024-slot rings). Listeners whose base
+	// transport has no reactor (pipes) ignore it.
+	WithReactor = core.WithReactor
 )
 
 // ConnHopStats reports a negotiated connection's per-layer exclusive

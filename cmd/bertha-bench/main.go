@@ -16,6 +16,7 @@
 //	consensus  ordered-multicast sequencer placement ablation
 //	stack      zero-copy buffer path: allocs/op + latency per round trip
 //	batch      vectored SendBufs/RecvBufs burst sweep vs per-message loop
+//	connections reactor runtime connection-scaling sweep (1k→100k with -full)
 //	all        everything above, in order
 //
 // Several experiments may be named in one invocation; with -json each
@@ -51,7 +52,7 @@ func main() {
 	trace := flag.Bool("trace", false, "run the stack experiment with in-band message tracing and print the reassembled per-hop waterfall and exclusive-latency attribution")
 	showVersion := flag.Bool("version", false, "print version (module + vet-suite revision) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] [-telemetry] [-trace] {fig2|fig3|fig4|fig5|opt|consensus|stack|batch|coalesce|all}...\n")
+		fmt.Fprintf(os.Stderr, "usage: bertha-bench [-full] [-json] [-telemetry] [-trace] {fig2|fig3|fig4|fig5|opt|consensus|stack|batch|coalesce|connections|all}...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 	stack := bench.StackConfig{JSON: *jsonOut, Telemetry: *telem, Tracing: *trace}
 	batch := bench.BatchConfig{JSON: *jsonOut}
 	coalesce := bench.CoalesceConfig{JSON: *jsonOut}
+	connections := bench.ConnectionsConfig{JSON: *jsonOut}
 	if *full {
 		fig3.Connections = 10000
 		fig5.Requests = 300000
@@ -83,6 +85,7 @@ func main() {
 		stack.Messages = 50000
 		batch.Messages = 65536
 		coalesce.Messages = 65536
+		connections.Counts = []int{1000, 10000, 100000}
 	} else {
 		fig4.Duration = 4 * time.Second
 		fig4.LocalStartAt = 2 * time.Second
@@ -110,8 +113,10 @@ func main() {
 			return bench.Batch(os.Stdout, batch)
 		case "coalesce":
 			return bench.Coalesce(os.Stdout, coalesce)
+		case "connections":
+			return bench.Connections(os.Stdout, connections)
 		case "all":
-			for _, n := range []string{"fig2", "fig3", "fig4", "fig5", "opt", "consensus", "stack", "batch", "coalesce"} {
+			for _, n := range []string{"fig2", "fig3", "fig4", "fig5", "opt", "consensus", "stack", "batch", "coalesce", "connections"} {
 				if err := run(n); err != nil {
 					return fmt.Errorf("%s: %w", n, err)
 				}

@@ -210,6 +210,29 @@ func IsBufSlice(t types.Type) bool {
 	return ok && IsBufPtr(sl.Elem())
 }
 
+// IsBufSlotSlice reports whether t is a slice of slot structs carrying
+// a *wire.Buf field — the SPSC/MPSC ring shape, where each element
+// pairs a buffer with its slot bookkeeping (sequence numbers). A
+// //bertha:queue annotation on such a field sanctions stores into the
+// element's Buf field the same way it sanctions stores into a
+// []*wire.Buf element.
+func IsBufSlotSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	st, ok := sl.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if IsBufPtr(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
 // IsImplInfo reports whether t is core.ImplInfo.
 func IsImplInfo(t types.Type) bool {
 	named, ok := t.(*types.Named)

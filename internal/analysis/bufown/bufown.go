@@ -242,8 +242,11 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
-	// Index the //bertha:queue-annotated []*wire.Buf struct fields:
-	// enqueue stores into them are sanctioned transfers.
+	// Index the //bertha:queue-annotated struct fields: enqueue stores
+	// into them are sanctioned transfers. Two shapes qualify: a plain
+	// []*wire.Buf (the coalescer's pending queue) and a slice of slot
+	// structs each carrying a *wire.Buf field (the reactor's receive
+	// ring, where slots pair the buffer with sequence bookkeeping).
 	queues := map[*types.Var]bool{}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -254,7 +257,8 @@ func run(pass *analysis.Pass) error {
 			for _, field := range st.Fields.List {
 				for _, name := range field.Names {
 					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok &&
-						analysis.IsBufSlice(v.Type()) && ann.QueueAt(name.Pos()) {
+						(analysis.IsBufSlice(v.Type()) || analysis.IsBufSlotSlice(v.Type())) &&
+						ann.QueueAt(name.Pos()) {
 						queues[v] = true
 					}
 				}
@@ -616,11 +620,26 @@ func (fa *funcAnalysis) queueField(x ast.Expr) *types.Var {
 	return nil
 }
 
-// isQueueStore reports whether lhs indexes a //bertha:queue field — the
-// coalescer enqueue, where the queue's drain path owns the release.
+// isQueueStore reports whether lhs stores into a //bertha:queue field —
+// an enqueue, where the queue's drain path owns the release. Two store
+// shapes are sanctioned: `q.pending[i] = b` on a []*wire.Buf queue, and
+// `r.slots[i].b = b` on a slot-struct ring (the element's Buf field,
+// indexed through the annotated field directly — a pointer alias to the
+// slot is not tracked).
 func (fa *funcAnalysis) isQueueStore(lhs ast.Expr) bool {
-	ix, ok := lhs.(*ast.IndexExpr)
-	return ok && fa.queueField(ix.X) != nil
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		return fa.queueField(l.X) != nil
+	case *ast.SelectorExpr:
+		ix, ok := ast.Unparen(l.X).(*ast.IndexExpr)
+		if !ok || fa.queueField(ix.X) == nil {
+			return false
+		}
+		if v, ok := fa.info().Uses[l.Sel].(*types.Var); ok {
+			return analysis.IsBufPtr(v.Type())
+		}
+	}
+	return false
 }
 
 // isSinkStore reports whether lhs indexes an inferred sink field — a

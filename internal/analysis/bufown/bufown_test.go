@@ -11,6 +11,14 @@ func TestBufown(t *testing.T) {
 	analysistest.Run(t, "bufown_a", bufown.Analyzer)
 }
 
+// TestBufownRingQueue pins the SPSC-ring transfer idiom: //bertha:queue
+// on a slice of Buf-carrying slot structs sanctions stores into the
+// element's Buf field, while unannotated slot slices and pointer-alias
+// stores still flag.
+func TestBufownRingQueue(t *testing.T) {
+	analysistest.Run(t, "bufown_ring", bufown.Analyzer)
+}
+
 func TestBufownCrossPackage(t *testing.T) {
 	analysistest.Run(t, "bufown_cross", bufown.Analyzer, "bufown_dep")
 }

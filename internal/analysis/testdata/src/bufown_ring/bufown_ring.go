@@ -1,0 +1,97 @@
+// Package bufown_ring is the golden corpus for the SPSC/MPSC-ring
+// transfer idiom: a //bertha:queue annotation on a slice of slot
+// structs (each pairing a *wire.Buf with its sequence bookkeeping)
+// sanctions stores into the element's Buf field, exactly as it
+// sanctions stores into a []*wire.Buf element. The drain side — a pop
+// returning a nil-able Buf — hands ownership to the popper's caller.
+package bufown_ring
+
+import (
+	"sync/atomic"
+
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// ring is the reactor receive-ring shape: slot sequence numbers plus
+// the transferred buffer, with the slot slice declared as a queue.
+type ring struct {
+	mask  uint64
+	slots []slot //bertha:queue drained by pop, whose callers own the release
+	head  atomic.Uint64
+	tail  atomic.Uint64
+}
+
+type slot struct {
+	seq atomic.Uint64
+	b   *wire.Buf
+}
+
+// push transfers b into the claimed slot: the store into the annotated
+// field's element is the sanctioned handoff. The full-ring path
+// consumes b internally so callers only account the drop.
+func (r *ring) push(b *wire.Buf) bool {
+	h := r.head.Load()
+	for {
+		s := &r.slots[h&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == h:
+			if r.head.CompareAndSwap(h, h+1) {
+				r.slots[h&r.mask].b = b // fine: //bertha:queue slot field
+				s.seq.Store(h + 1)
+				return true
+			}
+			h = r.head.Load()
+		case seq < h:
+			b.Release()
+			return false
+		default:
+			h = r.head.Load()
+		}
+	}
+}
+
+// pop returns the next buffer (nil when empty); the caller owns it.
+func (r *ring) pop() *wire.Buf {
+	t := r.tail.Load()
+	s := &r.slots[t&r.mask]
+	if s.seq.Load() != t+1 {
+		return nil
+	}
+	b := s.b
+	s.b = nil
+	s.seq.Store(t + r.mask + 1)
+	r.tail.Store(t + 1)
+	return b
+}
+
+// drain is the close-time sweep: pop until empty, releasing each.
+func (r *ring) drain() {
+	for {
+		b := r.pop()
+		if b == nil {
+			break
+		}
+		b.Release()
+	}
+}
+
+// unannotated is the same shape without the //bertha:queue marker:
+// storing into its element's Buf field is an unsanctioned escape.
+type unannotated struct {
+	slots []slot
+}
+
+// pushUnannotated must flag: the slot slice is not a declared queue, so
+// the analyzer cannot see who releases the stored buffer.
+func (u *unannotated) pushUnannotated(i int, b *wire.Buf) {
+	u.slots[i].b = b // want `transfer`
+}
+
+// aliasStoreNotSanctioned pins the documented limit of the idiom: the
+// store must index the annotated field directly — a pointer alias to
+// the slot is not tracked, so the transfer needs its own annotation.
+func (r *ring) aliasStoreNotSanctioned(i int, b *wire.Buf) {
+	s := &r.slots[i]
+	s.b = b // want `transfer`
+}

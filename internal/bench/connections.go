@@ -1,0 +1,418 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/stats"
+	"github.com/bertha-net/bertha/internal/telemetry"
+	"github.com/bertha-net/bertha/internal/transport"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// ConnectionsConfig parameterizes the connection-scaling experiment.
+type ConnectionsConfig struct {
+	// Counts is the connection-count sweep.
+	Counts []int
+	// Ops is the number of measured request/response operations per
+	// count. 0 selects max(2×conns, 20000) so every connection is
+	// exercised at least twice.
+	Ops int
+	// Window is the number of requests kept in flight (closed loop),
+	// clamped to the connection count so no connection ever has two
+	// outstanding requests.
+	Window int
+	// Shards is the reactor width; 0 selects runtime.GOMAXPROCS(0).
+	Shards int
+	// RingSize is the per-connection receive ring capacity; 0 selects
+	// 64, which bounds steady-state memory at 100k connections while
+	// leaving 64× slack over the window's ≤1 message per connection.
+	RingSize int
+	// PayloadBytes is the request payload size (min 8).
+	PayloadBytes int
+	// JSON selects machine-readable output.
+	JSON bool
+}
+
+func (c *ConnectionsConfig) fill() {
+	if len(c.Counts) == 0 {
+		c.Counts = []int{1000, 10000}
+	}
+	if c.Window <= 0 {
+		c.Window = 128
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 64
+	}
+	if c.PayloadBytes < 8 {
+		c.PayloadBytes = 16
+	}
+}
+
+// ConnectionsResult is one connection count's measurement: latency
+// percentiles under a fixed-window closed loop, sustained throughput,
+// allocation behavior on the reactor hot path, and the goroutine and
+// memory accounting that answers "what does a connection cost".
+type ConnectionsResult struct {
+	Conns             int     `json:"conns"`
+	Ops               int     `json:"ops"`
+	Window            int     `json:"window"`
+	PayloadBytes      int     `json:"payload_bytes"`
+	P50Micros         float64 `json:"p50_usec"`
+	P95Micros         float64 `json:"p95_usec"`
+	P99Micros         float64 `json:"p99_usec"`
+	MsgsPerSec        float64 `json:"msgs_per_sec"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	AllocsTotal       uint64  `json:"allocs_total"`
+	Shards            int     `json:"shards"`
+	RingSize          int     `json:"ring_size"`
+	ReactorGoroutines int64   `json:"reactor_goroutines"`
+	ProcessGoroutines int     `json:"process_goroutines"`
+	ConnMemBytes      int64   `json:"conn_mem_bytes"`
+	MemPerConnBytes   int64   `json:"mem_per_conn_bytes"`
+	RingOccupied      int64   `json:"ring_occupied"`
+	DroppedQueueFull  uint64  `json:"dropped_queue_full"`
+	DroppedAccept     uint64  `json:"dropped_accept"`
+	DroppedMalformed  uint64  `json:"dropped_malformed"`
+}
+
+// Connections measures the sharded reactor runtime's connection
+// scaling: an in-memory datagram socket (so the sweep reaches 100k
+// simulated clients without fd limits or kernel socket buffers skewing
+// the numbers) feeds one reactor listener, every client connects, and a
+// fixed-window closed loop round-robins echo requests across all
+// connections. Because the window is constant, per-operation work is
+// what's under test as the table grows 1k→100k: demux lookup, ring
+// delivery, and readiness scheduling must stay O(1) per message, so the
+// p95 at 100k should sit within a small factor of the 1k baseline while
+// goroutines stay O(shards) and memory O(conns × ring).
+func Connections(w io.Writer, cfg ConnectionsConfig) error {
+	cfg.fill()
+	results := make([]ConnectionsResult, 0, len(cfg.Counts))
+	for _, conns := range cfg.Counts {
+		if conns <= 0 {
+			return fmt.Errorf("connections: invalid count %d", conns)
+		}
+		r, err := runConnections(cfg, conns)
+		if err != nil {
+			return fmt.Errorf("connections conns=%d: %w", conns, err)
+		}
+		results = append(results, r)
+	}
+
+	if cfg.JSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"experiment": "connections", "results": results})
+	}
+	table := stats.NewTable(
+		fmt.Sprintf("connections: reactor echo sweep, window %d, ring %d", cfg.Window, cfg.RingSize),
+		"conns", "ops", "p50 µs", "p95 µs", "p99 µs", "msg/s", "allocs/op", "mem/conn", "goroutines")
+	for _, r := range results {
+		table.AddRow(r.Conns, r.Ops,
+			fmt.Sprintf("%.1f", r.P50Micros),
+			fmt.Sprintf("%.1f", r.P95Micros),
+			fmt.Sprintf("%.1f", r.P99Micros),
+			fmt.Sprintf("%.0f", r.MsgsPerSec),
+			r.AllocsPerOp,
+			fmt.Sprintf("%dB", r.MemPerConnBytes),
+			fmt.Sprintf("%d+%d", r.ReactorGoroutines, int64(r.ProcessGoroutines)-r.ReactorGoroutines))
+	}
+	table.Render(w)
+	return nil
+}
+
+// runConnections drives one sweep point end to end: connect phase
+// (hello per client, each accepted before the next is sent, so the
+// accept backlog never overflows), O(shards) echo workers on the
+// Ready/Rearm protocol, a warm-up window, then the measured closed
+// loop with runtime.MemStats bracketing for the allocs/op account.
+func runConnections(cfg ConnectionsConfig, conns int) (ConnectionsResult, error) {
+	var r ConnectionsResult
+	ops := cfg.Ops
+	if ops <= 0 {
+		ops = 2 * conns
+		if ops < 20000 {
+			ops = 20000
+		}
+	}
+	window := cfg.Window
+	if window > conns {
+		window = conns
+	}
+
+	reg := telemetry.Default()
+	queueFull0 := reg.Counter("transport/mem/datagrams_dropped_queue_full").Value()
+	acceptDrop0 := reg.Counter("transport/mem/accept_dropped").Value()
+	malformed0 := reg.Counter("transport/mem/datagrams_dropped_malformed").Value()
+
+	mem := newMemPacketConn(window + 256)
+	completions := make(chan int, window+256)
+	mem.onWrite = func(ap netip.AddrPort, _ []byte) {
+		select {
+		case completions <- clientIndex(ap):
+		case <-mem.closed:
+		}
+	}
+
+	l := transport.NewPacketListener(mem, core.Addr{Net: "mem", Addr: "bench"},
+		core.ReactorConfig{Shards: cfg.Shards, RingSize: cfg.RingSize})
+	defer l.Close()
+	shards := l.Shards() // forces the lazy reactor start
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Per-client state, preallocated so the measured loop allocates
+	// nothing: source address, a reusable request payload (safe to
+	// reuse because a client never has two requests outstanding and
+	// the reactor copies the payload into a pooled buffer before the
+	// echo can complete), and the request start time.
+	addrs := make([]netip.AddrPort, conns)
+	payloads := make([][]byte, conns)
+	t0s := make([]time.Time, conns)
+	for i := range addrs {
+		addrs[i] = clientAddr(i)
+		payloads[i] = make([]byte, cfg.PayloadBytes)
+	}
+
+	// Connect: one hello per client, accepted synchronously — the
+	// accept backlog holds at most one connection at a time, so no
+	// client is ever turned away and no retransmit logic is needed.
+	for i := 0; i < conns; i++ {
+		mem.inject(addrs[i], payloads[i])
+		if _, err := l.Accept(ctx); err != nil {
+			return r, fmt.Errorf("connect %d/%d: %w", i, conns, err)
+		}
+	}
+
+	// Echo workers: O(shards) goroutines serving every connection via
+	// the readiness protocol. The hellos queued during connect are the
+	// first edges they serve.
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			scratch := make([]*wire.Buf, 64)
+			for {
+				conn, err := l.Ready(ctx, shard)
+				if err != nil {
+					return
+				}
+				bc := conn.(core.BatchConn)
+				n, err := bc.RecvBufs(ctx, scratch)
+				if err != nil {
+					if errors.Is(err, core.ErrClosed) {
+						continue
+					}
+					return
+				}
+				if err := bc.SendBufs(ctx, scratch[:n]); err != nil {
+					return
+				}
+				l.Rearm(conn)
+			}
+		}(s)
+	}
+	defer wg.Wait()
+	defer mem.Close()
+	defer cancel()
+
+	// The workers echo every hello; drain those completions so the
+	// measured loop starts from a quiet network.
+	for i := 0; i < conns; i++ {
+		select {
+		case <-completions:
+		case <-ctx.Done():
+			return r, ctx.Err()
+		}
+	}
+
+	next := 0
+	inject := func() {
+		i := next
+		next++
+		if next == conns {
+			next = 0
+		}
+		t0s[i] = time.Now()
+		mem.inject(addrs[i], payloads[i])
+	}
+	runLoop := func(n int, rec *stats.Recorder) error {
+		injected, completed := 0, 0
+		for injected < window && injected < n {
+			inject()
+			injected++
+		}
+		for completed < n {
+			select {
+			case idx := <-completions:
+				if rec != nil {
+					rec.Record(time.Since(t0s[idx]))
+				}
+				completed++
+				if injected < n {
+					inject()
+					injected++
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+
+	// Warm-up: fills the shard-local buffer pools and the ready-queue
+	// backing arrays so the measured loop sees steady state.
+	warm := 4 * window
+	if warm > ops {
+		warm = ops
+	}
+	if err := runLoop(warm, nil); err != nil {
+		return r, err
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	rec := stats.NewRecorder(ops)
+	start := time.Now()
+	if err := runLoop(ops, rec); err != nil {
+		return r, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	st := l.ReactorStats()
+	if st.Conns != int64(conns) {
+		return r, fmt.Errorf("expected %d live conns, reactor accounts %d", conns, st.Conns)
+	}
+	allocs := m1.Mallocs - m0.Mallocs
+	r = ConnectionsResult{
+		Conns:             conns,
+		Ops:               ops,
+		Window:            window,
+		PayloadBytes:      cfg.PayloadBytes,
+		P50Micros:         rec.Percentile(50),
+		P95Micros:         rec.Percentile(95),
+		P99Micros:         rec.Percentile(99),
+		MsgsPerSec:        float64(ops) / elapsed.Seconds(),
+		AllocsPerOp:       int64(allocs) / int64(ops),
+		AllocsTotal:       allocs,
+		Shards:            st.Shards,
+		RingSize:          st.RingSize,
+		ReactorGoroutines: st.Goroutines,
+		ProcessGoroutines: runtime.NumGoroutine(),
+		ConnMemBytes:      st.ConnMemBytes,
+		MemPerConnBytes:   st.ConnMemBytes / st.Conns,
+		RingOccupied:      st.RingOccupied,
+		DroppedQueueFull:  reg.Counter("transport/mem/datagrams_dropped_queue_full").Value() - queueFull0,
+		DroppedAccept:     reg.Counter("transport/mem/accept_dropped").Value() - acceptDrop0,
+		DroppedMalformed:  reg.Counter("transport/mem/datagrams_dropped_malformed").Value() - malformed0,
+	}
+	return r, nil
+}
+
+// memPacketConn is the in-memory datagram socket under the reactor: an
+// inbound channel stands in for the kernel receive queue, and writes
+// (the server's echoes) are handed to the harness's onWrite sink. It
+// implements transport.AddrPortPacketConn, so the reactor runs its
+// allocation-free source-addressed receive path over it.
+type memPacketConn struct {
+	local   netip.AddrPort
+	inbound chan memDatagram
+	closed  chan struct{}
+	once    sync.Once
+	onWrite func(dst netip.AddrPort, p []byte)
+}
+
+type memDatagram struct {
+	payload []byte
+	src     netip.AddrPort
+}
+
+func newMemPacketConn(backlog int) *memPacketConn {
+	return &memPacketConn{
+		local:   netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 1}), 4242),
+		inbound: make(chan memDatagram, backlog),
+		closed:  make(chan struct{}),
+	}
+}
+
+// inject delivers one client datagram into the socket's receive queue.
+// The payload is copied by the reactor's read before the echo can come
+// back, so callers may reuse it once the response completes.
+func (m *memPacketConn) inject(src netip.AddrPort, p []byte) {
+	select {
+	case m.inbound <- memDatagram{payload: p, src: src}:
+	case <-m.closed:
+	}
+}
+
+func (m *memPacketConn) ReadFromAddrPort(p []byte) (int, netip.AddrPort, error) {
+	select {
+	case d := <-m.inbound:
+		return copy(p, d.payload), d.src, nil
+	case <-m.closed:
+		return 0, netip.AddrPort{}, net.ErrClosed
+	}
+}
+
+func (m *memPacketConn) WriteToAddrPort(p []byte, ap netip.AddrPort) (int, error) {
+	select {
+	case <-m.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	m.onWrite(ap, p)
+	return len(p), nil
+}
+
+func (m *memPacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	n, ap, err := m.ReadFromAddrPort(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return n, net.UDPAddrFromAddrPort(ap), nil
+}
+
+func (m *memPacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	ua, ok := addr.(*net.UDPAddr)
+	if !ok {
+		return 0, fmt.Errorf("mem: unsupported address type %T", addr)
+	}
+	return m.WriteToAddrPort(p, ua.AddrPort())
+}
+
+func (m *memPacketConn) Close() error {
+	m.once.Do(func() { close(m.closed) })
+	return nil
+}
+
+func (m *memPacketConn) LocalAddr() net.Addr { return net.UDPAddrFromAddrPort(m.local) }
+
+func (m *memPacketConn) SetReadDeadline(time.Time) error { return nil }
+
+// clientAddr encodes client i as a unique source address: the index
+// rides in the lower three octets of a 10.0.0.0/8 address, which both
+// keys the reactor's peer table and lets the write path recover the
+// index without any per-datagram state.
+func clientAddr(i int) netip.AddrPort {
+	return netip.AddrPortFrom(
+		netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}), 40000)
+}
+
+// clientIndex inverts clientAddr.
+func clientIndex(ap netip.AddrPort) int {
+	a := ap.Addr().As4()
+	return int(a[1])<<16 | int(a[2])<<8 | int(a[3])
+}

@@ -44,6 +44,17 @@ func TestStackQuick(t *testing.T) {
 	}
 }
 
+func TestConnectionsQuick(t *testing.T) {
+	cfg := ConnectionsConfig{Counts: []int{64, 256}, Ops: 2000, Window: 32}
+	if err := Connections(os.Stderr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.JSON = true
+	if err := Connections(os.Stderr, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCoalesceQuick(t *testing.T) {
 	if err := Coalesce(os.Stderr, CoalesceConfig{Messages: 1024}); err != nil {
 		t.Fatal(err)

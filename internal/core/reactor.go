@@ -1,0 +1,82 @@
+package core
+
+import "runtime"
+
+// ReactorConfig parameterizes the sharded reactor runtime a demuxing
+// listener runs its receive datapath on: N reactor goroutines drain the
+// shared kernel socket through the batch receive path and demultiplex
+// into per-connection ring buffers, so the goroutine count is O(shards)
+// regardless of how many logical connections the socket carries.
+type ReactorConfig struct {
+	// Shards is the number of reactor goroutines — and of connection-
+	// table shards and shard-local buffer pools. 0 selects
+	// runtime.GOMAXPROCS(0).
+	Shards int
+	// RingSize is the per-connection receive ring capacity in messages,
+	// rounded up to a power of two. A full ring drops the datagram
+	// (datagram semantics; the reliability chunnel recovers it) and the
+	// drop is counted with reason queue-full. 0 selects 1024, matching
+	// the buffered-channel capacity of the pre-reactor demux path.
+	RingSize int
+}
+
+// fill resolves zero fields to the defaults.
+func (c *ReactorConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 1024
+	}
+	// Round the ring up to a power of two so the ring index is a mask.
+	n := 1
+	for n < c.RingSize {
+		n <<= 1
+	}
+	c.RingSize = n
+}
+
+// Fill resolves zero fields to the defaults (exported for the transport
+// and bench packages, which construct reactors directly).
+func (c *ReactorConfig) Fill() { c.fill() }
+
+// ReactorConfigurer is implemented by base listeners whose receive
+// datapath runs on a sharded reactor. Endpoint.Listen applies the
+// endpoint's WithReactor configuration through it before the listener
+// starts serving; configuring an already-started reactor is an error.
+type ReactorConfigurer interface {
+	ConfigureReactor(cfg ReactorConfig) error
+}
+
+// ReactorStats is a point-in-time account of one reactor listener — the
+// numbers behind the "goroutines and memory per connection" answer in
+// /debug/bertha.
+type ReactorStats struct {
+	// Shards is the configured reactor width.
+	Shards int `json:"shards"`
+	// RingSize is the per-connection ring capacity in messages.
+	RingSize int `json:"ring_size"`
+	// Conns is the number of live demultiplexed connections.
+	Conns int64 `json:"conns"`
+	// ShardConns is the live connection count per table shard.
+	ShardConns []int64 `json:"shard_conns,omitempty"`
+	// Goroutines is the number of goroutines the listener owns: the
+	// reactor loops. Independent of Conns by construction.
+	Goroutines int64 `json:"goroutines"`
+	// RingOccupied is the current total of undelivered messages parked
+	// in connection rings.
+	RingOccupied int64 `json:"ring_occupied"`
+	// ConnMemBytes estimates the listener's per-connection steady-state
+	// memory: connection structs, ring slot arrays, and table slots.
+	// It excludes transient message payloads (those are pooled wire
+	// buffers accounted by wire/bufs_outstanding).
+	ConnMemBytes int64 `json:"conn_mem_bytes"`
+	// AcceptQueue is the current depth of the accept backlog.
+	AcceptQueue int `json:"accept_queue"`
+}
+
+// ReactorAccountant is implemented by reactor listeners; telemetry and
+// the connections benchmark read per-listener accounting through it.
+type ReactorAccountant interface {
+	ReactorStats() ReactorStats
+}

@@ -45,6 +45,7 @@ type Endpoint struct {
 	tel       *telemetry.Registry
 	coalesce  *CoalesceConfig
 	tracing   *TraceConfig
+	reactor   *ReactorConfig
 }
 
 // Option configures an Endpoint.
@@ -93,6 +94,17 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 func WithCoalescing(cfg CoalesceConfig) Option {
 	cfg.fill()
 	return func(e *Endpoint) { e.coalesce = &cfg }
+}
+
+// WithReactor configures the sharded reactor runtime on base listeners
+// this endpoint listens on (those implementing ReactorConfigurer, i.e.
+// the demuxing datagram transports): Shards reactor goroutines drain
+// the shared socket into per-connection rings of RingSize messages. The
+// zero ReactorConfig selects the defaults (GOMAXPROCS shards, 1024-slot
+// rings); listeners without a reactor ignore the option.
+func WithReactor(cfg ReactorConfig) Option {
+	cfg.fill()
+	return func(e *Endpoint) { e.reactor = &cfg }
 }
 
 // NewEndpoint creates a connection endpoint with the given debugging name
@@ -327,6 +339,13 @@ func awaitServerHello(ctx context.Context, tc *taggedConn, helloBytes []byte, no
 func (e *Endpoint) Listen(ctx context.Context, base Listener) (Listener, error) {
 	if err := e.registry.CheckFallbacks(e.stack); err != nil {
 		return nil, err
+	}
+	if e.reactor != nil {
+		if rc, ok := base.(ReactorConfigurer); ok {
+			if err := rc.ConfigureReactor(*e.reactor); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return &negotiatedListener{ep: e, base: base}, nil
 }

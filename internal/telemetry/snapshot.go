@@ -139,6 +139,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
 	}
+	for name, fn := range r.gprobes {
+		s.Gauges[name] = fn()
+	}
 	for name, h := range r.hists {
 		s.Histograms[name] = histStats(h.Snapshot())
 	}

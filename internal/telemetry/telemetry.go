@@ -358,6 +358,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	probes   map[string]func() uint64
+	gprobes  map[string]func() int64
 	conns    map[connKey]*ConnMetrics
 	trace    *Trace
 	spans    *tracing.SpanRing
@@ -376,6 +377,7 @@ func New() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		probes:   make(map[string]func() uint64),
+		gprobes:  make(map[string]func() int64),
 		conns:    make(map[connKey]*ConnMetrics),
 		trace:    NewTrace(DefaultTraceLen),
 	}
@@ -435,6 +437,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) RegisterProbe(name string, fn func() uint64) {
 	r.mu.Lock()
 	r.probes[name] = fn
+	r.mu.Unlock()
+}
+
+// RegisterGaugeProbe publishes a read-only level function under name:
+// the gauge analog of RegisterProbe, for instantaneous quantities owned
+// elsewhere (reactor connection counts, ring occupancy). The value
+// surfaces among the snapshot's Gauges; it is read at snapshot time
+// only and must be a cheap lock-free computation. Re-registering a name
+// replaces the probe.
+func (r *Registry) RegisterGaugeProbe(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gprobes[name] = fn
 	r.mu.Unlock()
 }
 

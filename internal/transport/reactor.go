@@ -1,0 +1,846 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"github.com/bertha-net/bertha/internal/core"
+	"github.com/bertha-net/bertha/internal/wire"
+)
+
+// The sharded reactor runtime: the receive datapath of every demuxing
+// datagram listener. N reactor goroutines (core.ReactorConfig.Shards)
+// drain the shared kernel socket — through recvmmsg bursts on linux,
+// single reads elsewhere — and demultiplex each datagram by source
+// address into a sharded connection table, delivering into the target
+// connection's bounded ring (ring.go). Connections own no goroutines:
+// the listener's goroutine count is O(shards) however many peers the
+// socket carries, which is what lets one socket serve 100k+ logical
+// connections without scheduler collapse.
+//
+// Concurrency notes. Reads on one fd serialize on the runtime poller's
+// internal read lock, so the shards alternate taking bursts off the
+// socket rather than reading truly in parallel; what the sharding buys
+// is running the demux work — address hashing, table lookup, ring
+// delivery, wakeups — outside that lock and spread across cores, plus
+// shard-local buffer pools. The connection table is per-shard
+// open-addressing with atomic entry loads on the hot lookup; the shard
+// mutex is taken only to insert, remove, or grow.
+
+// reactorPoolCap bounds each shard's local buffer cache (LocalPool).
+const reactorPoolCap = 256
+
+// acceptBacklog is the accept-queue capacity, unchanged from the
+// pre-reactor demux listener. New peers materializing while it is full
+// are dropped and counted (transport/<net>/accept_dropped); the peer's
+// retransmission re-creates the connection.
+const acceptBacklog = 128
+
+// PacketConn abstracts net.UDPConn and net.UnixConn for the shared
+// demultiplexing listener; exported so harnesses (the connections
+// benchmark's in-memory network) can drive a reactor listener over a
+// custom socket via NewPacketListener.
+type PacketConn interface {
+	ReadFrom(b []byte) (int, net.Addr, error)
+	WriteTo(b []byte, addr net.Addr) (int, error)
+	Close() error
+	LocalAddr() net.Addr
+	SetReadDeadline(t time.Time) error
+}
+
+// AddrPortPacketConn is the allocation-free demux fast path: sources
+// are identified by netip.AddrPort values, so the per-datagram receive
+// performs no net.Addr or key-string allocation. *net.UDPConn rides it
+// via udpPC; in-memory harness sockets implement it directly.
+type AddrPortPacketConn interface {
+	PacketConn
+	ReadFromAddrPort(p []byte) (int, netip.AddrPort, error)
+	WriteToAddrPort(p []byte, ap netip.AddrPort) (int, error)
+}
+
+// udpPC adapts *net.UDPConn to AddrPortPacketConn.
+type udpPC struct{ *net.UDPConn }
+
+func (u udpPC) ReadFromAddrPort(p []byte) (int, netip.AddrPort, error) {
+	return u.ReadFromUDPAddrPort(p)
+}
+
+func (u udpPC) WriteToAddrPort(p []byte, ap netip.AddrPort) (int, error) {
+	return u.WriteToUDPAddrPort(p, ap)
+}
+
+// ReactorListener is the readiness interface a reactor listener exports
+// beyond core.Listener: epoll-style edge-triggered connection readiness
+// per shard, so a server can serve every connection with O(shards)
+// worker goroutines instead of one blocked receiver per connection.
+//
+// Protocol: Ready blocks until some connection on the shard has
+// undelivered messages and returns it exactly once per readiness edge.
+// The worker drains what it wants (RecvBuf/RecvBufs) and then calls
+// Rearm; if messages remain (or raced in), the connection is re-queued
+// immediately. A connection never appears in the ready queue twice
+// concurrently.
+type ReactorListener interface {
+	core.Listener
+	core.ReactorAccountant
+	// Shards reports the reactor width; valid shard indices for Ready
+	// are [0, Shards()).
+	Shards() int
+	// Ready returns the next readable connection on a shard.
+	Ready(ctx context.Context, shard int) (core.Conn, error)
+	// Rearm re-enables readiness edges for a connection obtained from
+	// Ready, re-queueing it at once if messages are pending.
+	Rearm(conn core.Conn)
+}
+
+// peerKey identifies a demultiplexed peer: an AddrPort on the fast
+// path, the address's string form otherwise. Exactly one field is set.
+type peerKey struct {
+	ap netip.AddrPort
+	s  string
+}
+
+func (k peerKey) String() string {
+	if k.s != "" {
+		return k.s
+	}
+	return k.ap.String()
+}
+
+// hash is FNV-1a over the key's bytes. Peers hash to table shards with
+// it; within a shard it doubles as the probe start.
+func (k peerKey) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	if k.s != "" {
+		for i := 0; i < len(k.s); i++ {
+			h = (h ^ uint64(k.s[i])) * prime64
+		}
+		return h
+	}
+	a := k.ap.Addr().As16()
+	for _, c := range a {
+		h = (h ^ uint64(c)) * prime64
+	}
+	p := k.ap.Port()
+	h = (h ^ uint64(p&0xff)) * prime64
+	h = (h ^ uint64(p>>8)) * prime64
+	return h
+}
+
+// newDemuxListener builds a reactor listener over pc. The reactor
+// goroutines start lazily on the first Accept/Ready call, so
+// ConfigureReactor (via core.WithReactor) can still adjust the shape.
+func newDemuxListener(pc PacketConn, addr core.Addr) *reactorListener {
+	l := &reactorListener{
+		pc:     pc,
+		addr:   addr,
+		tel:    countersFor(addr.Net),
+		accept: make(chan *reactorConn, acceptBacklog),
+		closed: make(chan struct{}),
+	}
+	if apc, ok := pc.(AddrPortPacketConn); ok {
+		l.apc = apc
+	}
+	if u, ok := pc.(udpPC); ok {
+		l.udp = u.UDPConn
+	}
+	return l
+}
+
+// NewPacketListener builds a reactor listener over a caller-supplied
+// socket with an explicit configuration (the zero value selects the
+// defaults). Harnesses use it to run the reactor over in-memory
+// networks; production listeners come from ListenUDP/ListenUnix.
+func NewPacketListener(pc PacketConn, addr core.Addr, cfg core.ReactorConfig) ReactorListener {
+	l := newDemuxListener(pc, addr)
+	l.cfg = cfg
+	return l
+}
+
+// reactorListener demultiplexes one datagram socket into per-peer
+// core.Conns on the sharded reactor runtime: the datagram analog of
+// accept(), scaled past goroutine-per-peer.
+type reactorListener struct {
+	pc   PacketConn
+	apc  AddrPortPacketConn // non-nil: allocation-free source addressing
+	udp  *net.UDPConn       // non-nil: recvmmsg burst receive on linux
+	addr core.Addr
+	tel  *netCounters
+
+	cfg       core.ReactorConfig
+	startOnce sync.Once
+	started   atomic.Bool
+
+	shards []*reactorShard
+	accept chan *reactorConn
+	closed chan struct{}
+	once   sync.Once
+
+	goroutines atomic.Int64
+}
+
+// reactorShard is one slice of the runtime: a table shard, its ready
+// queue, and the shard's connection count. Reactor goroutine i also
+// owns LocalPool i, created in its loop.
+type reactorShard struct {
+	table peerTable
+	ready readyQueue
+	conns atomic.Int64
+}
+
+// ConfigureReactor implements core.ReactorConfigurer. It must run
+// before the listener starts serving (Endpoint.Listen applies it
+// immediately after the base listener is constructed).
+func (l *reactorListener) ConfigureReactor(cfg core.ReactorConfig) error {
+	if l.started.Load() {
+		return fmt.Errorf("transport: reactor already started")
+	}
+	l.cfg = cfg
+	return nil
+}
+
+// start spins up the reactor goroutines (idempotent). Datagrams
+// arriving beforehand wait in the kernel socket buffer, so lazy start
+// loses nothing.
+func (l *reactorListener) start() {
+	l.startOnce.Do(func() {
+		l.cfg.Fill()
+		l.started.Store(true)
+		l.shards = make([]*reactorShard, l.cfg.Shards)
+		for i := range l.shards {
+			l.shards[i] = &reactorShard{}
+			l.shards[i].ready.ch = make(chan struct{}, 1)
+		}
+		registerReactor(l)
+		for i := 0; i < l.cfg.Shards; i++ {
+			l.goroutines.Add(1)
+			go l.run()
+		}
+	})
+}
+
+// run is one reactor goroutine: burst receive where the platform and
+// socket support it, single reads otherwise. Exits when the socket
+// closes.
+func (l *reactorListener) run() {
+	defer l.goroutines.Add(-1)
+	pool := wire.NewLocalPool(wire.DefaultHeadroom, MaxDatagram+1, reactorPoolCap)
+	defer pool.Drain()
+	if l.udp != nil && batchRecvSupported && l.runBurst(pool) {
+		return
+	}
+	l.runSingle(pool)
+}
+
+// runSingle is the portable receive loop: one datagram per read.
+func (l *reactorListener) runSingle(pool *wire.LocalPool) {
+	for {
+		b := pool.Get()
+		var (
+			n    int
+			err  error
+			key  peerKey
+			from net.Addr
+		)
+		if l.apc != nil {
+			var ap netip.AddrPort
+			n, ap, err = l.apc.ReadFromAddrPort(b.Bytes())
+			key = peerKey{ap: ap}
+		} else {
+			n, from, err = l.pc.ReadFrom(b.Bytes())
+			if err == nil {
+				key = peerKey{s: from.String()}
+			}
+		}
+		if err != nil {
+			pool.Put(b)
+			select {
+			case <-l.closed:
+				return
+			default:
+			}
+			if isClosedErr(err) {
+				l.Close()
+				return
+			}
+			continue // transient error (e.g. ICMP-induced)
+		}
+		if n > MaxDatagram {
+			// Truncated by our own read buffer: the sender violated the
+			// datagram ceiling. Malformed, not queue pressure.
+			pool.Put(b)
+			l.tel.dropped.Inc()
+			l.tel.droppedMalformed.Inc()
+			continue
+		}
+		b.Truncate(n)
+		l.tel.recvd.Inc()
+		l.deliver(key, from, b, pool)
+	}
+}
+
+// deliver routes one received datagram to its connection's ring,
+// materializing the connection on first contact. It consumes b on every
+// path.
+func (l *reactorListener) deliver(key peerKey, from net.Addr, b *wire.Buf, pool *wire.LocalPool) {
+	sh := l.shards[key.hash()%uint64(len(l.shards))]
+	c := sh.table.lookup(key)
+	if c == nil {
+		c = l.materialize(sh, key, from)
+		if c == nil {
+			// Accept backlog full: drop the peer (client retries).
+			pool.Put(b)
+			l.tel.dropped.Inc()
+			l.tel.acceptDropped.Inc()
+			return
+		}
+	}
+	if !c.ring.push(b) {
+		// Ring full: push released the buffer (datagram semantics).
+		l.tel.dropped.Inc()
+		l.tel.droppedQueueFull.Inc()
+		return
+	}
+	if c.closedFlag.Load() {
+		// The push raced Close's drain; sweep what it may have missed.
+		c.drain()
+		return
+	}
+	c.wake(sh)
+}
+
+// materialize creates (or, racing another reactor, finds) the
+// connection for a new peer and offers it to the accept queue. A full
+// backlog retracts the connection and reports nil.
+func (l *reactorListener) materialize(sh *reactorShard, key peerKey, from net.Addr) *reactorConn {
+	sh.table.mu.Lock()
+	if c := sh.table.lookupLocked(key); c != nil {
+		sh.table.mu.Unlock()
+		return c
+	}
+	c := &reactorConn{
+		l:      l,
+		shard:  sh,
+		key:    key,
+		peer:   from,
+		local:  l.addr,
+		remote: core.Addr{Net: l.addr.Net, Addr: key.String()},
+		ring:   newConnRing(l.cfg.RingSize),
+		notify: make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+	sh.table.insertLocked(key, c)
+	sh.table.mu.Unlock()
+	sh.conns.Add(1)
+	select {
+	case l.accept <- c:
+		return c
+	default:
+		c.Close()
+		return nil
+	}
+}
+
+func (l *reactorListener) Accept(ctx context.Context) (core.Conn, error) {
+	l.start()
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, core.ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *reactorListener) Addr() core.Addr { return l.addr }
+
+func (l *reactorListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.pc.Close()
+		unregisterReactor(l)
+		for _, sh := range l.shards {
+			for _, c := range sh.table.closeAll() {
+				c.closePeer()
+			}
+			sh.conns.Store(0)
+		}
+	})
+	return nil
+}
+
+// Shards reports the reactor width (ReactorListener).
+func (l *reactorListener) Shards() int {
+	l.start()
+	return l.cfg.Shards
+}
+
+// Ready returns the next readable connection on a shard
+// (ReactorListener).
+func (l *reactorListener) Ready(ctx context.Context, shard int) (core.Conn, error) {
+	l.start()
+	if shard < 0 || shard >= len(l.shards) {
+		return nil, fmt.Errorf("transport: shard %d out of range [0,%d)", shard, len(l.shards))
+	}
+	sh := l.shards[shard]
+	for {
+		if c := sh.ready.pop(); c != nil {
+			return c, nil
+		}
+		select {
+		case <-sh.ready.ch:
+		case <-l.closed:
+			return nil, core.ErrClosed
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Rearm re-enables readiness edges for c (ReactorListener).
+func (l *reactorListener) Rearm(conn core.Conn) {
+	c, ok := conn.(*reactorConn)
+	if !ok {
+		return
+	}
+	c.queued.Store(false)
+	if c.ring.occupied() > 0 && c.queued.CompareAndSwap(false, true) {
+		c.shard.ready.push(c)
+	}
+}
+
+// reactorConnOverhead approximates a connection's fixed footprint
+// beyond its ring slots: the conn struct, the ring header, the notify
+// and closed channels, and its table slot.
+var reactorConnOverhead = int64(unsafe.Sizeof(reactorConn{})) + 192
+
+// ReactorStats implements core.ReactorAccountant.
+func (l *reactorListener) ReactorStats() core.ReactorStats {
+	st := core.ReactorStats{
+		Shards:      l.cfg.Shards,
+		RingSize:    l.cfg.RingSize,
+		Goroutines:  l.goroutines.Load(),
+		AcceptQueue: len(l.accept),
+	}
+	if !l.started.Load() {
+		return st
+	}
+	st.ShardConns = make([]int64, len(l.shards))
+	for i, sh := range l.shards {
+		n := sh.conns.Load()
+		st.ShardConns[i] = n
+		st.Conns += n
+		occ, tableBytes := sh.table.account()
+		st.RingOccupied += occ
+		st.ConnMemBytes += tableBytes
+	}
+	st.ConnMemBytes += st.Conns * (reactorConnOverhead + int64(l.cfg.RingSize)*16)
+	return st
+}
+
+// readyQueue is one shard's FIFO of readiness edges. Pushes come from
+// reactor goroutines and Rearm; pops from Ready callers. Entries are
+// unique (the connection's queued flag gates pushes), so the queue
+// holds at most one slot per live connection and its backing array
+// stops growing once warm.
+type readyQueue struct {
+	mu   sync.Mutex
+	q    []*reactorConn
+	head int
+	ch   chan struct{} // cap 1: wake for blocked Ready callers
+}
+
+func (r *readyQueue) push(c *reactorConn) {
+	r.mu.Lock()
+	r.q = append(r.q, c)
+	r.mu.Unlock()
+	select {
+	case r.ch <- struct{}{}:
+	default:
+	}
+}
+
+func (r *readyQueue) pop() *reactorConn {
+	r.mu.Lock()
+	var c *reactorConn
+	if r.head < len(r.q) {
+		c = r.q[r.head]
+		r.q[r.head] = nil
+		r.head++
+		if r.head == len(r.q) {
+			r.q = r.q[:0]
+			r.head = 0
+		}
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// peerTable is one shard's open-addressing connection table. Lookups
+// are lock-free: linear probing over atomic entry loads. Inserts,
+// removes, and growth serialize on mu; growth installs a rebuilt array
+// with a single pointer swap, so a concurrent reader sees either the
+// old or the new generation (a reader racing an insert into the new
+// generation may miss it — the reactor re-checks under mu before
+// materializing, so a miss never duplicates a connection).
+type peerTable struct {
+	mu    sync.Mutex
+	slots atomic.Pointer[peerSlots]
+	live  int // entries holding a connection (guarded by mu)
+	used  int // slots consumed, tombstones included (guarded by mu)
+}
+
+type peerSlots struct {
+	mask    uint64
+	entries []peerEntry
+}
+
+type peerEntry struct {
+	c atomic.Pointer[reactorConn]
+}
+
+// tombstone marks a vacated slot so probe chains stay connected.
+var tombstone = &reactorConn{}
+
+// lookup finds the live connection for key, lock-free.
+func (t *peerTable) lookup(key peerKey) *reactorConn {
+	s := t.slots.Load()
+	if s == nil {
+		return nil
+	}
+	h := key.hash()
+	for probe := uint64(0); probe <= s.mask; probe++ {
+		c := s.entries[(h+probe)&s.mask].c.Load()
+		if c == nil {
+			return nil
+		}
+		if c != tombstone && c.key == key {
+			return c
+		}
+	}
+	return nil
+}
+
+// lookupLocked is lookup under mu (no new generation can race in).
+func (t *peerTable) lookupLocked(key peerKey) *reactorConn {
+	return t.lookup(key)
+}
+
+// insertLocked adds a connection; the caller holds mu and has verified
+// the key is absent.
+func (t *peerTable) insertLocked(key peerKey, c *reactorConn) {
+	s := t.slots.Load()
+	if s == nil || uint64(t.used+1) > (s.mask+1)*3/4 {
+		s = t.grow(s)
+	}
+	h := key.hash()
+	for probe := uint64(0); ; probe++ {
+		e := &s.entries[(h+probe)&s.mask]
+		cur := e.c.Load()
+		if cur == nil {
+			t.used++
+			t.live++
+			e.c.Store(c)
+			return
+		}
+		if cur == tombstone {
+			t.live++
+			e.c.Store(c)
+			return
+		}
+	}
+}
+
+// remove tombstones key's slot.
+func (t *peerTable) remove(key peerKey) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.slots.Load()
+	if s == nil {
+		return
+	}
+	h := key.hash()
+	for probe := uint64(0); probe <= s.mask; probe++ {
+		e := &s.entries[(h+probe)&s.mask]
+		c := e.c.Load()
+		if c == nil {
+			return
+		}
+		if c != tombstone && c.key == key {
+			e.c.Store(tombstone)
+			t.live--
+			return
+		}
+	}
+}
+
+// grow installs a generation sized for the live population (tombstones
+// compacted away) and returns it. Caller holds mu.
+func (t *peerTable) grow(old *peerSlots) *peerSlots {
+	size := 64
+	for size < (t.live+1)*2 {
+		size <<= 1
+	}
+	ns := &peerSlots{mask: uint64(size - 1), entries: make([]peerEntry, size)}
+	t.used = 0
+	if old != nil {
+		for i := range old.entries {
+			c := old.entries[i].c.Load()
+			if c == nil || c == tombstone {
+				continue
+			}
+			h := c.key.hash()
+			for probe := uint64(0); ; probe++ {
+				e := &ns.entries[(h+probe)&ns.mask]
+				if e.c.Load() == nil {
+					e.c.Store(c)
+					t.used++
+					break
+				}
+			}
+		}
+	}
+	t.slots.Store(ns)
+	return ns
+}
+
+// closeAll empties the table (listener shutdown) and returns the
+// connections that were live.
+func (t *peerTable) closeAll() []*reactorConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.slots.Load()
+	if s == nil {
+		return nil
+	}
+	conns := make([]*reactorConn, 0, t.live)
+	for i := range s.entries {
+		if c := s.entries[i].c.Load(); c != nil && c != tombstone {
+			conns = append(conns, c)
+			s.entries[i].c.Store(tombstone)
+		}
+	}
+	t.live = 0
+	return conns
+}
+
+// account sums live connections' ring occupancy and the table's own
+// footprint (snapshot time only).
+func (t *peerTable) account() (occupied, tableBytes int64) {
+	s := t.slots.Load()
+	if s == nil {
+		return 0, 0
+	}
+	tableBytes = int64(len(s.entries)) * 8
+	for i := range s.entries {
+		if c := s.entries[i].c.Load(); c != nil && c != tombstone {
+			occupied += c.ring.occupied()
+		}
+	}
+	return occupied, tableBytes
+}
+
+// reactorConn is the per-peer connection handed out by a reactor
+// listener: sends go straight to the shared socket; receives drain the
+// connection's ring, filled by the reactor goroutines.
+type reactorConn struct {
+	l             *reactorListener
+	shard         *reactorShard
+	key           peerKey
+	peer          net.Addr // non-nil only on the non-AddrPort path
+	local, remote core.Addr
+
+	ring   *connRing
+	popMu  sync.Mutex    // serializes consumers over ring.pop
+	notify chan struct{} // cap 1: wake for blocked RecvBuf callers
+
+	queued     atomic.Bool // readiness edge pending in the shard queue
+	closedFlag atomic.Bool
+	closed     chan struct{}
+	once       sync.Once
+}
+
+// wake publishes a delivery: a token for blocked receivers, a readiness
+// edge for Ready workers.
+func (c *reactorConn) wake(sh *reactorShard) {
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+	if c.queued.CompareAndSwap(false, true) {
+		sh.ready.push(c)
+	}
+}
+
+// writeTo sends one datagram to the peer over the shared socket.
+func (c *reactorConn) writeTo(p []byte) error {
+	var err error
+	if c.l.apc != nil {
+		_, err = c.l.apc.WriteToAddrPort(p, c.key.ap)
+	} else {
+		_, err = c.l.pc.WriteTo(p, c.peer)
+	}
+	return err
+}
+
+func (c *reactorConn) Send(ctx context.Context, p []byte) error {
+	if len(p) > MaxDatagram {
+		return oversizeErr(len(p))
+	}
+	if c.closedFlag.Load() {
+		return core.ErrClosed
+	}
+	if err := c.writeTo(p); err != nil {
+		if isClosedErr(err) {
+			return core.ErrClosed
+		}
+		return err
+	}
+	c.l.tel.sent.Inc()
+	return nil
+}
+
+// SendBuf writes the buffer and releases it.
+func (c *reactorConn) SendBuf(ctx context.Context, b *wire.Buf) error {
+	err := c.Send(ctx, b.Bytes())
+	b.Release()
+	return err
+}
+
+// SendBufs writes the burst through the shared listener socket with one
+// closed-state check up front. WriteTo is already serialized by the
+// kernel; the first failure aborts the burst.
+func (c *reactorConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
+	if c.closedFlag.Load() {
+		core.ReleaseAll(bs)
+		return &core.BatchError{Sent: 0, Err: core.ErrClosed}
+	}
+	for i, b := range bs {
+		if b.Len() > MaxDatagram {
+			err := oversizeErr(b.Len())
+			core.ReleaseAll(bs[i:])
+			return &core.BatchError{Sent: i, Err: err}
+		}
+		if err := c.writeTo(b.Bytes()); err != nil {
+			if isClosedErr(err) {
+				err = core.ErrClosed
+			}
+			core.ReleaseAll(bs[i:])
+			return &core.BatchError{Sent: i, Err: err}
+		}
+		c.l.tel.sent.Inc()
+		b.Release()
+	}
+	return nil
+}
+
+// RecvBuf hands the next ring buffer to the caller, blocking until the
+// reactor delivers one.
+func (c *reactorConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
+	for {
+		c.popMu.Lock()
+		b := c.ring.pop()
+		c.popMu.Unlock()
+		if b != nil {
+			return b, nil
+		}
+		select {
+		case <-c.notify:
+		case <-c.closed:
+			return nil, core.ErrClosed
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// RecvBufs drains the ring: blocking for the first message, then taking
+// whatever the reactor has already delivered — a burst costs one
+// blocking receive however large it is.
+func (c *reactorConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
+	if len(into) == 0 {
+		return 0, nil
+	}
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return 0, err
+	}
+	into[0] = b
+	n := 1
+	c.popMu.Lock()
+	for n < len(into) {
+		b := c.ring.pop()
+		if b == nil {
+			break
+		}
+		into[n] = b
+		n++
+	}
+	c.popMu.Unlock()
+	return n, nil
+}
+
+// Headroom: transports terminate the stack, no headers below.
+func (c *reactorConn) Headroom() int { return 0 }
+
+func (c *reactorConn) Recv(ctx context.Context) ([]byte, error) {
+	b, err := c.RecvBuf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return b.CopyOut(), nil
+}
+
+func (c *reactorConn) LocalAddr() core.Addr  { return c.local }
+func (c *reactorConn) RemoteAddr() core.Addr { return c.remote }
+
+// Close detaches the peer connection from the listener. The listener's
+// socket stays open for other peers; a reused source address
+// materializes a fresh connection.
+func (c *reactorConn) Close() error {
+	c.once.Do(func() {
+		c.closedFlag.Store(true)
+		close(c.closed)
+		c.shard.table.remove(c.key)
+		c.shard.conns.Add(-1)
+		c.drain()
+	})
+	return nil
+}
+
+// closePeer closes the conn on listener shutdown; the table is being
+// emptied wholesale, so no per-key removal.
+func (c *reactorConn) closePeer() {
+	c.once.Do(func() {
+		c.closedFlag.Store(true)
+		close(c.closed)
+		c.drain()
+	})
+}
+
+// drain releases undelivered pooled buffers. Close drains after
+// removing the table entry; a producer that raced the removal re-drains
+// after its push (deliver's closedFlag check), so no buffer strands in
+// a dead ring.
+func (c *reactorConn) drain() {
+	c.popMu.Lock()
+	for {
+		b := c.ring.pop()
+		if b == nil {
+			break
+		}
+		b.Release()
+	}
+	c.popMu.Unlock()
+}

@@ -17,23 +17,9 @@ import (
 // stays under the UDP payload ceiling with headroom for chunnel headers.
 const MaxDatagram = 60000
 
-// recvQueueLen is the per-peer buffered message capacity of a demuxing
-// listener before packets are dropped (datagram semantics: drops are
-// legal and the reliability chunnel recovers them).
-const recvQueueLen = 1024
-
-// packetConn abstracts net.UDPConn and net.UnixConn for the shared
-// demultiplexing listener.
-type packetConn interface {
-	ReadFrom(b []byte) (int, net.Addr, error)
-	WriteTo(b []byte, addr net.Addr) (int, error)
-	Close() error
-	LocalAddr() net.Addr
-	SetReadDeadline(t time.Time) error
-}
-
 // ListenUDP binds a demultiplexing datagram listener on bind (e.g.
-// "127.0.0.1:0"). hostID labels the listener's host for locality checks.
+// "127.0.0.1:0"), served by the sharded reactor runtime (reactor.go).
+// hostID labels the listener's host for locality checks.
 func ListenUDP(hostID, bind string) (core.Listener, error) {
 	laddr, err := net.ResolveUDPAddr("udp", bind)
 	if err != nil {
@@ -44,7 +30,7 @@ func ListenUDP(hostID, bind string) (core.Listener, error) {
 		return nil, fmt.Errorf("transport: listen udp %q: %w", bind, err)
 	}
 	addr := core.Addr{Net: "udp", Host: hostID, Addr: pc.LocalAddr().String()}
-	return newDemuxListener(pc, addr), nil
+	return newDemuxListener(udpPC{pc}, addr), nil
 }
 
 // DialUDP opens a connected datagram connection to raddr.
@@ -371,271 +357,4 @@ func isClosedErr(err error) bool {
 // oversizeErr reports a datagram exceeding MaxDatagram.
 func oversizeErr(n int) error {
 	return fmt.Errorf("%w: %d bytes", core.ErrMessageTooLarge, n)
-}
-
-// demuxListener demultiplexes one datagram socket into per-peer core.Conns
-// keyed by source address: the datagram analog of accept().
-type demuxListener struct {
-	pc   packetConn
-	addr core.Addr
-	tel  *netCounters
-
-	mu     sync.Mutex
-	peers  map[string]*demuxConn
-	accept chan *demuxConn
-	closed chan struct{}
-	once   sync.Once
-}
-
-func newDemuxListener(pc packetConn, addr core.Addr) *demuxListener {
-	l := &demuxListener{
-		pc:     pc,
-		addr:   addr,
-		tel:    countersFor(addr.Net),
-		peers:  make(map[string]*demuxConn),
-		accept: make(chan *demuxConn, 128),
-		closed: make(chan struct{}),
-	}
-	go l.readLoop()
-	return l
-}
-
-func (l *demuxListener) readLoop() {
-	for {
-		// Read straight into a pooled buffer that travels to the peer's
-		// receive queue — no per-datagram copy. (ReadFrom still allocates
-		// the source net.Addr; connected sockets avoid even that.)
-		b := wire.NewBuf(wire.DefaultHeadroom, MaxDatagram+1)
-		n, from, err := l.pc.ReadFrom(b.Bytes())
-		if err != nil {
-			b.Release()
-			select {
-			case <-l.closed:
-				return
-			default:
-			}
-			if isClosedErr(err) {
-				l.Close()
-				return
-			}
-			continue // transient error (e.g. ICMP-induced)
-		}
-		b.Truncate(n)
-		l.tel.recvd.Inc()
-		key := from.String()
-
-		l.mu.Lock()
-		peer, ok := l.peers[key]
-		if !ok {
-			peer = &demuxConn{
-				l:      l,
-				peer:   from,
-				local:  l.addr,
-				remote: core.Addr{Net: l.addr.Net, Addr: key},
-				recv:   make(chan *wire.Buf, recvQueueLen),
-				closed: make(chan struct{}),
-			}
-			l.peers[key] = peer
-			select {
-			case l.accept <- peer:
-			default:
-				// Accept backlog full: drop the peer (client retries).
-				delete(l.peers, key)
-				l.mu.Unlock()
-				b.Release()
-				l.tel.dropped.Inc()
-				continue
-			}
-		}
-		l.mu.Unlock()
-
-		select {
-		case peer.recv <- b:
-		default:
-			b.Release() // per-peer queue full: drop (datagram semantics)
-			l.tel.dropped.Inc()
-		}
-	}
-}
-
-func (l *demuxListener) Accept(ctx context.Context) (core.Conn, error) {
-	select {
-	case c := <-l.accept:
-		return c, nil
-	case <-l.closed:
-		return nil, core.ErrClosed
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-func (l *demuxListener) Addr() core.Addr { return l.addr }
-
-func (l *demuxListener) Close() error {
-	l.once.Do(func() {
-		close(l.closed)
-		l.pc.Close()
-		l.mu.Lock()
-		for _, p := range l.peers {
-			p.closePeer()
-		}
-		l.mu.Unlock()
-	})
-	return nil
-}
-
-// demuxConn is the per-peer connection handed out by a demuxListener.
-type demuxConn struct {
-	l             *demuxListener
-	peer          net.Addr
-	local, remote core.Addr
-	recv          chan *wire.Buf
-	closed        chan struct{}
-	once          sync.Once
-}
-
-func (c *demuxConn) Send(ctx context.Context, p []byte) error {
-	if len(p) > MaxDatagram {
-		return fmt.Errorf("%w: %d bytes", core.ErrMessageTooLarge, len(p))
-	}
-	select {
-	case <-c.closed:
-		return core.ErrClosed
-	default:
-	}
-	_, err := c.l.pc.WriteTo(p, c.peer)
-	if err != nil {
-		if isClosedErr(err) {
-			return core.ErrClosed
-		}
-		return err
-	}
-	c.l.tel.sent.Inc()
-	return nil
-}
-
-// SendBuf writes the buffer and releases it.
-func (c *demuxConn) SendBuf(ctx context.Context, b *wire.Buf) error {
-	err := c.Send(ctx, b.Bytes())
-	b.Release()
-	return err
-}
-
-// SendBufs writes the burst through the shared listener socket with one
-// closed-state check up front. WriteTo is already serialized by the
-// kernel; the first failure aborts the burst.
-func (c *demuxConn) SendBufs(ctx context.Context, bs []*wire.Buf) error {
-	select {
-	case <-c.closed:
-		core.ReleaseAll(bs)
-		return &core.BatchError{Sent: 0, Err: core.ErrClosed}
-	default:
-	}
-	for i, b := range bs {
-		if b.Len() > MaxDatagram {
-			err := oversizeErr(b.Len())
-			core.ReleaseAll(bs[i:])
-			return &core.BatchError{Sent: i, Err: err}
-		}
-		if _, err := c.l.pc.WriteTo(b.Bytes(), c.peer); err != nil {
-			if isClosedErr(err) {
-				err = core.ErrClosed
-			}
-			core.ReleaseAll(bs[i:])
-			return &core.BatchError{Sent: i, Err: err}
-		}
-		c.l.tel.sent.Inc()
-		b.Release()
-	}
-	return nil
-}
-
-// RecvBufs drains the per-peer receive queue: blocking for the first
-// message, then taking whatever the listener's read loop has already
-// enqueued — a burst costs one blocking receive however large it is.
-func (c *demuxConn) RecvBufs(ctx context.Context, into []*wire.Buf) (int, error) {
-	if len(into) == 0 {
-		return 0, nil
-	}
-	b, err := c.RecvBuf(ctx)
-	if err != nil {
-		return 0, err
-	}
-	into[0] = b
-	n := 1
-	for n < len(into) {
-		select {
-		case b := <-c.recv:
-			into[n] = b
-			n++
-		default:
-			return n, nil
-		}
-	}
-	return n, nil
-}
-
-// Headroom: transports terminate the stack, no headers below.
-func (c *demuxConn) Headroom() int { return 0 }
-
-func (c *demuxConn) Recv(ctx context.Context) ([]byte, error) {
-	b, err := c.RecvBuf(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return b.CopyOut(), nil
-}
-
-// RecvBuf hands the pooled buffer filled by the listener's read loop
-// straight to the caller.
-func (c *demuxConn) RecvBuf(ctx context.Context) (*wire.Buf, error) {
-	select {
-	case b := <-c.recv:
-		return b, nil
-	default:
-	}
-	select {
-	case b := <-c.recv:
-		return b, nil
-	case <-c.closed:
-		return nil, core.ErrClosed
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-func (c *demuxConn) LocalAddr() core.Addr  { return c.local }
-func (c *demuxConn) RemoteAddr() core.Addr { return c.remote }
-
-// Close detaches the peer connection from the listener. The listener's
-// socket stays open for other peers.
-func (c *demuxConn) Close() error {
-	c.once.Do(func() {
-		close(c.closed)
-		c.l.mu.Lock()
-		delete(c.l.peers, c.peer.String())
-		c.l.mu.Unlock()
-		c.drain()
-	})
-	return nil
-}
-
-// closePeer closes the conn on listener shutdown without re-locking.
-func (c *demuxConn) closePeer() {
-	c.once.Do(func() {
-		close(c.closed)
-		c.drain()
-	})
-}
-
-// drain returns undelivered pooled buffers on close.
-func (c *demuxConn) drain() {
-	for {
-		select {
-		case b := <-c.recv:
-			b.Release()
-		default:
-			return
-		}
-	}
 }

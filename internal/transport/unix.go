@@ -31,16 +31,16 @@ func ListenUnix(hostID, path string) (core.Listener, error) {
 		return nil, fmt.Errorf("transport: listen unixgram %q: %w", path, err)
 	}
 	addr := core.Addr{Net: "unix", Host: hostID, Addr: path}
-	return &unixListener{demuxListener: newDemuxListener(unixPC{pc}, addr), path: path}, nil
+	return &unixListener{reactorListener: newDemuxListener(unixPC{pc}, addr), path: path}, nil
 }
 
 type unixListener struct {
-	*demuxListener
+	*reactorListener
 	path string
 }
 
 func (l *unixListener) Close() error {
-	err := l.demuxListener.Close()
+	err := l.reactorListener.Close()
 	os.Remove(l.path)
 	return err
 }

@@ -1,0 +1,75 @@
+package wire
+
+// LocalPool is a single-owner buffer cache in front of the global
+// size-class pools: a reactor shard gets its receive buffers from its
+// own LocalPool so the steady-state acquisition path is a plain slice
+// pop with no cross-shard synchronization, and returns buffers it never
+// handed off (drops, short reads, shutdown) the same way. Buffers that
+// do reach a consumer travel the normal ownership path and come back
+// through Buf.Release into the global pool, from which the LocalPool
+// refills when its cache runs dry.
+//
+// LocalPool is not safe for concurrent use; each shard owns exactly
+// one.
+type LocalPool struct {
+	headroom, payload int
+	free              []*Buf
+}
+
+// NewLocalPool returns a pool dispensing buffers shaped like
+// NewBuf(headroom, payload), caching up to capacity of them locally.
+func NewLocalPool(headroom, payload, capacity int) *LocalPool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LocalPool{
+		headroom: headroom,
+		payload:  payload,
+		free:     make([]*Buf, 0, capacity),
+	}
+}
+
+// Get returns an owned buffer with the pool's headroom and payload
+// shape, preferring the local cache over the global size-class pools.
+func (p *LocalPool) Get() *Buf {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		b.released = false
+		b.ClearTrace()
+		b.off = p.headroom
+		b.end = p.headroom + p.payload
+		bufsOutstanding.Add(1)
+		return b
+	}
+	return NewBuf(p.headroom, p.payload)
+}
+
+// Put reclaims a buffer the owner never handed off. A buffer from a
+// different size class — or one arriving when the cache is full —
+// falls through to the global pool.
+func (p *LocalPool) Put(b *Buf) {
+	if b == nil || b.released {
+		return
+	}
+	if b.class < 0 || len(b.store) < p.headroom+p.payload || len(p.free) == cap(p.free) {
+		b.Release()
+		return
+	}
+	b.released = true
+	b.off, b.end = 0, 0
+	bufsOutstanding.Add(-1)
+	p.free = append(p.free, b)
+}
+
+// Drain moves every cached buffer back to the global pools (shard
+// shutdown). Cached buffers already carry released-state bookkeeping,
+// so this is a straight transfer.
+func (p *LocalPool) Drain() {
+	for i, b := range p.free {
+		p.free[i] = nil
+		bufPools[b.class].Put(b)
+	}
+	p.free = p.free[:0]
+}
